@@ -1,0 +1,151 @@
+// Ablations of manymap's design choices, reproducing the arguments the
+// paper makes in prose:
+//
+//  A. GPU kernel organization (§4.5.1): one 512-thread block per pair vs
+//     the two rejected alternatives — splitting into one kernel launch per
+//     anti-diagonal (implicit sync) or one grid-wide cooperative kernel
+//     (grid sync, concurrency 1 per device).
+//  B. Per-stream memory pool (§4.5.2): pool reuse vs a cudaMalloc/free
+//     pair per kernel.
+//  C. Longest-first batch sorting (§4.4.4): end-of-batch straggler wait
+//     under greedy scheduling, sorted vs arrival order.
+//  D. Banded vs full-matrix gap fill (mapper design): DP cells touched.
+#include <algorithm>
+#include <cmath>
+
+#include "align/banded.hpp"
+#include "base/random.hpp"
+#include "bench_util.hpp"
+#include "pipeline/batch.hpp"
+#include "simt/kernels.hpp"
+#include "simt/memory_pool.hpp"
+#include "simulate/read_sim.hpp"
+
+using namespace manymap;
+using namespace manymap::bench;
+
+namespace {
+
+void gpu_kernel_organization() {
+  print_header("Ablation A: GPU kernel organization (4 kbp pair, simulated)");
+  const simt::DeviceSpec spec = simt::DeviceSpec::v100();
+  const i32 len = 4000;
+  const i32 diagonals = 2 * len - 1;
+  const auto cost = simt::gpu_align_cost(len, len, Layout::kManymap, spec, 512, false);
+  const double clock = spec.clock_ghz * 1e9;
+
+  // (1) paper's choice: one resident block, barriers inside the kernel.
+  const double single_block_s = static_cast<double>(cost.cycles) / clock;
+  // (2) kernel-per-diagonal: same math, but each diagonal pays a launch.
+  const double launch_s = spec.kernel_launch_us * 1e-6;
+  const double split_s = single_block_s + diagonals * launch_s;
+  // (3) cooperative grid: grid-wide sync ~5x a block barrier, and the
+  //     whole device is occupied by ONE pair (concurrency 1 vs 128).
+  const double grid_sync_s = diagonals * 5.0 * 24.0 / clock;
+  const double coop_s = single_block_s + grid_sync_s;
+
+  std::printf("%-36s %14s %16s\n", "organization", "per-pair (ms)", "pairs in flight");
+  std::printf("%-36s %14.3f %16u\n", "single 512-thread block (manymap)",
+              single_block_s * 1e3, spec.max_resident_grids);
+  std::printf("%-36s %14.3f %16u\n", "kernel per anti-diagonal", split_s * 1e3,
+              spec.max_resident_grids);
+  std::printf("%-36s %14.3f %16u\n", "cooperative grid sync", coop_s * 1e3, 1u);
+  std::printf("-> per-pair the alternatives cost %.1fx / %.1fx; the cooperative\n"
+              "   design additionally forfeits the 128-stream concurrency of Fig. 7.\n",
+              split_s / single_block_s, coop_s / single_block_s);
+}
+
+void memory_pool() {
+  print_header("Ablation B: per-stream memory pool vs per-kernel allocation");
+  const double cuda_malloc_us = 100.0;  // typical cudaMalloc+free round trip
+  const u32 kernels = 100'000;
+  const simt::DeviceSpec spec = simt::DeviceSpec::v100();
+  const auto cost = simt::gpu_align_cost(4000, 4000, Layout::kManymap, spec, 512, false);
+  const double kernel_s = static_cast<double>(cost.cycles) / (spec.clock_ghz * 1e9);
+  const double alloc_total = kernels * cuda_malloc_us * 1e-6;
+  const double kernel_total = kernels * kernel_s / spec.max_resident_grids;
+  std::printf("100k kernels: compute %.2fs at full concurrency;\n"
+              "per-kernel cudaMalloc/free adds %.2fs serial (%.0f%% overhead);\n"
+              "the pool's bump allocation is ~free after one upfront reservation.\n",
+              kernel_total, alloc_total, 100.0 * alloc_total / kernel_total);
+
+  simt::MemoryPool pool(16ULL << 30, 128);
+  u64 served = 0;
+  for (u32 i = 0; i < kernels; ++i) {
+    const u32 stream = i % 128;
+    pool.reset(stream);
+    if (pool.allocate(stream, simt::gpu_kernel_global_bytes(4000, 4000, false))) ++served;
+  }
+  std::printf("pool check: %llu/%u allocations served from fixed partitions\n",
+              static_cast<unsigned long long>(served), kernels);
+}
+
+void batch_sorting() {
+  print_header("Ablation C: longest-first batch sorting (greedy scheduling model)");
+  // Per-read costs ~ quadratic in read length (DP-dominated), lengths from
+  // the PacBio profile: a realistic heavy-ish tail.
+  Rng rng(99);
+  const auto profile = ErrorProfile::pacbio();
+  std::printf("%-10s %16s %16s %10s\n", "workers", "arrival order", "longest-first",
+              "saving");
+  for (const u32 workers : {8u, 64u, 256u}) {
+    std::vector<double> costs(1024);
+    for (auto& c : costs) {
+      const double len = std::clamp(rng.lognormal(profile.log_mu, profile.log_sigma),
+                                    double(profile.min_length), double(profile.max_length));
+      c = len * len * 1e-9;
+    }
+    const double unsorted = list_schedule_makespan(costs, workers);
+    auto sorted = costs;
+    std::sort(sorted.rbegin(), sorted.rend());
+    const double lpt = list_schedule_makespan(sorted, workers);
+    std::printf("%-10u %15.3fs %15.3fs %9.1f%%\n", workers, unsorted, lpt,
+                100.0 * (unsorted - lpt) / unsorted);
+  }
+  std::printf("-> the gain grows with worker count: exactly why §4.4.4 sorts\n"
+              "   batches longest-first on 256-thread KNL runs.\n");
+}
+
+void banded_fill() {
+  print_header("Ablation D: banded vs full-matrix gap fill");
+  Rng rng(7);
+  std::printf("%-12s %16s %16s %12s\n", "gap size", "full cells", "banded cells",
+              "same score");
+  for (const i32 gap : {500, 1000, 2000, 4000}) {
+    std::vector<u8> t(static_cast<std::size_t>(gap));
+    for (auto& b : t) b = rng.base();
+    auto q = t;
+    for (auto& b : q)
+      if (rng.bernoulli(0.12)) b = rng.base();
+    DiffArgs full;
+    full.target = t.data();
+    full.tlen = gap;
+    full.query = q.data();
+    full.qlen = gap;
+    full.mode = AlignMode::kGlobal;
+    const auto f = get_diff_kernel(Layout::kManymap, Isa::kScalar)(full);
+    BandedArgs ba;
+    ba.target = t.data();
+    ba.tlen = gap;
+    ba.query = q.data();
+    ba.qlen = gap;
+    ba.band = 256;
+    const auto b = banded_global_align(ba);
+    std::printf("%-12d %16llu %16llu %12s\n", gap,
+                static_cast<unsigned long long>(f.cells),
+                static_cast<unsigned long long>(b.cells),
+                f.score == b.score ? "yes" : "NO");
+  }
+  std::printf("-> linear vs quadratic cell growth; the band loses nothing while\n"
+              "   the optimal path stays inside it (chaining bounds the drift).\n");
+}
+
+}  // namespace
+
+int main() {
+  gpu_kernel_organization();
+  memory_pool();
+  batch_sorting();
+  banded_fill();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6 — DDR vs MCDRAM memory modes on KNL (machine model; see
+// DESIGN.md substitution table). Lengths 1k-32k, score-only and full-path
+// alignment, 256 threads. Paper expectations: no advantage for short
+// score-only workloads; up to ~5x for >=16k score-only; ~1.8x for path
+// alignment while the working set fits the 16 GB MCDRAM, parity once it
+// spills (8k path needs ~18 GB at 256 threads).
+#include "bench_util.hpp"
+#include "knl/memory_model.hpp"
+
+using namespace manymap;
+using namespace manymap::bench;
+using namespace manymap::knl;
+
+int main() {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+
+  print_header("Figure 6: KNL memory modes (simulated GCUPS, 256 threads)");
+  for (const bool with_path : {false, true}) {
+    std::printf("\n-- alignment with %s --\n", with_path ? "complete path" : "score only");
+    std::printf("%-8s %12s %12s %10s %16s\n", "length", "DDR", "MCDRAM", "ratio",
+                "working set");
+    for (const i32 len : kPaperLengths) {
+      KernelWorkload w;
+      w.sequence_length = static_cast<u64>(len);
+      w.with_path = with_path;
+      w.threads = 256;
+      const double ddr = simulated_gcups(spec, cal, w, MemoryMode::kDdr);
+      const double mc = simulated_gcups(spec, cal, w, MemoryMode::kMcdram);
+      const double ws_gb = static_cast<double>(working_set_bytes(w)) / 1e9;
+      std::printf("%-8d %12.2f %12.2f %9.2fx %13.2f GB\n", len, ddr, mc, mc / ddr, ws_gb);
+    }
+  }
+  std::printf("\nExpected shape (paper): parity on short score-only lengths; up to ~5x\n"
+              "MCDRAM gain at 16k-32k score-only; ~1.8x for path alignment until the\n"
+              "working set exceeds 16 GB (>=8k at 256 threads), then parity.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// google-benchmark micro benchmarks of the base-level alignment kernels:
+// every (layout, ISA) pair, score-only and full-path, at a representative
+// length. Complements the figure benches with statistically-stable
+// per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include "align/kernel_api.hpp"
+#include "base/random.hpp"
+
+namespace manymap {
+namespace {
+
+struct Fixture {
+  std::vector<u8> target;
+  std::vector<u8> query;
+
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      Fixture fx;
+      Rng rng(123);
+      fx.target.resize(2000);
+      for (auto& b : fx.target) b = rng.base();
+      fx.query = fx.target;
+      for (auto& b : fx.query)
+        if (rng.bernoulli(0.15)) b = rng.base();
+      return fx;
+    }();
+    return f;
+  }
+};
+
+void bench_kernel(benchmark::State& state, Layout layout, Isa isa, bool with_cigar) {
+  const KernelFn fn = get_diff_kernel(layout, isa);
+  if (fn == nullptr) {
+    state.SkipWithError("ISA not available");
+    return;
+  }
+  const auto& fx = Fixture::get();
+  DiffArgs a;
+  a.target = fx.target.data();
+  a.tlen = static_cast<i32>(fx.target.size());
+  a.query = fx.query.data();
+  a.qlen = static_cast<i32>(fx.query.size());
+  a.mode = AlignMode::kGlobal;
+  a.with_cigar = with_cigar;
+  u64 cells = 0;
+  for (auto _ : state) {
+    const auto r = fn(a);
+    benchmark::DoNotOptimize(r.score);
+    cells += r.cells;
+  }
+  state.counters["GCUPS"] = benchmark::Counter(static_cast<double>(cells) / 1e9,
+                                               benchmark::Counter::kIsRate);
+}
+
+void register_all() {
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap}) {
+    for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512}) {
+      if (get_diff_kernel(layout, isa) == nullptr) continue;
+      for (const bool cigar : {false, true}) {
+        const std::string name = std::string("align/") + to_string(layout) + "/" +
+                                 to_string(isa) + (cigar ? "/path" : "/score");
+        benchmark::RegisterBenchmark(name.c_str(), [layout, isa, cigar](benchmark::State& s) {
+          bench_kernel(s, layout, isa, cigar);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  manymap::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "align/kernel_api.hpp"
+#include "base/random.hpp"
+#include "base/timer.hpp"
+
+namespace manymap {
+namespace bench {
+
+/// The paper's micro-benchmark lengths (§5.1.2): 1k..32k bp.
+inline const std::vector<i32> kPaperLengths{1'000, 2'000, 4'000, 8'000, 16'000, 32'000};
+
+inline std::vector<u8> random_seq(Rng& rng, i32 n) {
+  std::vector<u8> s(static_cast<std::size_t>(n));
+  for (auto& b : s) b = rng.base();
+  return s;
+}
+
+/// Mutate a copy at PacBio-like error rates, so the DP workload resembles
+/// the sequences minimap2 dumps from real alignments (§5.1.2).
+inline std::vector<u8> noisy_copy(Rng& rng, const std::vector<u8>& t, double rate = 0.15) {
+  std::vector<u8> q;
+  q.reserve(t.size() + 16);
+  for (const u8 b : t) {
+    const double u = rng.uniform01();
+    if (u < rate * 0.3) {
+      continue;  // deletion
+    }
+    if (u < rate * 0.5) {
+      q.push_back(rng.base());  // substitution
+      continue;
+    }
+    q.push_back(b);
+    if (u > 1.0 - rate * 0.5) q.push_back(rng.base());  // insertion
+  }
+  q.resize(t.size());  // keep |T| = |Q| as the paper's micro benches do
+  return q;
+}
+
+/// Time one kernel invocation; returns GCUPS.
+inline double measure_gcups(KernelFn fn, const DiffArgs& args, int min_reps = 1,
+                            double min_seconds = 0.05) {
+  // Warm-up.
+  auto r = fn(args);
+  WallTimer t;
+  int reps = 0;
+  do {
+    r = fn(args);
+    ++reps;
+  } while ((reps < min_reps || t.seconds() < min_seconds) && reps < 1000);
+  return gcups(r.cells * static_cast<u64>(reps), t.seconds());
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vprintf(fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace bench
+}  // namespace manymap

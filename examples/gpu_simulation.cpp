@@ -1,0 +1,88 @@
+// Drive the SIMT device model directly: align a batch of sequence pairs
+// as GPU kernels, inspect the divergence/synchronization gap between the
+// Fig. 4a (minimap2) and Fig. 4b (manymap) kernel forms, and watch stream
+// concurrency and the memory-pool fallback in action.
+#include <cstdio>
+
+#include "base/random.hpp"
+#include "gpu/gpu_mapper.hpp"
+#include "simt/stream.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+using namespace manymap;
+using simt::BatchConfig;
+using simt::Device;
+using simt::DeviceSpec;
+
+int main() {
+  Rng rng(301);
+  const DeviceSpec spec = DeviceSpec::v100();
+  const Device device{spec};
+  std::printf("device: %u SMs, %u max resident grids, %.0f KiB shared/block\n", spec.sm_count,
+              spec.max_resident_grids, spec.shared_mem_per_block / 1024.0);
+
+  // One pair, both kernel forms: the cost gap is the paper's Fig. 4 story.
+  std::vector<u8> t(1500), q(1500);
+  for (auto& b : t) b = rng.base();
+  q = t;
+  for (auto& b : q)
+    if (rng.bernoulli(0.12)) b = rng.base();
+  DiffArgs a;
+  a.target = t.data();
+  a.tlen = 1500;
+  a.query = q.data();
+  a.qlen = 1500;
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap}) {
+    const auto r = simt::gpu_align(a, layout, spec, 512);
+    std::printf("%-9s kernel: score %lld, %llu cycles, %llu syncs, %llu divergent branches\n",
+                to_string(layout), static_cast<long long>(r.result.score),
+                static_cast<unsigned long long>(r.cost.cycles),
+                static_cast<unsigned long long>(r.cost.syncs),
+                static_cast<unsigned long long>(r.cost.divergent_branches));
+  }
+
+  // A small batch across streams, with results verified on the host.
+  std::vector<simt::SequencePair> pairs(32);
+  for (auto& p : pairs) {
+    p.target.resize(800);
+    for (auto& b : p.target) b = rng.base();
+    p.query = p.target;
+    for (auto& b : p.query)
+      if (rng.bernoulli(0.1)) b = rng.base();
+  }
+  BatchConfig cfg;
+  cfg.num_streams = 16;
+  const auto report = simt::run_alignment_batch(device, pairs, ScoreParams{}, cfg);
+  std::printf("batch: %llu kernels on GPU, %llu CPU fallbacks, concurrency %u, "
+              "%.2f simulated GCUPS\n",
+              static_cast<unsigned long long>(report.kernels_on_gpu),
+              static_cast<unsigned long long>(report.fallbacks_to_cpu),
+              report.achieved_concurrency, report.gcups());
+  for (const auto& r : report.results)
+    if (r.score <= 0) std::printf("unexpected non-positive score!\n");
+
+  // End-to-end offloaded mapping (§4.2): host seeds/chains/stitches, the
+  // device runs the DP segments; results match the CPU mapper exactly.
+  GenomeParams gp;
+  gp.total_length = 100'000;
+  gp.num_contigs = 1;
+  gp.seed = 404;
+  const Reference ref = generate_genome(gp);
+  ReadSimParams rp;
+  rp.num_reads = 4;
+  rp.seed = 405;
+  const auto sim = ReadSimulator(ref, rp).simulate();
+  std::vector<Sequence> reads;
+  for (const auto& r : sim) reads.push_back(r.read);
+  const auto mapped = gpu_map_reads(ref, MapOptions::map_pb(), reads, device);
+  u64 ok = 0;
+  for (const auto& ms : mapped.mappings) ok += !ms.empty();
+  std::printf("offloaded mapping: %llu/%zu reads mapped; %llu GPU kernels + %llu host\n"
+              "segments; simulated device align time %.3f ms at concurrency %u\n",
+              static_cast<unsigned long long>(ok), reads.size(),
+              static_cast<unsigned long long>(mapped.gpu_kernels),
+              static_cast<unsigned long long>(mapped.cpu_segments),
+              mapped.device_seconds * 1e3, mapped.achieved_concurrency);
+  return 0;
+}

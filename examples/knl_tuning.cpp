@@ -1,0 +1,78 @@
+// Explore the KNL tuning space (§4.4) on the machine model: memory modes,
+// thread affinity, pipeline variants — and print a recommendation, the way
+// an operator would size a Xeon Phi deployment.
+#include <cstdio>
+
+#include "knl/knl_run.hpp"
+
+using namespace manymap;
+using namespace manymap::knl;
+
+int main() {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+
+  // A paper-shaped workload (Table 2 CPU column).
+  KnlWorkload w;
+  w.load_index_cpu_s = 4.71;
+  w.load_query_cpu_s = 0.43;
+  w.seed_chain_cpu_s = 35.79;
+  w.align_cpu_s = 79.22;
+  w.output_cpu_s = 0.93;
+
+  std::printf("KNL model: %u cores x %u SMT, MCDRAM %.0f GB @ %.0f GB/s\n\n", spec.cores,
+              spec.smt, spec.mcdram_bytes / 1e9, spec.mcdram_bw_gbs);
+
+  std::printf("%-44s %10s\n", "configuration (256 threads)", "wall (s)");
+  struct Variant {
+    const char* name;
+    KnlRunConfig cfg;
+  };
+  KnlRunConfig base;
+  base.threads = 256;
+  std::vector<Variant> variants;
+  {
+    KnlRunConfig c = base;
+    c.vectorized_align = false;
+    c.use_mmap_io = false;
+    c.manymap_pipeline = false;
+    c.affinity = AffinityStrategy::kScatter;
+    c.memory_mode = MemoryMode::kDdr;
+    variants.push_back({"direct minimap2 port (all defaults)", c});
+    c.vectorized_align = true;
+    variants.push_back({"+ dependency-free vector kernels", c});
+    c.use_mmap_io = true;
+    variants.push_back({"+ memory-mapped I/O", c});
+    c.affinity = AffinityStrategy::kOptimized;
+    variants.push_back({"+ optimized affinity (reserved I/O core)", c});
+    c.memory_mode = MemoryMode::kMcdram;
+    variants.push_back({"+ MCDRAM flat mode", c});
+    c.manymap_pipeline = true;
+    variants.push_back({"+ manymap pipeline (full manymap)", c});
+  }
+  double first = 0.0;
+  for (const auto& v : variants) {
+    const auto r = simulate_knl_run(spec, cal, w, v.cfg);
+    if (first == 0.0) first = r.wall_s;
+    std::printf("%-44s %9.2fs  (%.2fx)\n", v.name, r.wall_s, first / r.wall_s);
+  }
+
+  std::printf("\nPer-thread-count best affinity:\n");
+  for (const u32 t : {32u, 64u, 128u, 256u}) {
+    double best = 1e18;
+    const char* best_name = "";
+    for (const AffinityStrategy s : {AffinityStrategy::kCompact, AffinityStrategy::kScatter,
+                                     AffinityStrategy::kOptimized}) {
+      KnlRunConfig c = base;
+      c.threads = t;
+      c.affinity = s;
+      const double wall = simulate_knl_run(spec, cal, w, c).wall_s;
+      if (wall < best) {
+        best = wall;
+        best_name = to_string(s);
+      }
+    }
+    std::printf("  %3u threads -> %s (%.2fs)\n", t, best_name, best);
+  }
+  return 0;
+}

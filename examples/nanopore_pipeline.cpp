@@ -1,0 +1,47 @@
+// Nanopore mapping through the two pipeline architectures (§4.4.4):
+// compares minimap2's two-slot pipeline against manymap's dedicated-I/O
+// pipeline with longest-first batch sorting, on a heavy-tailed ONT-like
+// dataset where load balancing matters most.
+#include <cstdio>
+
+#include "core/aligner.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+using namespace manymap;
+
+int main() {
+  GenomeParams gp;
+  gp.total_length = 800'000;
+  gp.num_contigs = 2;
+  gp.seed = 201;
+  const Reference ref = generate_genome(gp);
+
+  ReadSimParams rp;
+  rp.profile = ErrorProfile::nanopore();  // heavy length tail
+  rp.num_reads = 120;
+  rp.seed = 202;
+  const auto sim = ReadSimulator(ref, rp).simulate();
+  std::vector<Sequence> reads;
+  u64 max_len = 0;
+  for (const auto& r : sim) {
+    max_len = std::max<u64>(max_len, r.read.size());
+    reads.push_back(r.read);
+  }
+  std::printf("ONT-like dataset: %zu reads, longest %llu bp\n", reads.size(),
+              static_cast<unsigned long long>(max_len));
+
+  const Aligner aligner(ref, MapOptions::map_ont());
+  for (const auto kind : {PipelineKind::kMinimap2, PipelineKind::kManymap}) {
+    const auto result = aligner.map_reads(reads, kind, /*compute_threads=*/2,
+                                          /*batch_bases=*/400'000);
+    std::printf("%-18s %llu batches, %llu reads, %.3fs wall\n",
+                kind == PipelineKind::kManymap ? "manymap pipeline" : "minimap2 pipeline",
+                static_cast<unsigned long long>(result.stats.batches),
+                static_cast<unsigned long long>(result.stats.reads),
+                result.stats.wall_seconds);
+  }
+  std::printf("(identical PAF content either way; manymap's pipeline additionally\n"
+              " overlaps input with output and sorts batches longest-first)\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/diff_common.hpp"
+
+namespace manymap {
+
+namespace {
+
+constexpr i32 kNegInf = INT32_MIN / 4;
+
+/// Center column of the band in row i: the straight line (0,0)->(T-1,Q-1).
+inline i32 band_center(i32 i, i32 tlen, i32 qlen) {
+  return tlen <= 1 ? 0
+                   : static_cast<i32>(static_cast<i64>(i) * (qlen - 1) / (tlen - 1));
+}
+
+struct Rows {
+  i32 jlo = 0;           // first in-band column of the current row
+  std::vector<i32> H;    // indexed j - jlo
+  std::vector<i32> E;
+};
+
+}  // namespace
+
+AlignResult banded_global_align(const BandedArgs& a) {
+  AlignResult out;
+  {
+    DiffArgs d;
+    d.tlen = a.tlen;
+    d.qlen = a.qlen;
+    d.params = a.params;
+    d.mode = AlignMode::kGlobal;
+    d.with_cigar = a.with_cigar;
+    if (detail::handle_degenerate(d, out)) return out;
+  }
+  MM_REQUIRE(a.band >= 0, "negative band");
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const i32 q = a.params.gap_open, e = a.params.gap_ext;
+  const i32 width = 2 * a.band + 1;
+
+  // Direction bytes per (row, band offset); reuse the diff kernels' bit
+  // layout so the backtrack state machine is shared logic.
+  std::vector<u8> dirs;
+  if (a.with_cigar) dirs.assign(static_cast<std::size_t>(tlen) * width, 0);
+  std::vector<i32> jlo_of(static_cast<std::size_t>(tlen), 0);
+
+  std::vector<i32> H_prev(width, kNegInf), E_prev(width, kNegInf);
+  std::vector<i32> H_cur(width, kNegInf), E_cur(width, kNegInf);
+  i32 jlo_prev = 0;
+
+  auto boundary_h = [&](i32 i, i32 j) -> i32 {
+    // H on the virtual row/column -1 (beginnings aligned at (0,0)).
+    if (i == -1 && j == -1) return 0;
+    if (i == -1) return j < qlen ? -(q + (j + 1) * e) : kNegInf;
+    if (j == -1) return -(q + (i + 1) * e);
+    return kNegInf;
+  };
+
+  for (i32 i = 0; i < tlen; ++i) {
+    const i32 jc = band_center(i, tlen, qlen);
+    const i32 jlo = std::max(0, jc - a.band);
+    const i32 jhi = std::min(qlen - 1, jc + a.band);
+    jlo_of[static_cast<std::size_t>(i)] = jlo;
+    std::fill(H_cur.begin(), H_cur.end(), kNegInf);
+    std::fill(E_cur.begin(), E_cur.end(), kNegInf);
+
+    auto prev_h = [&](i32 j) -> i32 {  // H(i-1, j)
+      if (i == 0 || j < 0) return boundary_h(i - 1, j);
+      const i32 k = j - jlo_prev;
+      return (k >= 0 && k < width) ? H_prev[static_cast<std::size_t>(k)] : kNegInf;
+    };
+    auto prev_e = [&](i32 j) -> i32 {  // E(i-1, j)
+      if (i == 0 || j < 0) return kNegInf;
+      const i32 k = j - jlo_prev;
+      return (k >= 0 && k < width) ? E_prev[static_cast<std::size_t>(k)] : kNegInf;
+    };
+
+    i32 F = kNegInf;
+    for (i32 j = jlo; j <= jhi; ++j) {
+      const i32 k = j - jlo;
+      // E(i,j): gap in the query direction (consumes target).
+      i32 E;
+      if (i == 0) {
+        E = boundary_h(-1, j) - q - e;
+      } else {
+        const i32 open = prev_h(j) == kNegInf ? kNegInf : prev_h(j) - q;
+        const i32 ext = prev_e(j) == kNegInf ? kNegInf : prev_e(j);
+        E = std::max(open, ext);
+        if (E > kNegInf / 2) E -= e;
+      }
+      // F(i,j): gap in the target direction (consumes query).
+      i32 Fv;
+      if (j == 0) {
+        Fv = boundary_h(i, -1) - q - e;
+      } else if (j == jlo) {
+        Fv = kNegInf;  // left neighbor outside the band
+      } else {
+        const i32 left_h = H_cur[static_cast<std::size_t>(k - 1)];
+        const i32 open = left_h == kNegInf ? kNegInf : left_h - q;
+        Fv = std::max(open, F);
+        if (Fv > kNegInf / 2) Fv -= e;
+      }
+      const i32 diag = (i == 0 || j == 0) ? boundary_h(i - 1, j - 1) : prev_h(j - 1);
+      i32 h = diag == kNegInf ? kNegInf : diag + a.params.sub(a.target[i], a.query[j]);
+      u8 d = detail::kDirDiag;
+      if (E > h) {
+        h = E;
+        d = detail::kDirDel;
+      }
+      if (Fv > h) {
+        h = Fv;
+        d = detail::kDirIns;
+      }
+      H_cur[static_cast<std::size_t>(k)] = h;
+      E_cur[static_cast<std::size_t>(k)] = E;
+      F = Fv;
+      if (a.with_cigar) {
+        if (E > h - q) d |= detail::kExtDel;
+        if (Fv > h - q) d |= detail::kExtIns;
+        dirs[static_cast<std::size_t>(i) * width + k] = d;
+      }
+    }
+    H_prev.swap(H_cur);
+    E_prev.swap(E_cur);
+    jlo_prev = jlo;
+  }
+
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(std::min(qlen, width));
+  out.t_end = tlen - 1;
+  out.q_end = qlen - 1;
+  const i32 k_end = (qlen - 1) - jlo_prev;
+  MM_REQUIRE(k_end >= 0 && k_end < width, "band does not reach the corner");
+  out.score = H_prev[static_cast<std::size_t>(k_end)];
+  MM_REQUIRE(out.score > kNegInf / 2, "no in-band path reaches the corner");
+
+  if (a.with_cigar) {
+    auto dir_at = [&](i32 i, i32 j) -> u8 {
+      const i32 k = j - jlo_of[static_cast<std::size_t>(i)];
+      MM_REQUIRE(k >= 0 && k < width, "backtrack left the band");
+      return dirs[static_cast<std::size_t>(i) * width + k];
+    };
+    Cigar cig;
+    i32 i = tlen - 1, j = qlen - 1;
+    int state = 0;
+    while (i >= 0 && j >= 0) {
+      if (state == 0) state = dir_at(i, j) & 3;
+      if (state == 0) {
+        cig.push('M', 1);
+        --i;
+        --j;
+      } else if (state == 1) {
+        cig.push('D', 1);
+        const bool ext = i > 0 && (dir_at(i - 1, j) & detail::kExtDel) != 0;
+        --i;
+        if (!ext) state = 0;
+      } else {
+        cig.push('I', 1);
+        const bool ext = j > 0 && (dir_at(i, j - 1) & detail::kExtIns) != 0;
+        --j;
+        if (!ext) state = 0;
+      }
+    }
+    if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+    if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+    cig.reverse();
+    out.cigar = std::move(cig);
+  }
+  return out;
+}
+
+}  // namespace manymap

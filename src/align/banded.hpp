@@ -1,0 +1,32 @@
+// Banded affine-gap global alignment. minimap2 fills inter-anchor gaps
+// with a banded DP (its -r bandwidth option); the band turns the O(|T||Q|)
+// fill into O(max(|T|,|Q|) * band), which is what keeps the align stage
+// linear-ish in read length. The mapper uses this for gaps too large for
+// the full anti-diagonal kernels.
+//
+// The band follows the straight line from (0,0) to (|T|-1,|Q|-1), so
+// asymmetric gap lengths are handled without widening the band.
+// Cells outside the band are -infinity; when the band covers the whole
+// matrix the result is exactly the reference DP's (same tie-breaking).
+#pragma once
+
+#include "align/kernel_api.hpp"
+
+namespace manymap {
+
+struct BandedArgs {
+  const u8* target = nullptr;
+  i32 tlen = 0;
+  const u8* query = nullptr;
+  i32 qlen = 0;
+  ScoreParams params{};
+  i32 band = 251;  ///< half-width; effective band is 2*band+1 columns
+  bool with_cigar = false;
+};
+
+/// Global alignment constrained to the band. The returned score is optimal
+/// among paths inside the band (equal to the unbanded optimum whenever the
+/// optimal path fits).
+AlignResult banded_global_align(const BandedArgs& args);
+
+}  // namespace manymap

@@ -1,0 +1,91 @@
+#include "align/diff_common.hpp"
+
+namespace manymap {
+
+const char* to_string(Layout layout) {
+  switch (layout) {
+    case Layout::kMinimap2: return "minimap2";
+    case Layout::kManymap: return "manymap";
+  }
+  return "?";
+}
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const char* to_string(AlignMode mode) {
+  switch (mode) {
+    case AlignMode::kGlobal: return "global";
+    case AlignMode::kExtension: return "extension";
+  }
+  return "?";
+}
+
+namespace detail {
+
+Cigar backtrack(const std::vector<u8>& dirs, const std::vector<u64>& diag_off, i32 tlen,
+                i32 qlen, i32 i_end, i32 j_end) {
+  auto dir_at = [&](i32 i, i32 j) -> u8 {
+    const i32 r = i + j;
+    return dirs[diag_off[static_cast<std::size_t>(r)] +
+                static_cast<u64>(i - diag_start(r, qlen))];
+  };
+  (void)tlen;
+  Cigar cig;
+  i32 i = i_end, j = j_end;
+  int state = 0;  // 0 = H, 1 = E (deletion run), 2 = F (insertion run)
+  while (i >= 0 && j >= 0) {
+    if (state == 0) state = dir_at(i, j) & 3;
+    if (state == 0) {
+      cig.push('M', 1);
+      --i;
+      --j;
+    } else if (state == 1) {
+      cig.push('D', 1);
+      const bool ext = i > 0 && (dir_at(i - 1, j) & kExtDel) != 0;
+      --i;
+      if (!ext) state = 0;
+    } else {
+      cig.push('I', 1);
+      const bool ext = j > 0 && (dir_at(i, j - 1) & kExtIns) != 0;
+      --j;
+      if (!ext) state = 0;
+    }
+  }
+  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+  cig.reverse();
+  return cig;
+}
+
+bool handle_degenerate(const DiffArgs& a, AlignResult& out) {
+  if (a.tlen > 0 && a.qlen > 0) return false;
+  out = AlignResult{};
+  out.cells = 0;
+  if (a.mode == AlignMode::kExtension) {
+    out.score = 0;  // stop immediately; free ends
+    return true;
+  }
+  // Global: one sequence is empty -> the other is a pure gap.
+  const i32 n = a.tlen > 0 ? a.tlen : a.qlen;
+  if (n == 0) {
+    out.score = 0;
+    return true;
+  }
+  out.score = -(static_cast<i64>(a.params.gap_open) +
+                static_cast<i64>(n) * a.params.gap_ext);
+  out.t_end = a.tlen - 1;
+  out.q_end = a.qlen - 1;
+  if (a.with_cigar) out.cigar.push(a.tlen > 0 ? 'D' : 'I', static_cast<u32>(n));
+  return true;
+}
+
+}  // namespace detail
+}  // namespace manymap

@@ -1,0 +1,141 @@
+// Shared machinery for the difference-based anti-diagonal kernels.
+//
+// Difference matrices (paper Eq. 2): with H the affine-gap DP matrix,
+//   u(i,j) = H(i,j) - H(i-1,j)      v(i,j) = H(i,j) - H(i,j-1)
+//   x(i,j) = E(i+1,j) - H(i,j)      y(i,j) = F(i,j+1) - H(i,j)
+// Anti-diagonal coordinates: r = i + j, t = i; each diagonal r covers
+// t in [st, en] with st = max(0, r-|Q|+1), en = min(|T|-1, r).
+//
+// Boundary convention (semi-global, beginnings aligned):
+//   H(-1,-1) = 0, H(i,-1) = H(-1,i) = -(q + (i+1)e).
+// Hence the injected edge values per diagonal:
+//   u(r,-1) = y(r,-1):  U[r] = (r==0 ? -q-e : -e),  Y[r] = -q-e
+//   v(-1,r) / x(-1,r):  V[.] = (r==0 ? -q-e : -e),  X[.] = -q-e
+//
+// Score recovery: two running accumulators trace H along the band borders
+// (bottom row / first column via u, top row / last column via v,u), which
+// yields the global corner score and the semi-global row/column maxima
+// without materializing H.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "align/kernel_api.hpp"
+#include "sequence/dna.hpp"
+
+namespace manymap {
+namespace detail {
+
+/// Padding so vector kernels may overrun diagonal ends harmlessly.
+inline constexpr i32 kLanePad = 64;
+
+inline i32 diag_start(i32 r, i32 qlen) { return r >= qlen ? r - qlen + 1 : 0; }
+inline i32 diag_end(i32 r, i32 tlen) { return r < tlen ? r : tlen - 1; }
+
+/// Reusable buffers for one alignment. The difference arrays are int8
+/// (Suzuki–Kasahara bound: |u|,|v| <= max(a, q+e); x,y in [-(q+e), -e]).
+struct DiffWorkspace {
+  std::vector<i8> U, Y;      ///< indexed by t (size tlen + pad)
+  std::vector<i8> V, X;      ///< mm2 layout: by t; manymap layout: by t'
+  std::vector<u8> tp;        ///< padded copy of target codes
+  std::vector<u8> qr;        ///< reversed padded copy of query codes
+  std::vector<u8> dirs;      ///< per-cell direction bytes (path mode)
+  std::vector<u64> diag_off; ///< dirs offset of each diagonal (path mode)
+
+  void prepare(const DiffArgs& a, bool manymap_layout) {
+    const i32 tlen = a.tlen, qlen = a.qlen;
+    U.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
+    Y.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
+    const i32 vx = manymap_layout ? qlen + 1 : tlen;
+    V.assign(static_cast<std::size_t>(vx) + kLanePad, 0);
+    X.assign(static_cast<std::size_t>(vx) + kLanePad, 0);
+    tp.assign(static_cast<std::size_t>(tlen) + kLanePad, kBaseN);
+    std::memcpy(tp.data(), a.target, static_cast<std::size_t>(tlen));
+    qr.assign(static_cast<std::size_t>(qlen) + kLanePad, kBaseN);
+    for (i32 j = 0; j < qlen; ++j) qr[static_cast<std::size_t>(qlen - 1 - j)] = a.query[j];
+    if (a.with_cigar) {
+      const u64 cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+      dirs.assign(cells, 0);
+      diag_off.assign(static_cast<std::size_t>(tlen + qlen), 0);
+      u64 off = 0;
+      for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+        diag_off[static_cast<std::size_t>(r)] = off;
+        off += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
+      }
+    }
+  }
+};
+
+/// Direction byte layout (stored per cell in path mode):
+///   bits 0-1: source of H — 0 diagonal (M), 1 E-gap (D), 2 F-gap (I)
+///   bit 2: E(i+1,j) extends E(i,j)   (a - z + q > 0)
+///   bit 3: F(i,j+1) extends F(i,j)   (b - z + q > 0)
+inline constexpr u8 kDirDiag = 0;
+inline constexpr u8 kDirDel = 1;
+inline constexpr u8 kDirIns = 2;
+inline constexpr u8 kExtDel = 1 << 2;
+inline constexpr u8 kExtIns = 1 << 3;
+
+/// Reconstruct the CIGAR from direction bytes, starting at cell
+/// (i_end, j_end) and walking to the aligned beginning at (0,0).
+Cigar backtrack(const std::vector<u8>& dirs, const std::vector<u64>& diag_off, i32 tlen,
+                i32 qlen, i32 i_end, i32 j_end);
+
+/// Tracks the best semi-global cell; candidates must be offered in
+/// diagonal order, bottom-row candidate before last-column candidate
+/// (all kernels and the reference DP share this tie-break).
+struct BestCell {
+  i64 score = 0;
+  i32 i = -1, j = -1;
+  bool any = false;
+  void offer(i64 s, i32 ci, i32 cj) {
+    if (!any || s > score) {
+      score = s;
+      i = ci;
+      j = cj;
+      any = true;
+    }
+  }
+};
+
+/// Handles empty-sequence degenerate cases common to every kernel.
+/// Returns true (and fills `out`) when tlen == 0 or qlen == 0.
+bool handle_degenerate(const DiffArgs& a, AlignResult& out);
+
+/// Shared per-diagonal score/tracking state machine used by all kernels.
+/// Kernels call `advance(r, u_at_en, v_at_st_slot...)` — to keep the hot
+/// loops simple this is expressed as a small struct the kernel updates.
+struct BorderTracker {
+  i64 h_bot;  ///< H at (en, r-en): first column, then bottom row
+  i64 h_top;  ///< H at (st, r-st): top row, then last column
+  BestCell best;
+  i32 tlen, qlen;
+
+  BorderTracker(i32 tl, i32 ql, const ScoreParams& p)
+      : BorderTracker(tl, ql, -(static_cast<i64>(p.gap_open) + p.gap_ext)) {}
+
+  /// `h_init` = H(0,-1) = H(-1,0): cost of a single leading gap base
+  /// (negative). Lets alternative gap models reuse the tracker.
+  BorderTracker(i32 tl, i32 ql, i64 h_init)
+      : h_bot(h_init), h_top(h_init), tlen(tl), qlen(ql) {}
+
+  /// After diagonal r is computed: `u_en` = U[en] written this diagonal,
+  /// `v_en` = v written this diagonal at t=en, `v_st` = v written at t=st,
+  /// `u_st` = U[st] written this diagonal.
+  void after_diagonal(i32 r, i8 u_en, i8 v_en, i8 v_st, i8 u_st) {
+    const i32 en = diag_end(r, tlen);
+    const i32 st = diag_start(r, qlen);
+    // Bottom border: while en grows (en == r) advance by u; afterwards the
+    // border cell slides along the bottom row, advance by v.
+    h_bot += (en == r) ? u_en : v_en;
+    // Top border: while st == 0 advance along the top row by v; afterwards
+    // slide down the last column by u.
+    h_top += (st == 0) ? v_st : u_st;
+    if (en == tlen - 1) best.offer(h_bot, tlen - 1, r - (tlen - 1));
+    if (r >= qlen - 1) best.offer(h_top, r - qlen + 1, qlen - 1);
+  }
+};
+
+}  // namespace detail
+}  // namespace manymap

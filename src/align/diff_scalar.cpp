@@ -1,0 +1,186 @@
+// Scalar implementations of the difference-based anti-diagonal DP.
+//
+// align_scalar_mm2     — minimap2's layout (Fig. 2b): v/x indexed by t, the
+//                        value at t-1 must be carried through a temporary
+//                        (`v1`, `x1`) because it is overwritten in place.
+// align_scalar_manymap — the paper's layout (Fig. 2c, Alg. 1): v/x indexed
+//                        by t' = t - r + |Q|; reads and writes hit the same
+//                        slot, so no temporaries are needed.
+#include "align/diff_common.hpp"
+#include "align/diff_kernels.hpp"
+
+namespace manymap {
+namespace detail {
+
+namespace {
+
+struct Consts {
+  i32 q, e, qe;
+  i8 vx_init_first, vx_init_rest, xy_init;
+  explicit Consts(const ScoreParams& p)
+      : q(p.gap_open),
+        e(p.gap_ext),
+        qe(p.gap_open + p.gap_ext),
+        vx_init_first(static_cast<i8>(-(p.gap_open + p.gap_ext))),
+        vx_init_rest(static_cast<i8>(-p.gap_ext)),
+        xy_init(static_cast<i8>(-(p.gap_open + p.gap_ext))) {}
+};
+
+AlignResult finish(const DiffArgs& a, const DiffWorkspace& ws, const BorderTracker& track) {
+  AlignResult out;
+  out.cells = static_cast<u64>(a.tlen) * static_cast<u64>(a.qlen);
+  if (a.mode == AlignMode::kGlobal) {
+    out.score = track.h_bot;
+    out.t_end = a.tlen - 1;
+    out.q_end = a.qlen - 1;
+  } else {
+    out.score = track.best.score;
+    out.t_end = track.best.i;
+    out.q_end = track.best.j;
+  }
+  if (a.with_cigar)
+    out.cigar = backtrack(ws.dirs, ws.diag_off, a.tlen, a.qlen, out.t_end, out.q_end);
+  return out;
+}
+
+}  // namespace
+
+AlignResult align_scalar_mm2(const DiffArgs& a) {
+  AlignResult out;
+  if (handle_degenerate(a, out)) return out;
+
+  DiffWorkspace ws;
+  ws.prepare(a, /*manymap_layout=*/false);
+  const Consts c(a.params);
+  const ScoreMatrix sm(a.params);
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  i8* U = ws.U.data();
+  i8* Y = ws.Y.data();
+  i8* V = ws.V.data();
+  i8* X = ws.X.data();
+  const u8* T = ws.tp.data();
+  const u8* Qr = ws.qr.data();
+  BorderTracker track(tlen, qlen, a.params);
+
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    // Carried "left" values of v/x for t = st (minimap2's temporary).
+    i8 v1, x1;
+    if (st == 0) {
+      v1 = (r == 0) ? c.vx_init_first : c.vx_init_rest;
+      x1 = c.xy_init;
+    } else {
+      v1 = V[st - 1];
+      x1 = X[st - 1];
+    }
+    if (en == r) {  // a new target row enters the band
+      U[en] = (r == 0) ? c.vx_init_first : c.vx_init_rest;
+      Y[en] = c.xy_init;
+    }
+    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
+                               : nullptr;
+    const i32 qoff = qlen - 1 - r;
+    for (i32 t = st; t <= en; ++t) {
+      const i32 sc = sm(T[t], Qr[qoff + t]);
+      const i8 vt = v1;
+      const i8 xt = x1;
+      v1 = V[t];  // save pre-update values for the next iteration
+      x1 = X[t];
+      const i8 ut = U[t];
+      const i8 yt = Y[t];
+      const i32 aa = xt + vt;
+      const i32 bb = yt + ut;
+      i32 z = sc;
+      u8 d = kDirDiag;
+      if (aa > z) {
+        z = aa;
+        d = kDirDel;
+      }
+      if (bb > z) {
+        z = bb;
+        d = kDirIns;
+      }
+      U[t] = static_cast<i8>(z - vt);
+      V[t] = static_cast<i8>(z - ut);
+      i32 xa = aa - z + c.q;
+      if (xa > 0) d |= kExtDel; else xa = 0;
+      X[t] = static_cast<i8>(xa - c.qe);
+      i32 yb = bb - z + c.q;
+      if (yb > 0) d |= kExtIns; else yb = 0;
+      Y[t] = static_cast<i8>(yb - c.qe);
+      if (dir_row) dir_row[t - st] = d;
+    }
+    track.after_diagonal(r, U[en], V[en], V[st], U[st]);
+  }
+  return finish(a, ws, track);
+}
+
+AlignResult align_scalar_manymap(const DiffArgs& a) {
+  AlignResult out;
+  if (handle_degenerate(a, out)) return out;
+
+  DiffWorkspace ws;
+  ws.prepare(a, /*manymap_layout=*/true);
+  const Consts c(a.params);
+  const ScoreMatrix sm(a.params);
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  i8* U = ws.U.data();
+  i8* Y = ws.Y.data();
+  i8* V = ws.V.data();  // indexed by t' = t - r + qlen
+  i8* X = ws.X.data();
+  const u8* T = ws.tp.data();
+  const u8* Qr = ws.qr.data();
+  BorderTracker track(tlen, qlen, a.params);
+
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    const i32 shift = qlen - r;  // t' = t + shift
+    if (st == 0) {  // top boundary enters at slot t' = qlen - r
+      V[shift] = (r == 0) ? c.vx_init_first : c.vx_init_rest;
+      X[shift] = c.xy_init;
+    }
+    if (en == r) {
+      U[en] = (r == 0) ? c.vx_init_first : c.vx_init_rest;
+      Y[en] = c.xy_init;
+    }
+    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
+                               : nullptr;
+    const i32 qoff = qlen - 1 - r;
+    for (i32 t = st; t <= en; ++t) {
+      const i32 tpi = t + shift;
+      const i32 sc = sm(T[t], Qr[qoff + t]);
+      const i8 vt = V[tpi];  // read and write the same slot: no carry
+      const i8 xt = X[tpi];
+      const i8 ut = U[t];
+      const i8 yt = Y[t];
+      const i32 aa = xt + vt;
+      const i32 bb = yt + ut;
+      i32 z = sc;
+      u8 d = kDirDiag;
+      if (aa > z) {
+        z = aa;
+        d = kDirDel;
+      }
+      if (bb > z) {
+        z = bb;
+        d = kDirIns;
+      }
+      U[t] = static_cast<i8>(z - vt);
+      V[tpi] = static_cast<i8>(z - ut);
+      i32 xa = aa - z + c.q;
+      if (xa > 0) d |= kExtDel; else xa = 0;
+      X[tpi] = static_cast<i8>(xa - c.qe);
+      i32 yb = bb - z + c.q;
+      if (yb > 0) d |= kExtIns; else yb = 0;
+      Y[t] = static_cast<i8>(yb - c.qe);
+      if (dir_row) dir_row[t - st] = d;
+    }
+    track.after_diagonal(r, U[en], V[en + shift], V[st + shift], U[st]);
+  }
+  return finish(a, ws, track);
+}
+
+}  // namespace detail
+}  // namespace manymap

@@ -1,0 +1,170 @@
+// Generic SIMD implementation of the difference-based DP, parameterized by
+// a vector-traits type VT (one per ISA: SSE2 / AVX2 / AVX-512BW) and by the
+// memory layout.
+//
+// The layouts differ in exactly one place — how v/x for the previous
+// diagonal are obtained:
+//  - minimap2 layout (Fig. 3a): the values live one slot to the LEFT, which
+//    this diagonal has already overwritten, so each chunk must be built by
+//    shifting the freshly loaded vector and splicing in a carried lane
+//    (VT::shift_in). This is the extra per-iteration work the paper's
+//    revised formula removes.
+//  - manymap layout (Fig. 3b): v/x live at the SAME slot t' = t - r + |Q|;
+//    a plain unaligned load suffices.
+//
+// This header is included from per-ISA translation units compiled with the
+// matching -m flags; it must not be included anywhere else.
+#pragma once
+
+#include <cstring>
+
+#include "align/diff_common.hpp"
+
+namespace manymap {
+namespace detail {
+
+template <class VT, bool kManymapLayout>
+AlignResult simd_align(const DiffArgs& a) {
+  AlignResult out;
+  if (handle_degenerate(a, out)) return out;
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
+
+  using vec = typename VT::vec;
+  constexpr i32 W = VT::W;
+
+  DiffWorkspace ws;
+  ws.prepare(a, kManymapLayout);
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const i32 q = a.params.gap_open, e = a.params.gap_ext;
+  const i8 init_first = static_cast<i8>(-(q + e));
+  const i8 init_rest = static_cast<i8>(-e);
+  const i8 init_xy = static_cast<i8>(-(q + e));
+
+  i8* U = ws.U.data();
+  i8* Y = ws.Y.data();
+  i8* V = ws.V.data();
+  i8* X = ws.X.data();
+  const u8* T = ws.tp.data();
+  const u8* Qr = ws.qr.data();
+
+  const vec match_v = VT::set1(static_cast<i8>(a.params.match));
+  const vec mismatch_v = VT::set1(static_cast<i8>(-a.params.mismatch));
+  const vec four_v = VT::set1(4);
+  const vec q_v = VT::set1(static_cast<i8>(q));
+  const vec qe_v = VT::set1(static_cast<i8>(-(q + e)));
+  const vec zero_v = VT::zero();
+  const vec one_v = VT::set1(1);
+  const vec two_v = VT::set1(2);
+  const vec ext_del_v = VT::set1(static_cast<i8>(kExtDel));
+  const vec ext_ins_v = VT::set1(static_cast<i8>(kExtIns));
+
+  BorderTracker track(tlen, qlen, a.params);
+
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    const i32 shift = qlen - r;  // manymap: t' = t + shift
+
+    i8 v_carry = 0, x_carry = 0;
+    if constexpr (kManymapLayout) {
+      if (st == 0) {
+        V[shift] = (r == 0) ? init_first : init_rest;
+        X[shift] = init_xy;
+      }
+    } else {
+      if (st == 0) {
+        v_carry = (r == 0) ? init_first : init_rest;
+        x_carry = init_xy;
+      } else {
+        v_carry = V[st - 1];
+        x_carry = X[st - 1];
+      }
+    }
+    if (en == r) {
+      U[en] = (r == 0) ? init_first : init_rest;
+      Y[en] = init_xy;
+    }
+
+    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
+                               : nullptr;
+    const i32 qoff = qlen - 1 - r;
+
+    for (i32 t = st; t <= en; t += W) {
+      const vec Tv = VT::load(T + t);
+      const vec Qv = VT::load(Qr + qoff + t);
+      const vec is_match = VT::and_(VT::cmpeq(Tv, Qv), VT::cmpgt(four_v, Tv));
+      const vec sc = VT::blend(is_match, match_v, mismatch_v);
+
+      vec vt, xt;
+      if constexpr (kManymapLayout) {
+        vt = VT::load(V + t + shift);
+        xt = VT::load(X + t + shift);
+      } else {
+        const vec vold = VT::load(V + t);
+        const vec xold = VT::load(X + t);
+        vt = VT::shift_in(vold, v_carry);
+        xt = VT::shift_in(xold, x_carry);
+        v_carry = VT::last_lane(vold);
+        x_carry = VT::last_lane(xold);
+      }
+      const vec ut = VT::load(U + t);
+      const vec yt = VT::load(Y + t);
+
+      const vec aa = VT::adds(xt, vt);
+      const vec bb = VT::adds(yt, ut);
+      vec z = sc;
+      const vec m1 = VT::cmpgt(aa, z);
+      z = VT::max(z, aa);
+      const vec m2 = VT::cmpgt(bb, z);
+      z = VT::max(z, bb);
+
+      VT::store(U + t, VT::subs(z, vt));
+      if constexpr (kManymapLayout) {
+        VT::store(V + t + shift, VT::subs(z, ut));
+      } else {
+        VT::store(V + t, VT::subs(z, ut));
+      }
+      const vec ea = VT::adds(VT::subs(aa, z), q_v);  // a - z + q
+      const vec fb = VT::adds(VT::subs(bb, z), q_v);  // b - z + q
+      const vec xnew = VT::adds(VT::max(ea, zero_v), qe_v);
+      const vec ynew = VT::adds(VT::max(fb, zero_v), qe_v);
+      if constexpr (kManymapLayout) {
+        VT::store(X + t + shift, xnew);
+      } else {
+        VT::store(X + t, xnew);
+      }
+      VT::store(Y + t, ynew);
+
+      if (dir_row) {
+        vec d = VT::blend(m2, two_v, VT::and_(m1, one_v));
+        d = VT::or_(d, VT::and_(VT::cmpgt(ea, zero_v), ext_del_v));
+        d = VT::or_(d, VT::and_(VT::cmpgt(fb, zero_v), ext_ins_v));
+        alignas(64) u8 buf[W];
+        VT::store(buf, d);
+        const i32 n = en - t + 1 < W ? en - t + 1 : W;
+        std::memcpy(dir_row + (t - st), buf, static_cast<std::size_t>(n));
+      }
+    }
+
+    const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
+    const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
+    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+  }
+
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  if (a.mode == AlignMode::kGlobal) {
+    out.score = track.h_bot;
+    out.t_end = tlen - 1;
+    out.q_end = qlen - 1;
+  } else {
+    out.score = track.best.score;
+    out.t_end = track.best.i;
+    out.q_end = track.best.j;
+  }
+  if (a.with_cigar)
+    out.cigar = backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace manymap

@@ -1,0 +1,82 @@
+// Public entry points for the base-level alignment kernels.
+//
+// Two DP memory layouts are provided (paper §4.3.1, Fig. 2):
+//  - Layout::kMinimap2 — minimap2/ksw2's anti-diagonal layout (Fig. 2b):
+//    the v/x matrices are indexed by t, so cell (r,t) reads v,x at t-1.
+//    The carried value forces a temporary (scalar) or a vector shift
+//    (SIMD, Fig. 3a) each iteration.
+//  - Layout::kManymap — the paper's contribution (Fig. 2c, Eq. 4): v/x are
+//    indexed by t' = t - r + |Q|, so cell (r,t) reads and writes v,x at the
+//    SAME slot. No carry, plain vector loads (Fig. 3b).
+//
+// Both layouts are implemented for scalar, SSE2, AVX2 and AVX-512BW ISAs,
+// in score-only and full-path (CIGAR) variants, and all produce identical
+// results (verified by the test suite).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "align/scoring.hpp"
+#include "base/common.hpp"
+
+namespace manymap {
+
+enum class AlignMode {
+  kGlobal,     ///< both ends anchored; score at (|T|-1, |Q|-1)
+  kExtension,  ///< semi-global: beginnings anchored, ends free (max over
+               ///< the bottom row and last column)
+};
+
+enum class Layout { kMinimap2, kManymap };
+enum class Isa { kScalar, kSse2, kAvx2, kAvx512 };
+
+const char* to_string(Layout layout);
+const char* to_string(Isa isa);
+const char* to_string(AlignMode mode);
+
+struct AlignResult {
+  i64 score = 0;
+  i32 t_end = -1;  ///< inclusive target end index of the best cell
+  i32 q_end = -1;  ///< inclusive query end index of the best cell
+  u64 cells = 0;   ///< DP cells evaluated (for GCUPS)
+  Cigar cigar;     ///< empty in score-only mode
+};
+
+struct DiffArgs {
+  const u8* target = nullptr;
+  i32 tlen = 0;
+  const u8* query = nullptr;
+  i32 qlen = 0;
+  ScoreParams params{};
+  AlignMode mode = AlignMode::kGlobal;
+  bool with_cigar = false;
+};
+
+using KernelFn = AlignResult (*)(const DiffArgs&);
+
+/// Kernel lookup; returns nullptr when the ISA is not compiled in or not
+/// supported by this CPU.
+KernelFn get_diff_kernel(Layout layout, Isa isa);
+
+/// ISAs usable on this machine (always contains kScalar and kSse2 on
+/// x86-64), in increasing width order.
+std::vector<Isa> available_isas();
+
+/// Widest available ISA.
+Isa best_isa();
+
+/// Convenience: align with the manymap layout on the widest ISA.
+AlignResult align_pair(const std::vector<u8>& target, const std::vector<u8>& query,
+                       const ScoreParams& params, AlignMode mode, bool with_cigar);
+
+/// Full-matrix reference implementation (gold standard for tests).
+AlignResult reference_align(const DiffArgs& args);
+
+/// GCUPS for an alignment of |T| x |Q| cells taking `seconds`.
+inline double gcups(u64 cells, double seconds) {
+  return seconds > 0 ? static_cast<double>(cells) / seconds / 1e9 : 0.0;
+}
+
+}  // namespace manymap

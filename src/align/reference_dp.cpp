@@ -1,0 +1,144 @@
+#include "align/reference_dp.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "align/diff_common.hpp"
+
+namespace manymap {
+
+namespace {
+
+struct RefMatrices {
+  i32 tlen = 0, qlen = 0;
+  std::vector<i32> H;      // (tlen+1) x (qlen+1); [0][0] = H(-1,-1)
+  std::vector<u8> dir;     // tlen x qlen
+  std::vector<u8> flag_e;  // tlen x qlen: E(i,j) > H(i,j) - q
+  std::vector<u8> flag_f;
+
+  i32& h(i32 i, i32 j) { return H[static_cast<std::size_t>(i + 1) * (qlen + 1) + (j + 1)]; }
+  u8& d(i32 i, i32 j) { return dir[static_cast<std::size_t>(i) * qlen + j]; }
+  u8& fe(i32 i, i32 j) { return flag_e[static_cast<std::size_t>(i) * qlen + j]; }
+  u8& ff(i32 i, i32 j) { return flag_f[static_cast<std::size_t>(i) * qlen + j]; }
+};
+
+void fill(const DiffArgs& a, RefMatrices& m) {
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const i32 q = a.params.gap_open, e = a.params.gap_ext;
+  m.tlen = tlen;
+  m.qlen = qlen;
+  m.H.assign(static_cast<std::size_t>(tlen + 1) * (qlen + 1), 0);
+  m.dir.assign(static_cast<std::size_t>(tlen) * qlen, 0);
+  m.flag_e.assign(static_cast<std::size_t>(tlen) * qlen, 0);
+  m.flag_f.assign(static_cast<std::size_t>(tlen) * qlen, 0);
+
+  // Boundary row/column: beginnings aligned at (0,0).
+  m.h(-1, -1) = 0;
+  for (i32 i = 0; i < tlen; ++i) m.h(i, -1) = -(q + (i + 1) * e);
+  for (i32 j = 0; j < qlen; ++j) m.h(-1, j) = -(q + (j + 1) * e);
+
+  std::vector<i32> E_row(static_cast<std::size_t>(qlen), 0);  // E(i, j) for current i
+  for (i32 i = 0; i < tlen; ++i) {
+    i32 F = 0;  // F(i, j), carried left-to-right
+    for (i32 j = 0; j < qlen; ++j) {
+      i32 E;
+      if (i == 0) {
+        E = m.h(-1, j) - q - e;
+      } else {
+        const i32 open = m.h(i - 1, j) - q;
+        E = (E_row[static_cast<std::size_t>(j)] > open ? E_row[static_cast<std::size_t>(j)]
+                                                       : open) -
+            e;
+      }
+      if (j == 0) {
+        F = m.h(i, -1) - q - e;
+      } else {
+        const i32 open = m.h(i, j - 1) - q;
+        F = (F > open ? F : open) - e;
+      }
+      i32 h = m.h(i - 1, j - 1) + a.params.sub(a.target[i], a.query[j]);
+      u8 d = detail::kDirDiag;
+      if (E > h) {
+        h = E;
+        d = detail::kDirDel;
+      }
+      if (F > h) {
+        h = F;
+        d = detail::kDirIns;
+      }
+      m.h(i, j) = h;
+      m.d(i, j) = d;
+      m.fe(i, j) = E > h - q ? 1 : 0;
+      m.ff(i, j) = F > h - q ? 1 : 0;
+      E_row[static_cast<std::size_t>(j)] = E;
+    }
+  }
+}
+
+Cigar backtrack_ref(const DiffArgs& a, RefMatrices& m, i32 i_end, i32 j_end) {
+  Cigar cig;
+  i32 i = i_end, j = j_end;
+  int state = 0;
+  while (i >= 0 && j >= 0) {
+    if (state == 0) state = m.d(i, j) & 3;
+    if (state == 0) {
+      cig.push('M', 1);
+      --i;
+      --j;
+    } else if (state == 1) {
+      cig.push('D', 1);
+      const bool ext = i > 0 && m.fe(i - 1, j) != 0;
+      --i;
+      if (!ext) state = 0;
+    } else {
+      cig.push('I', 1);
+      const bool ext = j > 0 && m.ff(i, j - 1) != 0;
+      --j;
+      if (!ext) state = 0;
+    }
+  }
+  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+  cig.reverse();
+  (void)a;
+  return cig;
+}
+
+}  // namespace
+
+AlignResult reference_align(const DiffArgs& a) {
+  AlignResult out;
+  if (detail::handle_degenerate(a, out)) return out;
+
+  RefMatrices m;
+  fill(a, m);
+  out.cells = static_cast<u64>(a.tlen) * static_cast<u64>(a.qlen);
+
+  i32 i_end, j_end;
+  if (a.mode == AlignMode::kGlobal) {
+    i_end = a.tlen - 1;
+    j_end = a.qlen - 1;
+    out.score = m.h(i_end, j_end);
+  } else {
+    detail::BestCell best;
+    for (i32 r = 0; r <= a.tlen + a.qlen - 2; ++r) {
+      if (r >= a.tlen - 1) {
+        const i32 j = r - (a.tlen - 1);
+        if (j < a.qlen) best.offer(m.h(a.tlen - 1, j), a.tlen - 1, j);
+      }
+      if (r >= a.qlen - 1) {
+        const i32 i = r - (a.qlen - 1);
+        if (i < a.tlen) best.offer(m.h(i, a.qlen - 1), i, a.qlen - 1);
+      }
+    }
+    out.score = best.score;
+    i_end = best.i;
+    j_end = best.j;
+  }
+  out.t_end = i_end;
+  out.q_end = j_end;
+  if (a.with_cigar) out.cigar = backtrack_ref(a, m, i_end, j_end);
+  return out;
+}
+
+}  // namespace manymap

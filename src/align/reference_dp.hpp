@@ -1,0 +1,16 @@
+// Full-matrix affine-gap DP (paper Eq. 1). This is the gold-standard
+// implementation the difference-based kernels are validated against. It is
+// deliberately simple: O(|T|*|Q|) 32-bit matrices, no vectorization.
+//
+// Tie-breaking is identical to the kernels so CIGARs match exactly:
+// diagonal preferred over E (deletion) over F (insertion); gap extension
+// chosen over re-opening only when strictly better.
+#pragma once
+
+#include "align/kernel_api.hpp"
+
+namespace manymap {
+
+AlignResult reference_align(const DiffArgs& args);
+
+}  // namespace manymap

@@ -1,0 +1,6 @@
+#include "align/scoring.hpp"
+
+// Header-only logic; this TU exists so the library has a home for future
+// scoring extensions (e.g. two-piece gap costs) and to anchor the vtable-
+// free inline functions for debug builds.
+namespace manymap {}

@@ -1,0 +1,330 @@
+#include "align/twopiece.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/diff_common.hpp"
+
+namespace manymap {
+
+namespace {
+
+using detail::diag_end;
+using detail::diag_start;
+
+// Direction byte layout for the two-piece path:
+//   bits 0-2: source of H — 0 diag, 1 E1, 2 F1, 3 E2, 4 F2
+//   bit 3: E1 extends, bit 4: F1 extends, bit 5: E2 extends, bit 6: F2.
+constexpr u8 kSrcMask = 0x7;
+constexpr u8 kExtE1 = 1 << 3;
+constexpr u8 kExtF1 = 1 << 4;
+constexpr u8 kExtE2 = 1 << 5;
+constexpr u8 kExtF2 = 1 << 6;
+
+bool degenerate(const TwoPieceArgs& a, AlignResult& out) {
+  if (a.tlen > 0 && a.qlen > 0) return false;
+  out = AlignResult{};
+  if (a.mode == AlignMode::kExtension) {
+    out.score = 0;
+    return true;
+  }
+  const i32 n = a.tlen > 0 ? a.tlen : a.qlen;
+  if (n == 0) {
+    out.score = 0;
+    return true;
+  }
+  out.score = -a.params.gap_cost(static_cast<u64>(n));
+  out.t_end = a.tlen - 1;
+  out.q_end = a.qlen - 1;
+  if (a.with_cigar) out.cigar.push(a.tlen > 0 ? 'D' : 'I', static_cast<u32>(n));
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+Cigar twopiece_backtrack(const std::vector<u8>& dirs, const std::vector<u64>& off, i32 tlen,
+                         i32 qlen, i32 i_end, i32 j_end) {
+  auto dir_at = [&](i32 i, i32 j) -> u8 {
+    const i32 r = i + j;
+    return dirs[off[static_cast<std::size_t>(r)] + static_cast<u64>(i - diag_start(r, qlen))];
+  };
+  (void)tlen;
+  Cigar cig;
+  i32 i = i_end, j = j_end;
+  int state = 0;  // 0 H, 1 E1, 2 F1, 3 E2, 4 F2
+  while (i >= 0 && j >= 0) {
+    if (state == 0) state = dir_at(i, j) & kSrcMask;
+    if (state == 0) {
+      cig.push('M', 1);
+      --i;
+      --j;
+    } else if (state == 1 || state == 3) {
+      cig.push('D', 1);
+      const u8 flag = state == 1 ? kExtE1 : kExtE2;
+      const bool ext = i > 0 && (dir_at(i - 1, j) & flag) != 0;
+      --i;
+      if (!ext) state = 0;
+    } else {
+      cig.push('I', 1);
+      const u8 flag = state == 2 ? kExtF1 : kExtF2;
+      const bool ext = j > 0 && (dir_at(i, j - 1) & flag) != 0;
+      --j;
+      if (!ext) state = 0;
+    }
+  }
+  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+  cig.reverse();
+  return cig;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shared scalar kernel; ManymapLayout selects the v/x slot mapping.
+template <bool kManymapLayout>
+AlignResult twopiece_diff(const TwoPieceArgs& a) {
+  AlignResult out;
+  if (degenerate(a, out)) return out;
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const auto& p = a.params;
+  const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
+
+  const i32 vx_size = (kManymapLayout ? qlen + 1 : tlen) + 2;
+  std::vector<i8> U(static_cast<std::size_t>(tlen) + 2), Y1(U.size()), Y2(U.size());
+  std::vector<i8> V(static_cast<std::size_t>(vx_size)), X1(V.size()), X2(V.size());
+
+  std::vector<u8> dirs;
+  std::vector<u64> off;
+  if (a.with_cigar) {
+    dirs.assign(static_cast<u64>(tlen) * static_cast<u64>(qlen), 0);
+    off.assign(static_cast<std::size_t>(tlen + qlen), 0);
+    u64 o = 0;
+    for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+      off[static_cast<std::size_t>(r)] = o;
+      o += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
+    }
+  }
+
+  // Boundary deltas: H(-1,j) = -gap_cost(j+1); delta(j) = H(-1,j)-H(-1,j-1).
+  auto boundary_delta = [&](i32 j) -> i8 {
+    if (j == 0) return static_cast<i8>(-p.gap_cost(1));
+    return static_cast<i8>(-(p.gap_cost(static_cast<u64>(j) + 1) -
+                             p.gap_cost(static_cast<u64>(j))));
+  };
+
+  detail::BorderTracker track(tlen, qlen, -p.gap_cost(1));
+
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    const i32 shift = qlen - r;
+
+    i8 v1 = 0, x1c = 0, x2c = 0;  // mm2-layout carries
+    if constexpr (kManymapLayout) {
+      if (st == 0) {
+        V[static_cast<std::size_t>(shift)] = boundary_delta(r);
+        X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
+        X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+      }
+    } else {
+      if (st == 0) {
+        v1 = boundary_delta(r);
+        x1c = static_cast<i8>(-(q1 + e1));
+        x2c = static_cast<i8>(-(q2 + e2));
+      } else {
+        v1 = V[static_cast<std::size_t>(st - 1)];
+        x1c = X1[static_cast<std::size_t>(st - 1)];
+        x2c = X2[static_cast<std::size_t>(st - 1)];
+      }
+    }
+    if (en == r) {
+      U[static_cast<std::size_t>(en)] = boundary_delta(r);
+      Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
+      Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
+    }
+    u8* dir_row = a.with_cigar ? dirs.data() + off[static_cast<std::size_t>(r)] : nullptr;
+
+    for (i32 t = st; t <= en; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      const std::size_t vi =
+          kManymapLayout ? static_cast<std::size_t>(t + shift) : ti;
+      i8 vt, x1t, x2t;
+      if constexpr (kManymapLayout) {
+        vt = V[vi];
+        x1t = X1[vi];
+        x2t = X2[vi];
+      } else {
+        vt = v1;
+        x1t = x1c;
+        x2t = x2c;
+        v1 = V[ti];
+        x1c = X1[ti];
+        x2c = X2[ti];
+      }
+      const i8 ut = U[ti];
+      const i8 y1t = Y1[ti];
+      const i8 y2t = Y2[ti];
+
+      const i32 sc = p.sub(a.target[t], a.query[r - t]);
+      const i32 a1 = x1t + vt, b1 = y1t + ut;
+      const i32 a2 = x2t + vt, b2 = y2t + ut;
+      i32 z = sc;
+      u8 d = 0;
+      if (a1 > z) { z = a1; d = 1; }
+      if (b1 > z) { z = b1; d = 2; }
+      if (a2 > z) { z = a2; d = 3; }
+      if (b2 > z) { z = b2; d = 4; }
+
+      U[ti] = static_cast<i8>(z - vt);
+      V[vi] = static_cast<i8>(z - ut);
+      i32 w = a1 - z + q1;
+      if (w > 0) d |= kExtE1; else w = 0;
+      X1[vi] = static_cast<i8>(w - q1 - e1);
+      w = b1 - z + q1;
+      if (w > 0) d |= kExtF1; else w = 0;
+      Y1[ti] = static_cast<i8>(w - q1 - e1);
+      w = a2 - z + q2;
+      if (w > 0) d |= kExtE2; else w = 0;
+      X2[vi] = static_cast<i8>(w - q2 - e2);
+      w = b2 - z + q2;
+      if (w > 0) d |= kExtF2; else w = 0;
+      Y2[ti] = static_cast<i8>(w - q2 - e2);
+      if (dir_row != nullptr) dir_row[t - st] = d;
+    }
+
+    const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
+                                            : static_cast<std::size_t>(en);
+    const std::size_t st_v = kManymapLayout ? static_cast<std::size_t>(st + shift)
+                                            : static_cast<std::size_t>(st);
+    track.after_diagonal(r, U[static_cast<std::size_t>(en)], V[en_v], V[st_v],
+                         U[static_cast<std::size_t>(st)]);
+  }
+
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  if (a.mode == AlignMode::kGlobal) {
+    out.score = track.h_bot;
+    out.t_end = tlen - 1;
+    out.q_end = qlen - 1;
+  } else {
+    out.score = track.best.score;
+    out.t_end = track.best.i;
+    out.q_end = track.best.j;
+  }
+  if (a.with_cigar) out.cigar = detail::twopiece_backtrack(dirs, off, tlen, qlen, out.t_end, out.q_end);
+  return out;
+}
+
+}  // namespace
+
+AlignResult twopiece_align_mm2(const TwoPieceArgs& a) { return twopiece_diff<false>(a); }
+AlignResult twopiece_align_manymap(const TwoPieceArgs& a) { return twopiece_diff<true>(a); }
+
+AlignResult twopiece_reference_align(const TwoPieceArgs& a) {
+  AlignResult out;
+  if (degenerate(a, out)) return out;
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const auto& p = a.params;
+  const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
+  constexpr i32 kNegInf = INT32_MIN / 4;
+
+  const std::size_t W = static_cast<std::size_t>(qlen) + 1;
+  std::vector<i32> H(static_cast<std::size_t>(tlen + 1) * W, kNegInf);
+  auto h = [&](i32 i, i32 j) -> i32& {
+    return H[static_cast<std::size_t>(i + 1) * W + static_cast<std::size_t>(j + 1)];
+  };
+  std::vector<u8> dir(static_cast<std::size_t>(tlen) * qlen, 0);
+
+  h(-1, -1) = 0;
+  for (i32 i = 0; i < tlen; ++i) h(i, -1) = static_cast<i32>(-p.gap_cost(i + 1));
+  for (i32 j = 0; j < qlen; ++j) h(-1, j) = static_cast<i32>(-p.gap_cost(j + 1));
+
+  std::vector<i32> E1(static_cast<std::size_t>(qlen)), E2(static_cast<std::size_t>(qlen));
+  for (i32 i = 0; i < tlen; ++i) {
+    i32 F1 = kNegInf, F2 = kNegInf;
+    for (i32 j = 0; j < qlen; ++j) {
+      const std::size_t ji = static_cast<std::size_t>(j);
+      i32 e1v, e2v;
+      if (i == 0) {
+        e1v = h(-1, j) - q1 - e1;
+        e2v = h(-1, j) - q2 - e2;
+      } else {
+        e1v = std::max(h(i - 1, j) - q1, E1[ji]) - e1;
+        e2v = std::max(h(i - 1, j) - q2, E2[ji]) - e2;
+      }
+      i32 f1v, f2v;
+      if (j == 0) {
+        f1v = h(i, -1) - q1 - e1;
+        f2v = h(i, -1) - q2 - e2;
+      } else {
+        f1v = std::max(h(i, j - 1) - q1, F1) - e1;
+        f2v = std::max(h(i, j - 1) - q2, F2) - e2;
+      }
+      i32 hv = h(i - 1, j - 1) + p.sub(a.target[i], a.query[j]);
+      u8 d = 0;
+      if (e1v > hv) { hv = e1v; d = 1; }
+      if (f1v > hv) { hv = f1v; d = 2; }
+      if (e2v > hv) { hv = e2v; d = 3; }
+      if (f2v > hv) { hv = f2v; d = 4; }
+      h(i, j) = hv;
+      if (e1v > hv - q1) d |= kExtE1;
+      if (f1v > hv - q1) d |= kExtF1;
+      if (e2v > hv - q2) d |= kExtE2;
+      if (f2v > hv - q2) d |= kExtF2;
+      dir[static_cast<std::size_t>(i) * qlen + ji] = d;
+      E1[ji] = e1v;
+      E2[ji] = e2v;
+      F1 = f1v;
+      F2 = f2v;
+    }
+  }
+
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  i32 i_end, j_end;
+  if (a.mode == AlignMode::kGlobal) {
+    i_end = tlen - 1;
+    j_end = qlen - 1;
+    out.score = h(i_end, j_end);
+  } else {
+    detail::BestCell best;
+    for (i32 r = 0; r <= tlen + qlen - 2; ++r) {
+      if (r >= tlen - 1) {
+        const i32 j = r - (tlen - 1);
+        if (j < qlen) best.offer(h(tlen - 1, j), tlen - 1, j);
+      }
+      if (r >= qlen - 1) {
+        const i32 i = r - (qlen - 1);
+        if (i < tlen) best.offer(h(i, qlen - 1), i, qlen - 1);
+      }
+    }
+    out.score = best.score;
+    i_end = best.i;
+    j_end = best.j;
+  }
+  out.t_end = i_end;
+  out.q_end = j_end;
+  if (a.with_cigar) {
+    // Reuse the diagonal-indexed backtracker by re-packing `dir`.
+    std::vector<u8> diag_dirs(static_cast<u64>(tlen) * static_cast<u64>(qlen), 0);
+    std::vector<u64> off(static_cast<std::size_t>(tlen + qlen), 0);
+    u64 o = 0;
+    for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+      off[static_cast<std::size_t>(r)] = o;
+      o += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
+    }
+    for (i32 i = 0; i < tlen; ++i)
+      for (i32 j = 0; j < qlen; ++j) {
+        const i32 r = i + j;
+        diag_dirs[off[static_cast<std::size_t>(r)] +
+                  static_cast<u64>(i - diag_start(r, qlen))] =
+            dir[static_cast<std::size_t>(i) * qlen + static_cast<std::size_t>(j)];
+      }
+    out.cigar = detail::twopiece_backtrack(diag_dirs, off, tlen, qlen, i_end, j_end);
+  }
+  return out;
+}
+
+}  // namespace manymap

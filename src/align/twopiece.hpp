@@ -1,0 +1,73 @@
+// Two-piece affine gap alignment (minimap2's actual gap model; the paper's
+// Eq. 1 uses the one-piece simplification "for simplicity"). A gap of
+// length k costs min(q1 + k*e1, q2 + k*e2) with q1 < q2 and e1 > e2: short
+// gaps pay the steep piece, long (SV-like) gaps switch to the cheap-
+// extension piece. minimap2 map-pb defaults: O=4,24 E=2,1.
+//
+// The difference-based recurrence generalizes directly: each gap direction
+// carries TWO difference rows (x1/x2, y1/y2), and
+//   z = max(s, x1+v, x2+v, y1+u, y2+u)
+//   xk' = max(0, xk + v - z + qk) - qk - ek      (k = 1,2; same for yk)
+// Both memory layouts are provided, mirroring the one-piece kernels.
+#pragma once
+
+#include "align/kernel_api.hpp"
+
+namespace manymap {
+
+struct TwoPieceParams {
+  i32 match = 2;
+  i32 mismatch = 4;
+  i32 gap_open1 = 4;
+  i32 gap_ext1 = 2;
+  i32 gap_open2 = 24;
+  i32 gap_ext2 = 1;
+
+  i32 sub(u8 a, u8 b) const {
+    if (a >= 4 || b >= 4) return -mismatch;
+    return a == b ? match : -mismatch;
+  }
+  /// Cost of a gap of length k (positive).
+  i64 gap_cost(u64 k) const {
+    const i64 c1 = gap_open1 + static_cast<i64>(k) * gap_ext1;
+    const i64 c2 = gap_open2 + static_cast<i64>(k) * gap_ext2;
+    return c1 < c2 ? c1 : c2;
+  }
+  static TwoPieceParams map_pb() { return TwoPieceParams{2, 5, 4, 2, 24, 1}; }
+};
+
+struct TwoPieceArgs {
+  const u8* target = nullptr;
+  i32 tlen = 0;
+  const u8* query = nullptr;
+  i32 qlen = 0;
+  TwoPieceParams params{};
+  AlignMode mode = AlignMode::kGlobal;
+  bool with_cigar = false;
+};
+
+/// Full-matrix reference (gold standard for the two-piece kernels).
+AlignResult twopiece_reference_align(const TwoPieceArgs& args);
+
+/// Difference-based anti-diagonal kernels, one per layout (scalar).
+AlignResult twopiece_align_mm2(const TwoPieceArgs& args);
+AlignResult twopiece_align_manymap(const TwoPieceArgs& args);
+
+/// SSE2-vectorized variants (the real minimap2 production kernel,
+/// ksw2_extd2_sse, is the two-piece SSE implementation).
+AlignResult twopiece_align_sse2_mm2(const TwoPieceArgs& args);
+AlignResult twopiece_align_sse2_manymap(const TwoPieceArgs& args);
+
+/// Wider-vector variants; nullptr-equivalent lookup via
+/// get_twopiece_kernel when not compiled in or unsupported by the CPU.
+using TwoPieceKernelFn = AlignResult (*)(const TwoPieceArgs&);
+TwoPieceKernelFn get_twopiece_kernel(Layout layout, Isa isa);
+
+namespace detail {
+/// Backtrack over the 5-state two-piece direction bytes (shared by the
+/// scalar and SIMD kernels and the reference).
+Cigar twopiece_backtrack(const std::vector<u8>& dirs, const std::vector<u64>& off, i32 tlen,
+                         i32 qlen, i32 i_end, i32 j_end);
+}  // namespace detail
+
+}  // namespace manymap

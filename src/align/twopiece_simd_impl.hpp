@@ -1,0 +1,220 @@
+// SIMD implementation of the TWO-PIECE difference-based DP, parameterized
+// exactly like diff_simd_impl.hpp. minimap2's production kernel
+// (ksw2_extd2_sse) is the two-piece SSE variant; this header brings the
+// same capability to both memory layouts so the paper's layout comparison
+// extends to the real scoring model. Only instantiated from per-ISA TUs.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "align/diff_common.hpp"
+#include "align/twopiece.hpp"
+
+namespace manymap {
+namespace detail {
+
+template <class VT, bool kManymapLayout>
+AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
+  using vec = typename VT::vec;
+  constexpr i32 W = VT::W;
+
+  AlignResult out;
+  {
+    // Degenerate handling shares the one-piece helper's extension branch;
+    // global degenerate costs differ (two-piece), so handle locally.
+    if (a.tlen == 0 || a.qlen == 0) {
+      if (a.mode == AlignMode::kExtension || (a.tlen == 0 && a.qlen == 0)) {
+        out.score = 0;
+        return out;
+      }
+      const i32 n = a.tlen > 0 ? a.tlen : a.qlen;
+      out.score = -a.params.gap_cost(static_cast<u64>(n));
+      out.t_end = a.tlen - 1;
+      out.q_end = a.qlen - 1;
+      if (a.with_cigar) out.cigar.push(a.tlen > 0 ? 'D' : 'I', static_cast<u32>(n));
+      return out;
+    }
+  }
+
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const auto& p = a.params;
+  const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
+
+  // Buffers (padded like the one-piece workspace).
+  const std::size_t upad = static_cast<std::size_t>(tlen) + kLanePad;
+  const std::size_t vpad =
+      static_cast<std::size_t>(kManymapLayout ? qlen + 1 : tlen) + kLanePad;
+  std::vector<i8> U(upad, 0), Y1(upad, 0), Y2(upad, 0);
+  std::vector<i8> V(vpad, 0), X1(vpad, 0), X2(vpad, 0);
+  std::vector<u8> T(static_cast<std::size_t>(tlen) + kLanePad, kBaseN);
+  std::memcpy(T.data(), a.target, static_cast<std::size_t>(tlen));
+  std::vector<u8> Qr(static_cast<std::size_t>(qlen) + kLanePad, kBaseN);
+  for (i32 j = 0; j < qlen; ++j) Qr[static_cast<std::size_t>(qlen - 1 - j)] = a.query[j];
+
+  std::vector<u8> dirs;
+  std::vector<u64> off;
+  if (a.with_cigar) {
+    dirs.assign(static_cast<u64>(tlen) * static_cast<u64>(qlen), 0);
+    off.assign(static_cast<std::size_t>(tlen + qlen), 0);
+    u64 o = 0;
+    for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+      off[static_cast<std::size_t>(r)] = o;
+      o += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
+    }
+  }
+
+  auto boundary_delta = [&](i32 j) -> i8 {
+    if (j == 0) return static_cast<i8>(-p.gap_cost(1));
+    return static_cast<i8>(
+        -(p.gap_cost(static_cast<u64>(j) + 1) - p.gap_cost(static_cast<u64>(j))));
+  };
+
+  const vec match_v = VT::set1(static_cast<i8>(p.match));
+  const vec mismatch_v = VT::set1(static_cast<i8>(-p.mismatch));
+  const vec four_v = VT::set1(4);
+  const vec q1_v = VT::set1(static_cast<i8>(q1));
+  const vec q2_v = VT::set1(static_cast<i8>(q2));
+  const vec qe1_v = VT::set1(static_cast<i8>(-(q1 + e1)));
+  const vec qe2_v = VT::set1(static_cast<i8>(-(q2 + e2)));
+  const vec zero_v = VT::zero();
+
+  BorderTracker track(tlen, qlen, -p.gap_cost(1));
+
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    const i32 shift = qlen - r;
+
+    i8 v_c = 0, x1_c = 0, x2_c = 0;
+    if constexpr (kManymapLayout) {
+      if (st == 0) {
+        V[static_cast<std::size_t>(shift)] = boundary_delta(r);
+        X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
+        X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+      }
+    } else {
+      if (st == 0) {
+        v_c = boundary_delta(r);
+        x1_c = static_cast<i8>(-(q1 + e1));
+        x2_c = static_cast<i8>(-(q2 + e2));
+      } else {
+        v_c = V[static_cast<std::size_t>(st - 1)];
+        x1_c = X1[static_cast<std::size_t>(st - 1)];
+        x2_c = X2[static_cast<std::size_t>(st - 1)];
+      }
+    }
+    if (en == r) {
+      U[static_cast<std::size_t>(en)] = boundary_delta(r);
+      Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
+      Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
+    }
+    u8* dir_row = a.with_cigar ? dirs.data() + off[static_cast<std::size_t>(r)] : nullptr;
+    const i32 qoff = qlen - 1 - r;
+
+    for (i32 t = st; t <= en; t += W) {
+      const vec Tv = VT::load(T.data() + t);
+      const vec Qv = VT::load(Qr.data() + qoff + t);
+      const vec is_match = VT::and_(VT::cmpeq(Tv, Qv), VT::cmpgt(four_v, Tv));
+      const vec sc = VT::blend(is_match, match_v, mismatch_v);
+
+      vec vt, x1t, x2t;
+      if constexpr (kManymapLayout) {
+        vt = VT::load(V.data() + t + shift);
+        x1t = VT::load(X1.data() + t + shift);
+        x2t = VT::load(X2.data() + t + shift);
+      } else {
+        const vec vold = VT::load(V.data() + t);
+        const vec x1old = VT::load(X1.data() + t);
+        const vec x2old = VT::load(X2.data() + t);
+        vt = VT::shift_in(vold, v_c);
+        x1t = VT::shift_in(x1old, x1_c);
+        x2t = VT::shift_in(x2old, x2_c);
+        v_c = VT::last_lane(vold);
+        x1_c = VT::last_lane(x1old);
+        x2_c = VT::last_lane(x2old);
+      }
+      const vec ut = VT::load(U.data() + t);
+      const vec y1t = VT::load(Y1.data() + t);
+      const vec y2t = VT::load(Y2.data() + t);
+
+      const vec a1 = VT::adds(x1t, vt);
+      const vec b1 = VT::adds(y1t, ut);
+      const vec a2 = VT::adds(x2t, vt);
+      const vec b2 = VT::adds(y2t, ut);
+      vec z = sc;
+      const vec m1 = VT::cmpgt(a1, z);
+      z = VT::max(z, a1);
+      const vec m2 = VT::cmpgt(b1, z);
+      z = VT::max(z, b1);
+      const vec m3 = VT::cmpgt(a2, z);
+      z = VT::max(z, a2);
+      const vec m4 = VT::cmpgt(b2, z);
+      z = VT::max(z, b2);
+
+      VT::store(U.data() + t, VT::subs(z, vt));
+      if constexpr (kManymapLayout) {
+        VT::store(V.data() + t + shift, VT::subs(z, ut));
+      } else {
+        VT::store(V.data() + t, VT::subs(z, ut));
+      }
+      const vec ea1 = VT::adds(VT::subs(a1, z), q1_v);
+      const vec fb1 = VT::adds(VT::subs(b1, z), q1_v);
+      const vec ea2 = VT::adds(VT::subs(a2, z), q2_v);
+      const vec fb2 = VT::adds(VT::subs(b2, z), q2_v);
+      const vec x1n = VT::adds(VT::max(ea1, zero_v), qe1_v);
+      const vec y1n = VT::adds(VT::max(fb1, zero_v), qe1_v);
+      const vec x2n = VT::adds(VT::max(ea2, zero_v), qe2_v);
+      const vec y2n = VT::adds(VT::max(fb2, zero_v), qe2_v);
+      if constexpr (kManymapLayout) {
+        VT::store(X1.data() + t + shift, x1n);
+        VT::store(X2.data() + t + shift, x2n);
+      } else {
+        VT::store(X1.data() + t, x1n);
+        VT::store(X2.data() + t, x2n);
+      }
+      VT::store(Y1.data() + t, y1n);
+      VT::store(Y2.data() + t, y2n);
+
+      if (dir_row != nullptr) {
+        // src = 0..4 with the tie order diag > E1 > F1 > E2 > F2.
+        vec d = VT::and_(m1, VT::set1(1));
+        d = VT::blend(m2, VT::set1(2), d);
+        d = VT::blend(m3, VT::set1(3), d);
+        d = VT::blend(m4, VT::set1(4), d);
+        d = VT::or_(d, VT::and_(VT::cmpgt(ea1, zero_v), VT::set1(1 << 3)));
+        d = VT::or_(d, VT::and_(VT::cmpgt(fb1, zero_v), VT::set1(1 << 4)));
+        d = VT::or_(d, VT::and_(VT::cmpgt(ea2, zero_v), VT::set1(1 << 5)));
+        d = VT::or_(d, VT::and_(VT::cmpgt(fb2, zero_v), VT::set1(1 << 6)));
+        alignas(64) u8 buf[W];
+        VT::store(buf, d);
+        const i32 n = en - t + 1 < W ? en - t + 1 : W;
+        std::memcpy(dir_row + (t - st), buf, static_cast<std::size_t>(n));
+      }
+    }
+
+    const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
+                                            : static_cast<std::size_t>(en);
+    const std::size_t st_v = kManymapLayout ? static_cast<std::size_t>(st + shift)
+                                            : static_cast<std::size_t>(st);
+    track.after_diagonal(r, U[static_cast<std::size_t>(en)], V[en_v], V[st_v],
+                         U[static_cast<std::size_t>(st)]);
+  }
+
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  if (a.mode == AlignMode::kGlobal) {
+    out.score = track.h_bot;
+    out.t_end = tlen - 1;
+    out.q_end = qlen - 1;
+  } else {
+    out.score = track.best.score;
+    out.t_end = track.best.i;
+    out.q_end = track.best.j;
+  }
+  if (a.with_cigar)
+    out.cigar = twopiece_backtrack(dirs, off, tlen, qlen, out.t_end, out.q_end);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace manymap

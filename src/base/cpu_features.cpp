@@ -1,0 +1,19 @@
+#include "base/cpu_features.hpp"
+
+namespace manymap {
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+    __builtin_cpu_init();
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512bw = __builtin_cpu_supports("avx512bw");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace manymap

@@ -1,0 +1,16 @@
+// Runtime CPU feature detection for kernel dispatch (§4.3.2 of the paper:
+// SSE2 / AVX2 / AVX-512BW code paths).
+#pragma once
+
+namespace manymap {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool avx512bw = false;
+};
+
+/// Detect once; cached.
+const CpuFeatures& cpu_features();
+
+}  // namespace manymap

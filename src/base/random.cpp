@@ -1,0 +1,87 @@
+#include "base/random.hpp"
+
+#include <cmath>
+
+namespace manymap {
+
+namespace {
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 n) {
+  MM_REQUIRE(n > 0, "uniform(0) is undefined");
+  // Rejection sampling to avoid modulo bias.
+  const u64 threshold = -n % n;
+  for (;;) {
+    const u64 r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+i64 Rng::uniform_range(i64 lo, i64 hi) {
+  MM_REQUIRE(lo <= hi, "uniform_range: lo > hi");
+  return lo + static_cast<i64>(uniform(static_cast<u64>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_) {
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  have_spare_ = true;
+  return mean + stddev * u * m;
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+u64 Rng::geometric(double p) {
+  MM_REQUIRE(p > 0.0 && p <= 1.0, "geometric: p out of range");
+  if (p >= 1.0) return 0;
+  const double u = uniform01();
+  return static_cast<u64>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+std::size_t Rng::weighted_choice(const std::vector<double>& weights) {
+  MM_REQUIRE(!weights.empty(), "weighted_choice: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace manymap

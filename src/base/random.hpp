@@ -1,0 +1,52 @@
+// Deterministic PRNG utilities. All simulators in manymap take explicit
+// seeds so every experiment is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// splitmix64: used to expand a single seed into stream seeds.
+inline u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality generator for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9d2c5680u);
+
+  u64 next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  u64 uniform(u64 n);
+  /// Uniform in [lo, hi] inclusive.
+  i64 uniform_range(i64 lo, i64 hi);
+  /// Uniform real in [0, 1).
+  double uniform01();
+  /// true with probability p.
+  bool bernoulli(double p);
+  /// Normal(mean, stddev) via Box–Muller.
+  double normal(double mean, double stddev);
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Geometric: number of failures before first success, success prob p.
+  u64 geometric(double p);
+  /// Pick index according to relative weights (must be non-empty).
+  std::size_t weighted_choice(const std::vector<double>& weights);
+  /// Random DNA base code in [0,4).
+  u8 base() { return static_cast<u8>(uniform(4)); }
+
+ private:
+  u64 s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace manymap

@@ -1,0 +1,25 @@
+// Small descriptive-statistics helpers for dataset tables and benchmark
+// reporting.
+#pragma once
+
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+struct Summary {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace manymap

@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by the benchmark harnesses and by the
+// per-stage breakdown instrumentation (Table 2 / Figure 11).
+#pragma once
+
+#include <chrono>
+
+namespace manymap {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates into `sink` (seconds) on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_ += t_.seconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer t_;
+};
+
+}  // namespace manymap

@@ -1,0 +1,113 @@
+#include "baselines/baseline.hpp"
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+
+namespace manymap {
+
+std::unique_ptr<BaselineAligner> make_baseline(BaselineKind kind, const Reference& ref) {
+  using namespace baseline_detail;
+  switch (kind) {
+    case BaselineKind::kBwaMem: return make_bwamem_lite(ref);
+    case BaselineKind::kBlasr: return make_blasr_lite(ref);
+    case BaselineKind::kNgmlr: return make_ngmlr_lite(ref);
+    case BaselineKind::kKart: return make_kart_lite(ref);
+    case BaselineKind::kMinialign: return make_minialign_lite(ref);
+  }
+  return nullptr;
+}
+
+const char* to_string(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kBwaMem: return "bwamem-lite";
+    case BaselineKind::kBlasr: return "blasr-lite";
+    case BaselineKind::kNgmlr: return "ngmlr-lite";
+    case BaselineKind::kKart: return "kart-lite";
+    case BaselineKind::kMinialign: return "minialign-lite";
+  }
+  return "?";
+}
+
+namespace baseline_detail {
+
+ConcatRef concat_reference(const Reference& ref) {
+  ConcatRef c;
+  c.text.reserve(ref.total_length());
+  for (std::size_t i = 0; i < ref.num_contigs(); ++i) {
+    c.starts.push_back(c.text.size());
+    const auto& codes = ref.contig(i).codes;
+    c.text.insert(c.text.end(), codes.begin(), codes.end());
+  }
+  return c;
+}
+
+std::pair<u32, u64> ConcatRef::resolve(u64 pos) const {
+  MM_REQUIRE(!starts.empty() && pos < text.size(), "position outside concatenated text");
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  const u32 cid = static_cast<u32>(it - starts.begin() - 1);
+  return {cid, pos - starts[cid]};
+}
+
+bool ConcatRef::within_one_contig(u64 pos, u64 len) const {
+  if (pos + len > text.size()) return false;
+  const auto [cid, off] = resolve(pos);
+  const u64 contig_end = cid + 1 < starts.size() ? starts[cid + 1] : text.size();
+  return pos + len <= contig_end;
+}
+
+Mapping mapping_from_chain(const Reference& ref, const Sequence& read, const Chain& chain,
+                           u32 k) {
+  const u32 qlen = static_cast<u32>(read.size());
+  Mapping m;
+  m.qname = read.name;
+  m.qlen = qlen;
+  m.rev = chain.rev;
+  m.rid = chain.rid;
+  m.rname = ref.contig(chain.rid).name;
+  m.rlen = ref.contig(chain.rid).size();
+  m.chain_score = chain.score;
+  m.primary = chain.primary;
+  m.score = chain.score;
+
+  // Oriented query span of the chained region (k-mer start to k-mer end).
+  const u32 q_begin = chain.qstart() + 1 - k;
+  const u32 q_end = chain.qend() + 1;
+  // Project the unchained read ends onto the reference (clamped).
+  const u64 t_begin = chain.tstart() + 1 - k;
+  const u64 t_end = static_cast<u64>(chain.tend()) + 1;
+  const u64 left_pad = std::min<u64>(t_begin, q_begin);
+  const u64 right_pad = std::min<u64>(m.rlen - t_end, qlen - q_end);
+  m.tstart = t_begin - left_pad;
+  m.tend = t_end + right_pad;
+  const u32 qo_start = q_begin - static_cast<u32>(left_pad);
+  const u32 qo_end = q_end + static_cast<u32>(right_pad);
+  if (chain.rev) {
+    m.qstart = qlen - qo_end;
+    m.qend = qlen - qo_start;
+  } else {
+    m.qstart = qo_start;
+    m.qend = qo_end;
+  }
+  m.align_length = std::max<u64>(m.tend - m.tstart, qo_end - qo_start);
+  m.matches = static_cast<u64>(chain.anchors.size()) * k;
+  return m;
+}
+
+void assign_mapq(std::vector<Mapping>& mappings) {
+  if (mappings.empty()) return;
+  const double f1 = static_cast<double>(mappings[0].chain_score);
+  const double f2 = mappings.size() > 1 ? static_cast<double>(mappings[1].chain_score) : 0.0;
+  for (auto& m : mappings) {
+    if (!m.primary) {
+      m.mapq = 0;
+      continue;
+    }
+    const double uniq = f1 > 0 ? 1.0 - f2 / f1 : 0.0;
+    m.mapq = static_cast<u32>(std::clamp(60.0 * uniq, 0.0, 60.0));
+  }
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

@@ -1,0 +1,51 @@
+// Baseline long-read aligners for the Table 5 comparison. Each is a
+// simplified but real reimplementation of the published aligner's
+// algorithmic signature (see DESIGN.md "substitutions"):
+//
+//   bwamem-lite    — FM-index exact-match seeding (min seed 19) + affine
+//                    extension. Designed for short reads: long noisy reads
+//                    yield few seeds -> worst accuracy, most DP work.
+//   blasr-lite     — suffix-array anchoring at every query position with
+//                    short anchors (high sensitivity) + sparse DP: accurate
+//                    but expensive.
+//   ngmlr-lite     — minimizer seeding + convex (two-piece) gap scoring
+//                    refinement: accurate on indel-rich reads, slow O(nm)
+//                    refinement.
+//   kart-lite      — divide-and-conquer: long exact anchors split the read
+//                    into small pieces, gaps filled without refinement:
+//                    fast, less accurate.
+//   minialign-lite — sparse minimizer sketch + score-only extension:
+//                    fastest, accuracy below minimap2.
+//
+// All of them return the common Mapping record so accuracy/runtime/memory
+// are scored identically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace manymap {
+
+enum class BaselineKind { kBwaMem, kBlasr, kNgmlr, kKart, kMinialign };
+
+const char* to_string(BaselineKind kind);
+
+class BaselineAligner {
+ public:
+  virtual ~BaselineAligner() = default;
+  virtual const char* name() const = 0;
+  /// Index-structure footprint (Table 5 "Index Size").
+  virtual u64 index_bytes() const = 0;
+  virtual std::vector<Mapping> map(const Sequence& read) const = 0;
+  /// Single-thread slowdown of a direct KNL port relative to the host CPU,
+  /// beyond the core-frequency gap (serial code, narrow vectorization,
+  /// cache pressure). Feeds the KNL model of Table 5.
+  virtual double knl_port_factor() const = 0;
+};
+
+std::unique_ptr<BaselineAligner> make_baseline(BaselineKind kind, const Reference& ref);
+
+}  // namespace manymap

@@ -1,0 +1,120 @@
+// BLASR-like baseline: suffix-array anchoring with short (12 bp) anchors
+// sampled densely over the query, followed by sparse-DP-style chaining and
+// a base-level refinement pass of the best chain. High sensitivity (short
+// anchors find matches despite errors) makes it accurate; the dense
+// anchoring, the large suffix array and the refinement make it slow and
+// memory-hungry — the Table 5 BLASR profile.
+#include "align/kernel_api.hpp"
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+#include "fm/suffix_array.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+namespace {
+
+class BlasrLite final : public BaselineAligner {
+ public:
+  explicit BlasrLite(const Reference& ref)
+      : ref_(ref), concat_(concat_reference(ref)), sa_(build_suffix_array(concat_.text)) {}
+
+  const char* name() const override { return "blasr-lite"; }
+  u64 index_bytes() const override {
+    // Full suffix array + text: the largest index in the comparison.
+    return sa_.size() * sizeof(u32) + concat_.text.size();
+  }
+  double knl_port_factor() const override {
+    // Binary searches over a multi-GB suffix array thrash KNL's small
+    // caches; refinement DP is scalar.
+    return 4.0;
+  }
+
+  std::vector<Mapping> map(const Sequence& read) const override {
+    constexpr u32 kAnchorLen = 12;
+    constexpr u32 kStride = 5;
+    constexpr u32 kMaxHits = 25;
+
+    std::vector<Mapping> out;
+    const u32 qlen = static_cast<u32>(read.size());
+    if (qlen < kAnchorLen) return out;
+
+    std::vector<Anchor> anchors;
+    for (const bool rev : {false, true}) {
+      const std::vector<u8> q = rev ? reverse_complement(read.codes) : read.codes;
+      for (u32 i = 0; i + kAnchorLen <= qlen; i += kStride) {
+        const std::span<const u8> pattern(q.data() + i, kAnchorLen);
+        const auto ival = sa_search(concat_.text, sa_, pattern);
+        if (ival.empty() || ival.size() > kMaxHits) continue;
+        for (u32 r = ival.lo; r < ival.hi; ++r) {
+          const u64 pos = sa_[r];
+          if (!concat_.within_one_contig(pos, kAnchorLen)) continue;
+          const auto [cid, off] = concat_.resolve(pos);
+          Anchor a;
+          a.rid = cid;
+          a.tpos = static_cast<u32>(off + kAnchorLen - 1);
+          a.qpos = i + kAnchorLen - 1;
+          a.rev = rev;
+          anchors.push_back(a);
+        }
+      }
+    }
+    std::sort(anchors.begin(), anchors.end(), [](const Anchor& a, const Anchor& b) {
+      if (a.rid != b.rid) return a.rid < b.rid;
+      if (a.rev != b.rev) return a.rev < b.rev;
+      if (a.tpos != b.tpos) return a.tpos < b.tpos;
+      return a.qpos < b.qpos;
+    });
+
+    ChainParams cp;
+    cp.seed_length = kAnchorLen;
+    cp.min_count = 4;
+    cp.min_score = 30;
+    const auto chains = chain_anchors(anchors, cp);
+    for (const auto& c : chains) {
+      Mapping m = mapping_from_chain(ref_, read, c, kAnchorLen);
+      out.push_back(std::move(m));
+      if (out.size() >= 5) break;
+    }
+
+    // Successive refinement (the "R" in BLASR): base-level alignment of
+    // the best chain's window, reusing the scalar kernel.
+    if (!out.empty()) {
+      Mapping& m = out.front();
+      // Refinement window capped (BLASR refines hierarchically; a full
+      // quadratic pass over long reads would be prohibitive even for it).
+      constexpr u64 kRefineCap = 1500;
+      const u64 tspan = std::min<u64>(m.tend - m.tstart, kRefineCap);
+      const auto target = ref_.extract(m.rid, m.tstart, tspan);
+      std::vector<u8> query = m.rev ? reverse_complement(read.codes) : read.codes;
+      if (query.size() > kRefineCap) query.resize(kRefineCap);
+      DiffArgs a;
+      a.target = target.data();
+      a.tlen = static_cast<i32>(target.size());
+      a.query = query.data();
+      a.qlen = static_cast<i32>(query.size());
+      a.mode = AlignMode::kExtension;
+      a.with_cigar = false;
+      const auto r = get_diff_kernel(Layout::kMinimap2, Isa::kScalar)(a);
+      m.score = r.score;
+    }
+    assign_mapq(out);
+    return out;
+  }
+
+ private:
+  const Reference& ref_;
+  ConcatRef concat_;
+  std::vector<u32> sa_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineAligner> make_blasr_lite(const Reference& ref) {
+  return std::make_unique<BlasrLite>(ref);
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

@@ -1,0 +1,111 @@
+// BWA-MEM-like baseline: FM-index exact-match seeding with a minimum seed
+// length of 19 (BWA-MEM's default) plus chaining. Designed for low-error
+// short reads: at third-generation error rates exact 19-mers are rare, so
+// seeding is both expensive (a backward search per query position) and
+// sparse -> the worst accuracy and the longest runtime in Table 5.
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+#include "fm/fm_index.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+namespace {
+
+class BwaMemLite final : public BaselineAligner {
+ public:
+  explicit BwaMemLite(const Reference& ref)
+      : ref_(ref), concat_(concat_reference(ref)), fm_(concat_.text) {}
+
+  const char* name() const override { return "bwamem-lite"; }
+  u64 index_bytes() const override { return fm_.memory_bytes() + concat_.text.size(); }
+  double knl_port_factor() const override {
+    // Mostly serial pointer-chasing through occ tables; no useful SIMD.
+    return 1.4;
+  }
+
+  std::vector<Mapping> map(const Sequence& read) const override {
+    constexpr u32 kMinSeed = 19;
+    constexpr u32 kMaxHits = 20;
+    constexpr u32 kStride = 4;
+
+    std::vector<Mapping> out;
+    const u32 qlen = static_cast<u32>(read.size());
+    if (qlen < kMinSeed) return out;
+
+    std::vector<Anchor> anchors;
+    for (const bool rev : {false, true}) {
+      const std::vector<u8> q = rev ? reverse_complement(read.codes) : read.codes;
+      // A maximal backward match ending at every stride-th position — the
+      // SMEM-flavoured seeding sweep.
+      for (u32 end = kMinSeed - 1; end < qlen; end += kStride) {
+        const auto match = fm_.max_backward_match(q, end);
+        if (match.length < kMinSeed) continue;
+        for (const u32 pos : fm_.locate(match.interval, kMaxHits)) {
+          if (!concat_.within_one_contig(pos, match.length)) continue;
+          const auto [cid, off] = concat_.resolve(pos);
+          Anchor a;
+          a.rid = cid;
+          a.tpos = static_cast<u32>(off + match.length - 1);
+          a.qpos = end;
+          a.rev = rev;
+          anchors.push_back(a);
+        }
+      }
+    }
+    std::sort(anchors.begin(), anchors.end(), [](const Anchor& a, const Anchor& b) {
+      if (a.rid != b.rid) return a.rid < b.rid;
+      if (a.rev != b.rev) return a.rev < b.rev;
+      if (a.tpos != b.tpos) return a.tpos < b.tpos;
+      return a.qpos < b.qpos;
+    });
+
+    ChainParams cp;
+    cp.seed_length = kMinSeed;
+    cp.min_count = 2;   // seeds are sparse on noisy reads
+    cp.min_score = 25;
+    const auto chains = chain_anchors(anchors, cp);
+    for (const auto& c : chains) {
+      out.push_back(mapping_from_chain(ref_, read, c, kMinSeed));
+      if (out.size() >= 5) break;
+    }
+    // BWA-MEM extends every rescued seed chain with a full Smith-Waterman
+    // pass over the read (it has no long-read chaining to bound the DP):
+    // the dominant cost that makes it the slowest aligner in Table 5.
+    constexpr u64 kExtCap = 3000;
+    std::size_t refined = 0;
+    for (auto& m : out) {
+      if (++refined > 3) break;
+      const u64 tspan = std::min<u64>(m.tend - m.tstart, kExtCap);
+      const auto target = ref_.extract(m.rid, m.tstart, tspan);
+      std::vector<u8> q2 = m.rev ? reverse_complement(read.codes) : read.codes;
+      if (q2.size() > kExtCap) q2.resize(kExtCap);
+      DiffArgs da;
+      da.target = target.data();
+      da.tlen = static_cast<i32>(target.size());
+      da.query = q2.data();
+      da.qlen = static_cast<i32>(q2.size());
+      da.mode = AlignMode::kExtension;
+      da.with_cigar = false;
+      m.score = get_diff_kernel(Layout::kMinimap2, Isa::kScalar)(da).score;
+    }
+    assign_mapq(out);
+    return out;
+  }
+
+ private:
+  const Reference& ref_;
+  ConcatRef concat_;
+  FmIndex fm_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineAligner> make_bwamem_lite(const Reference& ref) {
+  return std::make_unique<BwaMemLite>(ref);
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

@@ -1,0 +1,19 @@
+// Internal per-aligner factory functions (implemented in the respective
+// translation units; dispatched by make_baseline).
+#pragma once
+
+#include <memory>
+
+#include "baselines/baseline.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+std::unique_ptr<BaselineAligner> make_bwamem_lite(const Reference& ref);
+std::unique_ptr<BaselineAligner> make_blasr_lite(const Reference& ref);
+std::unique_ptr<BaselineAligner> make_ngmlr_lite(const Reference& ref);
+std::unique_ptr<BaselineAligner> make_kart_lite(const Reference& ref);
+std::unique_ptr<BaselineAligner> make_minialign_lite(const Reference& ref);
+
+}  // namespace baseline_detail
+}  // namespace manymap

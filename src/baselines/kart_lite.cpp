@@ -1,0 +1,98 @@
+// Kart-like baseline: divide-and-conquer. Long exact anchors partition
+// the read into "simple pairs" (equal-length regions, taken as matches
+// without DP) and "normal pairs" (small unequal regions, aligned only when
+// tiny). Almost no base-level DP -> very fast, but the skipped refinement
+// costs accuracy (Table 5: Kart is the fastest on KNL with a 4.1% error
+// rate).
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+#include "index/hash_index.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+namespace {
+
+class KartLite final : public BaselineAligner {
+ public:
+  explicit KartLite(const Reference& ref)
+      : ref_(ref), index_(MinimizerIndex::build(ref, SketchParams{17, 12})) {}
+
+  const char* name() const override { return "kart-lite"; }
+  u64 index_bytes() const override { return index_.memory_bytes(); }
+  double knl_port_factor() const override {
+    // Tiny working set, almost no serial bottleneck: ports nearly 1:1
+    // (Kart is the fastest aligner on KNL in Table 5).
+    return 0.35;
+  }
+
+  std::vector<Mapping> map(const Sequence& read) const override {
+    const u32 qlen = static_cast<u32>(read.size());
+    std::vector<Mapping> out;
+    if (qlen < index_.params().k) return out;
+    const auto mins = sketch(read.codes, 0, index_.params());
+    const auto anchors = collect_anchors(index_, mins, qlen, 50);
+    ChainParams cp;
+    cp.seed_length = index_.params().k;
+    cp.min_count = 2;  // long seeds are sparse; accept short chains
+    cp.min_score = 25;
+    const auto chains = chain_anchors(anchors, cp);
+    const std::vector<u8> rc = reverse_complement(read.codes);
+    for (const auto& c : chains) {
+      Mapping m = mapping_from_chain(ref_, read, c, index_.params().k);
+      // Divide step: classify inter-anchor gaps. Simple pairs (equal
+      // spans) count as matches; normal pairs contribute an error
+      // estimate without DP.
+      u64 simple = 0, normal = 0;
+      i64 normal_score = 0;
+      for (std::size_t i = 1; i < c.anchors.size(); ++i) {
+        const u64 dt = c.anchors[i].tpos - c.anchors[i - 1].tpos;
+        const u64 dq = c.anchors[i].qpos - c.anchors[i - 1].qpos;
+        if (dt == dq) {
+          simple += dt;
+        } else {
+          normal += std::max(dt, dq);
+          // Normal pairs are the only regions Kart aligns with DP, and
+          // only when small (its divide step keeps them short).
+          if (dt <= 256 && dq <= 256 && dt > 0 && dq > 0) {
+            const auto target =
+                ref_.extract(c.rid, c.anchors[i - 1].tpos + 1, dt);
+            const std::vector<u8>& q = c.rev ? rc : read.codes;
+            const u32 q0 = c.anchors[i - 1].qpos + 1;
+            if (q0 + dq <= q.size()) {
+              const std::vector<u8> query(q.begin() + q0, q.begin() + q0 + dq);
+              DiffArgs da;
+              da.target = target.data();
+              da.tlen = static_cast<i32>(target.size());
+              da.query = query.data();
+              da.qlen = static_cast<i32>(query.size());
+              da.mode = AlignMode::kGlobal;
+              da.with_cigar = false;
+              normal_score += get_diff_kernel(Layout::kMinimap2, Isa::kSse2)(da).score;
+            }
+          }
+        }
+      }
+      m.score += normal_score;
+      m.matches = simple + static_cast<u64>(c.anchors.size()) * index_.params().k;
+      m.align_length = m.matches + normal;
+      out.push_back(std::move(m));
+      if (out.size() >= 5) break;
+    }
+    assign_mapq(out);
+    return out;
+  }
+
+ private:
+  const Reference& ref_;
+  MinimizerIndex index_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineAligner> make_kart_lite(const Reference& ref) {
+  return std::make_unique<KartLite>(ref);
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

@@ -1,0 +1,77 @@
+// minialign-like baseline: minimap-style minimizer seeding with a sparser
+// sketch (larger window) and a score-only vectorized extension of the best
+// chain. Trades a little sensitivity for speed — the fastest CPU aligner
+// in Table 5, with roughly 2.5x minimap2's error rate.
+#include "align/kernel_api.hpp"
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+#include "index/hash_index.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+namespace {
+
+class MinialignLite final : public BaselineAligner {
+ public:
+  explicit MinialignLite(const Reference& ref)
+      : ref_(ref), index_(MinimizerIndex::build(ref, SketchParams{15, 16})) {}
+
+  const char* name() const override { return "minialign-lite"; }
+  u64 index_bytes() const override { return index_.memory_bytes(); }
+  double knl_port_factor() const override {
+    // SSE-only extension kernel (GABA) and serial seeding: poor KNL port
+    // (Table 5: 64s on KNL vs 14s on CPU).
+    return 1.6;
+  }
+
+  std::vector<Mapping> map(const Sequence& read) const override {
+    const u32 qlen = static_cast<u32>(read.size());
+    std::vector<Mapping> out;
+    if (qlen < index_.params().k) return out;
+    const auto mins = sketch(read.codes, 0, index_.params());
+    const auto anchors = collect_anchors(index_, mins, qlen, 100);
+    ChainParams cp;
+    cp.seed_length = index_.params().k;
+    cp.min_count = 2;
+    cp.min_score = 30;
+    const auto chains = chain_anchors(anchors, cp);
+    for (const auto& c : chains) {
+      out.push_back(mapping_from_chain(ref_, read, c, index_.params().k));
+      if (out.size() >= 3) break;  // minialign reports few candidates
+    }
+    // Score-only extension of the primary chain (GABA-style: no traceback).
+    if (!out.empty()) {
+      Mapping& m = out.front();
+      constexpr u64 kCap = 2000;
+      const u64 tspan = std::min<u64>(m.tend - m.tstart, kCap);
+      const auto target = ref_.extract(m.rid, m.tstart, tspan);
+      std::vector<u8> query = m.rev ? reverse_complement(read.codes) : read.codes;
+      if (query.size() > kCap) query.resize(kCap);
+      DiffArgs a;
+      a.target = target.data();
+      a.tlen = static_cast<i32>(target.size());
+      a.query = query.data();
+      a.qlen = static_cast<i32>(query.size());
+      a.mode = AlignMode::kExtension;
+      a.with_cigar = false;
+      const auto r = get_diff_kernel(Layout::kMinimap2, Isa::kSse2)(a);
+      m.score = r.score;
+    }
+    assign_mapq(out);
+    return out;
+  }
+
+ private:
+  const Reference& ref_;
+  MinimizerIndex index_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineAligner> make_minialign_lite(const Reference& ref) {
+  return std::make_unique<MinialignLite>(ref);
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

@@ -1,0 +1,139 @@
+// NGMLR-like baseline: minimizer seeding plus a *convex* gap model in the
+// refinement DP (approximated, as in NGMLR itself, by a two-piece affine
+// cost: expensive short gaps, cheap long gaps — tuned for structural-
+// variant tolerance). The refinement is a banded scalar DP over the whole
+// chain window, which is why NGMLR lands on the slow/accurate end of
+// Table 5.
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "baselines/factories.hpp"
+#include "index/hash_index.hpp"
+
+namespace manymap {
+namespace baseline_detail {
+
+namespace {
+
+/// Banded two-piece affine ("convex") global alignment score.
+/// Gap cost = min(q1 + k*e1, q2 + k*e2) with q1<q2, e1>e2.
+i64 convex_banded_score(const std::vector<u8>& target, const std::vector<u8>& query, i32 band) {
+  const i32 n = static_cast<i32>(target.size());
+  const i32 m = static_cast<i32>(query.size());
+  if (n == 0 || m == 0) return 0;
+  constexpr i32 kMatch = 2, kMismatch = 4;
+  constexpr i32 q1 = 6, e1 = 2;   // short-gap piece
+  constexpr i32 q2 = 24, e2 = 1;  // long-gap piece (cheap extension)
+  constexpr i64 kNegInf = -(1LL << 40);
+
+  // Five per-row arrays: H, E1/E2 (gaps in target dir), F1/F2.
+  const i32 width = 2 * band + 1;
+  std::vector<i64> H(width, kNegInf), E1(width, kNegInf), E2(width, kNegInf);
+  std::vector<i64> Hn(width), E1n(width), E2n(width);
+  // j index within row i maps to column c = i * m / n + (j - band) (band
+  // follows the main diagonal, scaled for length mismatch).
+  auto col_of = [&](i32 i, i32 j) { return static_cast<i64>(i) * m / n + (j - band); };
+
+  // Row -1 boundary.
+  for (i32 j = 0; j < width; ++j) {
+    const i64 c = col_of(-1, j);
+    if (c == -1)
+      H[j] = 0;
+    else if (c >= 0 && c < m)
+      H[j] = -std::min<i64>(q1 + (c + 1) * e1, q2 + (c + 1) * e2);
+  }
+  for (i32 i = 0; i < n; ++i) {
+    std::fill(Hn.begin(), Hn.end(), kNegInf);
+    std::fill(E1n.begin(), E1n.end(), kNegInf);
+    std::fill(E2n.begin(), E2n.end(), kNegInf);
+    const i64 drift = static_cast<i64>(i) * m / n - static_cast<i64>(i - 1) * m / n;
+    i64 F1 = kNegInf, F2 = kNegInf;
+    for (i32 j = 0; j < width; ++j) {
+      const i64 c = col_of(i, j);
+      if (c < 0 || c >= m) continue;
+      // Same column in the previous row lives at shifted offset.
+      const i64 jp = j + drift;      // previous-row index of column c
+      const i64 jpd = jp - 1;        // previous-row index of column c-1
+      const i64 h_up = (jp >= 0 && jp < width) ? H[static_cast<std::size_t>(jp)] : kNegInf;
+      const i64 h_diag = c == 0 ? (i == 0 ? 0 : -std::min<i64>(q1 + i * e1, q2 + i * e2))
+                                : ((jpd >= 0 && jpd < width) ? H[static_cast<std::size_t>(jpd)]
+                                                             : kNegInf);
+      const i64 e1_up = (jp >= 0 && jp < width) ? E1[static_cast<std::size_t>(jp)] : kNegInf;
+      const i64 e2_up = (jp >= 0 && jp < width) ? E2[static_cast<std::size_t>(jp)] : kNegInf;
+      const i64 e1v = std::max(e1_up - e1, h_up - q1 - e1);
+      const i64 e2v = std::max(e2_up - e2, h_up - q2 - e2);
+      const i64 f1v = std::max(F1 - e1, (j > 0 ? Hn[j - 1] : kNegInf) - q1 - e1);
+      const i64 f2v = std::max(F2 - e2, (j > 0 ? Hn[j - 1] : kNegInf) - q2 - e2);
+      const i32 sub = (target[i] == query[c] && target[i] < 4) ? kMatch : -kMismatch;
+      i64 h = h_diag + sub;
+      h = std::max({h, e1v, e2v, f1v, f2v});
+      Hn[j] = h;
+      E1n[j] = e1v;
+      E2n[j] = e2v;
+      F1 = f1v;
+      F2 = f2v;
+    }
+    H.swap(Hn);
+    E1.swap(E1n);
+    E2.swap(E2n);
+  }
+  // Global score at (n-1, m-1).
+  const i64 last_col = static_cast<i64>(m - 1);
+  const i64 j_last = last_col - (static_cast<i64>(n - 1) * m / n) + band;
+  if (j_last < 0 || j_last >= width) return kNegInf / 2;
+  return H[static_cast<std::size_t>(j_last)];
+}
+
+class NgmlrLite final : public BaselineAligner {
+ public:
+  explicit NgmlrLite(const Reference& ref)
+      : ref_(ref), index_(MinimizerIndex::build(ref, SketchParams{13, 5})) {}
+
+  const char* name() const override { return "ngmlr-lite"; }
+  u64 index_bytes() const override { return index_.memory_bytes(); }
+  double knl_port_factor() const override {
+    // Scalar convex DP, no vectorization: the frequency gap hits fully but
+    // little beyond it.
+    return 1.2;
+  }
+
+  std::vector<Mapping> map(const Sequence& read) const override {
+    const u32 qlen = static_cast<u32>(read.size());
+    std::vector<Mapping> out;
+    if (qlen < index_.params().k) return out;
+    const auto mins = sketch(read.codes, 0, index_.params());
+    const auto anchors = collect_anchors(index_, mins, qlen, 200);
+    ChainParams cp;
+    cp.seed_length = index_.params().k;
+    cp.bandwidth = 2000;  // SV tolerance: wide diagonal band
+    const auto chains = chain_anchors(anchors, cp);
+    for (const auto& c : chains) {
+      out.push_back(mapping_from_chain(ref_, read, c, index_.params().k));
+      if (out.size() >= 5) break;
+    }
+    // Convex-gap refinement of every candidate (NGMLR re-scores all
+    // candidate regions before picking the final one) with a wide band —
+    // this scalar O(n * band) pass is where NGMLR's runtime goes.
+    for (auto& m : out) {
+      const auto target = ref_.extract(m.rid, m.tstart, m.tend - m.tstart);
+      const std::vector<u8> query =
+          m.rev ? reverse_complement(read.codes) : read.codes;
+      m.score = convex_banded_score(target, query, 400);
+    }
+    assign_mapq(out);
+    return out;
+  }
+
+ private:
+  const Reference& ref_;
+  MinimizerIndex index_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineAligner> make_ngmlr_lite(const Reference& ref) {
+  return std::make_unique<NgmlrLite>(ref);
+}
+
+}  // namespace baseline_detail
+}  // namespace manymap

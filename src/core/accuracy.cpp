@@ -1,0 +1,36 @@
+#include "core/accuracy.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+bool mapping_is_correct(const Mapping& primary, const TruthRecord& truth, double min_overlap) {
+  if (primary.rid != truth.contig) return false;
+  if (primary.rev == truth.forward) return false;  // rev mapping <=> reverse-strand truth
+  const u64 lo = std::max<u64>(primary.tstart, truth.start);
+  const u64 hi = std::min<u64>(primary.tend, truth.end);
+  if (lo >= hi) return false;
+  const u64 truth_len = truth.end > truth.start ? truth.end - truth.start : 1;
+  return static_cast<double>(hi - lo) >= min_overlap * static_cast<double>(truth_len);
+}
+
+AccuracyReport score_accuracy(const std::vector<std::vector<Mapping>>& mappings,
+                              const std::vector<SimulatedRead>& reads, double min_overlap) {
+  MM_REQUIRE(mappings.size() == reads.size(), "mappings/reads size mismatch");
+  AccuracyReport rep;
+  rep.total_reads = reads.size();
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const Mapping* primary = nullptr;
+    for (const auto& m : mappings[i])
+      if (m.primary) {
+        primary = &m;
+        break;
+      }
+    if (primary == nullptr) continue;
+    ++rep.aligned_reads;
+    if (mapping_is_correct(*primary, reads[i].truth, min_overlap)) ++rep.correct_reads;
+  }
+  return rep;
+}
+
+}  // namespace manymap

@@ -1,0 +1,41 @@
+// Alignment accuracy scoring against simulator ground truth (paper
+// Table 5 "Error Rate": wrong alignments / aligned reads). A read counts
+// as correctly aligned when its primary mapping hits the true contig and
+// strand and overlaps the true interval by at least `min_overlap` of the
+// true interval (the convention of minimap2's paper evaluation).
+#pragma once
+
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+
+struct AccuracyReport {
+  u64 total_reads = 0;
+  u64 aligned_reads = 0;
+  u64 correct_reads = 0;
+
+  double error_rate() const {
+    return aligned_reads == 0
+               ? 0.0
+               : static_cast<double>(aligned_reads - correct_reads) /
+                     static_cast<double>(aligned_reads);
+  }
+  double aligned_fraction() const {
+    return total_reads == 0 ? 0.0
+                            : static_cast<double>(aligned_reads) /
+                                  static_cast<double>(total_reads);
+  }
+};
+
+bool mapping_is_correct(const Mapping& primary, const TruthRecord& truth,
+                        double min_overlap = 0.1);
+
+/// Score a batch: `mappings[i]` are the mappings of `reads[i]`.
+AccuracyReport score_accuracy(const std::vector<std::vector<Mapping>>& mappings,
+                              const std::vector<SimulatedRead>& reads,
+                              double min_overlap = 0.1);
+
+}  // namespace manymap

@@ -1,0 +1,71 @@
+#include "core/breakdown.hpp"
+
+#include <cstdio>
+
+#include "base/timer.hpp"
+#include "core/paf.hpp"
+#include "index/index_io.hpp"
+#include "io/mapped_file.hpp"
+#include "sequence/fasta.hpp"
+
+namespace manymap {
+
+std::string StageBreakdown::to_table(const std::string& title) const {
+  const double tot = total();
+  auto pct = [&](double s) { return tot > 0 ? 100.0 * s / tot : 0.0; };
+  char buf[512];
+  std::string out = title + "\n";
+  std::snprintf(buf, sizeof buf, "  %-14s %10.3fs %6.2f%%\n", "Load Index", load_index_s,
+                pct(load_index_s));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %10.3fs %6.2f%%\n", "Load Query", load_query_s,
+                pct(load_query_s));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %10.3fs %6.2f%%\n", "Seed & Chain", seed_chain_s,
+                pct(seed_chain_s));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %10.3fs %6.2f%%\n", "Align", align_s, pct(align_s));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %10.3fs %6.2f%%\n", "Output", output_s,
+                pct(output_s));
+  out += buf;
+  return out;
+}
+
+StageBreakdown run_instrumented(const Reference& ref, const BreakdownConfig& cfg,
+                                std::string* paf_out) {
+  StageBreakdown bd;
+
+  WallTimer t;
+  MinimizerIndex index =
+      cfg.use_mmap ? load_index_mmap(cfg.index_path) : load_index_stream(cfg.index_path);
+  bd.load_index_s = t.seconds();
+
+  t.reset();
+  std::vector<Sequence> reads;
+  if (cfg.use_mmap) {
+    MappedFile qf;
+    MM_REQUIRE(qf.open(cfg.query_path), "cannot mmap query file");
+    reads = parse_sequences(qf.view());
+  } else {
+    reads = parse_sequences(read_file(cfg.query_path));
+  }
+  bd.load_query_s = t.seconds();
+
+  const Mapper mapper(ref, std::move(index), cfg.options);
+  MapTimings timings;
+  std::vector<std::vector<Mapping>> all;
+  all.reserve(reads.size());
+  for (const auto& r : reads) all.push_back(mapper.map(r, &timings));
+  bd.seed_chain_s = timings.seed_chain_seconds;
+  bd.align_s = timings.align_seconds;
+
+  t.reset();
+  std::string paf;
+  for (const auto& ms : all) paf += to_paf_block(ms);
+  bd.output_s = t.seconds();
+  if (paf_out != nullptr) *paf_out = std::move(paf);
+  return bd;
+}
+
+}  // namespace manymap

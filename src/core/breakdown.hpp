@@ -1,0 +1,38 @@
+// Instrumented end-to-end runs producing the five-stage time breakdown of
+// Table 2 (Load Index / Load Query / Seed & Chain / Align / Output) and
+// the stacked bars of Figure 11.
+#pragma once
+
+#include <string>
+
+#include "core/mapper.hpp"
+
+namespace manymap {
+
+struct StageBreakdown {
+  double load_index_s = 0.0;
+  double load_query_s = 0.0;
+  double seed_chain_s = 0.0;
+  double align_s = 0.0;
+  double output_s = 0.0;
+
+  double total() const {
+    return load_index_s + load_query_s + seed_chain_s + align_s + output_s;
+  }
+  /// Formatted like Table 2: one row per stage with percentage.
+  std::string to_table(const std::string& title) const;
+};
+
+struct BreakdownConfig {
+  std::string index_path;  ///< serialized MinimizerIndex
+  std::string query_path;  ///< FASTQ reads
+  bool use_mmap = true;    ///< manymap I/O path vs fragmented stream loads
+  MapOptions options;
+};
+
+/// Run load-index -> load-query -> map -> output with per-stage timing.
+/// `paf_out` (optional) receives the full PAF output.
+StageBreakdown run_instrumented(const Reference& ref, const BreakdownConfig& cfg,
+                                std::string* paf_out = nullptr);
+
+}  // namespace manymap

@@ -1,0 +1,77 @@
+// End-to-end long-read mapper: seed (minimizers) -> chain -> extend
+// (base-level alignment with the difference-based kernels). This is the
+// seed-chain-extend workflow of §3.1 with manymap's kernels plugged into
+// the align step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "sequence/sequence.hpp"
+
+namespace manymap {
+
+struct Mapping {
+  std::string qname;
+  u32 qlen = 0;
+  u32 qstart = 0;  ///< 0-based, on the original read strand
+  u32 qend = 0;    ///< exclusive
+  bool rev = false;
+  u32 rid = 0;
+  std::string rname;
+  u64 rlen = 0;
+  u64 tstart = 0;  ///< 0-based reference start
+  u64 tend = 0;    ///< exclusive
+  i64 score = 0;   ///< DP score of the stitched alignment
+  i32 chain_score = 0;
+  u32 mapq = 0;
+  bool primary = true;
+  u64 matches = 0;      ///< exactly matching bases
+  u64 align_length = 0; ///< alignment columns (M+I+D)
+  Cigar cigar;
+
+  double identity() const {
+    return align_length == 0 ? 0.0
+                             : static_cast<double>(matches) / static_cast<double>(align_length);
+  }
+};
+
+/// Per-read stage timing accumulation (Table 2 / Fig. 11 instrumentation).
+struct MapTimings {
+  double seed_chain_seconds = 0.0;
+  double align_seconds = 0.0;
+  u64 dp_cells = 0;
+
+  MapTimings& operator+=(const MapTimings& o) {
+    seed_chain_seconds += o.seed_chain_seconds;
+    align_seconds += o.align_seconds;
+    dp_cells += o.dp_cells;
+    return *this;
+  }
+};
+
+class Mapper {
+ public:
+  /// Build the index from the reference (kept by reference; must outlive
+  /// the mapper).
+  Mapper(const Reference& ref, MapOptions opt);
+  /// Use a prebuilt/loaded index (it must describe `ref`).
+  Mapper(const Reference& ref, MinimizerIndex index, MapOptions opt);
+
+  /// Map one read; mappings sorted best-first. Optionally accumulates
+  /// stage timings.
+  std::vector<Mapping> map(const Sequence& read, MapTimings* timings = nullptr) const;
+
+  const MinimizerIndex& index() const { return index_; }
+  const MapOptions& options() const { return opt_; }
+  u32 max_occ() const { return max_occ_; }
+
+ private:
+  const Reference& ref_;
+  MinimizerIndex index_;
+  MapOptions opt_;
+  u32 max_occ_ = 0;
+};
+
+}  // namespace manymap

@@ -1,0 +1,23 @@
+#include "core/options.hpp"
+
+namespace manymap {
+
+MapOptions MapOptions::map_pb() {
+  MapOptions o;
+  o.sketch = SketchParams{15, 10};  // minimap2 map-pb: -k15 -w10 (HPC omitted)
+  o.scores = ScoreParams::map_pb();
+  o.chain.seed_length = o.sketch.k;
+  o.isa = best_isa();
+  return o;
+}
+
+MapOptions MapOptions::map_ont() {
+  MapOptions o;
+  o.sketch = SketchParams{15, 10};
+  o.scores = ScoreParams::map_ont();
+  o.chain.seed_length = o.sketch.k;
+  o.isa = best_isa();
+  return o;
+}
+
+}  // namespace manymap

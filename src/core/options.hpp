@@ -1,0 +1,39 @@
+// Mapping presets, mirroring minimap2's -ax map-pb / map-ont option sets
+// used in the paper's macro benchmarks (§5.1.3).
+#pragma once
+
+#include <functional>
+
+#include "align/kernel_api.hpp"
+#include "chain/chain.hpp"
+#include "index/minimizer.hpp"
+
+namespace manymap {
+
+struct MapOptions {
+  SketchParams sketch{15, 10};
+  ChainParams chain{};
+  ScoreParams scores{};
+  /// Fraction of most-frequent minimizers to ignore (minimap2 -f).
+  double occ_frac = 2e-4;
+  /// Hard cap on per-key occurrences regardless of occ_frac.
+  u32 max_occ_cap = 1000;
+  /// DP layout/ISA used for base-level alignment.
+  Layout layout = Layout::kManymap;
+  Isa isa = Isa::kScalar;  ///< resolved to best_isa() by presets
+  bool with_cigar = true;
+  /// Flanking bases added around chain ends for the extension alignments.
+  u32 end_bonus_window = 64;
+  /// Report at most this many mappings per read.
+  u32 max_mappings = 5;
+  /// When set, base-level alignment calls route through this function
+  /// instead of the CPU kernel — the hook the GPU offload path (§4.2)
+  /// uses to dispatch DP segments to the device while the host runs
+  /// seeding/chaining/stitching. Must return bit-identical results.
+  std::function<AlignResult(const DiffArgs&)> kernel_override;
+
+  static MapOptions map_pb();
+  static MapOptions map_ont();
+};
+
+}  // namespace manymap

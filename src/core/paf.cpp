@@ -1,0 +1,38 @@
+#include "core/paf.hpp"
+
+#include <sstream>
+
+namespace manymap {
+
+std::string to_paf(const Mapping& m, bool with_cigar) {
+  std::ostringstream os;
+  os << m.qname << '\t' << m.qlen << '\t' << m.qstart << '\t' << m.qend << '\t'
+     << (m.rev ? '-' : '+') << '\t' << m.rname << '\t' << m.rlen << '\t' << m.tstart << '\t'
+     << m.tend << '\t' << m.matches << '\t' << m.align_length << '\t' << m.mapq << "\ttp:A:"
+     << (m.primary ? 'P' : 'S') << "\ts1:i:" << m.chain_score << "\tAS:i:" << m.score;
+  if (with_cigar && !m.cigar.empty()) os << "\tcg:Z:" << m.cigar.to_string();
+  return os.str();
+}
+
+std::string to_paf_block(const std::vector<Mapping>& mappings, bool with_cigar) {
+  std::string out;
+  for (const auto& m : mappings) {
+    out += to_paf(m, with_cigar);
+    out += '\n';
+  }
+  return out;
+}
+
+PafRecord parse_paf_line(const std::string& line) {
+  std::istringstream is(line);
+  PafRecord r;
+  std::string strand;
+  is >> r.qname >> r.qlen >> r.qstart >> r.qend >> strand >> r.tname >> r.tlen >> r.tstart >>
+      r.tend >> r.matches >> r.align_length >> r.mapq;
+  MM_REQUIRE(!is.fail(), "malformed PAF line");
+  MM_REQUIRE(strand == "+" || strand == "-", "bad strand field");
+  r.rev = strand == "-";
+  return r;
+}
+
+}  // namespace manymap

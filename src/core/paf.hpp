@@ -1,0 +1,29 @@
+// PAF (Pairwise mApping Format) output, minimap2's default format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace manymap {
+
+/// One PAF line (no trailing newline). `with_cigar` appends a cg:Z: tag.
+std::string to_paf(const Mapping& m, bool with_cigar = false);
+
+/// All mappings of a read, one line each, newline-terminated.
+std::string to_paf_block(const std::vector<Mapping>& mappings, bool with_cigar = false);
+
+/// Parse the 12 mandatory fields back (used by accuracy tooling/tests).
+struct PafRecord {
+  std::string qname;
+  u64 qlen = 0, qstart = 0, qend = 0;
+  bool rev = false;
+  std::string tname;
+  u64 tlen = 0, tstart = 0, tend = 0;
+  u64 matches = 0, align_length = 0;
+  u32 mapq = 0;
+};
+PafRecord parse_paf_line(const std::string& line);
+
+}  // namespace manymap

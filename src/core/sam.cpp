@@ -1,0 +1,67 @@
+#include "core/sam.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace manymap {
+
+std::string sam_header(const Reference& ref, const std::string& program_name) {
+  std::ostringstream os;
+  os << "@HD\tVN:1.6\tSO:unknown\n";
+  for (std::size_t i = 0; i < ref.num_contigs(); ++i)
+    os << "@SQ\tSN:" << ref.contig(i).name << "\tLN:" << ref.contig(i).size() << "\n";
+  os << "@PG\tID:" << program_name << "\tPN:" << program_name << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// CIGAR with soft clips for the unaligned read ends, on the record's
+/// strand (clip lengths swap for reverse-strand records).
+std::string sam_cigar(const Mapping& m) {
+  const u32 left = m.rev ? m.qlen - m.qend : m.qstart;
+  const u32 right = m.rev ? m.qstart : m.qlen - m.qend;
+  std::string s;
+  if (left > 0) s += std::to_string(left) + "S";
+  s += m.cigar.empty() ? std::to_string(m.qend - m.qstart) + "M" : m.cigar.to_string();
+  if (right > 0) s += std::to_string(right) + "S";
+  return s;
+}
+
+}  // namespace
+
+std::string to_sam(const Mapping& m, const Sequence& read) {
+  u32 flag = 0;
+  if (m.rev) flag |= kSamReverse;
+  if (!m.primary) flag |= kSamSecondary;
+  const std::string seq =
+      m.rev ? decode_dna(reverse_complement(read.codes)) : read.to_ascii();
+  std::string qual = read.qual.size() == read.size() ? read.qual : "*";
+  if (m.rev && qual != "*") std::reverse(qual.begin(), qual.end());
+
+  std::ostringstream os;
+  os << m.qname << '\t' << flag << '\t' << m.rname << '\t' << (m.tstart + 1) << '\t' << m.mapq
+     << '\t' << sam_cigar(m) << '\t' << "*\t0\t0\t" << seq << '\t' << qual
+     << "\tAS:i:" << m.score << "\tNM:i:" << (m.align_length - m.matches) << "\ttp:A:"
+     << (m.primary ? 'P' : 'S');
+  return os.str();
+}
+
+std::string to_sam_unmapped(const Sequence& read) {
+  std::ostringstream os;
+  os << read.name << '\t' << kSamUnmapped << "\t*\t0\t0\t*\t*\t0\t0\t" << read.to_ascii()
+     << '\t' << (read.qual.size() == read.size() ? read.qual : "*");
+  return os.str();
+}
+
+std::string to_sam_block(const std::vector<Mapping>& mappings, const Sequence& read) {
+  if (mappings.empty()) return to_sam_unmapped(read) + "\n";
+  std::string out;
+  for (const auto& m : mappings) {
+    out += to_sam(m, read);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace manymap

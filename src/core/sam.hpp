@@ -1,0 +1,30 @@
+// SAM output (the paper maps with `-ax map-pb` / `-ax map-ont`, which emit
+// SAM). Soft clips represent unaligned read ends; reverse-strand records
+// carry the reverse-complemented sequence, as the spec requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace manymap {
+
+/// @SQ/@PG header for a reference.
+std::string sam_header(const Reference& ref, const std::string& program_name = "manymap");
+
+/// One alignment record (no trailing newline). `read` supplies SEQ/QUAL.
+std::string to_sam(const Mapping& m, const Sequence& read);
+
+/// Record for an unmapped read.
+std::string to_sam_unmapped(const Sequence& read);
+
+/// All records of a read (or an unmapped record), newline-terminated.
+std::string to_sam_block(const std::vector<Mapping>& mappings, const Sequence& read);
+
+/// SAM flag bits used here.
+inline constexpr u32 kSamUnmapped = 0x4;
+inline constexpr u32 kSamReverse = 0x10;
+inline constexpr u32 kSamSecondary = 0x100;
+
+}  // namespace manymap

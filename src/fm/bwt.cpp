@@ -1,0 +1,61 @@
+#include "fm/bwt.hpp"
+
+#include <array>
+
+namespace manymap {
+
+BwtResult build_bwt(std::span<const u8> text, std::span<const u32> sa) {
+  const std::size_t n = text.size();
+  MM_REQUIRE(sa.size() == n, "suffix array size mismatch");
+  BwtResult r;
+  r.bwt.resize(n + 1);
+  // Row 0 is the sentinel suffix; its preceding char is text[n-1].
+  r.bwt[0] = n > 0 ? text[n - 1] : kBwtSentinel;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 s = sa[i];
+    if (s == 0) {
+      r.bwt[i + 1] = kBwtSentinel;  // preceding char is the sentinel
+      r.primary = static_cast<u32>(i + 1);
+    } else {
+      r.bwt[i + 1] = text[s - 1];
+    }
+  }
+  if (n == 0) r.primary = 0;
+  return r;
+}
+
+std::vector<u8> invert_bwt(const BwtResult& r) {
+  const std::size_t m = r.bwt.size();  // n+1 rows
+  // LF mapping: count occurrences of each symbol before row i.
+  std::array<u64, 7> totals{};
+  for (u8 c : r.bwt) ++totals[c];
+  std::array<u64, 7> starts{};
+  // sentinel (5) is lexicographically smallest: order sentinel, 0..4
+  starts[kBwtSentinel] = 0;
+  u64 acc = totals[kBwtSentinel];
+  for (u8 c = 0; c <= 4; ++c) {
+    starts[c] = acc;
+    acc += totals[c];
+  }
+  std::vector<u64> occ(m);
+  {
+    std::array<u64, 7> running{};
+    for (std::size_t i = 0; i < m; ++i) {
+      occ[i] = running[r.bwt[i]];
+      ++running[r.bwt[i]];
+    }
+  }
+  std::vector<u8> text(m - 1);
+  // Walk the LF mapping backwards starting from the sentinel rotation
+  // (row 0, whose last column holds text[n-1]).
+  u64 row = 0;
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const u8 c = r.bwt[row];
+    MM_REQUIRE(c != kBwtSentinel, "unexpected sentinel during inversion");
+    text[i] = c;
+    row = starts[c] + occ[row];
+  }
+  return text;
+}
+
+}  // namespace manymap

@@ -1,0 +1,28 @@
+// Burrows–Wheeler transform over DNA codes with an implicit sentinel
+// (Burrows & Wheeler 1994) — the compressed-index backbone for the FM
+// index.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// Sentinel symbol in the BWT output (text symbols are 0..4).
+inline constexpr u8 kBwtSentinel = 5;
+
+struct BwtResult {
+  std::vector<u8> bwt;     ///< length n+1 (includes the sentinel symbol)
+  u32 primary = 0;         ///< row index of the sentinel in the BWT
+};
+
+/// BWT of `text` given its suffix array (sa over n suffixes; the sentinel
+/// suffix is implicit and sorts first).
+BwtResult build_bwt(std::span<const u8> text, std::span<const u32> sa);
+
+/// Invert a BWT back to the original text (tests / sanity checks).
+std::vector<u8> invert_bwt(const BwtResult& bwt);
+
+}  // namespace manymap

@@ -1,0 +1,116 @@
+#include "fm/fm_index.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+FmIndex::FmIndex(std::span<const u8> text) {
+  n_ = text.size();
+  std::vector<u8> clean(text.begin(), text.end());
+  for (auto& c : clean) {
+    if (c > 3) c = 0;  // remap N to A: exact seeds across N are meaningless
+  }
+  const auto sa = build_suffix_array(clean);
+  auto bwt = build_bwt(clean, sa);
+  bwt_ = std::move(bwt.bwt);
+  primary_ = bwt.primary;
+
+  // C array: sentinel sorts first, then symbols 0..4.
+  std::array<u64, 6> totals{};
+  for (u8 c : bwt_)
+    if (c != kBwtSentinel) ++totals[c];
+  u64 acc = 1;  // the sentinel row
+  for (u8 c = 0; c < 6; ++c) {
+    c_[c] = acc;
+    acc += totals[c];
+  }
+
+  // Occurrence checkpoints: slot s holds counts in bwt[0, s*kOccRate).
+  const u32 rows = static_cast<u32>(bwt_.size());
+  occ_checkpoints_.resize(rows / kOccRate + 1);
+  std::array<u32, 5> running{};
+  for (u32 r = 0; r < rows; ++r) {
+    if (r % kOccRate == 0) occ_checkpoints_[r / kOccRate] = running;
+    if (bwt_[r] < 5) ++running[bwt_[r]];
+  }
+
+  // Row-sampled suffix array: row 0 is the empty suffix (position n).
+  sa_samples_.resize(rows / kSaRate + 1);
+  for (u32 r = 0; r < rows; r += kSaRate)
+    sa_samples_[r / kSaRate] = (r == 0) ? static_cast<u32>(n_) : sa[r - 1];
+}
+
+u32 FmIndex::occ(u8 c, u32 row) const {
+  u32 count = occ_checkpoints_[row / kOccRate][c];
+  for (u32 r = row / kOccRate * kOccRate; r < row; ++r)
+    if (bwt_[r] == c) ++count;
+  return count;
+}
+
+u32 FmIndex::lf(u32 row) const {
+  const u8 c = bwt_[row];
+  MM_REQUIRE(c != kBwtSentinel, "LF past the text start");
+  return static_cast<u32>(c_[c] + occ(c, row));
+}
+
+SaInterval FmIndex::extend_left(const SaInterval& ival, u8 c) const {
+  if (c > 3) return {0, 0};  // N never matches
+  SaInterval out;
+  out.lo = static_cast<u32>(c_[c] + occ(c, ival.lo));
+  out.hi = static_cast<u32>(c_[c] + occ(c, ival.hi));
+  return out;
+}
+
+SaInterval FmIndex::count(std::span<const u8> pattern) const {
+  SaInterval ival = all_rows();
+  for (std::size_t i = pattern.size(); i-- > 0;) {
+    ival = extend_left(ival, pattern[i]);
+    if (ival.empty()) return ival;
+  }
+  return ival;
+}
+
+std::vector<u32> FmIndex::locate(const SaInterval& ival, u32 max_hits) const {
+  std::vector<u32> hits;
+  const u32 n_hits = std::min<u32>(ival.size(), max_hits);
+  for (u32 i = 0; i < n_hits; ++i) {
+    u32 row = ival.lo + i;
+    u32 steps = 0;
+    for (;;) {
+      if (row % kSaRate == 0) {
+        hits.push_back(sa_samples_[row / kSaRate] + steps);
+        break;
+      }
+      if (bwt_[row] == kBwtSentinel) {
+        hits.push_back(steps);  // suffix starts at position 0
+        break;
+      }
+      row = lf(row);
+      ++steps;
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+FmIndex::BackwardMatch FmIndex::max_backward_match(std::span<const u8> query, u32 end,
+                                                   u32 min_interval) const {
+  BackwardMatch best;
+  SaInterval ival = all_rows();
+  u32 len = 0;
+  for (u32 i = end + 1; i-- > 0;) {
+    const SaInterval next = extend_left(ival, query[i]);
+    if (next.size() < min_interval) break;
+    ival = next;
+    ++len;
+    best = {len, ival};
+  }
+  return best;
+}
+
+u64 FmIndex::memory_bytes() const {
+  return bwt_.size() + occ_checkpoints_.size() * sizeof(occ_checkpoints_[0]) +
+         sa_samples_.size() * sizeof(u32);
+}
+
+}  // namespace manymap

@@ -1,0 +1,61 @@
+// FM-index (Ferragina & Manzini) over a DNA text: backward search with
+// sampled occurrence checkpoints and a sampled suffix array for locate.
+// This is the seeding substrate of the BWA-MEM-like baseline (short-read
+// style exact-match seeding the paper compares against in Table 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fm/bwt.hpp"
+#include "fm/suffix_array.hpp"
+
+namespace manymap {
+
+class FmIndex {
+ public:
+  /// Build over `text` (codes 0..4; N is remapped to A for indexing — the
+  /// usual trick, since exact seeds over N are meaningless anyway).
+  explicit FmIndex(std::span<const u8> text);
+
+  std::size_t text_length() const { return n_; }
+
+  /// Backward-search interval of rows whose suffixes start with `pattern`.
+  /// Empty interval when absent.
+  SaInterval count(std::span<const u8> pattern) const;
+
+  /// Extend an interval by prepending symbol c (one backward-search step).
+  SaInterval extend_left(const SaInterval& ival, u8 c) const;
+
+  /// Initial interval covering all rows.
+  SaInterval all_rows() const { return {0, static_cast<u32>(n_ + 1)}; }
+
+  /// Text positions for the rows of `ival` (at most max_hits of them).
+  std::vector<u32> locate(const SaInterval& ival, u32 max_hits) const;
+
+  /// Longest suffix of query[0..end] that occurs in the text, walking
+  /// backward from `end` (inclusive). Returns match length and interval.
+  struct BackwardMatch {
+    u32 length = 0;
+    SaInterval interval{};
+  };
+  BackwardMatch max_backward_match(std::span<const u8> query, u32 end, u32 min_interval = 1) const;
+
+  u64 memory_bytes() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<u8> bwt_;          ///< n+1 symbols (0..4 + sentinel 5)
+  u32 primary_ = 0;
+  std::array<u64, 6> c_{};       ///< C[c]: rows with first symbol < c
+  static constexpr u32 kOccRate = 64;
+  std::vector<std::array<u32, 5>> occ_checkpoints_;
+  static constexpr u32 kSaRate = 8;
+  std::vector<u32> sa_samples_;  ///< sa value for every kSaRate-th row
+  std::vector<u8> sa_sampled_;   ///< 1 if row has a sample
+
+  u32 occ(u8 c, u32 row) const;  ///< occurrences of c in bwt[0, row)
+  u32 lf(u32 row) const;
+};
+
+}  // namespace manymap

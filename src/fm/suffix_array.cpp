@@ -1,0 +1,89 @@
+#include "fm/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace manymap {
+
+std::vector<u32> build_suffix_array(std::span<const u8> text) {
+  const std::size_t n = text.size();
+  std::vector<u32> sa(n), rank(n), tmp(n);
+  std::iota(sa.begin(), sa.end(), 0u);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = text[i] + 1;  // 0 reserved for sentinel
+
+  for (std::size_t k = 1;; k <<= 1) {
+    auto key = [&](u32 i) {
+      const u32 second = i + k < n ? rank[i + k] + 1 : 0;
+      return (static_cast<u64>(rank[i] + 1) << 32) | second;
+    };
+    std::sort(sa.begin(), sa.end(), [&](u32 a, u32 b) { return key(a) < key(b); });
+    if (n == 0) break;
+    tmp[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      tmp[sa[i]] = tmp[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    rank = tmp;
+    if (rank[sa[n - 1]] == n - 1) break;  // all ranks distinct
+  }
+  return sa;
+}
+
+std::vector<u32> build_suffix_array_naive(std::span<const u8> text) {
+  const std::size_t n = text.size();
+  std::vector<u32> sa(n);
+  std::iota(sa.begin(), sa.end(), 0u);
+  std::sort(sa.begin(), sa.end(), [&](u32 a, u32 b) {
+    const std::size_t la = n - a, lb = n - b;
+    const std::size_t m = std::min(la, lb);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (text[a + i] != text[b + i]) return text[a + i] < text[b + i];
+    }
+    return la < lb;  // shorter suffix (sentinel) first
+  });
+  return sa;
+}
+
+namespace {
+
+/// Compare pattern against the suffix starting at `pos`:
+/// -1 pattern <, 0 prefix match, +1 pattern >.
+int cmp_pattern(std::span<const u8> text, u32 pos, std::span<const u8> pattern) {
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pos + i >= n) return 1;  // suffix exhausted: pattern is greater
+    if (pattern[i] != text[pos + i]) return pattern[i] < text[pos + i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SaInterval sa_search(std::span<const u8> text, std::span<const u32> sa,
+                     std::span<const u8> pattern) {
+  // lo: first suffix >= pattern; hi: first suffix with prefix > pattern.
+  u32 lo = 0, hi = static_cast<u32>(sa.size());
+  {
+    u32 a = 0, b = static_cast<u32>(sa.size());
+    while (a < b) {
+      const u32 mid = a + (b - a) / 2;
+      if (cmp_pattern(text, sa[mid], pattern) > 0)
+        a = mid + 1;
+      else
+        b = mid;
+    }
+    lo = a;
+  }
+  {
+    u32 a = lo, b = static_cast<u32>(sa.size());
+    while (a < b) {
+      const u32 mid = a + (b - a) / 2;
+      if (cmp_pattern(text, sa[mid], pattern) >= 0)
+        a = mid + 1;
+      else
+        b = mid;
+    }
+    hi = a;
+  }
+  return {lo, hi};
+}
+
+}  // namespace manymap

@@ -1,0 +1,32 @@
+// Suffix array construction (prefix-doubling, O(n log^2 n)) over DNA code
+// sequences with an implicit sentinel. Substrate for the BWT/FM-index used
+// by the BWA-MEM-like and BLASR-like baseline aligners (Table 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// Build the suffix array of `text` (values 0..4). The implicit sentinel
+/// (lexicographically smallest) sorts before every symbol; sa[i] is the
+/// start of the i-th smallest suffix, i in [0, n).
+std::vector<u32> build_suffix_array(std::span<const u8> text);
+
+/// O(n^2 log n) reference implementation for tests.
+std::vector<u32> build_suffix_array_naive(std::span<const u8> text);
+
+/// Binary-search the interval of suffixes prefixed by `pattern`.
+/// Returns [lo, hi) into `sa`; empty interval when absent.
+struct SaInterval {
+  u32 lo = 0;
+  u32 hi = 0;
+  u32 size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+SaInterval sa_search(std::span<const u8> text, std::span<const u32> sa,
+                     std::span<const u8> pattern);
+
+}  // namespace manymap

@@ -1,0 +1,45 @@
+#include "gpu/gpu_mapper.hpp"
+
+#include "base/timer.hpp"
+
+namespace manymap {
+
+GpuMapReport gpu_map_reads(const Reference& reference, const MapOptions& options,
+                           const std::vector<Sequence>& reads, const simt::Device& device,
+                           const GpuMapConfig& config) {
+  GpuMapReport report;
+  WallTimer wall;
+
+  std::vector<simt::KernelCost> costs;
+  MapOptions opt = options;
+  const KernelFn cpu_kernel = get_diff_kernel(opt.layout, opt.isa);
+  MM_REQUIRE(cpu_kernel != nullptr, "configured CPU kernel unavailable");
+
+  // Route every DP segment through the device model; the interpreter
+  // executes the same recurrence, so stitching sees identical results.
+  opt.kernel_override = [&](const DiffArgs& a) -> AlignResult {
+    const u64 cells = static_cast<u64>(a.tlen) * static_cast<u64>(a.qlen);
+    if (cells < config.min_gpu_cells) {
+      ++report.cpu_segments;
+      report.cpu_cells += cells;
+      return cpu_kernel(a);
+    }
+    auto gpu = simt::gpu_align(a, config.layout, device.spec(), config.threads_per_block);
+    ++report.gpu_kernels;
+    report.gpu_cells += cells;
+    costs.push_back(gpu.cost);
+    return std::move(gpu.result);
+  };
+
+  const Mapper mapper(reference, opt);
+  report.mappings.reserve(reads.size());
+  for (const auto& read : reads) report.mappings.push_back(mapper.map(read));
+  report.host_seconds = wall.seconds();
+
+  const auto run = device.run(costs, config.num_streams);
+  report.device_seconds = run.seconds;
+  report.achieved_concurrency = run.achieved_concurrency;
+  return report;
+}
+
+}  // namespace manymap

@@ -1,0 +1,121 @@
+#include "index/hash_index.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+namespace {
+
+u64 mix64(u64 x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::size_t table_size_for(std::size_t keys) {
+  std::size_t n = 16;
+  while (n < keys * 2) n <<= 1;  // load factor <= 0.5
+  return n;
+}
+
+}  // namespace
+
+MinimizerIndex MinimizerIndex::build(const Reference& ref, const SketchParams& params) {
+  struct Raw {
+    u64 key;
+    IndexEntry entry;
+  };
+  std::vector<Raw> raws;
+  for (std::size_t cid = 0; cid < ref.num_contigs(); ++cid) {
+    const auto mins = sketch(ref.contig(cid).codes, static_cast<u32>(cid), params);
+    raws.reserve(raws.size() + mins.size());
+    for (const auto& m : mins)
+      raws.push_back({m.key, IndexEntry{m.rid, m.pos, m.strand_rev}});
+  }
+  std::sort(raws.begin(), raws.end(), [](const Raw& a, const Raw& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.entry.rid != b.entry.rid) return a.entry.rid < b.entry.rid;
+    return a.entry.pos < b.entry.pos;
+  });
+
+  MinimizerIndex idx;
+  idx.params_ = params;
+  for (std::size_t cid = 0; cid < ref.num_contigs(); ++cid)
+    idx.contigs_.push_back({ref.contig(cid).name, ref.contig(cid).size()});
+  idx.entries_.reserve(raws.size());
+
+  // Count distinct keys and fill entries grouped by key.
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < raws.size(); ++i) {
+    if (i == 0 || raws[i].key != raws[i - 1].key) ++distinct;
+    idx.entries_.push_back(raws[i].entry);
+  }
+  idx.num_keys_ = distinct;
+  idx.buckets_.assign(table_size_for(distinct), Bucket{});
+
+  const std::size_t mask = idx.buckets_.size() - 1;
+  std::size_t i = 0;
+  while (i < raws.size()) {
+    std::size_t j = i;
+    while (j < raws.size() && raws[j].key == raws[i].key) ++j;
+    std::size_t slot = mix64(raws[i].key) & mask;
+    while (idx.buckets_[slot].key != ~0ULL) slot = (slot + 1) & mask;
+    idx.buckets_[slot] = Bucket{raws[i].key, i, static_cast<u32>(j - i)};
+    i = j;
+  }
+  return idx;
+}
+
+const MinimizerIndex::Bucket* MinimizerIndex::find_bucket(u64 key) const {
+  if (buckets_.empty()) return nullptr;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t slot = mix64(key) & mask;
+  for (std::size_t probes = 0; probes <= buckets_.size(); ++probes) {
+    const Bucket& b = buckets_[slot];
+    if (b.key == key) return &b;
+    if (b.key == ~0ULL) return nullptr;
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
+}
+
+std::span<const IndexEntry> MinimizerIndex::lookup(u64 key) const {
+  const Bucket* b = find_bucket(key);
+  if (b == nullptr) return {};
+  return {entries_.data() + b->offset, b->count};
+}
+
+u32 MinimizerIndex::occurrence_cutoff(double frac) const {
+  if (num_keys_ == 0) return 1;
+  std::vector<u32> counts;
+  counts.reserve(num_keys_);
+  for (const auto& b : buckets_)
+    if (b.key != ~0ULL) counts.push_back(b.count);
+  std::sort(counts.begin(), counts.end());
+  const std::size_t drop = static_cast<std::size_t>(frac * static_cast<double>(counts.size()));
+  const std::size_t pos = counts.size() > drop ? counts.size() - 1 - drop : 0;
+  return std::max<u32>(counts[pos], 10);
+}
+
+u64 MinimizerIndex::memory_bytes() const {
+  return buckets_.size() * sizeof(Bucket) + entries_.size() * sizeof(IndexEntry) +
+         contigs_.size() * sizeof(ContigMeta);
+}
+
+MinimizerIndex MinimizerIndex::from_parts(SketchParams params, std::vector<ContigMeta> contigs,
+                                          std::vector<Bucket> buckets,
+                                          std::vector<IndexEntry> entries,
+                                          std::size_t num_keys) {
+  MinimizerIndex idx;
+  idx.params_ = params;
+  idx.contigs_ = std::move(contigs);
+  idx.buckets_ = std::move(buckets);
+  idx.entries_ = std::move(entries);
+  idx.num_keys_ = num_keys;
+  return idx;
+}
+
+}  // namespace manymap

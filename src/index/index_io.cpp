@@ -1,0 +1,191 @@
+#include "index/index_io.hpp"
+
+#include <cstring>
+
+#include "io/buffered_reader.hpp"
+#include "io/mapped_file.hpp"
+
+namespace manymap {
+
+namespace {
+
+constexpr u32 kMagic = 0x494d4d4du;  // "MMMI"
+constexpr u32 kVersion = 1;
+
+struct DiskBucket {
+  u64 key;
+  u64 offset;
+  u32 count;
+  u32 pad;
+};
+
+struct DiskEntry {
+  u32 rid;
+  u32 pos;
+  u32 strand_rev;
+  u32 pad;
+};
+
+void append_pod(std::string& out, const auto& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+}  // namespace
+
+u64 save_index(const std::string& path, const MinimizerIndex& index) {
+  std::string out;
+  append_pod(out, kMagic);
+  append_pod(out, kVersion);
+  append_pod(out, index.params().k);
+  append_pod(out, index.params().w);
+
+  const u64 n_contigs = index.contigs().size();
+  append_pod(out, n_contigs);
+  for (const auto& c : index.contigs()) {
+    const u64 name_len = c.name.size();
+    append_pod(out, name_len);
+    out.append(c.name);
+    append_pod(out, c.length);
+  }
+
+  const u64 n_buckets = index.buckets().size();
+  append_pod(out, n_buckets);
+  for (const auto& b : index.buckets()) {
+    DiskBucket db{b.key, b.offset, b.count, 0};
+    append_pod(out, db);
+  }
+
+  const u64 n_entries = index.entries().size();
+  append_pod(out, n_entries);
+  for (const auto& e : index.entries()) {
+    DiskEntry de{e.rid, e.pos, e.strand_rev ? 1u : 0u, 0};
+    append_pod(out, de);
+  }
+  const u64 n_keys = index.num_keys();
+  append_pod(out, n_keys);
+
+  write_file(path, out);
+  return out.size();
+}
+
+MinimizerIndex load_index_stream(const std::string& path) {
+  BufferedReader in(path, 4096);
+  MM_REQUIRE(in.is_open(), "cannot open index file");
+  u32 magic = 0, version = 0;
+  MM_REQUIRE(in.read_pod(magic) && magic == kMagic, "bad index magic");
+  MM_REQUIRE(in.read_pod(version) && version == kVersion, "bad index version");
+  SketchParams params;
+  MM_REQUIRE(in.read_pod(params.k), "truncated index (k)");
+  MM_REQUIRE(in.read_pod(params.w), "truncated index (w)");
+
+  u64 n_contigs = 0;
+  MM_REQUIRE(in.read_pod(n_contigs), "truncated index (n_contigs)");
+  std::vector<ContigMeta> contigs;
+  contigs.reserve(n_contigs);
+  for (u64 i = 0; i < n_contigs; ++i) {
+    // Fragmented pattern: a length read, then a name read, then a field
+    // read, with incremental allocation per record — minimap2's loader
+    // shape.
+    u64 name_len = 0;
+    MM_REQUIRE(in.read_pod(name_len), "truncated index (name_len)");
+    std::string name(name_len, '\0');
+    MM_REQUIRE(name_len == 0 || in.read_exact(name.data(), name_len), "truncated name");
+    ContigMeta meta;
+    meta.name = std::move(name);
+    MM_REQUIRE(in.read_pod(meta.length), "truncated index (contig length)");
+    contigs.push_back(std::move(meta));
+  }
+
+  u64 n_buckets = 0;
+  MM_REQUIRE(in.read_pod(n_buckets), "truncated index (n_buckets)");
+  std::vector<MinimizerIndex::Bucket> buckets;
+  buckets.reserve(n_buckets);
+  for (u64 i = 0; i < n_buckets; ++i) {
+    DiskBucket db{};
+    MM_REQUIRE(in.read_pod(db), "truncated bucket");
+    buckets.push_back({db.key, db.offset, db.count});
+  }
+
+  u64 n_entries = 0;
+  MM_REQUIRE(in.read_pod(n_entries), "truncated index (n_entries)");
+  std::vector<IndexEntry> entries;
+  entries.reserve(n_entries);
+  for (u64 i = 0; i < n_entries; ++i) {
+    DiskEntry de{};
+    MM_REQUIRE(in.read_pod(de), "truncated entry");
+    entries.push_back({de.rid, de.pos, de.strand_rev != 0});
+  }
+  u64 n_keys = 0;
+  MM_REQUIRE(in.read_pod(n_keys), "truncated index (n_keys)");
+  return MinimizerIndex::from_parts(params, std::move(contigs), std::move(buckets),
+                                    std::move(entries), n_keys);
+}
+
+MinimizerIndex load_index_mmap(const std::string& path) {
+  MappedFile file;
+  MM_REQUIRE(file.open(path), "cannot mmap index file");
+  const u8* p = file.data();
+  const u8* end = p + file.size();
+  auto take = [&](void* dst, std::size_t n) {
+    MM_REQUIRE(p + n <= end, "truncated index (mmap)");
+    std::memcpy(dst, p, n);
+    p += n;
+  };
+  u32 magic = 0, version = 0;
+  take(&magic, sizeof magic);
+  take(&version, sizeof version);
+  MM_REQUIRE(magic == kMagic && version == kVersion, "bad index header");
+  SketchParams params;
+  take(&params.k, sizeof params.k);
+  take(&params.w, sizeof params.w);
+
+  u64 n_contigs = 0;
+  take(&n_contigs, sizeof n_contigs);
+  std::vector<ContigMeta> contigs;
+  contigs.reserve(n_contigs);
+  for (u64 i = 0; i < n_contigs; ++i) {
+    u64 name_len = 0;
+    take(&name_len, sizeof name_len);
+    MM_REQUIRE(p + name_len <= end, "truncated name (mmap)");
+    ContigMeta meta;
+    meta.name.assign(reinterpret_cast<const char*>(p), name_len);
+    p += name_len;
+    take(&meta.length, sizeof meta.length);
+    contigs.push_back(std::move(meta));
+  }
+
+  u64 n_buckets = 0;
+  take(&n_buckets, sizeof n_buckets);
+  MM_REQUIRE(p + n_buckets * sizeof(DiskBucket) <= end, "truncated buckets (mmap)");
+  std::vector<MinimizerIndex::Bucket> buckets(n_buckets);
+  // Consecutive bulk conversion — single pass over the mapped range.
+  {
+    const auto* db = reinterpret_cast<const DiskBucket*>(p);
+    for (u64 i = 0; i < n_buckets; ++i) {
+      DiskBucket tmp;
+      std::memcpy(&tmp, db + i, sizeof tmp);
+      buckets[i] = {tmp.key, tmp.offset, tmp.count};
+    }
+    p += n_buckets * sizeof(DiskBucket);
+  }
+
+  u64 n_entries = 0;
+  take(&n_entries, sizeof n_entries);
+  MM_REQUIRE(p + n_entries * sizeof(DiskEntry) <= end, "truncated entries (mmap)");
+  std::vector<IndexEntry> entries(n_entries);
+  {
+    const auto* de = reinterpret_cast<const DiskEntry*>(p);
+    for (u64 i = 0; i < n_entries; ++i) {
+      DiskEntry tmp;
+      std::memcpy(&tmp, de + i, sizeof tmp);
+      entries[i] = {tmp.rid, tmp.pos, tmp.strand_rev != 0};
+    }
+    p += n_entries * sizeof(DiskEntry);
+  }
+  u64 n_keys = 0;
+  take(&n_keys, sizeof n_keys);
+  return MinimizerIndex::from_parts(params, std::move(contigs), std::move(buckets),
+                                    std::move(entries), n_keys);
+}
+
+}  // namespace manymap

@@ -1,0 +1,30 @@
+// Binary index serialization with two load paths (paper §4.4.2):
+//   load_index_stream — minimap2-style fragmented loading: many small
+//     reads, per-contig/per-bucket length parsing, incremental allocation.
+//   load_index_mmap   — manymap's path: map the file once and bulk-copy
+//     the arrays with consecutive reads ("two times faster on KNL").
+//
+// File layout (little-endian, all sizes u64 unless noted):
+//   magic "MMMI" u32 | version u32 | k u32 | w u32
+//   n_contigs | per contig: name_len, name bytes, length
+//   n_buckets | bucket array (key, offset, count+pad)
+//   n_entries | entry array (rid, pos, strand)
+//   n_keys
+#pragma once
+
+#include <string>
+
+#include "index/hash_index.hpp"
+
+namespace manymap {
+
+/// Serialize the index; returns written byte count.
+u64 save_index(const std::string& path, const MinimizerIndex& index);
+
+/// Fragmented stdio loader (baseline in the I/O experiment).
+MinimizerIndex load_index_stream(const std::string& path);
+
+/// Memory-mapped loader (manymap's optimization).
+MinimizerIndex load_index_mmap(const std::string& path);
+
+}  // namespace manymap

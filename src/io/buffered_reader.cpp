@@ -1,0 +1,24 @@
+#include "io/buffered_reader.hpp"
+
+namespace manymap {
+
+BufferedReader::BufferedReader(const std::string& path, std::size_t buffer_size) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ != nullptr && buffer_size > 0)
+    std::setvbuf(file_, nullptr, _IOFBF, buffer_size);
+}
+
+BufferedReader::~BufferedReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool BufferedReader::read_exact(void* dst, std::size_t n) {
+  MM_REQUIRE(file_ != nullptr, "reader not open");
+  const std::size_t got = std::fread(dst, 1, n, file_);
+  if (got == 0 && std::feof(file_)) return false;
+  MM_REQUIRE(got == n, "short read in index file");
+  bytes_read_ += got;
+  return true;
+}
+
+}  // namespace manymap

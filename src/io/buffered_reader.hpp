@@ -1,0 +1,38 @@
+// Small-buffer stdio reader that mimics minimap2's fragmented index
+// loading pattern: many short reads with per-entry length parsing. Used as
+// the baseline in the memory-mapped I/O experiment (§4.4.2).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+class BufferedReader {
+ public:
+  explicit BufferedReader(const std::string& path, std::size_t buffer_size = 4096);
+  ~BufferedReader();
+  BufferedReader(const BufferedReader&) = delete;
+  BufferedReader& operator=(const BufferedReader&) = delete;
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Read exactly n bytes; returns false at clean EOF, aborts on short read.
+  bool read_exact(void* dst, std::size_t n);
+
+  template <typename T>
+  bool read_pod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return read_exact(&value, sizeof(T));
+  }
+
+  u64 bytes_read() const { return bytes_read_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  u64 bytes_read_ = 0;
+};
+
+}  // namespace manymap

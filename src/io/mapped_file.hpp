@@ -1,0 +1,46 @@
+// RAII memory-mapped file (paper §4.4.2): maps the file into the address
+// space so loading becomes pointer casts over consecutive reads, instead
+// of many small fragmented fread calls.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only. Returns false (and stays empty) on failure.
+  bool open(const std::string& path);
+  void close();
+
+  bool is_open() const { return data_ != nullptr; }
+  std::size_t size() const { return size_; }
+  const u8* data() const { return static_cast<const u8*>(data_); }
+  std::span<const u8> bytes() const { return {data(), size_}; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Read a whole file into a string via buffered stdio (the classic path
+/// the mmap loader is benchmarked against).
+std::string read_file(const std::string& path);
+
+/// Write a buffer to a file; MM_REQUIREs success.
+void write_file(const std::string& path, std::string_view contents);
+
+}  // namespace manymap

@@ -1,0 +1,39 @@
+#include "knl/affinity_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace manymap {
+namespace knl {
+
+double parallel_capacity(const KnlSpec& spec, const KnlCalibration& cal,
+                         AffinityStrategy strategy, u32 threads) {
+  const AffinityConfig cfg{spec.cores, spec.smt};
+  std::vector<u32> per_core(spec.cores, 0);
+  for (u32 t = 0; t < threads; ++t) ++per_core[assign_core(strategy, t, cfg) % spec.cores];
+  double capacity = 0.0;
+  u32 used = 0;
+  for (const u32 k : per_core) {
+    capacity += cal.smt_throughput(std::min(k, spec.smt));
+    if (k > 0) ++used;
+  }
+  // Shared-resource contention (mesh + MCDRAM controllers): throughput per
+  // core degrades as more tiles are active. Calibrated to the paper's 79%
+  // parallel efficiency at 64 threads (§5.3.1).
+  return capacity / (1.0 + 0.004 * (used > 0 ? used - 1 : 0));
+}
+
+double io_contention_factor(const KnlSpec& spec, AffinityStrategy strategy, u32 threads) {
+  const AffinityConfig cfg{spec.cores, spec.smt};
+  if (strategy == AffinityStrategy::kOptimized) return 1.0;  // reserved I/O core
+  const u32 used = cores_used(strategy, threads, cfg);
+  if (used < spec.cores) return 1.0;  // a free core naturally serves I/O
+  // I/O threads share a core with compute threads: the denser the core,
+  // the slower the serial I/O (up to ~1.3x with 4-way sharing, calibrated
+  // to the paper's ~22% optimized-affinity gain at >=150 threads).
+  const u32 worst = max_threads_per_core(strategy, threads, cfg);
+  return 1.0 + 0.1 * static_cast<double>(std::min(worst, spec.smt) - 1);
+}
+
+}  // namespace knl
+}  // namespace manymap

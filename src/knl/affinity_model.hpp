@@ -1,0 +1,23 @@
+// Parallel-capacity model for thread placements on KNL (paper §4.4.3 /
+// Figures 9-10). Uses the real affinity assignment functions from
+// pipeline/affinity.hpp and folds in per-core SMT throughput.
+#pragma once
+
+#include "knl/machine.hpp"
+#include "pipeline/affinity.hpp"
+
+namespace manymap {
+namespace knl {
+
+/// Aggregate compute capacity (in single-thread-equivalents) of `threads`
+/// compute threads placed by `strategy`.
+double parallel_capacity(const KnlSpec& spec, const KnlCalibration& cal,
+                         AffinityStrategy strategy, u32 threads);
+
+/// Slowdown multiplier applied to serial I/O work: 1.0 when an exclusive
+/// core serves I/O (the optimized strategy, or when free cores remain),
+/// larger when I/O threads contend with compute threads for a core.
+double io_contention_factor(const KnlSpec& spec, AffinityStrategy strategy, u32 threads);
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,63 @@
+#include "knl/knl_run.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+namespace knl {
+
+KnlRunResult simulate_knl_run(const KnlSpec& spec, const KnlCalibration& cal,
+                              const KnlWorkload& w, const KnlRunConfig& cfg) {
+  KnlRunResult r;
+
+  // --- single-thread KNL stage times from host measurements ---
+  const double align_factor =
+      (cfg.vectorized_align ? cal.align_vectorized : cal.align_sse_port) *
+      cfg.extra_port_factor;
+  const double io_factor = cfg.use_mmap_io ? cal.io_mmap : cal.io_stream;
+  const double load_index_1t = w.load_index_cpu_s * io_factor;
+  const double load_query_1t = w.load_query_cpu_s * io_factor;
+  const double seed_chain_1t = w.seed_chain_cpu_s * cal.seed_chain * cfg.extra_port_factor;
+  const double align_1t = w.align_cpu_s * align_factor;
+  const double output_1t = w.output_cpu_s * cal.output;
+
+  // --- parallel compute stage ---
+  // The optimized strategy trades one core for I/O; the rest compute.
+  const double capacity =
+      std::max(1.0, parallel_capacity(spec, cal, cfg.affinity, cfg.threads));
+  // Memory-mode factor on the alignment stage: ratio of the simulated
+  // roofline under this mode vs the unconstrained compute roof.
+  KernelWorkload kw;
+  kw.sequence_length = 4000;  // representative read length
+  kw.with_path = true;
+  kw.threads = cfg.threads;
+  const double mode_gcups = simulated_gcups(spec, cal, kw, cfg.memory_mode);
+  const double best_gcups = simulated_gcups(spec, cal, kw, MemoryMode::kMcdram);
+  const double memory_factor = best_gcups > 0 ? std::max(1.0, best_gcups / mode_gcups) : 1.0;
+
+  const double compute_wall = (seed_chain_1t + align_1t * memory_factor) / capacity;
+
+  // --- serial I/O, slowed by core contention unless a core is reserved ---
+  const double io_contend = io_contention_factor(spec, cfg.affinity, cfg.threads);
+  const double input_wall = load_query_1t * io_contend;
+  const double output_wall = output_1t * io_contend;
+  const double index_wall = load_index_1t * io_contend;
+
+  PipelineInputs pin;
+  pin.index_load_s = index_wall;
+  pin.input_s = input_wall;
+  pin.output_s = output_wall;
+  pin.compute_s = compute_wall;
+  pin.manymap = cfg.manymap_pipeline;
+  const auto timing = pipeline_wall_time(pin);
+  r.wall_s = timing.wall_s;
+
+  r.breakdown.load_index_s = index_wall;
+  r.breakdown.load_query_s = input_wall;
+  r.breakdown.seed_chain_s = seed_chain_1t / capacity;
+  r.breakdown.align_s = align_1t * memory_factor / capacity;
+  r.breakdown.output_s = output_wall;
+  return r;
+}
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,44 @@
+// Top-level simulated end-to-end runs on the KNL model: takes host-
+// measured single-thread stage times (or calibrated per-aligner costs) and
+// produces KNL wall times and breakdowns for Table 2, Figures 9/10/11 and
+// the KNL rows of Table 5.
+#pragma once
+
+#include "core/breakdown.hpp"
+#include "knl/affinity_model.hpp"
+#include "knl/memory_model.hpp"
+#include "knl/pipeline_model.hpp"
+
+namespace manymap {
+namespace knl {
+
+/// Host-measured single-thread workload description.
+struct KnlWorkload {
+  double load_index_cpu_s = 0.0;  ///< fragmented-stream load on the host
+  double load_query_cpu_s = 0.0;
+  double seed_chain_cpu_s = 0.0;
+  double align_cpu_s = 0.0;
+  double output_cpu_s = 0.0;
+};
+
+struct KnlRunConfig {
+  u32 threads = 256;
+  AffinityStrategy affinity = AffinityStrategy::kOptimized;
+  MemoryMode memory_mode = MemoryMode::kMcdram;
+  bool use_mmap_io = true;        ///< manymap §4.4.2
+  bool manymap_pipeline = true;   ///< §4.4.4
+  bool vectorized_align = true;   ///< manymap kernel vs minimap2 SSE port
+  /// Extra single-thread port slowdown for third-party aligners (Table 5).
+  double extra_port_factor = 1.0;
+};
+
+struct KnlRunResult {
+  StageBreakdown breakdown;  ///< simulated per-stage KNL seconds
+  double wall_s = 0.0;       ///< with pipeline overlap
+};
+
+KnlRunResult simulate_knl_run(const KnlSpec& spec, const KnlCalibration& cal,
+                              const KnlWorkload& workload, const KnlRunConfig& config);
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,53 @@
+// Knights Landing machine model (substitute for the Xeon Phi 7210; see
+// DESIGN.md). The model reproduces the mechanisms behind the paper's KNL
+// results: weak single-thread performance, 4-way SMT with limited shared
+// resources (two cores per tile share 1 MiB L2), MCDRAM vs DDR bandwidth
+// classes, and I/O whose cost explodes on a single slow core.
+#pragma once
+
+#include "base/common.hpp"
+
+namespace manymap {
+namespace knl {
+
+struct KnlSpec {
+  u32 cores = 64;
+  u32 smt = 4;                       ///< hyper-threads per core
+  u64 l2_per_tile = 1ULL << 20;      ///< 1 MiB shared by a 2-core tile
+  u64 mcdram_bytes = 16ULL << 30;
+  double mcdram_bw_gbs = 400.0;
+  double ddr_bw_gbs = 90.0;
+  double freq_ghz = 1.3;
+
+  static KnlSpec phi7210() { return KnlSpec{}; }
+};
+
+/// Single-thread slowdown of workload classes on KNL relative to the host
+/// CPU. Derived from the paper's own profile of the directly ported
+/// minimap2 (Table 2): align 1481.6/79.2 = 18.7x (scalar-heavy SSE port),
+/// seed&chain 266.9/35.8 = 7.5x, index load 28.7/4.7 = 6.1x, output
+/// 9.85/0.93 = 10.6x. The vectorized manymap kernel ports far better
+/// (AVX2, 32 lanes) — its slowdown is the frequency gap plus a small
+/// architecture penalty.
+struct KnlCalibration {
+  double align_sse_port = 18.7;
+  double align_vectorized = 4.7;
+  double seed_chain = 7.5;
+  double io_stream = 6.1;
+  double io_mmap = 3.05;  ///< §4.4.2: mmap loads the index ~2x faster
+  double output = 10.6;
+  /// Per-core throughput with k resident SMT threads, relative to one
+  /// thread (paper §5.3.1: 4 threads/core only ~21% faster than 1).
+  double smt_throughput(u32 k) const {
+    switch (k) {
+      case 0: return 0.0;
+      case 1: return 1.0;
+      case 2: return 1.12;
+      case 3: return 1.18;
+      default: return 1.21;
+    }
+  }
+};
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,44 @@
+// MCDRAM vs DDR memory-mode model (paper §4.4.1 / Figure 6). Flat mode:
+// the program chooses the preferred memory type per allocation; when the
+// working set exceeds MCDRAM's 16 GB the overflow lands in DDR and the
+// advantage disappears.
+#pragma once
+
+#include "knl/machine.hpp"
+
+namespace manymap {
+namespace knl {
+
+/// §4.4.1: flat mode exposes MCDRAM as addressable memory (kDdr/kMcdram
+/// are the two numactl choices within flat mode); cache mode interposes
+/// MCDRAM as a transparent cache in front of DDR.
+enum class MemoryMode { kDdr, kMcdram, kCache };
+
+const char* to_string(MemoryMode mode);
+
+struct KernelWorkload {
+  u64 sequence_length = 0;  ///< |T| = |Q|
+  bool with_path = false;   ///< quadratic backtracking storage
+  u32 threads = 256;        ///< concurrently aligning threads
+};
+
+/// Aggregate working set of `threads` concurrent alignments.
+u64 working_set_bytes(const KernelWorkload& w);
+
+/// Per-cell DRAM traffic (bytes) after L2 filtering: small per-thread
+/// footprints are captured by the tile L2, long sequences stream.
+double dram_bytes_per_cell(const KnlSpec& spec, const KernelWorkload& w);
+
+/// Effective bandwidth for the working set under the given mode (GB/s).
+double effective_bandwidth_gbs(const KnlSpec& spec, MemoryMode mode, u64 working_set);
+
+/// Simulated aggregate alignment throughput in GCUPS for the micro
+/// benchmark of Figure 6: min(compute roof, memory roof).
+/// `compute_derate` scales the compute roof down, e.g. for the SSE2-only
+/// minimap2 port whose vectors are 4x narrower than manymap's AVX2 path.
+double simulated_gcups(const KnlSpec& spec, const KnlCalibration& cal,
+                       const KernelWorkload& w, MemoryMode mode,
+                       double compute_derate = 1.0);
+
+}  // namespace knl
+}  // namespace manymap

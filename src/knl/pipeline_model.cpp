@@ -1,0 +1,29 @@
+#include "knl/pipeline_model.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+namespace knl {
+
+PipelineTiming pipeline_wall_time(const PipelineInputs& in) {
+  PipelineTiming t;
+  double compute = in.compute_s;
+  if (!in.manymap) compute *= 1.0 + in.straggler_fraction;  // unsorted batches
+  const double io_total = in.input_s + in.output_s;
+  double steady;
+  if (in.manymap) {
+    // Input, compute and output each on their own thread: the slowest
+    // stage paces the pipeline.
+    steady = std::max({compute, in.input_s, in.output_s});
+  } else {
+    // Two-slot pipeline: compute overlaps I/O, but input and output are
+    // one serial step and cannot overlap each other.
+    steady = std::max(compute, io_total);
+  }
+  t.wall_s = in.index_load_s + steady;
+  t.hidden_io_s = io_total - std::max(0.0, steady - compute);
+  return t;
+}
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,34 @@
+// Pipeline timing model (paper §4.4.4): how the serial I/O stages overlap
+// the parallel mapping stage on KNL.
+//
+//   minimap2 pipeline: two slots; compute of one batch overlaps the I/O of
+//     the other, but batch input and output share a single serial step ->
+//     wall ~ index_load + max(compute, input + output).
+//   manymap pipeline: dedicated input and output threads -> wall ~
+//     index_load + max(compute, input, output); longest-first sorting
+//     trims the end-of-batch straggler wait.
+#pragma once
+
+#include "knl/machine.hpp"
+
+namespace manymap {
+namespace knl {
+
+struct PipelineInputs {
+  double index_load_s = 0.0;  ///< serial, before the pipeline starts
+  double input_s = 0.0;       ///< per-run total query loading (serial)
+  double output_s = 0.0;      ///< per-run total result writing (serial)
+  double compute_s = 0.0;     ///< parallel stage, already divided by capacity
+  bool manymap = false;       ///< dedicated I/O threads + sorted batches
+  double straggler_fraction = 0.04;  ///< tail imbalance without sorting
+};
+
+struct PipelineTiming {
+  double wall_s = 0.0;
+  double hidden_io_s = 0.0;  ///< I/O time overlapped away by the pipeline
+};
+
+PipelineTiming pipeline_wall_time(const PipelineInputs& in);
+
+}  // namespace knl
+}  // namespace manymap

@@ -1,0 +1,62 @@
+#include "pipeline/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <map>
+
+namespace manymap {
+
+const char* to_string(AffinityStrategy s) {
+  switch (s) {
+    case AffinityStrategy::kCompact: return "compact";
+    case AffinityStrategy::kScatter: return "scatter";
+    case AffinityStrategy::kOptimized: return "optimized";
+  }
+  return "?";
+}
+
+u32 assign_core(AffinityStrategy s, u32 thread_id, const AffinityConfig& cfg) {
+  MM_REQUIRE(cfg.cores > 0, "no cores");
+  switch (s) {
+    case AffinityStrategy::kCompact:
+      return std::min(thread_id / cfg.threads_per_core, cfg.cores - 1);
+    case AffinityStrategy::kScatter:
+      return thread_id % cfg.cores;
+    case AffinityStrategy::kOptimized: {
+      // Reserve the last core for I/O when more than one core exists.
+      const u32 usable = cfg.cores > 1 ? cfg.cores - 1 : 1;
+      return thread_id % usable;
+    }
+  }
+  return 0;
+}
+
+u32 io_core(AffinityStrategy s, const AffinityConfig& cfg) {
+  if (s == AffinityStrategy::kOptimized && cfg.cores > 1) return cfg.cores - 1;
+  return 0;
+}
+
+u32 cores_used(AffinityStrategy s, u32 threads, const AffinityConfig& cfg) {
+  std::map<u32, u32> seen;
+  for (u32 t = 0; t < threads; ++t) ++seen[assign_core(s, t, cfg)];
+  return static_cast<u32>(seen.size());
+}
+
+u32 max_threads_per_core(AffinityStrategy s, u32 threads, const AffinityConfig& cfg) {
+  std::map<u32, u32> seen;
+  for (u32 t = 0; t < threads; ++t) ++seen[assign_core(s, t, cfg)];
+  u32 worst = 0;
+  for (const auto& [core, cnt] : seen) worst = std::max(worst, cnt);
+  return worst;
+}
+
+bool pin_current_thread(u32 core) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+}
+
+}  // namespace manymap

@@ -1,0 +1,44 @@
+// Thread-affinity strategies (paper §4.4.3). The assignment functions are
+// pure (and exhaustively unit-tested); applying them to live threads is
+// best-effort via pthread_setaffinity_np.
+//
+//   compact   — thread i -> core floor(i/k): fewest cores, heavy sharing.
+//   scatter   — thread i -> core i % P: spread across all cores.
+//   optimized — manymap's strategy: scatter over cores 0..P-2, reserving
+//               the last core exclusively for I/O threads.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+enum class AffinityStrategy { kCompact, kScatter, kOptimized };
+
+const char* to_string(AffinityStrategy s);
+
+struct AffinityConfig {
+  u32 cores = 64;            ///< P
+  u32 threads_per_core = 4;  ///< k
+};
+
+/// Core for a compute thread under the given strategy.
+u32 assign_core(AffinityStrategy s, u32 thread_id, const AffinityConfig& cfg);
+
+/// Core reserved for I/O threads (optimized strategy pins I/O to the last
+/// core; the others just use core 0's natural OS placement).
+u32 io_core(AffinityStrategy s, const AffinityConfig& cfg);
+
+/// Number of distinct cores used by `threads` compute threads.
+u32 cores_used(AffinityStrategy s, u32 threads, const AffinityConfig& cfg);
+
+/// Max number of compute threads sharing one core.
+u32 max_threads_per_core(AffinityStrategy s, u32 threads, const AffinityConfig& cfg);
+
+/// Best-effort pinning of the calling thread to a core (no-op failure is
+/// tolerated: the container may expose fewer cores than the model).
+bool pin_current_thread(u32 core);
+
+}  // namespace manymap

@@ -1,0 +1,53 @@
+#include "pipeline/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace manymap {
+
+std::vector<ReadBatch> make_batches(std::vector<Sequence> reads, u64 max_bases) {
+  std::vector<ReadBatch> batches;
+  ReadBatch cur;
+  u64 bases = 0;
+  for (auto& r : reads) {
+    if (!cur.reads.empty() && bases + r.size() > max_bases) {
+      cur.id = batches.size();
+      batches.push_back(std::move(cur));
+      cur = ReadBatch{};
+      bases = 0;
+    }
+    bases += r.size();
+    cur.reads.push_back(std::move(r));
+  }
+  if (!cur.reads.empty()) {
+    cur.id = batches.size();
+    batches.push_back(std::move(cur));
+  }
+  return batches;
+}
+
+void sort_longest_first(ReadBatch& batch) {
+  std::stable_sort(batch.reads.begin(), batch.reads.end(),
+                   [](const Sequence& a, const Sequence& b) { return a.size() > b.size(); });
+}
+
+double list_schedule_makespan(const std::vector<double>& costs, u32 workers) {
+  MM_REQUIRE(workers > 0, "need at least one worker");
+  std::vector<double> busy(workers, 0.0);
+  for (const double c : costs) {
+    auto it = std::min_element(busy.begin(), busy.end());
+    *it += c;
+  }
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+BatchSource vector_source(std::vector<ReadBatch> batches) {
+  auto state = std::make_shared<std::pair<std::vector<ReadBatch>, std::size_t>>(
+      std::move(batches), 0);
+  return [state]() -> std::optional<ReadBatch> {
+    if (state->second >= state->first.size()) return std::nullopt;
+    return std::move(state->first[state->second++]);
+  };
+}
+
+}  // namespace manymap

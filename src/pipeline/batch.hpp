@@ -1,0 +1,45 @@
+// Read batching for the mapping pipelines (§4.4.4): queries are processed
+// in batches; manymap additionally sorts each batch longest-first so slow
+// long reads start early and threads finish together.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace manymap {
+
+struct ReadBatch {
+  std::vector<Sequence> reads;
+  u64 id = 0;
+
+  u64 total_bases() const {
+    u64 n = 0;
+    for (const auto& r : reads) n += r.size();
+    return n;
+  }
+};
+
+/// Split reads into batches of at most `max_bases` (at least one read per
+/// batch).
+std::vector<ReadBatch> make_batches(std::vector<Sequence> reads, u64 max_bases);
+
+/// Longest-first ordering (manymap's load-balancing, §4.4.4).
+void sort_longest_first(ReadBatch& batch);
+
+/// Deterministic makespan of greedy list scheduling: reads are assigned in
+/// the given order to the earliest-free of `workers` identical workers.
+/// Models the end-of-batch straggler effect that longest-first sorting
+/// removes (costs are usually read lengths or measured per-read times).
+double list_schedule_makespan(const std::vector<double>& costs, u32 workers);
+
+/// Pull-style batch source used by the pipelines.
+using BatchSource = std::function<std::optional<ReadBatch>()>;
+
+/// Make a source that yields the given batches in order (thread-safe is
+/// not required: only the input stage calls it).
+BatchSource vector_source(std::vector<ReadBatch> batches);
+
+}  // namespace manymap

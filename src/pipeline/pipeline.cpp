@@ -1,0 +1,144 @@
+#include "pipeline/pipeline.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "base/timer.hpp"
+#include "pipeline/queue.hpp"
+
+namespace manymap {
+
+namespace {
+
+/// Compute all reads of a batch with a small worker pool; results keep
+/// read order.
+std::vector<std::string> compute_batch(const ReadBatch& batch, const ComputeFn& compute,
+                                       u32 threads) {
+  std::vector<std::string> results(batch.reads.size());
+  if (threads <= 1 || batch.reads.size() <= 1) {
+    for (std::size_t i = 0; i < batch.reads.size(); ++i) results[i] = compute(batch.reads[i]);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= batch.reads.size()) return;
+      results[i] = compute(batch.reads[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  const u32 n = std::min<u32>(threads, static_cast<u32>(batch.reads.size()));
+  pool.reserve(n);
+  for (u32 t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+/// Serializes sink calls into batch-id order regardless of finish order.
+class OrderedSink {
+ public:
+  explicit OrderedSink(const OutputSink& sink) : sink_(sink) {}
+
+  void deliver(u64 batch_id, std::vector<std::string> lines) {
+    std::lock_guard lock(mu_);
+    pending_.emplace(batch_id, std::move(lines));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      sink_(pending_.begin()->first, pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+ private:
+  const OutputSink& sink_;
+  std::mutex mu_;
+  std::map<u64, std::vector<std::string>> pending_;
+  u64 next_ = 0;
+};
+
+}  // namespace
+
+PipelineStats run_minimap2_pipeline(const BatchSource& source, const ComputeFn& compute,
+                                    const OutputSink& sink, const PipelineOptions& opt) {
+  PipelineStats stats;
+  WallTimer wall;
+  // Two slots alternate batches. The source is serial: guard it.
+  std::mutex source_mu;
+  OrderedSink ordered(sink);
+  std::atomic<u64> batches{0}, reads{0};
+
+  auto slot = [&] {
+    for (;;) {
+      std::optional<ReadBatch> batch;
+      {
+        std::lock_guard lock(source_mu);  // step 1: load (serial)
+        batch = source();
+      }
+      if (!batch) return;
+      auto lines = compute_batch(*batch, compute, opt.compute_threads);  // step 2
+      reads += batch->reads.size();
+      ++batches;
+      ordered.deliver(batch->id, std::move(lines));  // step 3: output
+    }
+  };
+  std::thread a(slot), b(slot);
+  a.join();
+  b.join();
+  stats.batches = batches;
+  stats.reads = reads;
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+PipelineStats run_manymap_pipeline(const BatchSource& source, const ComputeFn& compute,
+                                   const OutputSink& sink, const PipelineOptions& opt) {
+  PipelineStats stats;
+  WallTimer wall;
+  BoundedQueue<ReadBatch> in_q(opt.queue_capacity);
+  BoundedQueue<std::pair<u64, std::vector<std::string>>> out_q(opt.queue_capacity);
+
+  std::thread input([&] {  // dedicated input thread
+    for (;;) {
+      auto batch = source();
+      if (!batch) break;
+      if (opt.sort_longest_first) sort_longest_first(*batch);
+      if (!in_q.push(std::move(*batch))) break;
+    }
+    in_q.close();
+  });
+
+  std::atomic<u64> batches{0}, reads{0};
+  std::thread worker([&] {  // compute stage (internally multi-threaded)
+    for (;;) {
+      auto batch = in_q.pop();
+      if (!batch) break;
+      auto lines = compute_batch(*batch, compute, opt.compute_threads);
+      reads += batch->reads.size();
+      ++batches;
+      out_q.push({batch->id, std::move(lines)});
+    }
+    out_q.close();
+  });
+
+  std::thread output([&] {  // dedicated output thread
+    OrderedSink ordered(sink);
+    for (;;) {
+      auto item = out_q.pop();
+      if (!item) break;
+      ordered.deliver(item->first, std::move(item->second));
+    }
+  });
+
+  input.join();
+  worker.join();
+  output.join();
+  stats.batches = batches;
+  stats.reads = reads;
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace manymap

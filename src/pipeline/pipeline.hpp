@@ -1,0 +1,47 @@
+// The two mapping pipelines of §4.4.4.
+//
+// Minimap2Pipeline — minimap2's scheme: two pipeline slots, each running
+//   load -> multi-threaded compute -> output for alternate batches, so the
+//   compute of one slot overlaps the I/O of the other. A single serial I/O
+//   step per slot means input and output of *different* batches cannot
+//   overlap each other.
+//
+// ManymapPipeline — manymap's scheme: a dedicated input thread, a worker
+//   pool, and a dedicated output thread connected by bounded queues, so
+//   input, compute and output all overlap; batches are optionally sorted
+//   longest-first before computing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pipeline/batch.hpp"
+
+namespace manymap {
+
+/// Per-read computation producing an output record (e.g. a PAF line).
+using ComputeFn = std::function<std::string(const Sequence&)>;
+/// Receives the output records of one batch, in read order.
+using OutputSink = std::function<void(u64 batch_id, const std::vector<std::string>&)>;
+
+struct PipelineOptions {
+  u32 compute_threads = 2;
+  bool sort_longest_first = false;  ///< manymap load balancing
+  std::size_t queue_capacity = 2;
+};
+
+struct PipelineStats {
+  u64 batches = 0;
+  u64 reads = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run the two-slot minimap2-style pipeline to completion.
+PipelineStats run_minimap2_pipeline(const BatchSource& source, const ComputeFn& compute,
+                                    const OutputSink& sink, const PipelineOptions& opt);
+
+/// Run the manymap pipeline (dedicated I/O threads) to completion.
+PipelineStats run_manymap_pipeline(const BatchSource& source, const ComputeFn& compute,
+                                   const OutputSink& sink, const PipelineOptions& opt);
+
+}  // namespace manymap

@@ -1,0 +1,71 @@
+#include "sequence/dna.hpp"
+
+namespace manymap {
+
+namespace {
+// 'A'=65 'C'=67 'G'=71 'T'=84 'U'=85, lowercase +32. Everything else -> N(4).
+constexpr u8 N = kBaseN;
+}  // namespace
+
+const u8 kAsciiToCode[256] = {
+    // 0..63
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    // 64..127: @ A B C D E F G H I J K L M N O
+    N, 0, N, 1, N, N, N, 2, N, N, N, N, N, N, N, N,
+    // P Q R S T U V W X Y Z [ \ ] ^ _
+    N, N, N, N, 3, 3, N, N, N, N, N, N, N, N, N, N,
+    // ` a b c d e f g h i j k l m n o
+    N, 0, N, 1, N, N, N, 2, N, N, N, N, N, N, N, N,
+    // p q r s t u v w x y z { | } ~ DEL
+    N, N, N, N, 3, 3, N, N, N, N, N, N, N, N, N, N,
+    // 128..255
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+    N, N, N, N, N, N, N, N, N, N, N, N, N, N, N, N,
+};
+
+const char kCodeToAscii[5] = {'A', 'C', 'G', 'T', 'N'};
+
+std::vector<u8> encode_dna(std::string_view ascii) {
+  std::vector<u8> out(ascii.size());
+  for (std::size_t i = 0; i < ascii.size(); ++i) out[i] = base_code(ascii[i]);
+  return out;
+}
+
+std::string decode_dna(const std::vector<u8>& codes) {
+  std::string out(codes.size(), 'N');
+  for (std::size_t i = 0; i < codes.size(); ++i) out[i] = base_char(codes[i]);
+  return out;
+}
+
+std::vector<u8> reverse_complement(const std::vector<u8>& codes) {
+  std::vector<u8> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    out[codes.size() - 1 - i] = complement_code(codes[i]);
+  return out;
+}
+
+std::string reverse_complement_ascii(std::string_view ascii) {
+  return decode_dna(reverse_complement(encode_dna(ascii)));
+}
+
+double gc_content(const std::vector<u8>& codes) {
+  std::size_t gc = 0, acgt = 0;
+  for (u8 c : codes) {
+    if (c < 4) {
+      ++acgt;
+      if (c == 1 || c == 2) ++gc;
+    }
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+}
+
+}  // namespace manymap

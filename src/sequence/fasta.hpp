@@ -1,0 +1,34 @@
+// Minimal FASTA/FASTQ reading and writing. The readers accept both
+// in-memory strings and files; the query-loading experiments (Table 2 /
+// §4.4.2) also go through io/MappedFile.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace manymap {
+
+/// Parse all records from FASTA text. Multi-line sequences supported.
+std::vector<Sequence> parse_fasta(std::string_view text);
+/// Parse all records from FASTQ text (4-line records).
+std::vector<Sequence> parse_fastq(std::string_view text);
+
+/// Auto-detect FASTA vs FASTQ by leading character ('>' vs '@').
+std::vector<Sequence> parse_sequences(std::string_view text);
+
+/// Read a whole file and parse; MM_REQUIREs the file exists.
+std::vector<Sequence> read_sequence_file(const std::string& path);
+
+/// Serialize to FASTA with the given line width (0 = single line).
+std::string to_fasta(const std::vector<Sequence>& seqs, std::size_t width = 60);
+/// Serialize to FASTQ ('I' quality if record has none).
+std::string to_fastq(const std::vector<Sequence>& seqs);
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      std::size_t width = 60);
+void write_fastq_file(const std::string& path, const std::vector<Sequence>& seqs);
+
+}  // namespace manymap

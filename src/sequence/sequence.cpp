@@ -1,0 +1,34 @@
+#include "sequence/sequence.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+Sequence Sequence::from_ascii(std::string name, std::string_view ascii) {
+  Sequence s;
+  s.name = std::move(name);
+  s.codes = encode_dna(ascii);
+  return s;
+}
+
+void Reference::add(Sequence contig) {
+  total_length_ += contig.size();
+  contigs_.push_back(std::move(contig));
+}
+
+i64 Reference::find(std::string_view name) const {
+  for (std::size_t i = 0; i < contigs_.size(); ++i)
+    if (contigs_[i].name == name) return static_cast<i64>(i);
+  return -1;
+}
+
+std::vector<u8> Reference::extract(std::size_t cid, u64 start, u64 len) const {
+  MM_REQUIRE(cid < contigs_.size(), "contig id out of range");
+  const auto& c = contigs_[cid].codes;
+  if (start >= c.size()) return {};
+  const u64 end = std::min<u64>(c.size(), start + len);
+  return std::vector<u8>(c.begin() + static_cast<std::ptrdiff_t>(start),
+                         c.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+}  // namespace manymap

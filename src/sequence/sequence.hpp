@@ -1,0 +1,51 @@
+// Named biological sequences and reference genome containers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sequence/dna.hpp"
+
+namespace manymap {
+
+/// A named DNA sequence stored as base codes (A=0..T=3, N=4).
+struct Sequence {
+  std::string name;
+  std::vector<u8> codes;
+  std::string qual;  ///< optional FASTQ quality string (empty if none)
+
+  std::size_t size() const { return codes.size(); }
+  bool empty() const { return codes.empty(); }
+  std::string to_ascii() const { return decode_dna(codes); }
+
+  static Sequence from_ascii(std::string name, std::string_view ascii);
+};
+
+/// A multi-contig reference. Contigs are kept separate (like minimap2's
+/// mi->seq) and addressed by (contig id, offset).
+class Reference {
+ public:
+  Reference() = default;
+
+  void add(Sequence contig);
+
+  std::size_t num_contigs() const { return contigs_.size(); }
+  const Sequence& contig(std::size_t i) const { return contigs_[i]; }
+  const std::vector<Sequence>& contigs() const { return contigs_; }
+
+  /// Sum of contig lengths.
+  u64 total_length() const { return total_length_; }
+
+  /// Index of a contig by name, or -1.
+  i64 find(std::string_view name) const;
+
+  /// Extract a subsequence [start, start+len) of contig `cid`, clamped to
+  /// contig bounds.
+  std::vector<u8> extract(std::size_t cid, u64 start, u64 len) const;
+
+ private:
+  std::vector<Sequence> contigs_;
+  u64 total_length_ = 0;
+};
+
+}  // namespace manymap

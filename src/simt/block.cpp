@@ -1,0 +1,31 @@
+#include "simt/block.hpp"
+
+#include <vector>
+
+namespace manymap {
+namespace simt {
+
+void Block::divergent(u32 active, const std::function<bool(u32)>& cond,
+                      const std::function<void(u32)>& then_fn,
+                      const std::function<void(u32)>& else_fn) {
+  std::vector<u32> then_lanes, else_lanes;
+  then_lanes.reserve(active);
+  for (u32 lane = 0; lane < active; ++lane)
+    (cond(lane) ? then_lanes : else_lanes).push_back(lane);
+
+  ++cost_.divergent_branches;
+  cost_.cycles += model_.branch_cycles;
+  // Lock-step semantics: each non-empty side executes over the WHOLE warp
+  // set (inactive lanes masked but still occupying issue slots).
+  if (!then_lanes.empty()) {
+    for (const u32 lane : then_lanes) then_fn(lane);
+    account_alu(active);
+  }
+  if (!else_lanes.empty()) {
+    for (const u32 lane : else_lanes) else_fn(lane);
+    account_alu(active);
+  }
+}
+
+}  // namespace simt
+}  // namespace manymap

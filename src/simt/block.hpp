@@ -1,0 +1,83 @@
+// SIMT block interpreter: kernels are written as data-parallel operations
+// over the lanes of a thread block. The interpreter *executes* the lane
+// lambdas (so results are bit-exact and testable against the CPU kernels)
+// while accounting SM cost the way lock-step hardware would:
+//   - an op over k active lanes costs ceil(k / warp_size) warp-instructions,
+//   - a divergent branch executes BOTH paths serially (each masked),
+//   - __syncthreads has a fixed barrier cost,
+//   - shared vs global memory accesses differ in per-warp cost.
+#pragma once
+
+#include <functional>
+
+#include "simt/device.hpp"
+
+namespace manymap {
+namespace simt {
+
+struct BlockCostModel {
+  u32 alu_cycles = 1;       ///< per warp-instruction
+  u32 shared_cycles = 2;    ///< per warp memory op hitting shared memory
+  u32 global_cycles = 24;   ///< per warp memory op hitting global memory
+  u32 sync_cycles = 24;     ///< barrier latency
+  u32 branch_cycles = 2;    ///< divergence bookkeeping per divergent branch
+};
+
+class Block {
+ public:
+  Block(u32 threads, const DeviceSpec& spec, BlockCostModel model = {})
+      : threads_(threads), warp_(spec.warp_size), model_(model) {}
+
+  u32 threads() const { return threads_; }
+
+  /// One instruction executed by lanes [0, active).
+  void op(u32 active, const std::function<void(u32)>& fn) {
+    for (u32 lane = 0; lane < active; ++lane) fn(lane);
+    account_alu(active);
+  }
+
+  /// Same as op, but also accounts `mem_ops` memory accesses per warp to
+  /// shared or global memory.
+  void mem_op(u32 active, bool shared, u32 mem_ops, const std::function<void(u32)>& fn) {
+    for (u32 lane = 0; lane < active; ++lane) fn(lane);
+    account_alu(active);
+    const u64 warps = warps_for(active);
+    cost_.cycles += warps * mem_ops * (shared ? model_.shared_cycles : model_.global_cycles);
+  }
+
+  /// Divergent branch: lanes satisfying `cond` run `then_fn`, the rest run
+  /// `else_fn`; when both sides are non-empty the paths serialize.
+  void divergent(u32 active, const std::function<bool(u32)>& cond,
+                 const std::function<void(u32)>& then_fn,
+                 const std::function<void(u32)>& else_fn);
+
+  /// __syncthreads().
+  void sync() {
+    ++cost_.syncs;
+    cost_.cycles += model_.sync_cycles;
+  }
+
+  /// Record the block's memory footprint.
+  void set_footprint(u64 shared_bytes, u64 global_bytes) {
+    cost_.shared_bytes = shared_bytes;
+    cost_.global_bytes = global_bytes;
+  }
+
+  const KernelCost& cost() const { return cost_; }
+
+ private:
+  u64 warps_for(u32 active) const { return (active + warp_ - 1) / warp_; }
+  void account_alu(u32 active) {
+    const u64 warps = warps_for(active);
+    cost_.warp_instructions += warps;
+    cost_.cycles += warps * model_.alu_cycles;
+  }
+
+  u32 threads_;
+  u32 warp_;
+  BlockCostModel model_;
+  KernelCost cost_;
+};
+
+}  // namespace simt
+}  // namespace manymap

@@ -1,0 +1,86 @@
+#include "simt/device.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+namespace simt {
+
+DeviceSpec DeviceSpec::v100() { return DeviceSpec{}; }
+
+Device::RunReport Device::run(const std::vector<KernelCost>& kernels, u32 num_streams) const {
+  RunReport report;
+  if (kernels.empty() || num_streams == 0) return report;
+
+  // Memory-capacity cap: the largest kernel footprint determines how many
+  // can be resident at once (the §4.5.2 fallback scenario).
+  u64 max_bytes = 1;
+  for (const auto& k : kernels) max_bytes = std::max(max_bytes, std::max<u64>(k.global_bytes, 1));
+  const u32 mem_cap =
+      static_cast<u32>(std::max<u64>(1, spec_.global_mem_bytes / max_bytes));
+
+  const u32 slots = std::min({num_streams, spec_.max_resident_grids, mem_cap});
+  report.achieved_concurrency = std::min<u32>(slots, static_cast<u32>(kernels.size()));
+
+  // Fluid event simulation: per-stream FIFO queues; the first `slots`
+  // streams with pending work hold residency; resident kernels progress at
+  // rate min(1, sm_count / n_resident) each.
+  struct Stream {
+    std::vector<u64> pending;  // kernel cycle costs, front = next
+    std::size_t next = 0;
+    double remaining = 0.0;    // cycles left of the running kernel
+    bool running = false;
+  };
+  std::vector<Stream> streams(num_streams);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    streams[i % num_streams].pending.push_back(kernels[i].cycles);
+    report.total_cycles += kernels[i].cycles;
+  }
+  const double launch_cycles = spec_.kernel_launch_us * 1e-6 * spec_.clock_ghz * 1e9;
+
+  double now_cycles = 0.0;
+  for (;;) {
+    // Admit kernels to residency.
+    u32 resident = 0;
+    for (auto& s : streams) {
+      if (resident >= slots) break;
+      if (!s.running && s.next < s.pending.size()) {
+        s.remaining = static_cast<double>(s.pending[s.next]) + launch_cycles;
+        s.running = true;
+      }
+      if (s.running) ++resident;
+    }
+    if (resident == 0) break;
+    const double rate =
+        resident <= spec_.sm_count ? 1.0
+                                   : static_cast<double>(spec_.sm_count) / resident;
+    // Advance to the next completion.
+    double min_time = 0.0;
+    bool first = true;
+    u32 counted = 0;
+    for (auto& s : streams) {
+      if (!s.running) continue;
+      if (++counted > slots) break;
+      const double t = s.remaining / rate;
+      if (first || t < min_time) {
+        min_time = t;
+        first = false;
+      }
+    }
+    now_cycles += min_time;
+    counted = 0;
+    for (auto& s : streams) {
+      if (!s.running) continue;
+      if (++counted > slots) break;
+      s.remaining -= min_time * rate;
+      if (s.remaining <= 1e-9) {
+        s.running = false;
+        ++s.next;
+      }
+    }
+  }
+  report.seconds = now_cycles / (spec_.clock_ghz * 1e9);
+  return report;
+}
+
+}  // namespace simt
+}  // namespace manymap

@@ -1,0 +1,62 @@
+// Discrete-event GPU device model (substitute for the paper's Tesla V100;
+// see DESIGN.md). Captures the mechanisms the paper's GPU results rest on:
+//   - concurrent kernel execution across CUDA streams, capped by the
+//     device's maximum resident grids (128 on compute capability >= 7.0),
+//   - SM time-sharing once resident kernels exceed the SM count,
+//   - global-memory capacity limiting concurrency for quadratic-memory
+//     (full-path) alignments (§4.5.2's "only 8 kernels can run").
+#pragma once
+
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+namespace simt {
+
+struct DeviceSpec {
+  u32 sm_count = 80;
+  u32 max_resident_grids = 128;
+  u64 shared_mem_per_block = 48 * 1024;  ///< default (non-opt-in) CUDA limit
+  u64 global_mem_bytes = 16ULL << 30;
+  double clock_ghz = 1.38;
+  u32 warp_size = 32;
+  u32 max_block_threads = 512;
+  double kernel_launch_us = 4.0;  ///< per-kernel launch/teardown overhead
+
+  static DeviceSpec v100();
+};
+
+/// Cost of one kernel execution, produced by the Block interpreter.
+struct KernelCost {
+  u64 cycles = 0;              ///< SM cycles for one block
+  u64 warp_instructions = 0;
+  u64 syncs = 0;
+  u64 divergent_branches = 0;
+  u64 shared_bytes = 0;        ///< shared-memory footprint
+  u64 global_bytes = 0;        ///< global-memory footprint
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(spec) {}
+  const DeviceSpec& spec() const { return spec_; }
+
+  struct RunReport {
+    double seconds = 0.0;
+    u32 achieved_concurrency = 0;  ///< resident kernels at steady state
+    u64 total_cycles = 0;
+  };
+
+  /// Execute `kernels` distributed round-robin over `num_streams` streams.
+  /// Each stream runs its kernels in order; across streams, kernels run
+  /// concurrently subject to the resident-grid cap, SM time-sharing, and
+  /// global-memory capacity.
+  RunReport run(const std::vector<KernelCost>& kernels, u32 num_streams) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace simt
+}  // namespace manymap

@@ -1,0 +1,36 @@
+#include "simt/memory_pool.hpp"
+
+namespace manymap {
+namespace simt {
+
+MemoryPool::MemoryPool(u64 total_bytes, u32 num_streams) {
+  MM_REQUIRE(num_streams > 0, "pool needs at least one stream");
+  capacity_ = total_bytes / num_streams;
+  offsets_.assign(num_streams, 0);
+}
+
+std::optional<u64> MemoryPool::allocate(u32 stream, u64 bytes) {
+  MM_REQUIRE(stream < offsets_.size(), "stream id out of range");
+  const u64 aligned = round_up(bytes, 16);
+  if (offsets_[stream] + aligned > capacity_) {
+    ++failed_allocations_;
+    return std::nullopt;
+  }
+  const u64 offset = static_cast<u64>(stream) * capacity_ + offsets_[stream];
+  offsets_[stream] += aligned;
+  ++total_allocations_;
+  return offset;
+}
+
+void MemoryPool::reset(u32 stream) {
+  MM_REQUIRE(stream < offsets_.size(), "stream id out of range");
+  offsets_[stream] = 0;
+}
+
+u64 MemoryPool::bytes_in_use(u32 stream) const {
+  MM_REQUIRE(stream < offsets_.size(), "stream id out of range");
+  return offsets_[stream];
+}
+
+}  // namespace simt
+}  // namespace manymap

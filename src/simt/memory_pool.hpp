@@ -1,0 +1,42 @@
+// Per-stream device memory pool (§4.5.2): the host feeds small batches of
+// sequence pairs, so per-kernel cudaMalloc would dominate. Instead each
+// CUDA stream owns a fixed partition of a preallocated pool and bump-
+// allocates within it, resetting between kernels.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+namespace simt {
+
+class MemoryPool {
+ public:
+  MemoryPool(u64 total_bytes, u32 num_streams);
+
+  u32 num_streams() const { return static_cast<u32>(offsets_.size()); }
+  u64 per_stream_capacity() const { return capacity_; }
+
+  /// Bump-allocate `bytes` (16-byte aligned) in `stream`'s partition.
+  /// Returns the pool offset, or nullopt if the partition is exhausted
+  /// (the caller then falls back to CPU alignment, §4.5.2).
+  std::optional<u64> allocate(u32 stream, u64 bytes);
+
+  /// Release everything allocated in the stream's partition.
+  void reset(u32 stream);
+
+  u64 bytes_in_use(u32 stream) const;
+  u64 total_allocations() const { return total_allocations_; }
+  u64 failed_allocations() const { return failed_allocations_; }
+
+ private:
+  u64 capacity_ = 0;
+  std::vector<u64> offsets_;  ///< bump pointer per stream (relative)
+  u64 total_allocations_ = 0;
+  u64 failed_allocations_ = 0;
+};
+
+}  // namespace simt
+}  // namespace manymap

@@ -1,0 +1,52 @@
+#include "simt/stream.hpp"
+
+#include "align/diff_kernels.hpp"
+
+namespace manymap {
+namespace simt {
+
+BatchReport run_alignment_batch(const Device& device, const std::vector<SequencePair>& pairs,
+                                const ScoreParams& params, const BatchConfig& config) {
+  BatchReport report;
+  report.results.resize(pairs.size());
+
+  MemoryPool pool(device.spec().global_mem_bytes, config.num_streams);
+  std::vector<KernelCost> gpu_costs;
+  gpu_costs.reserve(pairs.size());
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& p = pairs[i];
+    DiffArgs a;
+    a.target = p.target.data();
+    a.tlen = static_cast<i32>(p.target.size());
+    a.query = p.query.data();
+    a.qlen = static_cast<i32>(p.query.size());
+    a.params = params;
+    a.mode = config.mode;
+    a.with_cigar = config.with_cigar;
+
+    const u32 stream = static_cast<u32>(i % config.num_streams);
+    const u64 need = gpu_kernel_global_bytes(a.tlen, a.qlen, a.with_cigar);
+    pool.reset(stream);  // each stream recycles its partition per kernel
+    if (!pool.allocate(stream, need).has_value()) {
+      // Pool partition too small: fall back to the CPU kernel (§4.5.2).
+      report.results[i] = get_diff_kernel(config.layout, Isa::kScalar)(a);
+      ++report.fallbacks_to_cpu;
+      report.total_cells += report.results[i].cells;
+      continue;
+    }
+    auto gpu = gpu_align(a, config.layout, device.spec(), config.threads_per_block);
+    report.results[i] = std::move(gpu.result);
+    report.total_cells += report.results[i].cells;
+    gpu_costs.push_back(gpu.cost);
+    ++report.kernels_on_gpu;
+  }
+
+  const auto run = device.run(gpu_costs, config.num_streams);
+  report.device_seconds = run.seconds;
+  report.achieved_concurrency = run.achieved_concurrency;
+  return report;
+}
+
+}  // namespace simt
+}  // namespace manymap

@@ -1,0 +1,49 @@
+// Stream-level driver: runs a batch of pair alignments through the device
+// model with CUDA-stream concurrency and the per-stream memory pool —
+// the top-level GPU path used by the Figure 7/8 benches.
+#pragma once
+
+#include <vector>
+
+#include "simt/kernels.hpp"
+#include "simt/memory_pool.hpp"
+
+namespace manymap {
+namespace simt {
+
+struct SequencePair {
+  std::vector<u8> target;
+  std::vector<u8> query;
+};
+
+struct BatchConfig {
+  Layout layout = Layout::kManymap;
+  AlignMode mode = AlignMode::kGlobal;
+  bool with_cigar = false;
+  u32 threads_per_block = 512;
+  u32 num_streams = 128;
+};
+
+struct BatchReport {
+  std::vector<AlignResult> results;   ///< one per pair (order preserved)
+  double device_seconds = 0.0;        ///< simulated device wall time
+  u32 achieved_concurrency = 0;
+  u64 kernels_on_gpu = 0;
+  u64 fallbacks_to_cpu = 0;           ///< pool-exhausted pairs (§4.5.2)
+  u64 total_cells = 0;
+
+  double gcups() const {
+    return device_seconds > 0
+               ? static_cast<double>(total_cells) / device_seconds / 1e9
+               : 0.0;
+  }
+};
+
+/// Align all pairs on the device model. Pairs whose memory needs exceed
+/// the per-stream pool partition are still *computed* (on the CPU path,
+/// as manymap does) but excluded from device timing.
+BatchReport run_alignment_batch(const Device& device, const std::vector<SequencePair>& pairs,
+                                const ScoreParams& params, const BatchConfig& config);
+
+}  // namespace simt
+}  // namespace manymap

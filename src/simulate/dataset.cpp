@@ -1,0 +1,42 @@
+#include "simulate/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sequence/fasta.hpp"
+
+namespace manymap {
+
+DatasetStats compute_stats(const std::vector<SimulatedRead>& reads, Platform platform) {
+  DatasetStats s;
+  s.platform = to_string(platform);
+  s.num_reads = reads.size();
+  for (const auto& r : reads) {
+    s.total_bases += r.read.size();
+    s.max_length = std::max<u64>(s.max_length, r.read.size());
+  }
+  s.avg_length = reads.empty() ? 0.0
+                               : static_cast<double>(s.total_bases) /
+                                     static_cast<double>(reads.size());
+  return s;
+}
+
+std::string DatasetStats::to_table_row() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-14s reads=%-8llu avg_len=%-9.1f max_len=%-8llu bases=%llu",
+                platform.c_str(), static_cast<unsigned long long>(num_reads), avg_length,
+                static_cast<unsigned long long>(max_length),
+                static_cast<unsigned long long>(total_bases));
+  return buf;
+}
+
+u64 write_dataset(const std::string& path, const std::vector<SimulatedRead>& reads) {
+  std::vector<Sequence> seqs;
+  seqs.reserve(reads.size());
+  for (const auto& r : reads) seqs.push_back(r.read);
+  write_fastq_file(path, seqs);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.good() ? static_cast<u64>(in.tellg()) : 0;
+}
+
+}  // namespace manymap

@@ -1,0 +1,28 @@
+// Dataset statistics (paper Table 4) and helpers to materialize simulated
+// datasets to disk for the I/O experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+
+struct DatasetStats {
+  std::string platform;
+  u64 num_reads = 0;
+  double avg_length = 0.0;
+  u64 max_length = 0;
+  u64 total_bases = 0;
+
+  std::string to_table_row() const;
+};
+
+DatasetStats compute_stats(const std::vector<SimulatedRead>& reads, Platform platform);
+
+/// Write reads as FASTQ (the format the macro-benchmark query loader
+/// consumes); returns the file size in bytes.
+u64 write_dataset(const std::string& path, const std::vector<SimulatedRead>& reads);
+
+}  // namespace manymap

@@ -1,0 +1,43 @@
+#include "simulate/error_profile.hpp"
+
+#include <cmath>
+
+namespace manymap {
+
+const char* to_string(Platform p) {
+  switch (p) {
+    case Platform::kPacBio: return "PacBio SMRT";
+    case Platform::kNanopore: return "Nanopore";
+  }
+  return "?";
+}
+
+ErrorProfile ErrorProfile::pacbio() {
+  ErrorProfile e;
+  e.platform = Platform::kPacBio;
+  e.sub_rate = 0.015;
+  e.ins_rate = 0.09;
+  e.del_rate = 0.045;
+  // mean ~5.5 kbp: lognormal with mu=log(5500)-sigma^2/2, sigma=0.55
+  e.log_sigma = 0.55;
+  e.log_mu = std::log(5500.0) - e.log_sigma * e.log_sigma / 2;
+  e.min_length = 100;
+  e.max_length = 25'000;
+  return e;
+}
+
+ErrorProfile ErrorProfile::nanopore() {
+  ErrorProfile e;
+  e.platform = Platform::kNanopore;
+  e.sub_rate = 0.04;
+  e.ins_rate = 0.04;
+  e.del_rate = 0.04;
+  // mean ~3.9 kbp with a heavy tail toward ultra-long reads
+  e.log_sigma = 1.05;
+  e.log_mu = std::log(3900.0) - e.log_sigma * e.log_sigma / 2;
+  e.min_length = 90;
+  e.max_length = 520'000;
+  return e;
+}
+
+}  // namespace manymap

@@ -1,0 +1,37 @@
+// Per-platform third-generation sequencing error/length profiles,
+// mirroring the two datasets of Table 4 (PacBio SMRT simulated via PBSIM
+// against an H. sapiens error model, and the Oxford Nanopore human dataset
+// FAB23716).
+#pragma once
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+enum class Platform { kPacBio, kNanopore };
+
+const char* to_string(Platform p);
+
+struct ErrorProfile {
+  Platform platform = Platform::kPacBio;
+  double sub_rate = 0.0;  ///< per-base substitution probability
+  double ins_rate = 0.0;  ///< per-base insertion probability
+  double del_rate = 0.0;  ///< per-base deletion probability
+  /// Read lengths ~ LogNormal(log_mu, log_sigma), truncated to
+  /// [min_length, max_length].
+  double log_mu = 0.0;
+  double log_sigma = 0.0;
+  u32 min_length = 100;
+  u32 max_length = 30'000;
+
+  double total_error() const { return sub_rate + ins_rate + del_rate; }
+
+  /// PacBio SMRT (P6-C4-like): ~15% error dominated by insertions,
+  /// mean ~5.5 kbp, max ~25 kbp (Table 4 "Simulated").
+  static ErrorProfile pacbio();
+  /// Nanopore R9.4-like: ~12% error, shorter mean but a heavy tail of
+  /// ultra-long reads (Table 4 "Real").
+  static ErrorProfile nanopore();
+};
+
+}  // namespace manymap

@@ -1,0 +1,63 @@
+#include "simulate/genome.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+namespace {
+
+u8 biased_base(Rng& rng, double gc) {
+  // P(G)=P(C)=gc/2, P(A)=P(T)=(1-gc)/2
+  const double u = rng.uniform01();
+  if (u < gc / 2) return 1;             // C
+  if (u < gc) return 2;                 // G
+  if (u < gc + (1 - gc) / 2) return 0;  // A
+  return 3;                             // T
+}
+
+}  // namespace
+
+Reference generate_genome(const GenomeParams& params) {
+  MM_REQUIRE(params.num_contigs > 0, "genome needs at least one contig");
+  Rng rng(params.seed);
+
+  // Draw repeat family consensus sequences first.
+  std::vector<std::vector<u8>> repeats(params.repeat_families);
+  for (auto& rep : repeats) {
+    rep.resize(params.repeat_length);
+    for (auto& b : rep) b = biased_base(rng, params.gc);
+  }
+
+  std::vector<Sequence> contigs;
+  const u64 per_contig = params.total_length / params.num_contigs;
+  for (u32 c = 0; c < params.num_contigs; ++c) {
+    const u64 len = (c + 1 == params.num_contigs)
+                        ? params.total_length - per_contig * (params.num_contigs - 1)
+                        : per_contig;
+    Sequence contig;
+    contig.name = "chr" + std::to_string(c + 1);
+    contig.codes.resize(len);
+    for (auto& b : contig.codes) b = biased_base(rng, params.gc);
+    contigs.push_back(std::move(contig));
+  }
+
+  // Plant slightly diverged repeat copies across contigs.
+  for (u32 f = 0; f < params.repeat_families; ++f) {
+    for (u32 k = 0; k < params.repeat_copies; ++k) {
+      auto& contig = contigs[rng.uniform(contigs.size())];
+      if (contig.size() <= repeats[f].size() + 2) continue;
+      const u64 pos = rng.uniform(contig.size() - repeats[f].size() - 1);
+      for (std::size_t i = 0; i < repeats[f].size(); ++i) {
+        u8 b = repeats[f][i];
+        if (rng.bernoulli(params.repeat_divergence)) b = rng.base();
+        contig.codes[pos + i] = b;
+      }
+    }
+  }
+
+  Reference ref;
+  for (auto& c : contigs) ref.add(std::move(c));
+  return ref;
+}
+
+}  // namespace manymap

@@ -1,0 +1,28 @@
+// Synthetic reference genome generation. Substitutes for hg38 at laptop
+// scale: random base composition with configurable GC bias plus planted
+// repeat families, so minimizer seeding and chaining see realistic
+// ambiguity (repeats are what make long-read mapping non-trivial).
+#pragma once
+
+#include "base/random.hpp"
+#include "sequence/sequence.hpp"
+
+namespace manymap {
+
+struct GenomeParams {
+  u64 total_length = 1'000'000;  ///< sum of contig lengths
+  u32 num_contigs = 4;
+  double gc = 0.41;              ///< human-like GC content
+  /// Repeat families: segments copied to random locations (with slight
+  /// divergence), emulating LINE/SINE-like repeats.
+  u32 repeat_families = 8;
+  u32 repeat_length = 600;
+  u32 repeat_copies = 12;
+  double repeat_divergence = 0.05;
+  u64 seed = 7;
+};
+
+/// Generate a multi-contig reference with the given properties.
+Reference generate_genome(const GenomeParams& params);
+
+}  // namespace manymap

@@ -1,0 +1,73 @@
+#include "simulate/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manymap {
+
+std::vector<u8> apply_errors(const std::vector<u8>& fragment, const ErrorProfile& profile,
+                             Rng& rng) {
+  std::vector<u8> out;
+  out.reserve(fragment.size() + fragment.size() / 8 + 8);
+  for (u8 b : fragment) {
+    const double u = rng.uniform01();
+    if (u < profile.del_rate) {
+      continue;  // base dropped
+    }
+    if (u < profile.del_rate + profile.sub_rate) {
+      // substitution to a different base
+      u8 nb = rng.base();
+      while (nb == b) nb = rng.base();
+      out.push_back(nb);
+      continue;
+    }
+    out.push_back(b);
+    if (u >= 1.0 - profile.ins_rate) {
+      out.push_back(rng.base());  // inserted base after
+      // occasionally longer insertion bursts (homopolymer-ish)
+      while (rng.bernoulli(0.25)) out.push_back(rng.base());
+    }
+  }
+  if (out.empty()) out.push_back(rng.base());
+  return out;
+}
+
+ReadSimulator::ReadSimulator(const Reference& ref, ReadSimParams params)
+    : ref_(ref), params_(params), rng_(params.seed) {
+  MM_REQUIRE(ref.num_contigs() > 0, "cannot simulate reads from empty reference");
+  contig_weights_.reserve(ref.num_contigs());
+  for (std::size_t i = 0; i < ref.num_contigs(); ++i)
+    contig_weights_.push_back(static_cast<double>(ref.contig(i).size()));
+}
+
+SimulatedRead ReadSimulator::next(u32 id) {
+  const auto& prof = params_.profile;
+  // Draw a length, truncated to the profile range and the contig size.
+  const u32 cid = static_cast<u32>(rng_.weighted_choice(contig_weights_));
+  const auto& contig = ref_.contig(cid);
+  u64 len = static_cast<u64>(std::llround(rng_.lognormal(prof.log_mu, prof.log_sigma)));
+  len = std::clamp<u64>(len, prof.min_length, prof.max_length);
+  len = std::min<u64>(len, contig.size());
+
+  const u64 start = contig.size() == len ? 0 : rng_.uniform(contig.size() - len + 1);
+  std::vector<u8> fragment = ref_.extract(cid, start, len);
+  const bool forward = !params_.both_strands || rng_.bernoulli(0.5);
+  if (!forward) fragment = reverse_complement(fragment);
+
+  SimulatedRead r;
+  r.read.name = std::string(to_string(prof.platform)[0] == 'P' ? "pb_" : "ont_") +
+                std::to_string(id) + "!" + contig.name + "!" + std::to_string(start) + "!" +
+                std::to_string(start + len) + "!" + (forward ? "+" : "-");
+  r.read.codes = apply_errors(fragment, prof, rng_);
+  r.truth = TruthRecord{cid, start, start + len, forward};
+  return r;
+}
+
+std::vector<SimulatedRead> ReadSimulator::simulate() {
+  std::vector<SimulatedRead> reads;
+  reads.reserve(params_.num_reads);
+  for (u32 i = 0; i < params_.num_reads; ++i) reads.push_back(next(i));
+  return reads;
+}
+
+}  // namespace manymap

@@ -1,0 +1,55 @@
+// PBSIM-like long-read simulator: samples read origins uniformly from the
+// reference, draws lengths from the platform profile, applies
+// substitution/insertion/deletion noise, and records the ground-truth
+// origin of every read so aligner accuracy (Table 5 "Error Rate") can be
+// scored exactly as the paper does.
+#pragma once
+
+#include <vector>
+
+#include "simulate/error_profile.hpp"
+#include "simulate/genome.hpp"
+
+namespace manymap {
+
+struct TruthRecord {
+  u32 contig = 0;
+  u64 start = 0;   ///< reference start (0-based, inclusive)
+  u64 end = 0;     ///< reference end (exclusive)
+  bool forward = true;
+};
+
+struct SimulatedRead {
+  Sequence read;
+  TruthRecord truth;
+};
+
+struct ReadSimParams {
+  ErrorProfile profile = ErrorProfile::pacbio();
+  u32 num_reads = 1000;
+  u64 seed = 11;
+  bool both_strands = true;
+};
+
+class ReadSimulator {
+ public:
+  ReadSimulator(const Reference& ref, ReadSimParams params);
+
+  /// Generate all reads (deterministic for a given seed).
+  std::vector<SimulatedRead> simulate();
+
+  /// Generate a single read (advances internal RNG state).
+  SimulatedRead next(u32 id);
+
+ private:
+  const Reference& ref_;
+  ReadSimParams params_;
+  Rng rng_;
+  std::vector<double> contig_weights_;
+};
+
+/// Apply platform noise to a perfect fragment. Exposed for tests.
+std::vector<u8> apply_errors(const std::vector<u8>& fragment, const ErrorProfile& profile,
+                             Rng& rng);
+
+}  // namespace manymap

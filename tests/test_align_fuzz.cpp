@@ -1,0 +1,185 @@
+// Randomized fuzz sweep and adversarial edge cases for the alignment
+// kernels: many small random instances (where the reference DP is cheap),
+// pathological sequence structures, and precondition death tests.
+#include <gtest/gtest.h>
+
+#include "align/diff_common.hpp"
+#include "align/kernel_api.hpp"
+#include "align/reference_dp.hpp"
+#include "base/random.hpp"
+#include "sequence/dna.hpp"
+
+namespace manymap {
+namespace {
+
+DiffArgs make_args(const std::vector<u8>& t, const std::vector<u8>& q, AlignMode mode,
+                   bool cigar, ScoreParams p = ScoreParams{}) {
+  DiffArgs a;
+  a.target = t.data();
+  a.tlen = static_cast<i32>(t.size());
+  a.query = q.data();
+  a.qlen = static_cast<i32>(q.size());
+  a.params = p;
+  a.mode = mode;
+  a.with_cigar = cigar;
+  return a;
+}
+
+void expect_all_kernels_match(const std::vector<u8>& t, const std::vector<u8>& q,
+                              const char* label) {
+  for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+    const auto args = make_args(t, q, mode, true);
+    const auto ref = reference_align(args);
+    for (const Layout layout : {Layout::kMinimap2, Layout::kManymap}) {
+      for (const Isa isa : available_isas()) {
+        const auto got = get_diff_kernel(layout, isa)(args);
+        ASSERT_EQ(got.score, ref.score)
+            << label << " " << to_string(layout) << "/" << to_string(isa) << "/"
+            << to_string(mode);
+        ASSERT_EQ(got.cigar.to_string(), ref.cigar.to_string()) << label;
+      }
+    }
+  }
+}
+
+TEST(AlignFuzz, ManySmallRandomInstances) {
+  Rng rng(0xabcdef);
+  for (int it = 0; it < 150; ++it) {
+    const i32 tlen = 1 + static_cast<i32>(rng.uniform(48));
+    const i32 qlen = 1 + static_cast<i32>(rng.uniform(48));
+    std::vector<u8> t(static_cast<std::size_t>(tlen)), q(static_cast<std::size_t>(qlen));
+    for (auto& b : t) b = static_cast<u8>(rng.uniform(5));  // includes N
+    for (auto& b : q) b = static_cast<u8>(rng.uniform(5));
+    expect_all_kernels_match(t, q, "fuzz");
+  }
+}
+
+TEST(AlignFuzz, HomopolymerRuns) {
+  // Long identical-base runs create maximal ambiguity in gap placement;
+  // deterministic tie-breaking must keep every kernel identical.
+  const auto t = encode_dna("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA");
+  const auto q = encode_dna("AAAAAAAAAAAAAAAAAAAA");
+  expect_all_kernels_match(t, q, "homopolymer");
+  expect_all_kernels_match(q, t, "homopolymer_swap");
+}
+
+TEST(AlignFuzz, TandemRepeats) {
+  const auto t = encode_dna("ACGACGACGACGACGACGACGACGACGACG");
+  const auto q = encode_dna("ACGACGACGACGACG");
+  expect_all_kernels_match(t, q, "tandem");
+}
+
+TEST(AlignFuzz, AllNSequences) {
+  const std::vector<u8> t(20, kBaseN);
+  const std::vector<u8> q(15, kBaseN);
+  expect_all_kernels_match(t, q, "all_n");
+}
+
+TEST(AlignFuzz, CompletelyDissimilar) {
+  const auto t = encode_dna("AAAAAAAAAAAAAAAAAAAA");
+  const auto q = encode_dna("CCCCCCCCCCCCCCCCCCCC");
+  expect_all_kernels_match(t, q, "dissimilar");
+  // Global score: 20 mismatches beats open+extend gaps of 20/20.
+  const auto r = reference_align(make_args(t, q, AlignMode::kGlobal, false));
+  EXPECT_EQ(r.score, -20 * ScoreParams{}.mismatch);
+}
+
+TEST(AlignFuzz, ExtremeLengthAsymmetry) {
+  Rng rng(55);
+  std::vector<u8> t(400), q(3);
+  for (auto& b : t) b = rng.base();
+  for (auto& b : q) b = rng.base();
+  expect_all_kernels_match(t, q, "asymmetric_tq");
+  expect_all_kernels_match(q, t, "asymmetric_qt");
+}
+
+TEST(AlignFuzz, SingleBasePairs) {
+  for (u8 a = 0; a < 4; ++a) {
+    for (u8 b = 0; b < 4; ++b) {
+      const std::vector<u8> t{a}, q{b};
+      expect_all_kernels_match(t, q, "single_base");
+    }
+  }
+}
+
+TEST(AlignFuzz, VectorWidthBoundaryLengths) {
+  // Lengths straddling the 16/32/64-lane chunk boundaries exercise the
+  // tail-masking paths of every SIMD kernel.
+  Rng rng(66);
+  for (const i32 len : {15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129}) {
+    std::vector<u8> t(static_cast<std::size_t>(len));
+    for (auto& b : t) b = rng.base();
+    auto q = t;
+    for (auto& b : q)
+      if (rng.bernoulli(0.2)) b = rng.base();
+    expect_all_kernels_match(t, q, "width_boundary");
+  }
+}
+
+TEST(AlignFuzz, ExtensionNeverWorseThanGlobal) {
+  // Free ends can only help: extension score >= global score.
+  Rng rng(77);
+  for (int it = 0; it < 40; ++it) {
+    std::vector<u8> t(20 + rng.uniform(100)), q(20 + rng.uniform(100));
+    for (auto& b : t) b = rng.base();
+    for (auto& b : q) b = rng.base();
+    const auto g = reference_align(make_args(t, q, AlignMode::kGlobal, false));
+    const auto e = reference_align(make_args(t, q, AlignMode::kExtension, false));
+    EXPECT_GE(e.score, g.score);
+  }
+}
+
+TEST(AlignFuzz, ScoreMonotonicInMutations) {
+  // More corruption should not increase the global score of t vs mutated t
+  // (statistically; we check a strong majority over trials).
+  Rng rng(88);
+  int ok = 0;
+  const int trials = 25;
+  for (int it = 0; it < trials; ++it) {
+    std::vector<u8> t(150);
+    for (auto& b : t) b = rng.base();
+    auto q1 = t, q2 = t;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (rng.bernoulli(0.05)) q1[i] = rng.base();
+      if (rng.bernoulli(0.40)) q2[i] = rng.base();
+    }
+    const auto s1 = reference_align(make_args(t, q1, AlignMode::kGlobal, false)).score;
+    const auto s2 = reference_align(make_args(t, q2, AlignMode::kGlobal, false)).score;
+    if (s1 >= s2) ++ok;
+  }
+  EXPECT_GE(ok, trials - 2);
+}
+
+using AlignDeath = ::testing::Test;
+
+TEST(AlignDeath, CigarRejectsUnknownOp) {
+  Cigar c;
+  EXPECT_DEATH(c.push('X', 3), "unsupported CIGAR op");
+}
+
+TEST(AlignDeath, CigarScoreRejectsOverrun) {
+  const Cigar c = Cigar::from_string("10M");
+  const auto t = encode_dna("ACGT");
+  const auto q = encode_dna("ACGT");
+  EXPECT_DEATH((void)c.score(t, q, 0, 0, ScoreParams{}), "overruns");
+}
+
+TEST(AlignDeath, Int8OverflowRejected) {
+  ScoreParams p;
+  p.match = 120;
+  p.gap_open = 100;
+  p.gap_ext = 100;
+  EXPECT_FALSE(p.fits_int8());
+  const auto t = encode_dna("ACGT");
+  const auto q = encode_dna("ACGT");
+  DiffArgs a;
+  a.target = t.data();
+  a.tlen = 4;
+  a.query = q.data();
+  a.qlen = 4;
+  a.params = p;
+  EXPECT_DEATH((void)get_diff_kernel(Layout::kManymap, Isa::kSse2)(a), "int8");
+}
+
+}  // namespace
+}  // namespace manymap

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "align/banded.hpp"
+#include "align/reference_dp.hpp"
+#include "base/random.hpp"
+#include "core/sam.hpp"
+#include "sequence/dna.hpp"
+#include "simulate/genome.hpp"
+
+namespace manymap {
+namespace {
+
+std::vector<u8> random_seq(Rng& rng, i32 n) {
+  std::vector<u8> s(static_cast<std::size_t>(n));
+  for (auto& b : s) b = rng.base();
+  return s;
+}
+
+BandedArgs make_banded(const std::vector<u8>& t, const std::vector<u8>& q, i32 band,
+                       bool cigar) {
+  BandedArgs a;
+  a.target = t.data();
+  a.tlen = static_cast<i32>(t.size());
+  a.query = q.data();
+  a.qlen = static_cast<i32>(q.size());
+  a.band = band;
+  a.with_cigar = cigar;
+  return a;
+}
+
+DiffArgs make_full(const std::vector<u8>& t, const std::vector<u8>& q, bool cigar) {
+  DiffArgs a;
+  a.target = t.data();
+  a.tlen = static_cast<i32>(t.size());
+  a.query = q.data();
+  a.qlen = static_cast<i32>(q.size());
+  a.mode = AlignMode::kGlobal;
+  a.with_cigar = cigar;
+  return a;
+}
+
+TEST(Banded, FullBandMatchesReferenceExactly) {
+  Rng rng(11);
+  for (int it = 0; it < 40; ++it) {
+    const i32 tlen = 1 + static_cast<i32>(rng.uniform(60));
+    const i32 qlen = 1 + static_cast<i32>(rng.uniform(60));
+    const auto t = random_seq(rng, tlen);
+    const auto q = random_seq(rng, qlen);
+    const auto ref = reference_align(make_full(t, q, true));
+    const auto got = banded_global_align(make_banded(t, q, std::max(tlen, qlen), true));
+    ASSERT_EQ(got.score, ref.score) << tlen << "x" << qlen;
+    ASSERT_EQ(got.cigar.to_string(), ref.cigar.to_string());
+  }
+}
+
+TEST(Banded, NarrowBandOptimalWhenPathFits) {
+  // Related sequences whose alignment stays near the diagonal: a modest
+  // band must already give the optimal score.
+  Rng rng(12);
+  for (int it = 0; it < 20; ++it) {
+    const auto t = random_seq(rng, 300);
+    auto q = t;
+    for (auto& b : q)
+      if (rng.bernoulli(0.1)) b = rng.base();  // substitutions only
+    const auto ref = reference_align(make_full(t, q, false));
+    const auto got = banded_global_align(make_banded(t, q, 16, false));
+    EXPECT_EQ(got.score, ref.score);
+  }
+}
+
+TEST(Banded, ScoreMonotonicInBand) {
+  Rng rng(13);
+  const auto t = random_seq(rng, 200);
+  const auto q = random_seq(rng, 180);
+  i64 prev = INT64_MIN;
+  for (const i32 band : {2, 8, 32, 128, 200}) {
+    const auto r = banded_global_align(make_banded(t, q, band, false));
+    EXPECT_GE(r.score, prev) << band;
+    prev = r.score;
+  }
+}
+
+TEST(Banded, AsymmetricLengthsFollowTheCenterLine) {
+  // |T| = 3|Q|: the optimal path drifts far off the i==j diagonal; the
+  // center-line band must still reach the corner with a small half-width.
+  Rng rng(14);
+  std::vector<u8> q = random_seq(rng, 100);
+  std::vector<u8> t;
+  for (const u8 b : q) {  // target = query with every base triplicated
+    t.push_back(b);
+    t.push_back(b);
+    t.push_back(b);
+  }
+  const auto r = banded_global_align(make_banded(t, q, 24, true));
+  EXPECT_EQ(r.cigar.target_span(), t.size());
+  EXPECT_EQ(r.cigar.query_span(), q.size());
+  // The full DP agrees given the same freedom.
+  const auto ref = reference_align(make_full(t, q, false));
+  EXPECT_LE(r.score, ref.score);
+}
+
+TEST(Banded, CigarValidAndRescores) {
+  Rng rng(15);
+  for (int it = 0; it < 15; ++it) {
+    const auto t = random_seq(rng, 150 + static_cast<i32>(rng.uniform(100)));
+    auto q = t;
+    q.resize(t.size() - 20);  // net deletion
+    const auto r = banded_global_align(make_banded(t, q, 64, true));
+    EXPECT_EQ(r.cigar.target_span(), t.size());
+    EXPECT_EQ(r.cigar.query_span(), q.size());
+    EXPECT_EQ(r.cigar.score(t, q, 0, 0, ScoreParams{}), r.score);
+  }
+}
+
+TEST(Banded, DegenerateInputs) {
+  const std::vector<u8> empty;
+  const auto t = encode_dna("ACGT");
+  const ScoreParams p;
+  auto r = banded_global_align(make_banded(t, empty, 8, true));
+  EXPECT_EQ(r.score, -(p.gap_open + 4 * p.gap_ext));
+  EXPECT_EQ(r.cigar.to_string(), "4D");
+  r = banded_global_align(make_banded(empty, empty, 8, false));
+  EXPECT_EQ(r.score, 0);
+}
+
+TEST(Banded, CellsReflectBandNotFullMatrix) {
+  Rng rng(16);
+  const auto t = random_seq(rng, 1000);
+  const auto q = random_seq(rng, 1000);
+  const auto r = banded_global_align(make_banded(t, q, 50, false));
+  EXPECT_LE(r.cells, 1000u * 101u);
+  EXPECT_LT(r.cells, 1000u * 1000u / 5);
+}
+
+// --- SAM output ---
+
+TEST(Sam, HeaderListsContigs) {
+  GenomeParams g;
+  g.total_length = 2000;
+  g.num_contigs = 2;
+  const Reference ref = generate_genome(g);
+  const std::string h = sam_header(ref);
+  EXPECT_NE(h.find("@HD"), std::string::npos);
+  EXPECT_NE(h.find("@SQ\tSN:chr1\tLN:1000"), std::string::npos);
+  EXPECT_NE(h.find("@SQ\tSN:chr2\tLN:1000"), std::string::npos);
+  EXPECT_NE(h.find("@PG"), std::string::npos);
+}
+
+Mapping example_mapping() {
+  Mapping m;
+  m.qname = "r1";
+  m.qlen = 20;
+  m.qstart = 2;
+  m.qend = 18;
+  m.rev = false;
+  m.rname = "chr1";
+  m.rlen = 1000;
+  m.tstart = 99;
+  m.tend = 115;
+  m.mapq = 60;
+  m.primary = true;
+  m.matches = 15;
+  m.align_length = 16;
+  m.cigar = Cigar::from_string("16M");
+  m.score = 28;
+  return m;
+}
+
+TEST(Sam, ForwardRecordFields) {
+  Sequence read = Sequence::from_ascii("r1", "ACGTACGTACGTACGTACGT");
+  const std::string line = to_sam(example_mapping(), read);
+  // qname flag rname pos mapq cigar
+  EXPECT_EQ(line.substr(0, line.find('\t')), "r1");
+  EXPECT_NE(line.find("\t0\tchr1\t100\t60\t2S16M2S\t"), std::string::npos);
+  EXPECT_NE(line.find("ACGTACGTACGTACGTACGT"), std::string::npos);
+  EXPECT_NE(line.find("AS:i:28"), std::string::npos);
+  EXPECT_NE(line.find("NM:i:1"), std::string::npos);
+}
+
+TEST(Sam, ReverseRecordFlipsSeqAndClips) {
+  Mapping m = example_mapping();
+  m.rev = true;
+  m.qstart = 2;
+  m.qend = 18;
+  Sequence read = Sequence::from_ascii("r1", "AACCGGTTAACCGGTTAACC");
+  const std::string line = to_sam(m, read);
+  EXPECT_NE(line.find("\t16\t"), std::string::npos);  // reverse flag
+  // clips swap on the reverse strand: left clip = qlen - qend = 2.
+  EXPECT_NE(line.find("\t2S16M2S\t"), std::string::npos);
+  EXPECT_NE(line.find(reverse_complement_ascii("AACCGGTTAACCGGTTAACC")),
+            std::string::npos);
+}
+
+TEST(Sam, SecondaryFlag) {
+  Mapping m = example_mapping();
+  m.primary = false;
+  Sequence read = Sequence::from_ascii("r1", "ACGTACGTACGTACGTACGT");
+  const std::string line = to_sam(m, read);
+  EXPECT_NE(line.find("\t256\t"), std::string::npos);
+}
+
+TEST(Sam, UnmappedRecord) {
+  Sequence read = Sequence::from_ascii("lost", "ACGT");
+  const std::string line = to_sam_unmapped(read);
+  EXPECT_NE(line.find("lost\t4\t*\t0\t0\t*"), std::string::npos);
+  const std::string block = to_sam_block({}, read);
+  EXPECT_EQ(block, line + "\n");
+}
+
+TEST(Sam, QualityHandling) {
+  Sequence read = Sequence::from_ascii("q", "ACGT");
+  read.qual = "FFII";
+  Mapping m = example_mapping();
+  m.qlen = 4;
+  m.qstart = 0;
+  m.qend = 4;
+  m.cigar = Cigar::from_string("4M");
+  std::string line = to_sam(m, read);
+  EXPECT_NE(line.find("\tFFII\t"), std::string::npos);
+  m.rev = true;
+  line = to_sam(m, read);
+  EXPECT_NE(line.find("\tIIFF\t"), std::string::npos);  // reversed qual
+}
+
+}  // namespace
+}  // namespace manymap

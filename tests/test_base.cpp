@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/cpu_features.hpp"
+#include "base/random.hpp"
+#include "base/stats.hpp"
+
+namespace manymap {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng r(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = r.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(0.25));
+  // mean of geometric (failures before success) = (1-p)/p = 3
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedChoiceRespectWeights) {
+  Rng r(21);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[r.weighted_choice(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(Stats, Summary) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(CpuFeatures, Sse2PresentOnX86) {
+#if defined(__x86_64__)
+  EXPECT_TRUE(cpu_features().sse2);
+#else
+  GTEST_SKIP();
+#endif
+}
+
+TEST(Common, RoundUpCeilDiv) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+}
+
+}  // namespace
+}  // namespace manymap

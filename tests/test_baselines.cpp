@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "core/accuracy.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+class BaselineTest : public ::testing::TestWithParam<BaselineKind> {
+ protected:
+  static void SetUpTestSuite() {
+    GenomeParams g;
+    g.total_length = 120'000;
+    g.num_contigs = 2;
+    g.seed = 2024;
+    ref_ = new Reference(generate_genome(g));
+  }
+  static void TearDownTestSuite() {
+    delete ref_;
+    ref_ = nullptr;
+  }
+  static Reference* ref_;
+};
+
+Reference* BaselineTest::ref_ = nullptr;
+
+TEST_P(BaselineTest, BasicProperties) {
+  const auto aligner = make_baseline(GetParam(), *ref_);
+  ASSERT_NE(aligner, nullptr);
+  EXPECT_STREQ(aligner->name(), to_string(GetParam()));
+  EXPECT_GT(aligner->index_bytes(), 0u);
+  EXPECT_GT(aligner->knl_port_factor(), 0.0);
+}
+
+TEST_P(BaselineTest, MapsPerfectForwardRead) {
+  const auto aligner = make_baseline(GetParam(), *ref_);
+  Sequence read;
+  read.name = "perfect";
+  read.codes = ref_->extract(0, 20'000, 3000);
+  const auto maps = aligner->map(read);
+  ASSERT_FALSE(maps.empty()) << aligner->name();
+  const auto& m = maps[0];
+  EXPECT_EQ(m.rid, 0u);
+  EXPECT_FALSE(m.rev);
+  EXPECT_LT(m.tstart, 20'500u);
+  EXPECT_GT(m.tend, 22'500u);
+  EXPECT_LE(m.qstart, m.qend);
+  EXPECT_LE(m.qend, read.size());
+}
+
+TEST_P(BaselineTest, MapsPerfectReverseRead) {
+  const auto aligner = make_baseline(GetParam(), *ref_);
+  Sequence read;
+  read.name = "perfect_rc";
+  read.codes = reverse_complement(ref_->extract(1, 30'000, 2500));
+  const auto maps = aligner->map(read);
+  ASSERT_FALSE(maps.empty()) << aligner->name();
+  EXPECT_EQ(maps[0].rid, 1u);
+  EXPECT_TRUE(maps[0].rev);
+  EXPECT_LT(maps[0].tstart, 30'500u);
+  EXPECT_GT(maps[0].tend, 32'000u);
+}
+
+TEST_P(BaselineTest, ShortReadYieldsNothing) {
+  const auto aligner = make_baseline(GetParam(), *ref_);
+  Sequence tiny;
+  tiny.name = "tiny";
+  tiny.codes = {0, 1, 2};
+  EXPECT_TRUE(aligner->map(tiny).empty());
+}
+
+TEST_P(BaselineTest, NoisyReadsMostlyCorrect) {
+  // All baselines should usually find the right locus on PacBio-like reads
+  // at this scale; accuracy *differences* are measured by the Table 5
+  // bench, not asserted here.
+  const auto aligner = make_baseline(GetParam(), *ref_);
+  ReadSimParams p;
+  p.num_reads = 10;
+  p.seed = 555;
+  const auto reads = ReadSimulator(*ref_, p).simulate();
+  u32 correct = 0, aligned = 0;
+  for (const auto& r : reads) {
+    const auto maps = aligner->map(r.read);
+    if (maps.empty()) continue;
+    ++aligned;
+    if (mapping_is_correct(maps[0], r.truth)) ++correct;
+  }
+  EXPECT_GE(aligned, 6u) << aligner->name();
+  EXPECT_GE(correct * 2, aligned) << aligner->name();  // >50% correct
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTest,
+                         ::testing::Values(BaselineKind::kBwaMem, BaselineKind::kBlasr,
+                                           BaselineKind::kNgmlr, BaselineKind::kKart,
+                                           BaselineKind::kMinialign),
+                         [](const ::testing::TestParamInfo<BaselineKind>& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace manymap

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.hpp"
+#include "fm/bwt.hpp"
+#include "fm/fm_index.hpp"
+#include "fm/suffix_array.hpp"
+#include "sequence/dna.hpp"
+
+namespace manymap {
+namespace {
+
+std::vector<u8> random_text(u64 seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<u8> t(n);
+  for (auto& b : t) b = rng.base();
+  return t;
+}
+
+/// All positions where pattern occurs in text (brute force).
+std::vector<u32> naive_find(const std::vector<u8>& text, const std::vector<u8>& pattern) {
+  std::vector<u32> hits;
+  if (pattern.empty() || pattern.size() > text.size()) return hits;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    bool ok = true;
+    for (std::size_t j = 0; j < pattern.size(); ++j)
+      if (text[i + j] != pattern[j]) {
+        ok = false;
+        break;
+      }
+    if (ok) hits.push_back(static_cast<u32>(i));
+  }
+  return hits;
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomTexts) {
+  for (u64 seed : {1ULL, 2ULL, 3ULL}) {
+    for (std::size_t n : {1UL, 2UL, 7UL, 50UL, 200UL}) {
+      const auto t = random_text(seed, n);
+      EXPECT_EQ(build_suffix_array(t), build_suffix_array_naive(t)) << "n=" << n;
+    }
+  }
+}
+
+TEST(SuffixArray, RepetitiveText) {
+  const auto t = encode_dna("AAAAAAAAAAAAAAAAAAA");
+  const auto sa = build_suffix_array(t);
+  EXPECT_EQ(sa, build_suffix_array_naive(t));
+  // Suffixes of A^n sort by decreasing start (shorter = smaller).
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_EQ(sa[i], static_cast<u32>(t.size() - 1 - i));
+}
+
+TEST(SuffixArray, IsPermutation) {
+  const auto t = random_text(9, 500);
+  const auto sa = build_suffix_array(t);
+  std::set<u32> seen(sa.begin(), sa.end());
+  EXPECT_EQ(seen.size(), t.size());
+  EXPECT_EQ(*seen.rbegin(), t.size() - 1);
+}
+
+TEST(SuffixArray, SearchFindsAllOccurrences) {
+  const auto t = random_text(11, 2000);
+  const auto sa = build_suffix_array(t);
+  Rng rng(12);
+  for (int it = 0; it < 20; ++it) {
+    const std::size_t pos = rng.uniform(t.size() - 10);
+    const std::vector<u8> pattern(t.begin() + pos, t.begin() + pos + 8);
+    const auto ival = sa_search(t, sa, pattern);
+    const auto expected = naive_find(t, pattern);
+    ASSERT_EQ(ival.size(), expected.size());
+    std::set<u32> got;
+    for (u32 r = ival.lo; r < ival.hi; ++r) got.insert(sa[r]);
+    for (u32 e : expected) EXPECT_TRUE(got.count(e));
+  }
+}
+
+TEST(SuffixArray, SearchAbsentPattern) {
+  const auto t = encode_dna("ACGTACGTACGT");
+  const auto sa = build_suffix_array(t);
+  const auto pattern = encode_dna("GGGGG");
+  EXPECT_TRUE(sa_search(t, sa, pattern).empty());
+}
+
+TEST(Bwt, RoundTripInversion) {
+  for (u64 seed : {21ULL, 22ULL}) {
+    for (std::size_t n : {1UL, 5UL, 64UL, 333UL}) {
+      const auto t = random_text(seed, n);
+      const auto sa = build_suffix_array(t);
+      const auto bwt = build_bwt(t, sa);
+      EXPECT_EQ(bwt.bwt.size(), n + 1);
+      EXPECT_EQ(invert_bwt(bwt), t) << "n=" << n;
+    }
+  }
+}
+
+TEST(Bwt, KnownSmallExample) {
+  // text = ACA: suffixes: A(2) < ACA(0) < CA(1); sentinel first.
+  const auto t = encode_dna("ACA");
+  const auto sa = build_suffix_array(t);
+  ASSERT_EQ(sa, (std::vector<u32>{2, 0, 1}));
+  const auto bwt = build_bwt(t, sa);
+  // rows: $ACA -> last A; A$.. -> C; ACA$ -> $; CA$ -> A
+  EXPECT_EQ(bwt.bwt, (std::vector<u8>{0, 1, kBwtSentinel, 0}));
+  EXPECT_EQ(bwt.primary, 2u);
+}
+
+TEST(FmIndex, CountMatchesNaive) {
+  const auto t = random_text(31, 3000);
+  const FmIndex fm(t);
+  EXPECT_EQ(fm.text_length(), t.size());
+  Rng rng(32);
+  for (int it = 0; it < 25; ++it) {
+    const std::size_t len = 4 + rng.uniform(12);
+    const std::size_t pos = rng.uniform(t.size() - len);
+    const std::vector<u8> pattern(t.begin() + pos, t.begin() + pos + len);
+    EXPECT_EQ(fm.count(pattern).size(), naive_find(t, pattern).size());
+  }
+}
+
+TEST(FmIndex, LocateMatchesNaive) {
+  const auto t = random_text(41, 2000);
+  const FmIndex fm(t);
+  Rng rng(42);
+  for (int it = 0; it < 15; ++it) {
+    const std::size_t len = 6 + rng.uniform(8);
+    const std::size_t pos = rng.uniform(t.size() - len);
+    const std::vector<u8> pattern(t.begin() + pos, t.begin() + pos + len);
+    const auto ival = fm.count(pattern);
+    const auto hits = fm.locate(ival, 1000);
+    EXPECT_EQ(hits, naive_find(t, pattern));
+  }
+}
+
+TEST(FmIndex, LocateRespectsMaxHits) {
+  const auto t = encode_dna(std::string(500, 'A'));
+  const FmIndex fm(t);
+  const auto ival = fm.count(encode_dna("AAAA"));
+  EXPECT_GT(ival.size(), 10u);
+  EXPECT_EQ(fm.locate(ival, 7).size(), 7u);
+}
+
+TEST(FmIndex, AbsentPatternEmpty) {
+  const auto t = encode_dna("ACGTACGTAAAA");
+  const FmIndex fm(t);
+  EXPECT_TRUE(fm.count(encode_dna("GGG")).empty());
+}
+
+TEST(FmIndex, PatternWithNNeverMatches) {
+  const auto t = encode_dna("ACGTACGT");
+  const FmIndex fm(t);
+  EXPECT_TRUE(fm.count(encode_dna("ACNG")).empty());
+}
+
+TEST(FmIndex, MaxBackwardMatch) {
+  const auto t = random_text(51, 4000);
+  const FmIndex fm(t);
+  // Plant an exact 30-mer from the text inside a random query.
+  Rng rng(52);
+  std::vector<u8> query = random_text(53, 100);
+  const std::size_t src = rng.uniform(t.size() - 30);
+  for (int i = 0; i < 30; ++i) query[40 + i] = t[src + i];
+  const auto match = fm.max_backward_match(query, 69);
+  EXPECT_GE(match.length, 30u);
+  const auto hits = fm.locate(match.interval, 10);
+  // One of the hits must be the planted source (adjusted for extra prefix
+  // matches that may extend past the planted region).
+  bool found = false;
+  for (const u32 h : hits)
+    if (h <= src && src <= h + 5) found = true;
+  EXPECT_TRUE(found);
+  EXPECT_GT(fm.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace manymap

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/buffered_reader.hpp"
+#include "io/mapped_file.hpp"
+
+namespace manymap {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(MappedFile, OpenMissingFails) {
+  MappedFile f;
+  EXPECT_FALSE(f.open("/nonexistent/definitely/not/here"));
+  EXPECT_FALSE(f.is_open());
+}
+
+TEST(MappedFile, RoundTrip) {
+  const std::string path = temp_path("mm_io_roundtrip.bin");
+  const std::string payload = "hello mapped world\x01\x02\x03";
+  write_file(path, payload);
+  MappedFile f;
+  ASSERT_TRUE(f.open(path));
+  EXPECT_TRUE(f.is_open());
+  EXPECT_EQ(f.size(), payload.size());
+  EXPECT_EQ(f.view(), payload);
+  f.close();
+  EXPECT_FALSE(f.is_open());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, EmptyFile) {
+  const std::string path = temp_path("mm_io_empty.bin");
+  write_file(path, "");
+  MappedFile f;
+  ASSERT_TRUE(f.open(path));
+  EXPECT_EQ(f.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, MoveSemantics) {
+  const std::string path = temp_path("mm_io_move.bin");
+  write_file(path, "abc");
+  MappedFile a;
+  ASSERT_TRUE(a.open(path));
+  MappedFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.view(), "abc");
+  MappedFile c;
+  c = std::move(b);
+  EXPECT_EQ(c.view(), "abc");
+  std::remove(path.c_str());
+}
+
+TEST(ReadFile, MatchesWrite) {
+  const std::string path = temp_path("mm_io_readfile.bin");
+  std::string payload(100'000, 'x');
+  payload[5] = '\0';
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(BufferedReader, ReadsPodsSequentially) {
+  const std::string path = temp_path("mm_io_pods.bin");
+  std::string payload;
+  const u32 a = 0x11223344;
+  const u64 b = 0xdeadbeefcafef00dULL;
+  payload.append(reinterpret_cast<const char*>(&a), sizeof a);
+  payload.append(reinterpret_cast<const char*>(&b), sizeof b);
+  write_file(path, payload);
+
+  BufferedReader in(path);
+  ASSERT_TRUE(in.is_open());
+  u32 ra = 0;
+  u64 rb = 0;
+  EXPECT_TRUE(in.read_pod(ra));
+  EXPECT_TRUE(in.read_pod(rb));
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+  EXPECT_EQ(in.bytes_read(), sizeof a + sizeof b);
+  u8 extra = 0;
+  EXPECT_FALSE(in.read_pod(extra));  // clean EOF
+  std::remove(path.c_str());
+}
+
+TEST(BufferedReader, MissingFile) {
+  BufferedReader in("/no/such/file");
+  EXPECT_FALSE(in.is_open());
+}
+
+}  // namespace
+}  // namespace manymap

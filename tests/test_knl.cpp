@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "knl/knl_run.hpp"
+
+namespace manymap {
+namespace {
+
+using knl::KernelWorkload;
+using knl::KnlCalibration;
+using knl::KnlRunConfig;
+using knl::KnlSpec;
+using knl::KnlWorkload;
+using knl::MemoryMode;
+
+KnlWorkload typical_workload() {
+  KnlWorkload w;
+  w.load_index_cpu_s = 4.7;
+  w.load_query_cpu_s = 0.43;
+  w.seed_chain_cpu_s = 35.8;
+  w.align_cpu_s = 79.2;
+  w.output_cpu_s = 0.93;
+  return w;
+}
+
+TEST(KnlMemoryModel, ShortScoreOnlyModeAgnostic) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+  KernelWorkload w;
+  w.sequence_length = 1000;
+  w.with_path = false;
+  w.threads = 256;
+  const double ddr = simulated_gcups(spec, cal, w, MemoryMode::kDdr);
+  const double mc = simulated_gcups(spec, cal, w, MemoryMode::kMcdram);
+  EXPECT_NEAR(mc / ddr, 1.0, 0.05);  // compute-bound: no MCDRAM advantage
+}
+
+TEST(KnlMemoryModel, LongScoreOnlyFavorsMcdram) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+  KernelWorkload w;
+  w.sequence_length = 32'000;
+  w.with_path = false;
+  w.threads = 256;
+  const double ddr = simulated_gcups(spec, cal, w, MemoryMode::kDdr);
+  const double mc = simulated_gcups(spec, cal, w, MemoryMode::kMcdram);
+  EXPECT_GT(mc / ddr, 2.5);  // paper: "up to 5 times speedup"
+  EXPECT_LT(mc / ddr, 6.0);
+}
+
+TEST(KnlMemoryModel, PathModeMcdramAdvantageUntilSpill) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+  KernelWorkload w;
+  w.with_path = true;
+  w.threads = 256;
+  w.sequence_length = 4000;  // 256 * 16M ~ 4 GB: fits MCDRAM
+  const double fit_ratio = simulated_gcups(spec, cal, w, MemoryMode::kMcdram) /
+                           simulated_gcups(spec, cal, w, MemoryMode::kDdr);
+  EXPECT_GT(fit_ratio, 1.3);  // paper: ~1.8x when it fits
+  EXPECT_LT(fit_ratio, 2.5);
+  w.sequence_length = 16'000;  // 256 * 256M ~ 64 GB: spills MCDRAM
+  const double spill_ratio = simulated_gcups(spec, cal, w, MemoryMode::kMcdram) /
+                             simulated_gcups(spec, cal, w, MemoryMode::kDdr);
+  EXPECT_NEAR(spill_ratio, 1.0, 0.35);  // comparable once spilled
+}
+
+TEST(KnlMemoryModel, CacheModeBetweenFlatExtremes) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  // Fits MCDRAM: cache ~ flat-MCDRAM minus tag overhead.
+  const u64 small = 4ULL << 30;
+  EXPECT_LT(knl::effective_bandwidth_gbs(spec, MemoryMode::kCache, small),
+            knl::effective_bandwidth_gbs(spec, MemoryMode::kMcdram, small));
+  EXPECT_GT(knl::effective_bandwidth_gbs(spec, MemoryMode::kCache, small),
+            knl::effective_bandwidth_gbs(spec, MemoryMode::kDdr, small) * 3);
+  // Spilled: cache thrashes below plain DDR (why the paper uses flat mode).
+  const u64 big = 64ULL << 30;
+  EXPECT_LT(knl::effective_bandwidth_gbs(spec, MemoryMode::kCache, big),
+            knl::effective_bandwidth_gbs(spec, MemoryMode::kDdr, big));
+}
+
+TEST(KnlMemoryModel, WorkingSetAccounting) {
+  KernelWorkload w;
+  w.sequence_length = 8000;
+  w.with_path = true;
+  w.threads = 256;
+  // 256 threads x 64M dirs ~ 16 GB (the paper's "8k needs 18 GB" point).
+  EXPECT_GT(knl::working_set_bytes(w), 16.0e9);
+  EXPECT_LT(knl::working_set_bytes(w), 20.0e9);
+}
+
+TEST(KnlAffinity, CapacityOrdering) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+  // At 64 threads scatter uses all cores; compact packs 16 cores.
+  const double scatter = knl::parallel_capacity(spec, cal, AffinityStrategy::kScatter, 64);
+  const double compact = knl::parallel_capacity(spec, cal, AffinityStrategy::kCompact, 64);
+  // Paper §5.3.1: ~79% parallel efficiency at 64 threads.
+  EXPECT_NEAR(scatter / 64.0, 0.79, 0.03);
+  EXPECT_LT(compact, scatter / 1.8);  // "nearly two times slower"
+  // At 256 threads all strategies saturate all cores (optimized slightly
+  // lower: one core reserved).
+  const double s256 = knl::parallel_capacity(spec, cal, AffinityStrategy::kScatter, 256);
+  const double o256 = knl::parallel_capacity(spec, cal, AffinityStrategy::kOptimized, 256);
+  EXPECT_NEAR(s256, 64 * cal.smt_throughput(4) / (1.0 + 0.004 * 63), 0.01);
+  EXPECT_LT(o256, s256);
+  EXPECT_GT(o256, s256 * 0.93);
+}
+
+TEST(KnlAffinity, SmtGainMatchesPaper) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  const KnlCalibration cal;
+  const double c64 = knl::parallel_capacity(spec, cal, AffinityStrategy::kScatter, 64);
+  const double c256 = knl::parallel_capacity(spec, cal, AffinityStrategy::kScatter, 256);
+  // Paper §5.3.1: 4 threads/core only ~21% faster than 1 thread/core.
+  EXPECT_NEAR(c256 / c64, 1.21, 0.02);
+}
+
+TEST(KnlAffinity, IoContention) {
+  const KnlSpec spec = KnlSpec::phi7210();
+  EXPECT_DOUBLE_EQ(knl::io_contention_factor(spec, AffinityStrategy::kOptimized, 256), 1.0);
+  EXPECT_DOUBLE_EQ(knl::io_contention_factor(spec, AffinityStrategy::kScatter, 32), 1.0);
+  EXPECT_GT(knl::io_contention_factor(spec, AffinityStrategy::kScatter, 256), 1.2);
+  EXPECT_GT(knl::io_contention_factor(spec, AffinityStrategy::kCompact, 256), 1.2);
+}
+
+TEST(KnlPipeline, ManymapOverlapsInputAndOutput) {
+  knl::PipelineInputs in;
+  in.index_load_s = 10.0;
+  in.input_s = 30.0;
+  in.output_s = 25.0;
+  in.compute_s = 40.0;
+  in.manymap = false;
+  const double mm2 = knl::pipeline_wall_time(in).wall_s;
+  in.manymap = true;
+  const double many = knl::pipeline_wall_time(in).wall_s;
+  // minimap2: io (55) dominates compute (40) -> 65 total; manymap: compute
+  // paces (40) -> 50 total.
+  EXPECT_NEAR(mm2, 10.0 + 55.0, 3.0);
+  EXPECT_NEAR(many, 10.0 + 40.0, 1.0);
+  EXPECT_LT(many, mm2);
+}
+
+TEST(KnlRun, SingleThreadBreakdownMatchesTable2Shape) {
+  // Direct port of minimap2, 1 thread: align share should be ~83%, and the
+  // overall time ~15x the CPU total (Table 2).
+  KnlRunConfig cfg;
+  cfg.threads = 1;
+  cfg.affinity = AffinityStrategy::kScatter;
+  cfg.use_mmap_io = false;
+  cfg.manymap_pipeline = false;
+  cfg.vectorized_align = false;
+  cfg.memory_mode = MemoryMode::kDdr;
+  const auto r = knl::simulate_knl_run(KnlSpec::phi7210(), KnlCalibration{},
+                                       typical_workload(), cfg);
+  const double total = r.breakdown.total();
+  EXPECT_GT(r.breakdown.align_s / total, 0.75);
+  EXPECT_LT(r.breakdown.align_s / total, 0.90);
+  const double cpu_total = 4.7 + 0.43 + 35.8 + 79.2 + 0.93;
+  EXPECT_GT(total / cpu_total, 10.0);
+  EXPECT_LT(total / cpu_total, 20.0);
+}
+
+TEST(KnlRun, ManymapBeatsPortedMinimap2) {
+  // Full manymap config vs direct port at 256 threads: paper reports 2.3x
+  // slower minimap2 on KNL overall (75.3s vs 36.9s).
+  KnlRunConfig port;
+  port.threads = 256;
+  port.affinity = AffinityStrategy::kScatter;
+  port.use_mmap_io = false;
+  port.manymap_pipeline = false;
+  port.vectorized_align = false;
+  KnlRunConfig many;
+  many.threads = 256;
+  const auto w = typical_workload();
+  const auto rp = knl::simulate_knl_run(KnlSpec::phi7210(), KnlCalibration{}, w, port);
+  const auto rm = knl::simulate_knl_run(KnlSpec::phi7210(), KnlCalibration{}, w, many);
+  const double ratio = rp.wall_s / rm.wall_s;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(KnlRun, MoreThreadsFaster) {
+  KnlRunConfig cfg;
+  const auto w = typical_workload();
+  double prev = 1e18;
+  for (const u32 t : {1u, 8u, 64u, 256u}) {
+    cfg.threads = t;
+    const auto r = knl::simulate_knl_run(KnlSpec::phi7210(), KnlCalibration{}, w, cfg);
+    EXPECT_LT(r.wall_s, prev) << t << " threads";
+    prev = r.wall_s;
+  }
+}
+
+}  // namespace
+}  // namespace manymap

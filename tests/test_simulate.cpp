@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "simulate/dataset.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+GenomeParams small_genome() {
+  GenomeParams g;
+  g.total_length = 100'000;
+  g.num_contigs = 3;
+  g.seed = 42;
+  return g;
+}
+
+TEST(Genome, SizesAndNames) {
+  const auto ref = generate_genome(small_genome());
+  EXPECT_EQ(ref.num_contigs(), 3u);
+  EXPECT_EQ(ref.total_length(), 100'000u);
+  EXPECT_EQ(ref.contig(0).name, "chr1");
+  EXPECT_EQ(ref.contig(2).name, "chr3");
+}
+
+TEST(Genome, Deterministic) {
+  const auto a = generate_genome(small_genome());
+  const auto b = generate_genome(small_genome());
+  EXPECT_EQ(a.contig(0).codes, b.contig(0).codes);
+  EXPECT_EQ(a.contig(2).codes, b.contig(2).codes);
+}
+
+TEST(Genome, DifferentSeedsDiffer) {
+  auto p = small_genome();
+  const auto a = generate_genome(p);
+  p.seed = 43;
+  const auto b = generate_genome(p);
+  EXPECT_NE(a.contig(0).codes, b.contig(0).codes);
+}
+
+TEST(Genome, GcBiasRespected) {
+  auto p = small_genome();
+  p.gc = 0.65;
+  p.repeat_families = 0;
+  const auto ref = generate_genome(p);
+  EXPECT_NEAR(gc_content(ref.contig(0).codes), 0.65, 0.02);
+}
+
+TEST(Genome, AllBasesValid) {
+  const auto ref = generate_genome(small_genome());
+  for (std::size_t c = 0; c < ref.num_contigs(); ++c)
+    for (u8 b : ref.contig(c).codes) EXPECT_LT(b, 4);
+}
+
+TEST(ErrorProfile, Presets) {
+  const auto pb = ErrorProfile::pacbio();
+  EXPECT_NEAR(pb.total_error(), 0.15, 0.01);
+  EXPECT_EQ(pb.max_length, 25'000u);
+  const auto ont = ErrorProfile::nanopore();
+  EXPECT_NEAR(ont.total_error(), 0.12, 0.01);
+  EXPECT_GT(ont.max_length, 100'000u);
+}
+
+TEST(ApplyErrors, RateRoughlyCorrect) {
+  Rng rng(5);
+  ErrorProfile prof = ErrorProfile::pacbio();
+  std::vector<u8> frag(20'000);
+  for (auto& b : frag) b = rng.base();
+  const auto noisy = apply_errors(frag, prof, rng);
+  // insertions (with bursts) exceed deletions for PacBio: length grows
+  EXPECT_GT(noisy.size(), frag.size());
+  EXPECT_LT(static_cast<double>(noisy.size()), frag.size() * 1.25);
+}
+
+TEST(ApplyErrors, ZeroErrorIsIdentity) {
+  Rng rng(6);
+  ErrorProfile prof;
+  prof.sub_rate = prof.ins_rate = prof.del_rate = 0.0;
+  std::vector<u8> frag{0, 1, 2, 3, 0, 1};
+  EXPECT_EQ(apply_errors(frag, prof, rng), frag);
+}
+
+TEST(ReadSimulator, TruthRecordsConsistent) {
+  const auto ref = generate_genome(small_genome());
+  ReadSimParams p;
+  p.num_reads = 50;
+  p.seed = 9;
+  ReadSimulator sim(ref, p);
+  const auto reads = sim.simulate();
+  ASSERT_EQ(reads.size(), 50u);
+  for (const auto& r : reads) {
+    EXPECT_LT(r.truth.contig, ref.num_contigs());
+    EXPECT_LT(r.truth.start, r.truth.end);
+    EXPECT_LE(r.truth.end, ref.contig(r.truth.contig).size());
+    EXPECT_FALSE(r.read.empty());
+    EXPECT_FALSE(r.read.name.empty());
+  }
+}
+
+TEST(ReadSimulator, Deterministic) {
+  const auto ref = generate_genome(small_genome());
+  ReadSimParams p;
+  p.num_reads = 10;
+  p.seed = 3;
+  const auto a = ReadSimulator(ref, p).simulate();
+  const auto b = ReadSimulator(ref, p).simulate();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].read.codes, b[i].read.codes);
+    EXPECT_EQ(a[i].truth.start, b[i].truth.start);
+  }
+}
+
+TEST(ReadSimulator, LengthsWithinProfile) {
+  const auto ref = generate_genome(small_genome());
+  ReadSimParams p;
+  p.num_reads = 200;
+  ReadSimulator sim(ref, p);
+  const auto reads = sim.simulate();
+  for (const auto& r : reads) {
+    // noisy read length is within ~30% of the drawn fragment length cap
+    EXPECT_LE(r.truth.end - r.truth.start, 25'000u);
+    EXPECT_GE(r.read.size(), 50u);
+  }
+}
+
+TEST(Dataset, StatsMatchReads) {
+  const auto ref = generate_genome(small_genome());
+  ReadSimParams p;
+  p.num_reads = 30;
+  const auto reads = ReadSimulator(ref, p).simulate();
+  const auto stats = compute_stats(reads, Platform::kPacBio);
+  EXPECT_EQ(stats.num_reads, 30u);
+  u64 total = 0, mx = 0;
+  for (const auto& r : reads) {
+    total += r.read.size();
+    mx = std::max<u64>(mx, r.read.size());
+  }
+  EXPECT_EQ(stats.total_bases, total);
+  EXPECT_EQ(stats.max_length, mx);
+  EXPECT_FALSE(stats.to_table_row().empty());
+}
+
+TEST(Dataset, WriteDataset) {
+  const auto ref = generate_genome(small_genome());
+  ReadSimParams p;
+  p.num_reads = 5;
+  const auto reads = ReadSimulator(ref, p).simulate();
+  const std::string path = ::testing::TempDir() + "/mm_test_dataset.fq";
+  const u64 size = write_dataset(path, reads);
+  EXPECT_GT(size, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace manymap

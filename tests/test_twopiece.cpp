@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "align/reference_dp.hpp"
+#include "align/twopiece.hpp"
+#include "base/random.hpp"
+#include "sequence/dna.hpp"
+
+namespace manymap {
+namespace {
+
+std::vector<u8> random_seq(Rng& rng, i32 n) {
+  std::vector<u8> s(static_cast<std::size_t>(n));
+  for (auto& b : s) b = rng.base();
+  return s;
+}
+
+TwoPieceArgs make_args(const std::vector<u8>& t, const std::vector<u8>& q, AlignMode mode,
+                       bool cigar, TwoPieceParams p = TwoPieceParams{}) {
+  TwoPieceArgs a;
+  a.target = t.data();
+  a.tlen = static_cast<i32>(t.size());
+  a.query = q.data();
+  a.qlen = static_cast<i32>(q.size());
+  a.params = p;
+  a.mode = mode;
+  a.with_cigar = cigar;
+  return a;
+}
+
+TEST(TwoPiece, GapCostIsMinOfPieces) {
+  const TwoPieceParams p;
+  EXPECT_EQ(p.gap_cost(1), 6);    // 4+2 < 24+1
+  EXPECT_EQ(p.gap_cost(10), 24);  // 4+20 == 24 < 24+10 -> 24
+  EXPECT_EQ(p.gap_cost(20), 44);  // 4+40=44 == 24+20=44
+  EXPECT_EQ(p.gap_cost(100), 124);  // long gaps on the cheap piece
+}
+
+TEST(TwoPiece, BothLayoutsMatchReferenceOnRandomPairs) {
+  Rng rng(0x2b);
+  for (int it = 0; it < 80; ++it) {
+    const i32 tlen = 1 + static_cast<i32>(rng.uniform(60));
+    const i32 qlen = 1 + static_cast<i32>(rng.uniform(60));
+    const auto t = random_seq(rng, tlen);
+    const auto q = random_seq(rng, qlen);
+    for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+      const auto args = make_args(t, q, mode, true);
+      const auto ref = twopiece_reference_align(args);
+      for (const auto fn : {twopiece_align_mm2, twopiece_align_manymap,
+                            twopiece_align_sse2_mm2, twopiece_align_sse2_manymap}) {
+        const auto got = fn(args);
+        ASSERT_EQ(got.score, ref.score) << tlen << "x" << qlen << " " << to_string(mode);
+        ASSERT_EQ(got.t_end, ref.t_end);
+        ASSERT_EQ(got.q_end, ref.q_end);
+        ASSERT_EQ(got.cigar.to_string(), ref.cigar.to_string());
+      }
+    }
+  }
+}
+
+TEST(TwoPiece, LongDeletionUsesCheapPiece) {
+  // Target has a 60 bp insertion relative to the query: the two-piece
+  // model charges 24 + 60*1 = 84, the one-piece model 4 + 60*2 = 124.
+  Rng rng(0x2c);
+  const auto left = random_seq(rng, 80);
+  const auto right = random_seq(rng, 80);
+  const auto middle = random_seq(rng, 60);
+  std::vector<u8> t = left;
+  t.insert(t.end(), middle.begin(), middle.end());
+  t.insert(t.end(), right.begin(), right.end());
+  std::vector<u8> q = left;
+  q.insert(q.end(), right.begin(), right.end());
+
+  const auto two = twopiece_align_manymap(make_args(t, q, AlignMode::kGlobal, true));
+  DiffArgs one;
+  one.target = t.data();
+  one.tlen = static_cast<i32>(t.size());
+  one.query = q.data();
+  one.qlen = static_cast<i32>(q.size());
+  one.mode = AlignMode::kGlobal;
+  const auto one_r = reference_align(one);
+  // Same matches; the long gap is 40 cheaper under two-piece.
+  EXPECT_EQ(two.score - one_r.score, (4 + 60 * 2) - (24 + 60 * 1));
+  // The deletion must be one contiguous run in the path.
+  u32 longest_del = 0;
+  for (const auto& op : two.cigar.ops())
+    if (op.op == 'D') longest_del = std::max(longest_del, op.len);
+  EXPECT_EQ(longest_del, 60u);
+}
+
+TEST(TwoPiece, ShortGapsUseSteepPieceIdenticalToOnePiece) {
+  // With only short (<=3 bp) indels the two models coincide (q1/e1 equal
+  // the one-piece q/e and the cheap piece never wins).
+  Rng rng(0x2d);
+  std::vector<u8> t = random_seq(rng, 120);
+  std::vector<u8> q;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == 40) continue;                       // 1 bp deletion
+    q.push_back(t[i]);
+    if (i == 80) q.push_back(rng.base());        // 1 bp insertion
+  }
+  const auto two = twopiece_align_manymap(make_args(t, q, AlignMode::kGlobal, false));
+  DiffArgs one;
+  one.target = t.data();
+  one.tlen = static_cast<i32>(t.size());
+  one.query = q.data();
+  one.qlen = static_cast<i32>(q.size());
+  one.mode = AlignMode::kGlobal;
+  EXPECT_EQ(two.score, reference_align(one).score);
+}
+
+TEST(TwoPiece, DegenerateInputs) {
+  const std::vector<u8> empty;
+  const auto t = encode_dna("ACGTACGT");
+  const TwoPieceParams p;
+  auto r = twopiece_align_manymap(make_args(t, empty, AlignMode::kGlobal, true));
+  EXPECT_EQ(r.score, -p.gap_cost(8));
+  EXPECT_EQ(r.cigar.to_string(), "8D");
+  r = twopiece_align_mm2(make_args(empty, t, AlignMode::kExtension, false));
+  EXPECT_EQ(r.score, 0);
+}
+
+TEST(TwoPiece, CigarRescoresToReportedScore) {
+  Rng rng(0x2e);
+  for (int it = 0; it < 20; ++it) {
+    const auto t = random_seq(rng, 100);
+    auto q = t;
+    // introduce a mix of small and large indels
+    q.erase(q.begin() + 20, q.begin() + 50);
+    const auto r = twopiece_align_manymap(make_args(t, q, AlignMode::kGlobal, true));
+    EXPECT_EQ(r.cigar.target_span(), t.size());
+    EXPECT_EQ(r.cigar.query_span(), q.size());
+    // Rescore by walking the path with two-piece costs.
+    i64 score = 0;
+    u64 ti = 0, qi = 0;
+    const TwoPieceParams p;
+    for (const auto& op : r.cigar.ops()) {
+      if (op.op == 'M') {
+        for (u32 k = 0; k < op.len; ++k) score += p.sub(t[ti + k], q[qi + k]);
+        ti += op.len;
+        qi += op.len;
+      } else {
+        score -= p.gap_cost(op.len);
+        (op.op == 'D' ? ti : qi) += op.len;
+      }
+    }
+    EXPECT_EQ(score, r.score);
+  }
+}
+
+TEST(TwoPiece, ExtensionModeAgreesAcrossLayouts) {
+  Rng rng(0x2f);
+  const auto t = random_seq(rng, 500);
+  auto q = t;
+  q.resize(300);
+  const auto a = twopiece_align_mm2(make_args(t, q, AlignMode::kExtension, true));
+  const auto b = twopiece_align_manymap(make_args(t, q, AlignMode::kExtension, true));
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.t_end, b.t_end);
+  EXPECT_EQ(a.cigar.to_string(), b.cigar.to_string());
+  EXPECT_EQ(a.q_end, 299);  // the full (prefix) query aligns
+}
+
+TEST(TwoPiece, EveryAvailableIsaMatchesReference) {
+  Rng rng(0x31);
+  for (int it = 0; it < 20; ++it) {
+    const auto t = random_seq(rng, 1 + static_cast<i32>(rng.uniform(70)));
+    const auto q = random_seq(rng, 1 + static_cast<i32>(rng.uniform(70)));
+    for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+      const auto args = make_args(t, q, mode, true);
+      const auto ref = twopiece_reference_align(args);
+      for (const Layout layout : {Layout::kMinimap2, Layout::kManymap}) {
+        for (const Isa isa : available_isas()) {
+          const TwoPieceKernelFn fn = get_twopiece_kernel(layout, isa);
+          ASSERT_NE(fn, nullptr) << to_string(isa);
+          const auto got = fn(args);
+          ASSERT_EQ(got.score, ref.score)
+              << to_string(layout) << "/" << to_string(isa) << " " << to_string(mode);
+          ASSERT_EQ(got.cigar.to_string(), ref.cigar.to_string());
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoPiece, Sse2AgreesWithScalarOnLongSequences) {
+  // Long-sequence cross-check where the reference DP is too slow: the
+  // SSE2 kernels must match the scalar kernels bit-for-bit.
+  Rng rng(0x30);
+  const auto t = random_seq(rng, 1500);
+  auto q = t;
+  for (auto& b : q)
+    if (rng.bernoulli(0.12)) b = rng.base();
+  q.erase(q.begin() + 700, q.begin() + 760);  // a long deletion
+  for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+    const auto args = make_args(t, q, mode, true);
+    const auto scalar = twopiece_align_manymap(args);
+    const auto sse_m = twopiece_align_sse2_manymap(args);
+    const auto sse_2 = twopiece_align_sse2_mm2(args);
+    EXPECT_EQ(sse_m.score, scalar.score) << to_string(mode);
+    EXPECT_EQ(sse_m.cigar.to_string(), scalar.cigar.to_string());
+    EXPECT_EQ(sse_2.score, scalar.score);
+    EXPECT_EQ(sse_2.cigar.to_string(), scalar.cigar.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace manymap

@@ -1,0 +1,209 @@
+// manymap command-line interface.
+//
+//   manymap index <ref.fa> <out.mmi> [-k K] [-w W]
+//   manymap map <ref.fa> <reads.(fa|fq)> [options]         -> PAF/SAM on stdout
+//   manymap simulate <out_ref.fa> <out_reads.fq> [options] -> synthetic data
+//
+// `map` options:
+//   --preset map-pb|map-ont      scoring/seeding preset (default map-pb)
+//   --index <file.mmi>           reuse a saved index (else built in memory)
+//   --sam                        SAM output (default PAF)
+//   --cigar                      include cg:Z: tags in PAF
+//   --layout minimap2|manymap    DP memory layout (default manymap)
+//   --isa scalar|sse2|avx2|avx512  kernel ISA (default widest available)
+//   --threads N                  compute threads (default 2)
+//   --pipeline minimap2|manymap  batch pipeline (default manymap)
+//   --no-mmap                    load files with buffered reads, not mmap
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "core/aligner.hpp"
+#include "core/sam.hpp"
+#include "index/index_io.hpp"
+#include "io/mapped_file.hpp"
+#include "sequence/fasta.hpp"
+#include "simulate/dataset.hpp"
+#include "simulate/genome.hpp"
+
+namespace manymap {
+namespace {
+
+struct ArgList {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& k) const { return options.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+  i64 get_int(const std::string& k, i64 dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : std::stoll(it->second);
+  }
+};
+
+ArgList parse_args(int argc, char** argv, const std::vector<std::string>& flags) {
+  ArgList out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || (arg.size() == 2 && arg[0] == '-')) {
+      const std::string key = arg[1] == '-' ? arg.substr(2) : arg.substr(1);
+      const bool is_flag =
+          std::find(flags.begin(), flags.end(), key) != flags.end();
+      if (is_flag) {
+        out.options[key] = "1";
+      } else {
+        MM_REQUIRE(i + 1 < argc, "option missing value");
+        out.options[key] = argv[++i];
+      }
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+Reference load_reference(const std::string& path, bool use_mmap) {
+  std::vector<Sequence> contigs;
+  if (use_mmap) {
+    MappedFile f;
+    MM_REQUIRE(f.open(path), "cannot open reference");
+    contigs = parse_sequences(f.view());
+  } else {
+    contigs = read_sequence_file(path);
+  }
+  MM_REQUIRE(!contigs.empty(), "reference has no sequences");
+  Reference ref;
+  for (auto& c : contigs) ref.add(std::move(c));
+  return ref;
+}
+
+int cmd_index(const ArgList& args) {
+  MM_REQUIRE(args.positional.size() == 2, "usage: manymap index <ref.fa> <out.mmi>");
+  SketchParams sp;
+  sp.k = static_cast<u32>(args.get_int("k", 15));
+  sp.w = static_cast<u32>(args.get_int("w", 10));
+  const Reference ref = load_reference(args.positional[0], true);
+  const auto index = MinimizerIndex::build(ref, sp);
+  const u64 bytes = save_index(args.positional[1], index);
+  std::fprintf(stderr,
+               "[manymap] indexed %zu contigs (%llu bp): %zu keys, %zu entries, %llu bytes\n",
+               ref.num_contigs(), static_cast<unsigned long long>(ref.total_length()),
+               index.num_keys(), index.num_entries(), static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int cmd_map(const ArgList& args) {
+  MM_REQUIRE(args.positional.size() == 2, "usage: manymap map <ref.fa> <reads.fq> [options]");
+  const bool use_mmap = !args.has("no-mmap");
+  const Reference ref = load_reference(args.positional[0], use_mmap);
+
+  MapOptions opt = args.get("preset", "map-pb") == "map-ont" ? MapOptions::map_ont()
+                                                             : MapOptions::map_pb();
+  const std::string layout = args.get("layout", "manymap");
+  MM_REQUIRE(layout == "manymap" || layout == "minimap2", "bad --layout");
+  opt.layout = layout == "manymap" ? Layout::kManymap : Layout::kMinimap2;
+  const std::string isa = args.get("isa", "");
+  if (!isa.empty()) {
+    if (isa == "scalar") opt.isa = Isa::kScalar;
+    else if (isa == "sse2") opt.isa = Isa::kSse2;
+    else if (isa == "avx2") opt.isa = Isa::kAvx2;
+    else if (isa == "avx512") opt.isa = Isa::kAvx512;
+    else MM_REQUIRE(false, "bad --isa");
+    MM_REQUIRE(get_diff_kernel(opt.layout, opt.isa) != nullptr, "ISA unavailable on this CPU");
+  }
+
+  std::vector<Sequence> reads;
+  if (use_mmap) {
+    MappedFile f;
+    MM_REQUIRE(f.open(args.positional[1]), "cannot open reads");
+    reads = parse_sequences(f.view());
+  } else {
+    reads = read_sequence_file(args.positional[1]);
+  }
+
+  Aligner aligner = args.has("index")
+                        ? Aligner(ref, load_index_mmap(args.get("index", "")), opt)
+                        : Aligner(ref, opt);
+
+  const bool sam = args.has("sam");
+  const bool cigar_tag = args.has("cigar");
+  if (sam) std::cout << sam_header(ref);
+  const u32 threads = static_cast<u32>(args.get_int("threads", 2));
+  WallTimer timer;
+  u64 mapped = 0;
+  if (sam || threads <= 1) {
+    for (const auto& r : reads) {
+      const auto mappings = aligner.map_read(r);
+      mapped += mappings.empty() ? 0 : 1;
+      std::cout << (sam ? to_sam_block(mappings, r) : to_paf_block(mappings, cigar_tag));
+    }
+  } else {
+    const auto kind = args.get("pipeline", "manymap") == "minimap2" ? PipelineKind::kMinimap2
+                                                                    : PipelineKind::kManymap;
+    const auto result = aligner.map_reads(reads, kind, threads);
+    std::cout << result.paf;
+    mapped = result.stats.reads;
+  }
+  std::fprintf(stderr, "[manymap] mapped %llu/%zu reads in %.3fs (%s layout, %s)\n",
+               static_cast<unsigned long long>(mapped), reads.size(), timer.seconds(),
+               to_string(opt.layout), to_string(opt.isa));
+  return 0;
+}
+
+int cmd_simulate(const ArgList& args) {
+  MM_REQUIRE(args.positional.size() == 2,
+             "usage: manymap simulate <out_ref.fa> <out_reads.fq> [options]");
+  GenomeParams g;
+  g.total_length = static_cast<u64>(args.get_int("length", 1'000'000));
+  g.num_contigs = static_cast<u32>(args.get_int("contigs", 2));
+  g.seed = static_cast<u64>(args.get_int("seed", 7));
+  const Reference ref = generate_genome(g);
+  std::vector<Sequence> contigs = ref.contigs();
+  write_fasta_file(args.positional[0], contigs);
+
+  ReadSimParams rp;
+  rp.profile = args.get("platform", "pacbio") == "nanopore" ? ErrorProfile::nanopore()
+                                                            : ErrorProfile::pacbio();
+  rp.num_reads = static_cast<u32>(args.get_int("reads", 500));
+  rp.seed = g.seed + 1;
+  const auto sim = ReadSimulator(ref, rp).simulate();
+  const u64 bytes = write_dataset(args.positional[1], sim);
+  const auto stats = compute_stats(sim, rp.profile.platform);
+  std::fprintf(stderr, "[manymap] %s -> %llu bytes\n", stats.to_table_row().c_str(),
+               static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "manymap — long read alignment on three processors (ICPP'19 reproduction)\n"
+               "usage:\n"
+               "  manymap index <ref.fa> <out.mmi> [-k K] [-w W]\n"
+               "  manymap map <ref.fa> <reads.fq> [--preset map-pb|map-ont] [--sam]\n"
+               "              [--cigar] [--layout minimap2|manymap] [--isa sse2|avx2|avx512]\n"
+               "              [--threads N] [--pipeline minimap2|manymap] [--index f.mmi]\n"
+               "  manymap simulate <out_ref.fa> <out_reads.fq> [--length N] [--reads N]\n"
+               "              [--platform pacbio|nanopore] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  using namespace manymap;
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> flags{"sam", "cigar", "no-mmap"};
+  const ArgList args = parse_args(argc - 2, argv + 2, flags);
+  if (cmd == "index") return cmd_index(args);
+  if (cmd == "map") return cmd_map(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  return usage();
+}
