@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o"
+  "CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o.d"
+  "bench_ablation_design"
+  "bench_ablation_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_affinity.dir/bench_fig10_affinity.cpp.o"
+  "CMakeFiles/bench_fig10_affinity.dir/bench_fig10_affinity.cpp.o.d"
+  "bench_fig10_affinity"
+  "bench_fig10_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overall.dir/bench_fig11_overall.cpp.o"
+  "CMakeFiles/bench_fig11_overall.dir/bench_fig11_overall.cpp.o.d"
+  "bench_fig11_overall"
+  "bench_fig11_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_simd.dir/bench_fig5_simd.cpp.o"
+  "CMakeFiles/bench_fig5_simd.dir/bench_fig5_simd.cpp.o.d"
+  "bench_fig5_simd"
+  "bench_fig5_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_memmode.dir/bench_fig6_memmode.cpp.o"
+  "CMakeFiles/bench_fig6_memmode.dir/bench_fig6_memmode.cpp.o.d"
+  "bench_fig6_memmode"
+  "bench_fig6_memmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_memmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_streams.dir/bench_fig7_streams.cpp.o"
+  "CMakeFiles/bench_fig7_streams.dir/bench_fig7_streams.cpp.o.d"
+  "bench_fig7_streams"
+  "bench_fig7_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

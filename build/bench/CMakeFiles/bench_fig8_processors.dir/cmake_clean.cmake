@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_processors.dir/bench_fig8_processors.cpp.o"
+  "CMakeFiles/bench_fig8_processors.dir/bench_fig8_processors.cpp.o.d"
+  "bench_fig8_processors"
+  "bench_fig8_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_scalability.dir/bench_fig9_scalability.cpp.o"
+  "CMakeFiles/bench_fig9_scalability.dir/bench_fig9_scalability.cpp.o.d"
+  "bench_fig9_scalability"
+  "bench_fig9_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

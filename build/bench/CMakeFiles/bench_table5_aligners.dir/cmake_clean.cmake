@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_aligners.dir/bench_table5_aligners.cpp.o"
+  "CMakeFiles/bench_table5_aligners.dir/bench_table5_aligners.cpp.o.d"
+  "bench_table5_aligners"
+  "bench_table5_aligners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_aligners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

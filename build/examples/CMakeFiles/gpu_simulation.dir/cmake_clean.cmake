@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_simulation.dir/gpu_simulation.cpp.o"
+  "CMakeFiles/gpu_simulation.dir/gpu_simulation.cpp.o.d"
+  "gpu_simulation"
+  "gpu_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

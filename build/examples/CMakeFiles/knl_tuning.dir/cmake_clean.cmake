@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knl_tuning.dir/knl_tuning.cpp.o"
+  "CMakeFiles/knl_tuning.dir/knl_tuning.cpp.o.d"
+  "knl_tuning"
+  "knl_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knl_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

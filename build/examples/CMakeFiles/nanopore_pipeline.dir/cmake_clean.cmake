@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanopore_pipeline.dir/nanopore_pipeline.cpp.o"
+  "CMakeFiles/nanopore_pipeline.dir/nanopore_pipeline.cpp.o.d"
+  "nanopore_pipeline"
+  "nanopore_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanopore_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

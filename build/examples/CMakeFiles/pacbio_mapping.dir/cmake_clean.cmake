@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacbio_mapping.dir/pacbio_mapping.cpp.o"
+  "CMakeFiles/pacbio_mapping.dir/pacbio_mapping.cpp.o.d"
+  "pacbio_mapping"
+  "pacbio_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacbio_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

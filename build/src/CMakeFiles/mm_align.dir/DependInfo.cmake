@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded.cpp" "src/CMakeFiles/mm_align.dir/align/banded.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/banded.cpp.o.d"
+  "/root/repo/src/align/cigar.cpp" "src/CMakeFiles/mm_align.dir/align/cigar.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/cigar.cpp.o.d"
+  "/root/repo/src/align/diff_avx2.cpp" "src/CMakeFiles/mm_align.dir/align/diff_avx2.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/diff_avx2.cpp.o.d"
+  "/root/repo/src/align/diff_avx512.cpp" "src/CMakeFiles/mm_align.dir/align/diff_avx512.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/diff_avx512.cpp.o.d"
+  "/root/repo/src/align/diff_common.cpp" "src/CMakeFiles/mm_align.dir/align/diff_common.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/diff_common.cpp.o.d"
+  "/root/repo/src/align/diff_scalar.cpp" "src/CMakeFiles/mm_align.dir/align/diff_scalar.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/diff_scalar.cpp.o.d"
+  "/root/repo/src/align/diff_sse2.cpp" "src/CMakeFiles/mm_align.dir/align/diff_sse2.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/diff_sse2.cpp.o.d"
+  "/root/repo/src/align/dispatch.cpp" "src/CMakeFiles/mm_align.dir/align/dispatch.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/dispatch.cpp.o.d"
+  "/root/repo/src/align/reference_dp.cpp" "src/CMakeFiles/mm_align.dir/align/reference_dp.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/reference_dp.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/CMakeFiles/mm_align.dir/align/scoring.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/scoring.cpp.o.d"
+  "/root/repo/src/align/twopiece.cpp" "src/CMakeFiles/mm_align.dir/align/twopiece.cpp.o" "gcc" "src/CMakeFiles/mm_align.dir/align/twopiece.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_align.dir/align/banded.cpp.o"
+  "CMakeFiles/mm_align.dir/align/banded.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/cigar.cpp.o"
+  "CMakeFiles/mm_align.dir/align/cigar.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/diff_avx2.cpp.o"
+  "CMakeFiles/mm_align.dir/align/diff_avx2.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/diff_avx512.cpp.o"
+  "CMakeFiles/mm_align.dir/align/diff_avx512.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/diff_common.cpp.o"
+  "CMakeFiles/mm_align.dir/align/diff_common.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/diff_scalar.cpp.o"
+  "CMakeFiles/mm_align.dir/align/diff_scalar.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/diff_sse2.cpp.o"
+  "CMakeFiles/mm_align.dir/align/diff_sse2.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/dispatch.cpp.o"
+  "CMakeFiles/mm_align.dir/align/dispatch.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/reference_dp.cpp.o"
+  "CMakeFiles/mm_align.dir/align/reference_dp.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/scoring.cpp.o"
+  "CMakeFiles/mm_align.dir/align/scoring.cpp.o.d"
+  "CMakeFiles/mm_align.dir/align/twopiece.cpp.o"
+  "CMakeFiles/mm_align.dir/align/twopiece.cpp.o.d"
+  "libmm_align.a"
+  "libmm_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/cpu_features.cpp" "src/CMakeFiles/mm_base.dir/base/cpu_features.cpp.o" "gcc" "src/CMakeFiles/mm_base.dir/base/cpu_features.cpp.o.d"
+  "/root/repo/src/base/random.cpp" "src/CMakeFiles/mm_base.dir/base/random.cpp.o" "gcc" "src/CMakeFiles/mm_base.dir/base/random.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/CMakeFiles/mm_base.dir/base/stats.cpp.o" "gcc" "src/CMakeFiles/mm_base.dir/base/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/mm_base.dir/base/cpu_features.cpp.o: \
+ /root/repo/src/base/cpu_features.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/base/cpu_features.hpp

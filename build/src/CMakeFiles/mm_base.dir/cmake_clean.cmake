@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_base.dir/base/cpu_features.cpp.o"
+  "CMakeFiles/mm_base.dir/base/cpu_features.cpp.o.d"
+  "CMakeFiles/mm_base.dir/base/random.cpp.o"
+  "CMakeFiles/mm_base.dir/base/random.cpp.o.d"
+  "CMakeFiles/mm_base.dir/base/stats.cpp.o"
+  "CMakeFiles/mm_base.dir/base/stats.cpp.o.d"
+  "libmm_base.a"
+  "libmm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

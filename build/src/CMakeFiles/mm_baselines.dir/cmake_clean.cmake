@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_baselines.dir/baselines/baseline.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/baseline.cpp.o.d"
+  "CMakeFiles/mm_baselines.dir/baselines/blasr_lite.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/blasr_lite.cpp.o.d"
+  "CMakeFiles/mm_baselines.dir/baselines/bwamem_lite.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/bwamem_lite.cpp.o.d"
+  "CMakeFiles/mm_baselines.dir/baselines/kart_lite.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/kart_lite.cpp.o.d"
+  "CMakeFiles/mm_baselines.dir/baselines/minialign_lite.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/minialign_lite.cpp.o.d"
+  "CMakeFiles/mm_baselines.dir/baselines/ngmlr_lite.cpp.o"
+  "CMakeFiles/mm_baselines.dir/baselines/ngmlr_lite.cpp.o.d"
+  "libmm_baselines.a"
+  "libmm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_chain.dir/chain/anchor.cpp.o"
+  "CMakeFiles/mm_chain.dir/chain/anchor.cpp.o.d"
+  "CMakeFiles/mm_chain.dir/chain/chain.cpp.o"
+  "CMakeFiles/mm_chain.dir/chain/chain.cpp.o.d"
+  "libmm_chain.a"
+  "libmm_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/CMakeFiles/mm_core.dir/core/accuracy.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/accuracy.cpp.o.d"
+  "/root/repo/src/core/aligner.cpp" "src/CMakeFiles/mm_core.dir/core/aligner.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/aligner.cpp.o.d"
+  "/root/repo/src/core/breakdown.cpp" "src/CMakeFiles/mm_core.dir/core/breakdown.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/breakdown.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "src/CMakeFiles/mm_core.dir/core/mapper.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/mapper.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/mm_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/paf.cpp" "src/CMakeFiles/mm_core.dir/core/paf.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/paf.cpp.o.d"
+  "/root/repo/src/core/sam.cpp" "src/CMakeFiles/mm_core.dir/core/sam.cpp.o" "gcc" "src/CMakeFiles/mm_core.dir/core/sam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_simulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_core.dir/core/accuracy.cpp.o"
+  "CMakeFiles/mm_core.dir/core/accuracy.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/aligner.cpp.o"
+  "CMakeFiles/mm_core.dir/core/aligner.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/breakdown.cpp.o"
+  "CMakeFiles/mm_core.dir/core/breakdown.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/mapper.cpp.o"
+  "CMakeFiles/mm_core.dir/core/mapper.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/options.cpp.o"
+  "CMakeFiles/mm_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/paf.cpp.o"
+  "CMakeFiles/mm_core.dir/core/paf.cpp.o.d"
+  "CMakeFiles/mm_core.dir/core/sam.cpp.o"
+  "CMakeFiles/mm_core.dir/core/sam.cpp.o.d"
+  "libmm_core.a"
+  "libmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

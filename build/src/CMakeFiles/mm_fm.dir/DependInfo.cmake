@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fm/bwt.cpp" "src/CMakeFiles/mm_fm.dir/fm/bwt.cpp.o" "gcc" "src/CMakeFiles/mm_fm.dir/fm/bwt.cpp.o.d"
+  "/root/repo/src/fm/fm_index.cpp" "src/CMakeFiles/mm_fm.dir/fm/fm_index.cpp.o" "gcc" "src/CMakeFiles/mm_fm.dir/fm/fm_index.cpp.o.d"
+  "/root/repo/src/fm/suffix_array.cpp" "src/CMakeFiles/mm_fm.dir/fm/suffix_array.cpp.o" "gcc" "src/CMakeFiles/mm_fm.dir/fm/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_fm.dir/fm/bwt.cpp.o"
+  "CMakeFiles/mm_fm.dir/fm/bwt.cpp.o.d"
+  "CMakeFiles/mm_fm.dir/fm/fm_index.cpp.o"
+  "CMakeFiles/mm_fm.dir/fm/fm_index.cpp.o.d"
+  "CMakeFiles/mm_fm.dir/fm/suffix_array.cpp.o"
+  "CMakeFiles/mm_fm.dir/fm/suffix_array.cpp.o.d"
+  "libmm_fm.a"
+  "libmm_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

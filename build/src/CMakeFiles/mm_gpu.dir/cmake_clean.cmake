@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_gpu.dir/gpu/gpu_mapper.cpp.o"
+  "CMakeFiles/mm_gpu.dir/gpu/gpu_mapper.cpp.o.d"
+  "libmm_gpu.a"
+  "libmm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/hash_index.cpp" "src/CMakeFiles/mm_index.dir/index/hash_index.cpp.o" "gcc" "src/CMakeFiles/mm_index.dir/index/hash_index.cpp.o.d"
+  "/root/repo/src/index/index_io.cpp" "src/CMakeFiles/mm_index.dir/index/index_io.cpp.o" "gcc" "src/CMakeFiles/mm_index.dir/index/index_io.cpp.o.d"
+  "/root/repo/src/index/minimizer.cpp" "src/CMakeFiles/mm_index.dir/index/minimizer.cpp.o" "gcc" "src/CMakeFiles/mm_index.dir/index/minimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

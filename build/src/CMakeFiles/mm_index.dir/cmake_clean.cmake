@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_index.dir/index/hash_index.cpp.o"
+  "CMakeFiles/mm_index.dir/index/hash_index.cpp.o.d"
+  "CMakeFiles/mm_index.dir/index/index_io.cpp.o"
+  "CMakeFiles/mm_index.dir/index/index_io.cpp.o.d"
+  "CMakeFiles/mm_index.dir/index/minimizer.cpp.o"
+  "CMakeFiles/mm_index.dir/index/minimizer.cpp.o.d"
+  "libmm_index.a"
+  "libmm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffered_reader.cpp" "src/CMakeFiles/mm_io.dir/io/buffered_reader.cpp.o" "gcc" "src/CMakeFiles/mm_io.dir/io/buffered_reader.cpp.o.d"
+  "/root/repo/src/io/mapped_file.cpp" "src/CMakeFiles/mm_io.dir/io/mapped_file.cpp.o" "gcc" "src/CMakeFiles/mm_io.dir/io/mapped_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

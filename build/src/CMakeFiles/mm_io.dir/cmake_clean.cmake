@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_io.dir/io/buffered_reader.cpp.o"
+  "CMakeFiles/mm_io.dir/io/buffered_reader.cpp.o.d"
+  "CMakeFiles/mm_io.dir/io/mapped_file.cpp.o"
+  "CMakeFiles/mm_io.dir/io/mapped_file.cpp.o.d"
+  "libmm_io.a"
+  "libmm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

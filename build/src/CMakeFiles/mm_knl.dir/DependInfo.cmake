@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knl/affinity_model.cpp" "src/CMakeFiles/mm_knl.dir/knl/affinity_model.cpp.o" "gcc" "src/CMakeFiles/mm_knl.dir/knl/affinity_model.cpp.o.d"
+  "/root/repo/src/knl/knl_run.cpp" "src/CMakeFiles/mm_knl.dir/knl/knl_run.cpp.o" "gcc" "src/CMakeFiles/mm_knl.dir/knl/knl_run.cpp.o.d"
+  "/root/repo/src/knl/memory_model.cpp" "src/CMakeFiles/mm_knl.dir/knl/memory_model.cpp.o" "gcc" "src/CMakeFiles/mm_knl.dir/knl/memory_model.cpp.o.d"
+  "/root/repo/src/knl/pipeline_model.cpp" "src/CMakeFiles/mm_knl.dir/knl/pipeline_model.cpp.o" "gcc" "src/CMakeFiles/mm_knl.dir/knl/pipeline_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_simulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_knl.dir/knl/affinity_model.cpp.o"
+  "CMakeFiles/mm_knl.dir/knl/affinity_model.cpp.o.d"
+  "CMakeFiles/mm_knl.dir/knl/knl_run.cpp.o"
+  "CMakeFiles/mm_knl.dir/knl/knl_run.cpp.o.d"
+  "CMakeFiles/mm_knl.dir/knl/memory_model.cpp.o"
+  "CMakeFiles/mm_knl.dir/knl/memory_model.cpp.o.d"
+  "CMakeFiles/mm_knl.dir/knl/pipeline_model.cpp.o"
+  "CMakeFiles/mm_knl.dir/knl/pipeline_model.cpp.o.d"
+  "libmm_knl.a"
+  "libmm_knl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

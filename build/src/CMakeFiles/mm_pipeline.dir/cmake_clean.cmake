@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_pipeline.dir/pipeline/affinity.cpp.o"
+  "CMakeFiles/mm_pipeline.dir/pipeline/affinity.cpp.o.d"
+  "CMakeFiles/mm_pipeline.dir/pipeline/batch.cpp.o"
+  "CMakeFiles/mm_pipeline.dir/pipeline/batch.cpp.o.d"
+  "CMakeFiles/mm_pipeline.dir/pipeline/pipeline.cpp.o"
+  "CMakeFiles/mm_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "libmm_pipeline.a"
+  "libmm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

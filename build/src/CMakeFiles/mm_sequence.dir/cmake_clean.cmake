@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_sequence.dir/sequence/dna.cpp.o"
+  "CMakeFiles/mm_sequence.dir/sequence/dna.cpp.o.d"
+  "CMakeFiles/mm_sequence.dir/sequence/fasta.cpp.o"
+  "CMakeFiles/mm_sequence.dir/sequence/fasta.cpp.o.d"
+  "CMakeFiles/mm_sequence.dir/sequence/sequence.cpp.o"
+  "CMakeFiles/mm_sequence.dir/sequence/sequence.cpp.o.d"
+  "libmm_sequence.a"
+  "libmm_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/block.cpp" "src/CMakeFiles/mm_simt.dir/simt/block.cpp.o" "gcc" "src/CMakeFiles/mm_simt.dir/simt/block.cpp.o.d"
+  "/root/repo/src/simt/device.cpp" "src/CMakeFiles/mm_simt.dir/simt/device.cpp.o" "gcc" "src/CMakeFiles/mm_simt.dir/simt/device.cpp.o.d"
+  "/root/repo/src/simt/kernels.cpp" "src/CMakeFiles/mm_simt.dir/simt/kernels.cpp.o" "gcc" "src/CMakeFiles/mm_simt.dir/simt/kernels.cpp.o.d"
+  "/root/repo/src/simt/memory_pool.cpp" "src/CMakeFiles/mm_simt.dir/simt/memory_pool.cpp.o" "gcc" "src/CMakeFiles/mm_simt.dir/simt/memory_pool.cpp.o.d"
+  "/root/repo/src/simt/stream.cpp" "src/CMakeFiles/mm_simt.dir/simt/stream.cpp.o" "gcc" "src/CMakeFiles/mm_simt.dir/simt/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_simt.dir/simt/block.cpp.o"
+  "CMakeFiles/mm_simt.dir/simt/block.cpp.o.d"
+  "CMakeFiles/mm_simt.dir/simt/device.cpp.o"
+  "CMakeFiles/mm_simt.dir/simt/device.cpp.o.d"
+  "CMakeFiles/mm_simt.dir/simt/kernels.cpp.o"
+  "CMakeFiles/mm_simt.dir/simt/kernels.cpp.o.d"
+  "CMakeFiles/mm_simt.dir/simt/memory_pool.cpp.o"
+  "CMakeFiles/mm_simt.dir/simt/memory_pool.cpp.o.d"
+  "CMakeFiles/mm_simt.dir/simt/stream.cpp.o"
+  "CMakeFiles/mm_simt.dir/simt/stream.cpp.o.d"
+  "libmm_simt.a"
+  "libmm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

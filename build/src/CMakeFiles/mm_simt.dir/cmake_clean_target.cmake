@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmm_simt.a"
+)

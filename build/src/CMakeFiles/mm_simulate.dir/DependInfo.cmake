@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulate/dataset.cpp" "src/CMakeFiles/mm_simulate.dir/simulate/dataset.cpp.o" "gcc" "src/CMakeFiles/mm_simulate.dir/simulate/dataset.cpp.o.d"
+  "/root/repo/src/simulate/error_profile.cpp" "src/CMakeFiles/mm_simulate.dir/simulate/error_profile.cpp.o" "gcc" "src/CMakeFiles/mm_simulate.dir/simulate/error_profile.cpp.o.d"
+  "/root/repo/src/simulate/genome.cpp" "src/CMakeFiles/mm_simulate.dir/simulate/genome.cpp.o" "gcc" "src/CMakeFiles/mm_simulate.dir/simulate/genome.cpp.o.d"
+  "/root/repo/src/simulate/read_sim.cpp" "src/CMakeFiles/mm_simulate.dir/simulate/read_sim.cpp.o" "gcc" "src/CMakeFiles/mm_simulate.dir/simulate/read_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mm_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

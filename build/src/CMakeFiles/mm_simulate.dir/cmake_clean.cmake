@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_simulate.dir/simulate/dataset.cpp.o"
+  "CMakeFiles/mm_simulate.dir/simulate/dataset.cpp.o.d"
+  "CMakeFiles/mm_simulate.dir/simulate/error_profile.cpp.o"
+  "CMakeFiles/mm_simulate.dir/simulate/error_profile.cpp.o.d"
+  "CMakeFiles/mm_simulate.dir/simulate/genome.cpp.o"
+  "CMakeFiles/mm_simulate.dir/simulate/genome.cpp.o.d"
+  "CMakeFiles/mm_simulate.dir/simulate/read_sim.cpp.o"
+  "CMakeFiles/mm_simulate.dir/simulate/read_sim.cpp.o.d"
+  "libmm_simulate.a"
+  "libmm_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

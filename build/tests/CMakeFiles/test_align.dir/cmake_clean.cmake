@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align.dir/test_align.cpp.o"
+  "CMakeFiles/test_align.dir/test_align.cpp.o.d"
+  "test_align"
+  "test_align.pdb"
+  "test_align[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align_fuzz.dir/test_align_fuzz.cpp.o"
+  "CMakeFiles/test_align_fuzz.dir/test_align_fuzz.cpp.o.d"
+  "test_align_fuzz"
+  "test_align_fuzz.pdb"
+  "test_align_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

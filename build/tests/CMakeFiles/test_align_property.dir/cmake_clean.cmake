@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align_property.dir/test_align_property.cpp.o"
+  "CMakeFiles/test_align_property.dir/test_align_property.cpp.o.d"
+  "test_align_property"
+  "test_align_property.pdb"
+  "test_align_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain.dir/test_chain.cpp.o"
+  "CMakeFiles/test_chain.dir/test_chain.cpp.o.d"
+  "test_chain"
+  "test_chain.pdb"
+  "test_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

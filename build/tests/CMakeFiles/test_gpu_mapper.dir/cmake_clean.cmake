@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_mapper.dir/test_gpu_mapper.cpp.o"
+  "CMakeFiles/test_gpu_mapper.dir/test_gpu_mapper.cpp.o.d"
+  "test_gpu_mapper"
+  "test_gpu_mapper.pdb"
+  "test_gpu_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

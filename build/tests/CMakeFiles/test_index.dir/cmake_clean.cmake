@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index.dir/test_index.cpp.o"
+  "CMakeFiles/test_index.dir/test_index.cpp.o.d"
+  "test_index"
+  "test_index.pdb"
+  "test_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knl.dir/test_knl.cpp.o"
+  "CMakeFiles/test_knl.dir/test_knl.cpp.o.d"
+  "test_knl"
+  "test_knl.pdb"
+  "test_knl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/test_simt.cpp.o"
+  "CMakeFiles/test_simt.dir/test_simt.cpp.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulate.dir/test_simulate.cpp.o"
+  "CMakeFiles/test_simulate.dir/test_simulate.cpp.o.d"
+  "test_simulate"
+  "test_simulate.pdb"
+  "test_simulate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twopiece.dir/test_twopiece.cpp.o"
+  "CMakeFiles/test_twopiece.dir/test_twopiece.cpp.o.d"
+  "test_twopiece"
+  "test_twopiece.pdb"
+  "test_twopiece[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twopiece.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_twopiece.
+# This may be replaced when dependencies are built.

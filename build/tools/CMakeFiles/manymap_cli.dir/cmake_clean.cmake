@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manymap_cli.dir/manymap_cli.cpp.o"
+  "CMakeFiles/manymap_cli.dir/manymap_cli.cpp.o.d"
+  "manymap"
+  "manymap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manymap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
