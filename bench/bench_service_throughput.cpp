@@ -1,0 +1,89 @@
+// Service throughput: requests/sec vs worker count and batch policy.
+//
+// Replays the same burst trace (fixed seed) through the alignment service
+// at 1/2/4 workers, with longest-first batching on and off. On multi-core
+// hosts req/s scales with workers; on a single hardware thread the table
+// still shows the batching/scheduling overheads staying flat. The serial
+// Mapper::map loop is printed first as the zero-overhead baseline.
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "bench_util.hpp"
+#include "service/service.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+struct Workload {
+  Reference ref;
+  std::vector<Sequence> reads;
+};
+
+Workload make_workload() {
+  Workload w;
+  GenomeParams gp;
+  gp.total_length = 200'000;
+  gp.seed = 99;
+  w.ref = generate_genome(gp);
+  ReadSimParams rp;
+  rp.num_reads = 300;
+  rp.seed = 100;
+  for (auto& sr : ReadSimulator(w.ref, rp).simulate()) w.reads.push_back(std::move(sr.read));
+  return w;
+}
+
+double run_once(const Workload& w, u32 workers, bool longest_first) {
+  ServiceConfig cfg;
+  cfg.workers_per_shard = workers;
+  cfg.ingress_capacity = 256;
+  cfg.batch.max_batch_size = 16;
+  cfg.batch.longest_first = longest_first;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  futures.reserve(w.reads.size());
+  WallTimer t;
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u64 ok = 0;
+  for (auto& f : futures) ok += f.get().status == RequestStatus::kOk;
+  const double seconds = t.seconds();
+  svc.shutdown();
+  MM_REQUIRE(ok == w.reads.size(), "burst replay must complete every request");
+  return static_cast<double>(ok) / seconds;
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main() {
+  using namespace manymap;
+  using namespace manymap::bench;
+  const Workload w = make_workload();
+
+  print_header("Service throughput (requests/sec, burst replay)");
+  print_row("hardware threads: %u (scaling with workers needs > 1)\n",
+            std::thread::hardware_concurrency());
+  // Serial baseline: the same reads through Mapper::map with no service.
+  {
+    Mapper mapper(w.ref, MapOptions::map_pb());
+    WallTimer t;
+    for (const auto& r : w.reads) (void)mapper.map(r);
+    print_row("%-24s %10.1f req/s\n", "serial Mapper::map", w.reads.size() / t.seconds());
+  }
+  print_row("%-10s %-13s %12s\n", "workers", "batching", "req/s");
+  for (const u32 workers : {1u, 2u, 4u}) {
+    for (const bool longest_first : {true, false}) {
+      const double rps = run_once(w, workers, longest_first);
+      print_row("%-10u %-13s %12.1f\n", workers, longest_first ? "longest-first" : "fifo", rps);
+    }
+  }
+  return 0;
+}

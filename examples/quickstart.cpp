@@ -20,9 +20,10 @@ int main() {
   std::printf("reference: %zu contigs, %llu bp\n", ref.num_contigs(),
               static_cast<unsigned long long>(ref.total_length()));
 
-  // 2. An aligner with the PacBio preset (-ax map-pb equivalent). The
-  //    minimizer index is built in the constructor.
-  const Aligner aligner(ref, MapOptions::map_pb());
+  // 2. An aligner with the PacBio preset (-ax map-pb equivalent), looked
+  //    up by its CLI name so every front end shares one set of defaults.
+  //    The minimizer index is built in the constructor.
+  const Aligner aligner(ref, preset_by_name("map-pb").value());
   std::printf("index: %zu minimizer keys, widest ISA: %s\n",
               aligner.mapper().index().num_keys(), to_string(best_isa()));
 

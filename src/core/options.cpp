@@ -20,4 +20,33 @@ MapOptions MapOptions::map_ont() {
   return o;
 }
 
+std::optional<MapOptions> preset_by_name(std::string_view name) {
+  if (name == "map-pb") return MapOptions::map_pb();
+  if (name == "map-ont") return MapOptions::map_ont();
+  return std::nullopt;
+}
+
+bool apply_layout_name(MapOptions& opt, std::string_view name) {
+  if (name == "manymap") {
+    opt.layout = Layout::kManymap;
+  } else if (name == "minimap2") {
+    opt.layout = Layout::kMinimap2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_isa_name(MapOptions& opt, std::string_view name) {
+  Isa isa;
+  if (name == "scalar") isa = Isa::kScalar;
+  else if (name == "sse2") isa = Isa::kSse2;
+  else if (name == "avx2") isa = Isa::kAvx2;
+  else if (name == "avx512") isa = Isa::kAvx512;
+  else return false;
+  if (get_diff_kernel(opt.layout, isa) == nullptr) return false;
+  opt.isa = isa;
+  return true;
+}
+
 }  // namespace manymap

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 
 #include "align/kernel_api.hpp"
 #include "chain/chain.hpp"
@@ -35,5 +37,19 @@ struct MapOptions {
   static MapOptions map_pb();
   static MapOptions map_ont();
 };
+
+// CLI-name parsing shared by every front end (manymap_cli, manymap_serve,
+// examples), so presets/defaults live in exactly one place.
+
+/// "map-pb" / "map-ont" -> preset; nullopt for unknown names.
+std::optional<MapOptions> preset_by_name(std::string_view name);
+
+/// Apply a --layout value ("minimap2" / "manymap"); false if unknown.
+bool apply_layout_name(MapOptions& opt, std::string_view name);
+
+/// Apply an --isa value ("scalar" / "sse2" / "avx2" / "avx512"); false if
+/// the name is unknown or that kernel is unavailable on this CPU for the
+/// currently selected layout.
+bool apply_isa_name(MapOptions& opt, std::string_view name);
 
 }  // namespace manymap

@@ -1,6 +1,7 @@
 // Bounded MPMC queue used to connect pipeline stages.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -27,10 +28,36 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push for admission control: fails instead of waiting.
+  /// Returns false when the queue is full or closed; on failure `item` is
+  /// left untouched so the caller can respond (e.g. with REJECTED).
+  bool try_push(T&& item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Empty optional means closed-and-drained.
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Deadline-aware pop: waits at most `timeout`. Empty optional means
+  /// either the timeout expired with the queue still empty, or
+  /// closed-and-drained — disambiguate with closed() (no push can succeed
+  /// after close, so closed()+nullopt implies drained for good).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -49,6 +76,13 @@ class BoundedQueue {
   std::size_t size() const {
     std::lock_guard lock(mu_);
     return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
   }
 
  private:

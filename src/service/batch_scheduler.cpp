@@ -1,0 +1,58 @@
+#include "service/batch_scheduler.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+u64 BatchScheduler::run(const std::function<void(RequestBatch&&)>& emit) {
+  using clock = std::chrono::steady_clock;
+  u64 emitted = 0;
+  u64 next_id = 0;
+  RequestBatch cur;
+  clock::time_point flush_at{};  // valid while cur is non-empty
+
+  auto flush = [&] {
+    if (cur.items.empty()) return;
+    if (policy_.longest_first) {
+      // Stable: equal-length reads keep arrival order, so batch contents
+      // are a deterministic function of the request stream.
+      std::stable_sort(cur.items.begin(), cur.items.end(),
+                       [](const PendingRequest& a, const PendingRequest& b) {
+                         return a.req.read.size() > b.req.read.size();
+                       });
+    }
+    cur.id = next_id++;
+    emit(std::move(cur));
+    cur = RequestBatch{};
+    ++emitted;
+  };
+
+  for (;;) {
+    std::optional<PendingRequest> item;
+    if (cur.items.empty()) {
+      item = ingress_.pop();  // nothing to flush: block freely
+      if (!item) break;       // closed and drained
+    } else {
+      const auto now = clock::now();
+      if (now >= flush_at) {
+        flush();
+        continue;
+      }
+      item = ingress_.pop_for(flush_at - now);
+      if (!item) {
+        // Delay expired (or the queue closed while we waited): flush and
+        // re-enter via the blocking pop, which drains any late arrivals
+        // before reporting closed.
+        flush();
+        continue;
+      }
+    }
+    if (cur.items.empty()) flush_at = clock::now() + policy_.max_delay;
+    cur.items.push_back(std::move(*item));
+    if (cur.items.size() >= policy_.max_batch_size) flush();
+  }
+  flush();
+  return emitted;
+}
+
+}  // namespace manymap

@@ -1,0 +1,63 @@
+// Coalesces individual requests from the ingress queue into compute
+// batches. Flush policy: a batch is emitted when it reaches
+// `max_batch_size` requests, or `max_delay` after its first request
+// arrived — whichever comes first — so light traffic keeps low latency
+// while bursts amortize per-batch costs. Before emission the batch is
+// optionally sorted longest-first (the paper's §4.4.4 load balancing:
+// slow long reads start early, workers finish together).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "pipeline/queue.hpp"
+#include "service/request.hpp"
+
+namespace manymap {
+
+/// A request inside the service: the caller's request plus the promise the
+/// worker fulfills and the submit timestamp for latency accounting.
+struct PendingRequest {
+  MapRequest req;
+  std::promise<MapResponse> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct RequestBatch {
+  u64 id = 0;
+  std::vector<PendingRequest> items;
+
+  u64 total_bases() const {
+    u64 n = 0;
+    for (const auto& p : items) n += p.req.read.size();
+    return n;
+  }
+};
+
+struct BatchPolicy {
+  u32 max_batch_size = 16;
+  std::chrono::microseconds max_delay{2000};
+  bool longest_first = true;  ///< §4.4.4 ordering inside each batch
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(BoundedQueue<PendingRequest>& ingress, BatchPolicy policy)
+      : ingress_(ingress), policy_(policy) {}
+
+  /// Pulls from the ingress queue until it is closed and drained, calling
+  /// `emit` for every flushed batch (ids are consecutive from 0). Runs on
+  /// the caller's thread; returns the number of batches emitted. `emit`
+  /// may block (e.g. on a full shard queue) — that is the backpressure
+  /// path that eventually fills the ingress queue and trips admission
+  /// control.
+  u64 run(const std::function<void(RequestBatch&&)>& emit);
+
+ private:
+  BoundedQueue<PendingRequest>& ingress_;
+  BatchPolicy policy_;
+};
+
+}  // namespace manymap

@@ -1,0 +1,67 @@
+#include "service/metrics.hpp"
+
+#include <cstdio>
+
+#include "base/stats.hpp"
+
+namespace manymap {
+
+void ServiceMetrics::on_completed(double latency_ms, double compute_ms) {
+  std::lock_guard lock(mu_);
+  latencies_ms_.push_back(latency_ms);
+  compute_ms_.push_back(compute_ms);
+}
+
+void ServiceMetrics::record_queue_depth(std::size_t depth) {
+  queue_depth_last_.store(depth, std::memory_order_relaxed);
+  u64 peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !queue_depth_peak_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.queue_depth_last = queue_depth_last_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches ? static_cast<double>(s.batched_requests) / static_cast<double>(s.batches) : 0.0;
+  std::lock_guard lock(mu_);
+  s.completed = latencies_ms_.size();
+  if (!latencies_ms_.empty()) {
+    s.latency_ms_mean = summarize(latencies_ms_).mean;
+    s.latency_ms_p50 = percentile(latencies_ms_, 0.50);
+    s.latency_ms_p99 = percentile(latencies_ms_, 0.99);
+    s.compute_ms_mean = summarize(compute_ms_).mean;
+  }
+  return s;
+}
+
+std::string MetricsSnapshot::report() const {
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "service metrics\n"
+                "  requests   submitted=%llu accepted=%llu completed=%llu "
+                "rejected=%llu timed_out=%llu\n"
+                "  batching   batches=%llu mean_batch_size=%.2f\n"
+                "  ingress    depth_last=%llu depth_peak=%llu\n"
+                "  latency_ms mean=%.3f p50=%.3f p99=%.3f (compute mean=%.3f)\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(timed_out),
+                static_cast<unsigned long long>(batches), mean_batch_size,
+                static_cast<unsigned long long>(queue_depth_last),
+                static_cast<unsigned long long>(queue_depth_peak), latency_ms_mean,
+                latency_ms_p50, latency_ms_p99, compute_ms_mean);
+  return buf;
+}
+
+}  // namespace manymap

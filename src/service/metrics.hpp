@@ -1,0 +1,66 @@
+// Lock-cheap metrics registry for the alignment service: monotonic
+// counters are plain relaxed atomics touched once per event; only the
+// latency reservoirs (needed for p50/p99) take a mutex, and only on
+// request completion — never on the submit fast path.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// Point-in-time copy of every metric, with percentiles resolved.
+struct MetricsSnapshot {
+  u64 submitted = 0;
+  u64 accepted = 0;   ///< admitted to the ingress queue
+  u64 rejected = 0;   ///< admission control: queue full
+  u64 timed_out = 0;  ///< deadline expired before compute
+  u64 completed = 0;  ///< answered kOk
+  u64 batches = 0;
+  u64 batched_requests = 0;  ///< sum of batch sizes
+  u64 queue_depth_last = 0;
+  u64 queue_depth_peak = 0;
+  double mean_batch_size = 0.0;
+  double latency_ms_mean = 0.0;  ///< submit -> response, kOk only
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p99 = 0.0;
+  double compute_ms_mean = 0.0;
+
+  /// Human-readable multi-line report (the periodic text snapshot).
+  std::string report() const;
+};
+
+class ServiceMetrics {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+
+  void on_batch(std::size_t batch_size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+  }
+
+  /// Records a kOk completion with its end-to-end and compute latencies.
+  void on_completed(double latency_ms, double compute_ms);
+
+  /// Gauge: ingress depth observed at submit time (last value + peak).
+  void record_queue_depth(std::size_t depth);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<u64> submitted_{0}, accepted_{0}, rejected_{0}, timed_out_{0};
+  std::atomic<u64> batches_{0}, batched_requests_{0};
+  std::atomic<u64> queue_depth_last_{0}, queue_depth_peak_{0};
+  mutable std::mutex mu_;  ///< guards the reservoirs only
+  std::vector<double> latencies_ms_;
+  std::vector<double> compute_ms_;
+};
+
+}  // namespace manymap

@@ -1,0 +1,46 @@
+// Request/response types of the alignment service. A MapRequest is one
+// read plus per-request scheduling hints (deadline); a MapResponse carries
+// the mappings, rendered PAF text, and per-stage/queueing timings so
+// clients and the metrics layer see where time went.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace manymap {
+
+/// Terminal state of a request.
+enum class RequestStatus {
+  kOk,        ///< mapped (possibly to zero locations) and answered
+  kRejected,  ///< admission control: ingress queue was full
+  kTimedOut,  ///< deadline expired before compute started
+};
+
+const char* to_string(RequestStatus s);
+
+struct MapRequest {
+  u64 id = 0;      ///< caller-chosen; echoed back in the response
+  Sequence read;
+  /// Absolute deadline. A request still queued past its deadline is
+  /// answered kTimedOut without being aligned (never blocks unboundedly).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+struct MapResponse {
+  u64 id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<Mapping> mappings;  ///< best-first, as Mapper::map returns
+  std::string paf;                ///< PAF lines for the mappings
+  MapTimings timings;             ///< seed/chain/align stage breakdown
+  double queue_ms = 0.0;          ///< submit -> compute start (or verdict)
+  double compute_ms = 0.0;        ///< Mapper::map wall time
+  u32 shard = 0;                  ///< worker shard that served the request
+  u64 batch_id = 0;               ///< compute batch the request rode in
+  u32 batch_size = 0;             ///< size of that batch
+};
+
+}  // namespace manymap

@@ -1,0 +1,142 @@
+#include "service/service.hpp"
+
+#include "base/timer.hpp"
+
+namespace manymap {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "OK";
+    case RequestStatus::kRejected: return "REJECTED";
+    case RequestStatus::kTimedOut: return "TIMED_OUT";
+  }
+  return "?";
+}
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+AlignmentService::AlignmentService(const Reference& ref, ServiceConfig cfg)
+    : cfg_(cfg), mapper_(ref, cfg.map), ingress_(cfg.ingress_capacity) {
+  start();
+}
+
+AlignmentService::AlignmentService(const Reference& ref, MinimizerIndex index, ServiceConfig cfg)
+    : cfg_(cfg), mapper_(ref, std::move(index), cfg.map), ingress_(cfg.ingress_capacity) {
+  start();
+}
+
+AlignmentService::~AlignmentService() { shutdown(); }
+
+void AlignmentService::start() {
+  MM_REQUIRE(cfg_.shards > 0 && cfg_.workers_per_shard > 0, "service needs workers");
+  shards_.reserve(cfg_.shards);
+  for (u32 s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(cfg_.shard_queue_capacity));
+    for (u32 w = 0; w < cfg_.workers_per_shard; ++w)
+      shards_.back()->workers.emplace_back([this, s] { worker_loop(s); });
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+std::future<MapResponse> AlignmentService::admit(MapRequest req, bool blocking) {
+  metrics_.on_submitted();
+  PendingRequest p{std::move(req), {}, std::chrono::steady_clock::now()};
+  auto fut = p.promise.get_future();
+  metrics_.record_queue_depth(ingress_.size());
+  const bool admitted = blocking ? ingress_.push(std::move(p)) : ingress_.try_push(std::move(p));
+  if (admitted) {
+    metrics_.on_accepted();
+  } else {
+    // try_push left `p` intact on failure; push only fails once closed,
+    // after which the promise is likewise still ours to resolve.
+    metrics_.on_rejected();
+    MapResponse resp;
+    resp.id = p.req.id;
+    resp.status = RequestStatus::kRejected;
+    p.promise.set_value(std::move(resp));
+  }
+  return fut;
+}
+
+std::future<MapResponse> AlignmentService::submit(MapRequest req) {
+  return admit(std::move(req), /*blocking=*/false);
+}
+
+std::future<MapResponse> AlignmentService::submit_wait(MapRequest req) {
+  return admit(std::move(req), /*blocking=*/true);
+}
+
+void AlignmentService::dispatch_batch(RequestBatch&& batch) {
+  u32 target = 0;
+  if (cfg_.dispatch == ServiceConfig::Dispatch::kRoundRobin || shards_.size() == 1) {
+    target = static_cast<u32>(rr_next_++ % shards_.size());
+  } else {
+    u64 best = shards_[0]->outstanding_bases.load(std::memory_order_relaxed);
+    for (u32 s = 1; s < shards_.size(); ++s) {
+      const u64 load = shards_[s]->outstanding_bases.load(std::memory_order_relaxed);
+      if (load < best) {
+        best = load;
+        target = s;
+      }
+    }
+  }
+  shards_[target]->outstanding_bases.fetch_add(batch.total_bases(), std::memory_order_relaxed);
+  shards_[target]->queue.push(std::move(batch));  // blocking: backpressure
+}
+
+void AlignmentService::scheduler_loop() {
+  BatchScheduler scheduler(ingress_, cfg_.batch);
+  scheduler.run([this](RequestBatch&& batch) { dispatch_batch(std::move(batch)); });
+  // Ingress is closed and fully drained: let the workers run dry.
+  for (auto& shard : shards_) shard->queue.close();
+}
+
+void AlignmentService::worker_loop(u32 shard_id) {
+  Shard& shard = *shards_[shard_id];
+  for (;;) {
+    auto batch = shard.queue.pop();
+    if (!batch) return;
+    metrics_.on_batch(batch->items.size());
+    const u64 bases = batch->total_bases();
+    for (auto& p : batch->items) {
+      MapResponse resp;
+      resp.id = p.req.id;
+      resp.shard = shard_id;
+      resp.batch_id = batch->id;
+      resp.batch_size = static_cast<u32>(batch->items.size());
+      const auto compute_start = std::chrono::steady_clock::now();
+      resp.queue_ms = ms_since(p.enqueued, compute_start);
+      if (p.req.deadline && compute_start > *p.req.deadline) {
+        resp.status = RequestStatus::kTimedOut;
+        metrics_.on_timed_out();
+      } else {
+        WallTimer t;
+        resp.mappings = mapper_.map(p.req.read, &resp.timings);
+        resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar);
+        resp.compute_ms = t.millis();
+        resp.status = RequestStatus::kOk;
+        metrics_.on_completed(ms_since(p.enqueued, std::chrono::steady_clock::now()),
+                              resp.compute_ms);
+      }
+      p.promise.set_value(std::move(resp));
+    }
+    shard.outstanding_bases.fetch_sub(bases, std::memory_order_relaxed);
+  }
+}
+
+void AlignmentService::shutdown() {
+  if (stopped_.exchange(true)) return;
+  ingress_.close();     // no new admissions; queued requests still served
+  scheduler_.join();    // flushes the final partial batch, closes shards
+  for (auto& shard : shards_)
+    for (auto& w : shard->workers) w.join();
+}
+
+}  // namespace manymap

@@ -1,0 +1,111 @@
+// The always-on alignment service: many concurrent clients submit
+// MapRequests; a scheduler thread coalesces them into longest-first
+// batches (§4.4.4); sharded worker pools align them against one immutable
+// MinimizerIndex; every request resolves a future with a MapResponse.
+//
+//   AlignmentService svc(ref, cfg);                 // index built once
+//   auto fut = svc.submit({id, read, deadline});    // non-blocking admission
+//   MapResponse r = fut.get();                      // kOk / kRejected / kTimedOut
+//   svc.shutdown();                                 // drains in-flight work
+//
+// Threading model (all connected by BoundedQueues):
+//
+//   clients --submit--> [ingress queue] --scheduler--> per-shard batch
+//   queues --workers--> promise fulfilment
+//
+// Admission control happens at the ingress queue: submit() uses try_push
+// and answers kRejected immediately when the queue is full, so a saturated
+// service sheds load instead of blocking callers without bound
+// (submit_wait() opts back into blocking for offline replay). Deadlines
+// are enforced at compute start: a request whose deadline passed while
+// queued is answered kTimedOut without being aligned.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "service/batch_scheduler.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+
+namespace manymap {
+
+struct ServiceConfig {
+  MapOptions map = MapOptions::map_pb();
+  /// Worker shards: each shard has its own batch queue and worker pool,
+  /// all sharing the one immutable index (Mapper::map is const).
+  u32 shards = 1;
+  u32 workers_per_shard = 2;
+  /// How the scheduler picks a shard for each batch.
+  enum class Dispatch {
+    kRoundRobin,
+    kLeastLoaded,  ///< length-aware: fewest outstanding bases wins
+  };
+  Dispatch dispatch = Dispatch::kRoundRobin;
+  std::size_t ingress_capacity = 64;      ///< admission-control bound
+  std::size_t shard_queue_capacity = 4;   ///< batches buffered per shard
+  BatchPolicy batch{};
+  bool paf_with_cigar = false;  ///< append cg:Z: tags to response PAF
+
+  u32 total_workers() const { return shards * workers_per_shard; }
+};
+
+class AlignmentService {
+ public:
+  /// Builds the index in the constructor; `ref` must outlive the service.
+  AlignmentService(const Reference& ref, ServiceConfig cfg);
+  /// Uses a prebuilt/loaded index (it must describe `ref`).
+  AlignmentService(const Reference& ref, MinimizerIndex index, ServiceConfig cfg);
+  ~AlignmentService();  ///< implies shutdown()
+
+  AlignmentService(const AlignmentService&) = delete;
+  AlignmentService& operator=(const AlignmentService&) = delete;
+
+  /// Non-blocking admission: if the ingress queue is full (or the service
+  /// is shut down) the returned future resolves immediately with
+  /// kRejected. Thread-safe; callable from any number of client threads.
+  std::future<MapResponse> submit(MapRequest req);
+
+  /// Blocking admission: waits for ingress room instead of rejecting.
+  /// For offline trace replay and tests; deadlines still apply.
+  std::future<MapResponse> submit_wait(MapRequest req);
+
+  /// Convenience: submit_wait + get.
+  MapResponse map_sync(MapRequest req) { return submit_wait(std::move(req)).get(); }
+
+  /// Stops admission, drains every queued request through the workers,
+  /// and joins all threads. Idempotent.
+  void shutdown();
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  const Mapper& mapper() const { return mapper_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  void start();
+  void scheduler_loop();
+  void worker_loop(u32 shard);
+  void dispatch_batch(RequestBatch&& batch);
+  std::future<MapResponse> admit(MapRequest req, bool blocking);
+
+  ServiceConfig cfg_;
+  Mapper mapper_;
+  ServiceMetrics metrics_;
+
+  BoundedQueue<PendingRequest> ingress_;
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    BoundedQueue<RequestBatch> queue;
+    std::atomic<u64> outstanding_bases{0};
+    std::vector<std::thread> workers;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread scheduler_;
+  u64 rr_next_ = 0;  ///< scheduler-thread only
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace manymap

@@ -293,5 +293,25 @@ TEST(Breakdown, InstrumentedRunCoversAllStages) {
   std::remove(query_path.c_str());
 }
 
+TEST(Options, CliNameHelpers) {
+  EXPECT_FALSE(preset_by_name("map-hifi").has_value());
+  const auto pb = preset_by_name("map-pb");
+  const auto ont = preset_by_name("map-ont");
+  ASSERT_TRUE(pb.has_value());
+  ASSERT_TRUE(ont.has_value());
+  EXPECT_NE(pb->scores.mismatch, ont->scores.mismatch);
+
+  MapOptions opt = *pb;
+  EXPECT_TRUE(apply_layout_name(opt, "minimap2"));
+  EXPECT_EQ(opt.layout, Layout::kMinimap2);
+  EXPECT_FALSE(apply_layout_name(opt, "colmap"));
+  EXPECT_EQ(opt.layout, Layout::kMinimap2);  // unchanged on bad name
+
+  EXPECT_TRUE(apply_isa_name(opt, "scalar"));
+  EXPECT_EQ(opt.isa, Isa::kScalar);
+  EXPECT_FALSE(apply_isa_name(opt, "neon"));
+  EXPECT_EQ(opt.isa, Isa::kScalar);
+}
+
 }  // namespace
 }  // namespace manymap

@@ -84,6 +84,46 @@ TEST(Queue, CloseUnblocksConsumer) {
   consumer.join();
 }
 
+TEST(Queue, TryPushFailsWhenFullOrClosed) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int lost = 3;
+  EXPECT_FALSE(q.try_push(std::move(lost)));  // full: no blocking
+  EXPECT_EQ(lost, 3);                         // item untouched on failure
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  q.close();
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_TRUE(q.closed());
+  // close() drains the remainder before nullopt, as with blocking push.
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, PopForTimesOutThenSucceeds) {
+  BoundedQueue<int> q(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(19));
+  EXPECT_FALSE(q.closed());  // nullopt came from the timeout, not close()
+  q.push(7);
+  EXPECT_EQ(q.pop_for(std::chrono::seconds(5)), 7);
+}
+
+TEST(Queue, PopForUnblocksOnCloseAndOnPush) {
+  BoundedQueue<int> q(2);
+  std::thread waiter([&] {
+    EXPECT_EQ(q.pop_for(std::chrono::seconds(30)), 9);   // woken by push
+    EXPECT_FALSE(q.pop_for(std::chrono::seconds(30)));   // woken by close
+    EXPECT_TRUE(q.closed());
+  });
+  q.push(9);
+  q.close();
+  waiter.join();
+}
+
 TEST(Queue, ProducerConsumerStress) {
   BoundedQueue<int> q(3);
   constexpr int kN = 2000;

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/paf.hpp"
+#include "service/batch_scheduler.hpp"
+#include "service/service.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+using namespace std::chrono_literals;
+
+// One small deterministic workload shared by every test: a 80 kbp genome
+// and short PacBio-noise reads (capped lengths keep the suite fast).
+struct Workload {
+  Reference ref;
+  std::vector<Sequence> reads;
+  std::vector<std::string> serial_paf;  ///< Mapper::map ground truth per read
+
+  Workload() {
+    GenomeParams gp;
+    gp.total_length = 80'000;
+    gp.num_contigs = 2;
+    gp.seed = 1234;
+    ref = generate_genome(gp);
+    ReadSimParams rp;
+    rp.num_reads = 120;
+    rp.seed = 1235;
+    rp.profile.log_mu = std::log(700.0);
+    rp.profile.log_sigma = 0.5;
+    rp.profile.min_length = 200;
+    rp.profile.max_length = 2'500;
+    for (auto& sr : ReadSimulator(ref, rp).simulate()) reads.push_back(std::move(sr.read));
+    const Mapper mapper(ref, MapOptions::map_pb());
+    for (const auto& r : reads) serial_paf.push_back(to_paf_block(mapper.map(r)));
+  }
+};
+
+const Workload& workload() {
+  static const Workload w;
+  return w;
+}
+
+PendingRequest make_pending(u64 id, std::size_t len) {
+  PendingRequest p;
+  p.req.id = id;
+  p.req.read.name = "r" + std::to_string(id);
+  p.req.read.codes.assign(len, 0);
+  p.enqueued = std::chrono::steady_clock::now();
+  return p;
+}
+
+TEST(BatchScheduler, CoalescesBySizeAndSortsLongestFirst) {
+  BoundedQueue<PendingRequest> ingress(64);
+  for (u64 i = 0; i < 10; ++i) ingress.push(make_pending(i, 100 + (i * 37) % 500));
+  ingress.close();
+  BatchPolicy policy;
+  policy.max_batch_size = 4;
+  policy.longest_first = true;
+  std::vector<RequestBatch> batches;
+  const u64 n = BatchScheduler(ingress, policy).run(
+      [&](RequestBatch&& b) { batches.push_back(std::move(b)); });
+  ASSERT_EQ(n, 3u);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].items.size(), 4u);
+  EXPECT_EQ(batches[1].items.size(), 4u);
+  EXPECT_EQ(batches[2].items.size(), 2u);
+  u64 total = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    EXPECT_EQ(batches[b].id, b);
+    total += batches[b].items.size();
+    for (std::size_t i = 1; i < batches[b].items.size(); ++i)
+      EXPECT_GE(batches[b].items[i - 1].req.read.size(), batches[b].items[i].req.read.size());
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(BatchScheduler, FifoOrderWhenLongestFirstOff) {
+  BoundedQueue<PendingRequest> ingress(64);
+  for (u64 i = 0; i < 6; ++i) ingress.push(make_pending(i, 600 - i * 50));
+  ingress.close();
+  BatchPolicy policy;
+  policy.max_batch_size = 100;
+  policy.longest_first = false;
+  std::vector<RequestBatch> batches;
+  BatchScheduler(ingress, policy).run([&](RequestBatch&& b) { batches.push_back(std::move(b)); });
+  ASSERT_EQ(batches.size(), 1u);
+  for (std::size_t i = 0; i < batches[0].items.size(); ++i)
+    EXPECT_EQ(batches[0].items[i].req.id, i);  // arrival order preserved
+}
+
+TEST(BatchScheduler, MaxDelayFlushesPartialBatch) {
+  BoundedQueue<PendingRequest> ingress(64);
+  BatchPolicy policy;
+  policy.max_batch_size = 1000;  // size alone would never flush
+  policy.max_delay = 5ms;
+  BoundedQueue<std::size_t> flushed(16);
+  std::thread scheduler([&] {
+    BatchScheduler(ingress, policy).run(
+        [&](RequestBatch&& b) { flushed.push(b.items.size()); });
+  });
+  ingress.push(make_pending(0, 100));
+  ingress.push(make_pending(1, 100));
+  // The partial batch must arrive on its own via the delay flush.
+  const auto size = flushed.pop_for(5s);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 2u);
+  ingress.close();
+  scheduler.join();
+}
+
+TEST(Service, MatchesSerialMapperByteForByte) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.dispatch = ServiceConfig::Dispatch::kLeastLoaded;
+  cfg.batch.max_batch_size = 8;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.id, i);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+    EXPECT_LT(r.shard, cfg.shards);
+    EXPECT_GE(r.batch_size, 1u);
+  }
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.completed, w.reads.size());
+  EXPECT_GT(snap.mean_batch_size, 1.0);  // burst traffic must coalesce
+}
+
+TEST(Service, LongestFirstToggleBothMatchSerial) {
+  const auto& w = workload();
+  for (const bool longest_first : {true, false}) {
+    ServiceConfig cfg;
+    cfg.workers_per_shard = 2;
+    cfg.batch.longest_first = longest_first;
+    AlignmentService svc(w.ref, cfg);
+    std::vector<std::future<MapResponse>> futures;
+    for (std::size_t i = 0; i < 40; ++i) {
+      MapRequest req;
+      req.id = i;
+      req.read = w.reads[i];
+      futures.push_back(svc.submit_wait(std::move(req)));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      EXPECT_EQ(futures[i].get().paf, w.serial_paf[i]) << "longest_first=" << longest_first;
+  }
+}
+
+TEST(Service, RejectsWhenIngressFull) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  cfg.ingress_capacity = 1;  // admission-control bound under test
+  cfg.shard_queue_capacity = 1;
+  cfg.batch.max_batch_size = 1;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 100; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i % w.reads.size()];
+    futures.push_back(svc.submit(std::move(req)));  // non-blocking admission
+  }
+  u64 ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const MapResponse r = f.get();
+    if (r.status == RequestStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(r.paf.empty());
+    } else {
+      EXPECT_EQ(r.status, RequestStatus::kRejected);
+      EXPECT_TRUE(r.mappings.empty());
+      ++rejected;
+    }
+  }
+  // A burst of 100 instant submits against a 1-slot queue and real compute
+  // must shed load; the first request always gets in.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + rejected, 100u);
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.rejected, rejected);
+  EXPECT_EQ(snap.completed, ok);
+}
+
+TEST(Service, ShutdownDrainsInFlightRequests) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 2;
+  cfg.ingress_capacity = 256;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 60; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  svc.shutdown();  // must drain, not drop
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.paf, w.serial_paf[i]);
+  }
+  // After shutdown, new submissions are answered kRejected immediately.
+  MapRequest late;
+  late.id = 999;
+  late.read = w.reads[0];
+  EXPECT_EQ(svc.submit(std::move(late)).get().status, RequestStatus::kRejected);
+}
+
+TEST(Service, ExpiredDeadlineTimesOutWithoutCompute) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 20; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    if (i % 2 == 0) req.deadline = std::chrono::steady_clock::now() - 1ms;  // already expired
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    if (i % 2 == 0) {
+      EXPECT_EQ(r.status, RequestStatus::kTimedOut);
+      EXPECT_TRUE(r.mappings.empty());
+      EXPECT_EQ(r.compute_ms, 0.0);  // never aligned
+    } else {
+      EXPECT_EQ(r.status, RequestStatus::kOk);
+      EXPECT_EQ(r.paf, w.serial_paf[i]);
+    }
+  }
+  svc.shutdown();
+  EXPECT_EQ(svc.metrics().snapshot().timed_out, 10u);
+}
+
+TEST(Service, MetricsCountersAddUp) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 2;
+  cfg.ingress_capacity = 4;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 80; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    if (i % 10 == 3) req.deadline = std::chrono::steady_clock::now() - 1ms;
+    // Mix admission modes so both rejects and completions can occur.
+    futures.push_back(i % 2 ? svc.submit(std::move(req)) : svc.submit_wait(std::move(req)));
+  }
+  for (auto& f : futures) (void)f.get();
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.submitted, 80u);
+  EXPECT_EQ(snap.submitted, snap.accepted + snap.rejected);
+  // Every accepted request ends exactly one way: completed or timed out.
+  EXPECT_EQ(snap.accepted, snap.completed + snap.timed_out);
+  // Every accepted request rode in exactly one batch.
+  EXPECT_EQ(snap.batched_requests, snap.accepted);
+  EXPECT_GT(snap.batches, 0u);
+  EXPECT_GE(snap.mean_batch_size, 1.0);
+  if (snap.completed > 0) {
+    EXPECT_GT(snap.latency_ms_mean, 0.0);
+    EXPECT_GE(snap.latency_ms_p99, snap.latency_ms_p50);
+  }
+  const std::string report = snap.report();
+  EXPECT_NE(report.find("submitted=80"), std::string::npos);
+  EXPECT_NE(report.find("latency_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manymap

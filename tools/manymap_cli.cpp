@@ -103,20 +103,13 @@ int cmd_map(const ArgList& args) {
   const bool use_mmap = !args.has("no-mmap");
   const Reference ref = load_reference(args.positional[0], use_mmap);
 
-  MapOptions opt = args.get("preset", "map-pb") == "map-ont" ? MapOptions::map_ont()
-                                                             : MapOptions::map_pb();
-  const std::string layout = args.get("layout", "manymap");
-  MM_REQUIRE(layout == "manymap" || layout == "minimap2", "bad --layout");
-  opt.layout = layout == "manymap" ? Layout::kManymap : Layout::kMinimap2;
+  const auto preset = preset_by_name(args.get("preset", "map-pb"));
+  MM_REQUIRE(preset.has_value(), "bad --preset");
+  MapOptions opt = *preset;
+  MM_REQUIRE(apply_layout_name(opt, args.get("layout", "manymap")), "bad --layout");
   const std::string isa = args.get("isa", "");
-  if (!isa.empty()) {
-    if (isa == "scalar") opt.isa = Isa::kScalar;
-    else if (isa == "sse2") opt.isa = Isa::kSse2;
-    else if (isa == "avx2") opt.isa = Isa::kAvx2;
-    else if (isa == "avx512") opt.isa = Isa::kAvx512;
-    else MM_REQUIRE(false, "bad --isa");
-    MM_REQUIRE(get_diff_kernel(opt.layout, opt.isa) != nullptr, "ISA unavailable on this CPU");
-  }
+  if (!isa.empty())
+    MM_REQUIRE(apply_isa_name(opt, isa), "bad --isa or ISA unavailable on this CPU");
 
   std::vector<Sequence> reads;
   if (use_mmap) {

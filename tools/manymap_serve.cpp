@@ -1,0 +1,216 @@
+// manymap_serve — replay a request trace against the always-on alignment
+// service and print its metrics report.
+//
+//   manymap_serve [options]
+//
+// Workload (all deterministic for a given --seed):
+//   --ref <ref.fa>         reference FASTA (default: simulated genome)
+//   --reads-file <fa|fq>   reads to replay (default: simulated reads)
+//   --length N             simulated genome length (default 400000)
+//   --reads N              simulated read count (default 2000)
+//   --platform pacbio|nanopore   simulated error/length profile
+//   --seed S               trace seed (default 42)
+// Service config:
+//   --preset map-pb|map-ont  --layout minimap2|manymap  --isa <name>
+//   --workers N            worker threads per shard (default 4)
+//   --shards N             worker shards (default 1)
+//   --dispatch rr|length   batch dispatch policy (default rr)
+//   --queue-capacity N     ingress queue bound (default 64)
+//   --batch-size N         max requests per compute batch (default 16)
+//   --batch-delay-us N     max batch coalescing delay (default 2000)
+//   --no-longest-first     disable §4.4.4 longest-first batch ordering
+//   --deadline-ms F        per-request deadline, 0 = none (default 0)
+// Replay:
+//   --rate R               Poisson arrivals/sec; 0 = burst (default 0)
+//   --admission block|reject   full-queue behaviour (default block)
+//   --verify               check responses == serial Mapper::map, exit 1 on
+//                          mismatch
+//   --paf                  print the PAF of every OK response (trace order)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "core/paf.hpp"
+#include "sequence/fasta.hpp"
+#include "service/service.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+struct ArgList {
+  std::map<std::string, std::string> options;
+  bool has(const std::string& k) const { return options.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+  i64 get_int(const std::string& k, i64 dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : std::stoll(it->second);
+  }
+  double get_double(const std::string& k, double dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
+};
+
+ArgList parse_args(int argc, char** argv, const std::vector<std::string>& flags) {
+  ArgList out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    MM_REQUIRE(arg.rfind("--", 0) == 0, "manymap_serve takes only --options");
+    const std::string key = arg.substr(2);
+    if (std::find(flags.begin(), flags.end(), key) != flags.end()) {
+      out.options[key] = "1";
+    } else {
+      MM_REQUIRE(i + 1 < argc, "option missing value");
+      out.options[key] = argv[++i];
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: manymap_serve [--ref f.fa] [--reads-file f.fq] [--length N] [--reads N]\n"
+               "  [--platform pacbio|nanopore] [--seed S] [--preset map-pb|map-ont]\n"
+               "  [--layout minimap2|manymap] [--isa name] [--workers N] [--shards N]\n"
+               "  [--dispatch rr|length] [--queue-capacity N] [--batch-size N]\n"
+               "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
+               "  [--admission block|reject] [--verify] [--paf]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  using namespace manymap;
+  const std::vector<std::string> flags{"no-longest-first", "verify", "paf"};
+  const ArgList args = parse_args(argc - 1, argv + 1, flags);
+  if (args.has("help")) return usage();
+
+  const u64 seed = static_cast<u64>(args.get_int("seed", 42));
+
+  // 1. Workload: reference + reads, loaded or simulated (fixed seed).
+  Reference ref;
+  if (args.has("ref")) {
+    for (auto& c : read_sequence_file(args.get("ref", ""))) ref.add(std::move(c));
+  } else {
+    GenomeParams gp;
+    gp.total_length = static_cast<u64>(args.get_int("length", 400'000));
+    gp.seed = seed;
+    ref = generate_genome(gp);
+  }
+  std::vector<Sequence> reads;
+  if (args.has("reads-file")) {
+    reads = read_sequence_file(args.get("reads-file", ""));
+  } else {
+    ReadSimParams rp;
+    rp.profile = args.get("platform", "pacbio") == "nanopore" ? ErrorProfile::nanopore()
+                                                              : ErrorProfile::pacbio();
+    rp.num_reads = static_cast<u32>(args.get_int("reads", 2000));
+    rp.seed = seed + 1;
+    for (auto& sr : ReadSimulator(ref, rp).simulate()) reads.push_back(std::move(sr.read));
+  }
+  MM_REQUIRE(!reads.empty(), "no reads to replay");
+
+  // 2. Service config from the shared option names.
+  ServiceConfig cfg;
+  const auto preset = preset_by_name(args.get("preset", "map-pb"));
+  MM_REQUIRE(preset.has_value(), "bad --preset");
+  cfg.map = *preset;
+  MM_REQUIRE(apply_layout_name(cfg.map, args.get("layout", "manymap")), "bad --layout");
+  if (args.has("isa"))
+    MM_REQUIRE(apply_isa_name(cfg.map, args.get("isa", "")), "bad --isa or unavailable");
+  cfg.shards = static_cast<u32>(args.get_int("shards", 1));
+  cfg.workers_per_shard = static_cast<u32>(args.get_int("workers", 4));
+  cfg.dispatch = args.get("dispatch", "rr") == "length" ? ServiceConfig::Dispatch::kLeastLoaded
+                                                        : ServiceConfig::Dispatch::kRoundRobin;
+  cfg.ingress_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  cfg.batch.max_batch_size = static_cast<u32>(args.get_int("batch-size", 16));
+  cfg.batch.max_delay = std::chrono::microseconds(args.get_int("batch-delay-us", 2000));
+  cfg.batch.longest_first = !args.has("no-longest-first");
+
+  // 3. Arrival schedule: exponential inter-arrival gaps (Poisson process)
+  //   at --rate req/s; rate 0 degenerates to a burst at t=0.
+  const double rate = args.get_double("rate", 0.0);
+  Rng arrivals(seed + 2);
+  std::vector<double> arrive_at(reads.size(), 0.0);
+  if (rate > 0.0) {
+    double t = 0.0;
+    for (auto& a : arrive_at) {
+      t += -std::log(1.0 - arrivals.uniform01()) / rate;
+      a = t;
+    }
+  }
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  const bool blocking = args.get("admission", "block") != "reject";
+
+  // 4. Replay the trace.
+  AlignmentService svc(ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  futures.reserve(reads.size());
+  WallTimer wall;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (rate > 0.0)
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(arrive_at[i])));
+    MapRequest req;
+    req.id = i;
+    req.read = reads[i];
+    if (deadline_ms > 0.0)
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<i64>(deadline_ms * 1000.0));
+    futures.push_back(blocking ? svc.submit_wait(std::move(req)) : svc.submit(std::move(req)));
+  }
+  std::vector<MapResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  svc.shutdown();
+  const double wall_s = wall.seconds();
+
+  // 5. Report.
+  const auto snap = svc.metrics().snapshot();
+  std::fputs(snap.report().c_str(), stderr);
+  std::fprintf(stderr,
+               "[manymap_serve] %zu requests in %.3fs (%.0f req/s) — %u shard(s) x %u "
+               "worker(s), batch<=%u delay=%lldus longest_first=%d dispatch=%s\n",
+               reads.size(), wall_s, static_cast<double>(reads.size()) / wall_s, cfg.shards,
+               cfg.workers_per_shard, cfg.batch.max_batch_size,
+               static_cast<long long>(cfg.batch.max_delay.count()), cfg.batch.longest_first,
+               cfg.dispatch == ServiceConfig::Dispatch::kLeastLoaded ? "length" : "rr");
+
+  if (args.has("paf"))
+    for (const auto& r : responses)
+      if (r.status == RequestStatus::kOk) std::cout << r.paf;
+
+  // 6. Optional verification: the service must be a behaviour-preserving
+  //   wrapper around Mapper::map — byte-identical PAF per request.
+  if (args.has("verify")) {
+    u64 mismatches = 0, unverifiable = 0;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (responses[i].status != RequestStatus::kOk) {
+        ++unverifiable;
+        continue;
+      }
+      const auto serial = svc.mapper().map(reads[i]);
+      if (to_paf_block(serial, cfg.paf_with_cigar) != responses[i].paf) ++mismatches;
+    }
+    std::fprintf(stderr, "[manymap_serve] verify: %s (%llu mismatches, %llu not-OK skipped)\n",
+                 mismatches == 0 ? "OK" : "FAIL", static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(unverifiable));
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}
