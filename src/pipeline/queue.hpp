@@ -18,8 +18,10 @@ class BoundedQueue {
     MM_REQUIRE(capacity > 0, "queue capacity must be positive");
   }
 
-  /// Blocks while full. Returns false if the queue was closed.
-  bool push(T item) {
+  /// Blocks while full. Returns false if the queue was closed; on failure
+  /// `item` is left untouched so the caller can still resolve it (e.g. a
+  /// close() racing a blocking submit must not eat the request's promise).
+  bool push(T&& item) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
@@ -27,6 +29,9 @@ class BoundedQueue {
     not_empty_.notify_one();
     return true;
   }
+
+  /// Copying overload for lvalue arguments (copyable T only).
+  bool push(const T& item) { return push(T(item)); }
 
   /// Non-blocking push for admission control: fails instead of waiting.
   /// Returns false when the queue is full or closed; on failure `item` is

@@ -7,9 +7,16 @@
 namespace manymap {
 
 void ServiceMetrics::on_completed(double latency_ms, double compute_ms) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(mu_);
-  latencies_ms_.push_back(latency_ms);
-  compute_ms_.push_back(compute_ms);
+  if (latencies_ms_.size() < kReservoirCapacity) {
+    latencies_ms_.push_back(latency_ms);
+    compute_ms_.push_back(compute_ms);
+  } else {
+    latencies_ms_[reservoir_next_] = latency_ms;
+    compute_ms_[reservoir_next_] = compute_ms;
+    reservoir_next_ = (reservoir_next_ + 1) % kReservoirCapacity;
+  }
 }
 
 void ServiceMetrics::record_queue_depth(std::size_t depth) {
@@ -32,8 +39,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   s.mean_batch_size =
       s.batches ? static_cast<double>(s.batched_requests) / static_cast<double>(s.batches) : 0.0;
+  s.completed = completed_.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
-  s.completed = latencies_ms_.size();
   if (!latencies_ms_.empty()) {
     s.latency_ms_mean = summarize(latencies_ms_).mean;
     s.latency_ms_p50 = percentile(latencies_ms_, 0.50);

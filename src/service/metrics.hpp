@@ -1,7 +1,10 @@
 // Lock-cheap metrics registry for the alignment service: monotonic
 // counters are plain relaxed atomics touched once per event; only the
 // latency reservoirs (needed for p50/p99) take a mutex, and only on
-// request completion — never on the submit fast path.
+// request completion — never on the submit fast path. The reservoirs are
+// bounded ring buffers over the most recent kReservoirCapacity
+// completions, so an always-on service holds steady-state memory and
+// snapshot cost no matter how long it runs.
 #pragma once
 
 #include <atomic>
@@ -25,7 +28,8 @@ struct MetricsSnapshot {
   u64 queue_depth_last = 0;
   u64 queue_depth_peak = 0;
   double mean_batch_size = 0.0;
-  double latency_ms_mean = 0.0;  ///< submit -> response, kOk only
+  // Latency stats cover the most recent reservoir window, kOk only.
+  double latency_ms_mean = 0.0;  ///< submit -> response
   double latency_ms_p50 = 0.0;
   double latency_ms_p99 = 0.0;
   double compute_ms_mean = 0.0;
@@ -36,6 +40,10 @@ struct MetricsSnapshot {
 
 class ServiceMetrics {
  public:
+  /// Latency samples retained for percentiles: a ring buffer of the most
+  /// recent completions, bounding memory for an always-on process.
+  static constexpr std::size_t kReservoirCapacity = 8192;
+
   void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
   void on_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
@@ -56,11 +64,13 @@ class ServiceMetrics {
 
  private:
   std::atomic<u64> submitted_{0}, accepted_{0}, rejected_{0}, timed_out_{0};
+  std::atomic<u64> completed_{0};
   std::atomic<u64> batches_{0}, batched_requests_{0};
   std::atomic<u64> queue_depth_last_{0}, queue_depth_peak_{0};
   mutable std::mutex mu_;  ///< guards the reservoirs only
-  std::vector<double> latencies_ms_;
-  std::vector<double> compute_ms_;
+  std::vector<double> latencies_ms_;  ///< ring buffer, <= kReservoirCapacity
+  std::vector<double> compute_ms_;   ///< parallel ring buffer
+  std::size_t reservoir_next_ = 0;   ///< overwrite cursor once full
 };
 
 }  // namespace manymap

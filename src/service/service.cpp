@@ -54,8 +54,8 @@ std::future<MapResponse> AlignmentService::admit(MapRequest req, bool blocking) 
   if (admitted) {
     metrics_.on_accepted();
   } else {
-    // try_push left `p` intact on failure; push only fails once closed,
-    // after which the promise is likewise still ours to resolve.
+    // Both push paths leave `p` intact on failure (full or closed), so the
+    // promise is still ours to resolve with a rejection.
     metrics_.on_rejected();
     MapResponse resp;
     resp.id = p.req.id;
@@ -117,13 +117,20 @@ void AlignmentService::worker_loop(u32 shard_id) {
         resp.status = RequestStatus::kTimedOut;
         metrics_.on_timed_out();
       } else {
-        WallTimer t;
-        resp.mappings = mapper_.map(p.req.read, &resp.timings);
-        resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar);
-        resp.compute_ms = t.millis();
-        resp.status = RequestStatus::kOk;
-        metrics_.on_completed(ms_since(p.enqueued, std::chrono::steady_clock::now()),
-                              resp.compute_ms);
+        try {
+          WallTimer t;
+          resp.mappings = mapper_.map(p.req.read, &resp.timings);
+          resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar);
+          resp.compute_ms = t.millis();
+          resp.status = RequestStatus::kOk;
+          metrics_.on_completed(ms_since(p.enqueued, std::chrono::steady_clock::now()),
+                                resp.compute_ms);
+        } catch (...) {
+          // Surface the failure to the caller instead of terminating the
+          // worker thread and leaving the future forever unresolved.
+          p.promise.set_exception(std::current_exception());
+          continue;
+        }
       }
       p.promise.set_value(std::move(resp));
     }

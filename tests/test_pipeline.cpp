@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <thread>
 #include <algorithm>
@@ -100,6 +101,17 @@ TEST(Queue, TryPushFailsWhenFullOrClosed) {
   EXPECT_EQ(q.pop(), 2);
   EXPECT_EQ(q.pop(), 3);
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, PushOnClosedLeavesItemIntact) {
+  BoundedQueue<std::unique_ptr<int>> q(1);  // move-only element type
+  q.close();
+  auto item = std::make_unique<int>(7);
+  EXPECT_FALSE(q.push(std::move(item)));
+  // The failed push must not consume the item: callers (e.g. service
+  // admission racing shutdown) still need it to build a rejection.
+  ASSERT_TRUE(item);
+  EXPECT_EQ(*item, 7);
 }
 
 TEST(Queue, PopForTimesOutThenSucceeds) {

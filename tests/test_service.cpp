@@ -221,11 +221,19 @@ TEST(Service, ShutdownDrainsInFlightRequests) {
     EXPECT_EQ(r.status, RequestStatus::kOk);
     EXPECT_EQ(r.paf, w.serial_paf[i]);
   }
-  // After shutdown, new submissions are answered kRejected immediately.
+  // After shutdown, new submissions are answered kRejected immediately —
+  // in both admission modes (the blocking path's push fails on the closed
+  // queue and must leave the promise resolvable, not broken).
   MapRequest late;
   late.id = 999;
   late.read = w.reads[0];
   EXPECT_EQ(svc.submit(std::move(late)).get().status, RequestStatus::kRejected);
+  MapRequest late_wait;
+  late_wait.id = 1000;
+  late_wait.read = w.reads[0];
+  const MapResponse r = svc.submit_wait(std::move(late_wait)).get();
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  EXPECT_EQ(r.id, 1000u);
 }
 
 TEST(Service, ExpiredDeadlineTimesOutWithoutCompute) {
@@ -289,6 +297,19 @@ TEST(Service, MetricsCountersAddUp) {
   const std::string report = snap.report();
   EXPECT_NE(report.find("submitted=80"), std::string::npos);
   EXPECT_NE(report.find("latency_ms"), std::string::npos);
+}
+
+TEST(Metrics, LatencyReservoirStaysBounded) {
+  ServiceMetrics m;
+  const u64 n = ServiceMetrics::kReservoirCapacity + 500;
+  for (u64 i = 0; i < n; ++i) m.on_completed(static_cast<double>(i), static_cast<double>(i) / 2);
+  const auto snap = m.snapshot();
+  // The completion count is exact even though samples are windowed.
+  EXPECT_EQ(snap.completed, n);
+  // The ring holds exactly the most recent kReservoirCapacity samples, so
+  // every retained latency is >= the first evicted value.
+  EXPECT_GE(snap.latency_ms_p50, static_cast<double>(n - ServiceMetrics::kReservoirCapacity));
+  EXPECT_GE(snap.latency_ms_p99, snap.latency_ms_p50);
 }
 
 }  // namespace

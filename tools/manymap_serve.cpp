@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,17 +63,30 @@ struct ArgList {
   }
 };
 
-ArgList parse_args(int argc, char** argv, const std::vector<std::string>& flags) {
+/// Parses `--flag` / `--option value` pairs. Returns nullopt (after printing
+/// the offending token) on anything unknown or malformed, so main can fall
+/// through to usage() instead of aborting.
+std::optional<ArgList> parse_args(int argc, char** argv, const std::vector<std::string>& flags,
+                                  const std::vector<std::string>& valued) {
   ArgList out;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    MM_REQUIRE(arg.rfind("--", 0) == 0, "manymap_serve takes only --options");
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "manymap_serve: unexpected argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
     const std::string key = arg.substr(2);
     if (std::find(flags.begin(), flags.end(), key) != flags.end()) {
       out.options[key] = "1";
-    } else {
-      MM_REQUIRE(i + 1 < argc, "option missing value");
+    } else if (std::find(valued.begin(), valued.end(), key) != valued.end()) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "manymap_serve: option --%s missing its value\n", key.c_str());
+        return std::nullopt;
+      }
       out.options[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "manymap_serve: unknown option --%s\n", key.c_str());
+      return std::nullopt;
     }
   }
   return out;
@@ -94,9 +108,19 @@ int usage() {
 
 int main(int argc, char** argv) {
   using namespace manymap;
-  const std::vector<std::string> flags{"no-longest-first", "verify", "paf"};
-  const ArgList args = parse_args(argc - 1, argv + 1, flags);
-  if (args.has("help")) return usage();
+  const std::vector<std::string> flags{"no-longest-first", "verify", "paf", "help"};
+  const std::vector<std::string> valued{
+      "ref",      "reads-file", "length",         "reads",      "platform",
+      "seed",     "preset",     "layout",         "isa",        "workers",
+      "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
+      "deadline-ms", "rate",    "admission"};
+  const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
+  if (!parsed) return usage();
+  if (parsed->has("help")) {
+    usage();
+    return 0;
+  }
+  const ArgList& args = *parsed;
 
   const u64 seed = static_cast<u64>(args.get_int("seed", 42));
 
