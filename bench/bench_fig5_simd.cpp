@@ -29,6 +29,11 @@ int main() {
       a.with_cigar = with_path;
       const KernelFn mm2 = get_diff_kernel(Layout::kMinimap2, isa);
       const KernelFn many = get_diff_kernel(Layout::kManymap, isa);
+      if (mm2 == nullptr || many == nullptr) {
+        std::printf("%-10s %14s %14s %10s  (kernel not compiled in)\n", to_string(isa),
+                    "skipped", "skipped", "-");
+        continue;
+      }
       const double g_mm2 = measure_gcups(mm2, a);
       const double g_many = measure_gcups(many, a);
       std::printf("%-10s %14.3f %14.3f %9.2fx\n", to_string(isa), g_mm2, g_many,

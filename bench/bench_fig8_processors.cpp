@@ -24,6 +24,8 @@ constexpr double kCpuEfficiency = 0.9;
 
 double cpu_gcups(Layout layout, Isa isa, const std::vector<u8>& t, const std::vector<u8>& q,
                  bool with_path) {
+  const KernelFn fn = get_diff_kernel(layout, isa);
+  if (fn == nullptr) return 0.0;  // ISA not compiled in: report as skipped
   DiffArgs a;
   a.target = t.data();
   a.tlen = static_cast<i32>(t.size());
@@ -31,7 +33,7 @@ double cpu_gcups(Layout layout, Isa isa, const std::vector<u8>& t, const std::ve
   a.qlen = static_cast<i32>(q.size());
   a.mode = AlignMode::kGlobal;
   a.with_cigar = with_path;
-  const double single = measure_gcups(get_diff_kernel(layout, isa), a, 2, 0.15);
+  const double single = measure_gcups(fn, a, 2, 0.15);
   return single * kCpuThreads * kCpuEfficiency;
 }
 

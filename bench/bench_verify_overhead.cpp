@@ -1,0 +1,52 @@
+// Verification overhead — what the differential oracle costs when it is ON
+// (production kernel + full-matrix reference + checks) versus the raw
+// production kernel with the oracle OFF. The point of the measurement: the
+// oracle is a development/CI tool, and leaving it off in production must
+// cost nothing — the kernel path contains no verify hooks at all, so
+// "oracle off" here IS the production number. The ratio quantifies why the
+// reference DP can never ride along in serving: it is O(|T||Q|) full-matrix
+// with int64 cells against an int8 banded kernel.
+#include "bench_util.hpp"
+#include "verify/verify.hpp"
+
+using namespace manymap;
+using namespace manymap::bench;
+
+int main() {
+  Rng rng(77);
+  print_header("Verification overhead: oracle on vs off (per pair, ms)");
+  std::printf("%-8s %-28s %12s %12s %10s\n", "length", "combo", "oracle off", "oracle on",
+              "ratio");
+  for (const i32 len : {500, 1'000, 2'000, 4'000}) {
+    const auto target = random_seq(rng, len);
+    const auto query = noisy_copy(rng, target);
+    verify::CaseSpec spec;
+    spec.family = verify::Family::kDiff;
+    spec.layout = Layout::kManymap;
+    spec.mode = AlignMode::kGlobal;
+    spec.with_cigar = true;
+    spec.target = target;
+    spec.query = query;
+    for (const Isa isa : available_isas()) {
+      spec.isa = isa;
+      if (!verify::runnable(spec)) continue;
+      // Oracle off: the production kernel alone.
+      WallTimer off_t;
+      int reps = 0;
+      do {
+        (void)verify::run_production(spec);
+        ++reps;
+      } while (off_t.seconds() < 0.05 && reps < 100);
+      const double off_ms = off_t.seconds() * 1e3 / reps;
+      // Oracle on: production + reference + all five invariants.
+      WallTimer on_t;
+      const verify::CheckResult r = verify::run_oracle(spec);
+      const double on_ms = on_t.seconds() * 1e3;
+      std::printf("%-8d %-28s %12.3f %12.3f %9.1fx%s\n", len, spec.combo().c_str(), off_ms,
+                  on_ms, on_ms / off_ms, r.ok ? "" : "  DIVERGED");
+    }
+  }
+  std::printf("\nThe production path has no verify hooks: oracle-off cost IS the\n"
+              "serving cost. The oracle's reference DP is for CI sweeps only.\n");
+  return 0;
+}

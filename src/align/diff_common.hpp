@@ -33,6 +33,14 @@ inline constexpr i32 kLanePad = 64;
 inline i32 diag_start(i32 r, i32 qlen) { return r >= qlen ? r - qlen + 1 : 0; }
 inline i32 diag_end(i32 r, i32 tlen) { return r < tlen ? r : tlen - 1; }
 
+/// Saturating int8 cast. The SIMD kernels clamp via adds/subs; the scalar
+/// kernels compute in int32 and must clamp identically on store, so all
+/// backends stay bit-exact even at the fits_int8 contract boundary (where
+/// the bound guarantees saturation never actually binds).
+inline i8 sat_i8(i32 v) {
+  return static_cast<i8>(v < -128 ? -128 : (v > 127 ? 127 : v));
+}
+
 /// Reusable buffers for one alignment. The difference arrays are int8
 /// (Suzuki–Kasahara bound: |u|,|v| <= max(a, q+e); x,y in [-(q+e), -e]).
 struct DiffWorkspace {

@@ -48,6 +48,7 @@ AlignResult finish(const DiffArgs& a, const DiffWorkspace& ws, const BorderTrack
 AlignResult align_scalar_mm2(const DiffArgs& a) {
   AlignResult out;
   if (handle_degenerate(a, out)) return out;
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
   DiffWorkspace ws;
   ws.prepare(a, /*manymap_layout=*/false);
@@ -101,14 +102,14 @@ AlignResult align_scalar_mm2(const DiffArgs& a) {
         z = bb;
         d = kDirIns;
       }
-      U[t] = static_cast<i8>(z - vt);
-      V[t] = static_cast<i8>(z - ut);
+      U[t] = sat_i8(z - vt);
+      V[t] = sat_i8(z - ut);
       i32 xa = aa - z + c.q;
       if (xa > 0) d |= kExtDel; else xa = 0;
-      X[t] = static_cast<i8>(xa - c.qe);
+      X[t] = sat_i8(xa - c.qe);
       i32 yb = bb - z + c.q;
       if (yb > 0) d |= kExtIns; else yb = 0;
-      Y[t] = static_cast<i8>(yb - c.qe);
+      Y[t] = sat_i8(yb - c.qe);
       if (dir_row) dir_row[t - st] = d;
     }
     track.after_diagonal(r, U[en], V[en], V[st], U[st]);
@@ -119,6 +120,7 @@ AlignResult align_scalar_mm2(const DiffArgs& a) {
 AlignResult align_scalar_manymap(const DiffArgs& a) {
   AlignResult out;
   if (handle_degenerate(a, out)) return out;
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
   DiffWorkspace ws;
   ws.prepare(a, /*manymap_layout=*/true);
@@ -167,14 +169,14 @@ AlignResult align_scalar_manymap(const DiffArgs& a) {
         z = bb;
         d = kDirIns;
       }
-      U[t] = static_cast<i8>(z - vt);
-      V[tpi] = static_cast<i8>(z - ut);
+      U[t] = sat_i8(z - vt);
+      V[tpi] = sat_i8(z - ut);
       i32 xa = aa - z + c.q;
       if (xa > 0) d |= kExtDel; else xa = 0;
-      X[tpi] = static_cast<i8>(xa - c.qe);
+      X[tpi] = sat_i8(xa - c.qe);
       i32 yb = bb - z + c.q;
       if (yb > 0) d |= kExtIns; else yb = 0;
-      Y[t] = static_cast<i8>(yb - c.qe);
+      Y[t] = sat_i8(yb - c.qe);
       if (dir_row) dir_row[t - st] = d;
     }
     track.after_diagonal(r, U[en], V[en + shift], V[st + shift], U[st]);

@@ -26,11 +26,18 @@ struct ScoreParams {
   /// minimap2 -ax map-ont style parameters (one-piece approximation).
   static ScoreParams map_ont() { return ScoreParams{2, 4, 4, 2}; }
 
-  /// True if the Suzuki–Kasahara int8 difference bound max(match, q+e)
-  /// fits comfortably in int8 (required by the vector kernels).
+  /// True if every value the int8 difference kernels store or stream
+  /// through a signed 8-bit lane is representable. The Suzuki–Kasahara
+  /// bound puts the stored differences at u,v in [-(q+e), match+q+e] and
+  /// x,y in [-(q+e), -e], so the binding constraint is match + q + e (the
+  /// u/v swing when a long gap closes into a match run), NOT
+  /// max(match, q+e) as an earlier revision assumed — that admitted
+  /// parameter sets (e.g. match=100, q=40, e=10) whose lanes wrapped in
+  /// the scalar kernels while the SIMD kernels saturated, silently
+  /// diverging on long high-identity extensions. A small margin below 127
+  /// keeps saturating and exact arithmetic identical.
   bool fits_int8() const {
-    const i32 bound = match > gap_open + gap_ext ? match : gap_open + gap_ext;
-    return bound <= 120 && mismatch <= 120;
+    return match + gap_open + gap_ext <= 125 && mismatch <= 125;
   }
 };
 

@@ -89,6 +89,7 @@ template <bool kManymapLayout>
 AlignResult twopiece_diff(const TwoPieceArgs& a) {
   AlignResult out;
   if (degenerate(a, out)) return out;
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
   const i32 tlen = a.tlen, qlen = a.qlen;
   const auto& p = a.params;
   const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
@@ -179,20 +180,20 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       if (a2 > z) { z = a2; d = 3; }
       if (b2 > z) { z = b2; d = 4; }
 
-      U[ti] = static_cast<i8>(z - vt);
-      V[vi] = static_cast<i8>(z - ut);
+      U[ti] = detail::sat_i8(z - vt);
+      V[vi] = detail::sat_i8(z - ut);
       i32 w = a1 - z + q1;
       if (w > 0) d |= kExtE1; else w = 0;
-      X1[vi] = static_cast<i8>(w - q1 - e1);
+      X1[vi] = detail::sat_i8(w - q1 - e1);
       w = b1 - z + q1;
       if (w > 0) d |= kExtF1; else w = 0;
-      Y1[ti] = static_cast<i8>(w - q1 - e1);
+      Y1[ti] = detail::sat_i8(w - q1 - e1);
       w = a2 - z + q2;
       if (w > 0) d |= kExtE2; else w = 0;
-      X2[vi] = static_cast<i8>(w - q2 - e2);
+      X2[vi] = detail::sat_i8(w - q2 - e2);
       w = b2 - z + q2;
       if (w > 0) d |= kExtF2; else w = 0;
-      Y2[ti] = static_cast<i8>(w - q2 - e2);
+      Y2[ti] = detail::sat_i8(w - q2 - e2);
       if (dir_row != nullptr) dir_row[t - st] = d;
     }
 

@@ -33,6 +33,14 @@ struct TwoPieceParams {
     const i64 c2 = gap_open2 + static_cast<i64>(k) * gap_ext2;
     return c1 < c2 ? c1 : c2;
   }
+
+  /// int8 difference-lane contract, mirroring ScoreParams::fits_int8: each
+  /// gap piece k keeps xk,yk in [-(qk+ek), -ek] and u,v swing up to
+  /// match + max(qk+ek), which must stay below the int8 saturation point.
+  bool fits_int8() const {
+    const i32 p1 = gap_open1 + gap_ext1, p2 = gap_open2 + gap_ext2;
+    return match + (p1 > p2 ? p1 : p2) <= 125 && mismatch <= 125;
+  }
   static TwoPieceParams map_pb() { return TwoPieceParams{2, 5, 4, 2, 24, 1}; }
 };
 

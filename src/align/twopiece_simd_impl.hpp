@@ -36,6 +36,7 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
       return out;
     }
   }
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
   const i32 tlen = a.tlen, qlen = a.qlen;
   const auto& p = a.params;

@@ -35,4 +35,16 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
 }
 
+double percentile_nearest_rank(std::vector<double> xs, double p) {
+  MM_REQUIRE(!xs.empty(), "percentile of empty vector");
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  if (rank < 1) rank = 1;
+  if (rank > xs.size()) rank = xs.size();
+  return xs[rank - 1];
+}
+
 }  // namespace manymap

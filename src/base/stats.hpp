@@ -22,4 +22,12 @@ Summary summarize(const std::vector<double>& xs);
 /// p in [0,1]; linear interpolation between order statistics.
 double percentile(std::vector<double> xs, double p);
 
+/// p in [0,1]; nearest-rank definition (rank = ceil(p*N), clamped to
+/// [1, N]): always returns an observed sample. Preferred for sparse
+/// reservoirs, where interpolation invents values between two distant
+/// samples and biases tail percentiles low — with one sample every
+/// percentile is that sample; with two, p99 is the larger one, not a
+/// 98%-weighted blend.
+double percentile_nearest_rank(std::vector<double> xs, double p);
+
 }  // namespace manymap

@@ -43,8 +43,12 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard lock(mu_);
   if (!latencies_ms_.empty()) {
     s.latency_ms_mean = summarize(latencies_ms_).mean;
-    s.latency_ms_p50 = percentile(latencies_ms_, 0.50);
-    s.latency_ms_p99 = percentile(latencies_ms_, 0.99);
+    // Nearest-rank, not interpolation: early in a run the reservoir holds a
+    // handful of samples, and interpolating between two distant order
+    // statistics reports a p99 no request ever experienced (with 2 samples
+    // the interpolated p99 is a 98%-weighted blend instead of the max).
+    s.latency_ms_p50 = percentile_nearest_rank(latencies_ms_, 0.50);
+    s.latency_ms_p99 = percentile_nearest_rank(latencies_ms_, 0.99);
     s.compute_ms_mean = summarize(compute_ms_).mean;
   }
   return s;

@@ -33,14 +33,14 @@ inline CellUpdate update_cell(i32 sc, i8 vt, i8 xt, i8 ut, i8 yt, i32 q, i32 qe)
     d = detail::kDirIns;
   }
   CellUpdate c;
-  c.u = static_cast<i8>(z - vt);
-  c.v = static_cast<i8>(z - ut);
+  c.u = detail::sat_i8(z - vt);
+  c.v = detail::sat_i8(z - ut);
   i32 xa = aa - z + q;
   if (xa > 0) d |= detail::kExtDel; else xa = 0;
-  c.x = static_cast<i8>(xa - qe);
+  c.x = detail::sat_i8(xa - qe);
   i32 yb = bb - z + q;
   if (yb > 0) d |= detail::kExtIns; else yb = 0;
-  c.y = static_cast<i8>(yb - qe);
+  c.y = detail::sat_i8(yb - qe);
   c.dir = d;
   return c;
 }
@@ -59,6 +59,7 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
   GpuAlignResult out;
   if (detail::handle_degenerate(a, out.result)) return out;
   MM_REQUIRE(threads > 0 && threads <= spec.max_block_threads, "bad thread count");
+  MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
   const i32 tlen = a.tlen, qlen = a.qlen;
   const i32 q = a.params.gap_open, e = a.params.gap_ext;

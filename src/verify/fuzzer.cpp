@@ -1,0 +1,348 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "align/reference_dp.hpp"
+#include "sequence/dna.hpp"
+
+namespace manymap {
+namespace verify {
+
+namespace {
+
+// Scoring pools. Every entry satisfies the int8 difference-lane contract
+// (ScoreParams::fits_int8 / TwoPieceParams::fits_int8); the saturation
+// generator picks the boundary entries on purpose.
+const ScoreParams kDiffParamsPool[] = {
+    ScoreParams{},                 // defaults (2,4,4,2)
+    ScoreParams::map_pb(),         // 2,5,4,2
+    ScoreParams::map_ont(),        // 2,4,4,2
+    ScoreParams{5, 11, 10, 3},     // steep gaps
+    ScoreParams{1, 9, 16, 2},      // gap-averse
+};
+const ScoreParams kDiffBoundaryParams[] = {
+    ScoreParams{100, 60, 20, 5},   // match + q + e == 125 (int8 bound)
+    ScoreParams{90, 90, 30, 5},    // mismatch-heavy near the bound
+};
+const TwoPieceParams kTwoPieceParamsPool[] = {
+    TwoPieceParams{},                    // minimap2 map-pb style defaults
+    TwoPieceParams::map_pb(),            // 2,5,4,2,24,1
+    TwoPieceParams{4, 10, 6, 3, 30, 1},  // wider pieces
+};
+const TwoPieceParams kTwoPieceBoundaryParams[] = {
+    TwoPieceParams{90, 80, 20, 15, 34, 1},  // match + max(qk+ek) == 125
+};
+
+const i32 kBoundaryLengths[] = {1,  2,  3,  7,  8,  9,  15,  16,  17,  31,  32,  33,
+                                63, 64, 65, 95, 96, 97, 127, 128, 129, 255, 256, 257};
+
+std::vector<u8> random_seq(XorShift& rng, i32 n) {
+  std::vector<u8> s(static_cast<std::size_t>(n));
+  for (auto& b : s) b = rng.chance(1, 20) ? kBaseN : rng.base();
+  return s;
+}
+
+std::vector<u8> substitute(XorShift& rng, const std::vector<u8>& t, u64 pct) {
+  std::vector<u8> q = t;
+  for (auto& b : q)
+    if (rng.chance(pct, 100)) b = rng.base();
+  return q;
+}
+
+std::vector<u8> indel_mutate(XorShift& rng, const std::vector<u8>& t, u64 pct) {
+  std::vector<u8> q;
+  q.reserve(t.size() + 16);
+  for (const u8 b : t) {
+    const u64 u = rng.below(100);
+    if (u < pct * 2 / 5) {
+      q.push_back(rng.base());  // substitution
+    } else if (u < pct * 7 / 10) {
+      q.push_back(b);  // insertion after
+      q.push_back(rng.base());
+    } else if (u < pct) {
+      // deletion
+    } else {
+      q.push_back(b);
+    }
+  }
+  if (q.empty()) q.push_back(rng.base());
+  return q;
+}
+
+std::vector<u8> homopolymer_seq(XorShift& rng, i32 approx_len) {
+  std::vector<u8> s;
+  s.reserve(static_cast<std::size_t>(approx_len) + 16);
+  while (static_cast<i32>(s.size()) < approx_len) {
+    const u8 b = rng.base();
+    const i64 run = rng.range(1, 12);
+    for (i64 k = 0; k < run; ++k) s.push_back(b);
+  }
+  s.resize(static_cast<std::size_t>(approx_len));
+  return s;
+}
+
+void gen_substitution(XorShift& rng, FuzzCase& c) {
+  const i32 len = static_cast<i32>(rng.range(1, 200));
+  c.target = random_seq(rng, len);
+  c.query = substitute(rng, c.target, 1 + rng.below(30));
+}
+
+void gen_indel(XorShift& rng, FuzzCase& c) {
+  const i32 len = static_cast<i32>(rng.range(4, 200));
+  c.target = random_seq(rng, len);
+  c.query = indel_mutate(rng, c.target, 5 + rng.below(25));
+}
+
+void gen_homopolymer(XorShift& rng, FuzzCase& c) {
+  c.target = homopolymer_seq(rng, static_cast<i32>(rng.range(8, 150)));
+  // Same run structure, independently drawn run lengths: maximal gap
+  // placement ambiguity stressing deterministic tie-breaking.
+  c.query = indel_mutate(rng, c.target, 10 + rng.below(20));
+}
+
+void gen_length_sweep(XorShift& rng, FuzzCase& c) {
+  // Lengths straddling the 16/32/64-lane chunk boundaries, paired either
+  // equal, off-by-one, or against another boundary length.
+  const i32 tlen = kBoundaryLengths[rng.below(std::size(kBoundaryLengths))];
+  i32 qlen;
+  switch (rng.below(3)) {
+    case 0: qlen = tlen; break;
+    case 1: qlen = std::max<i32>(1, tlen + static_cast<i32>(rng.range(-1, 1))); break;
+    default: qlen = kBoundaryLengths[rng.below(std::size(kBoundaryLengths))]; break;
+  }
+  c.target = random_seq(rng, tlen);
+  if (qlen == tlen && rng.chance(1, 2)) {
+    c.query = substitute(rng, c.target, 1 + rng.below(15));
+  } else {
+    c.query = random_seq(rng, qlen);
+  }
+}
+
+void gen_band_edge(XorShift& rng, FuzzCase& c) {
+  // Extreme |T| / |Q| asymmetry: every diagonal is clipped by st/en, the
+  // longest ones degenerate to a handful of cells.
+  const i32 big = static_cast<i32>(rng.range(100, 400));
+  const i32 small = static_cast<i32>(rng.range(1, 8));
+  c.target = random_seq(rng, big);
+  c.query = random_seq(rng, small);
+  if (rng.chance(1, 2)) std::swap(c.target, c.query);
+}
+
+void gen_saturation(XorShift& rng, FuzzCase& c) {
+  // High-identity pair with one long gap: after the gap closes, u/v lanes
+  // swing to their extremes (match + q + e). With boundary parameters this
+  // sits exactly on the int8 limit.
+  const i32 len = static_cast<i32>(rng.range(80, 250));
+  c.target = random_seq(rng, len);
+  c.query = c.target;
+  const i64 gap = rng.range(20, std::max<i64>(21, len / 2));
+  const i64 at = rng.range(0, std::max<i64>(0, len - gap - 1));
+  c.query.erase(c.query.begin() + at, c.query.begin() + at + gap);
+  if (c.query.empty()) c.query.push_back(0);
+  // Sprinkle a few substitutions so match runs restart.
+  c.query = substitute(rng, c.query, 1 + rng.below(4));
+  c.params = kDiffBoundaryParams[rng.below(std::size(kDiffBoundaryParams))];
+  c.tp = kTwoPieceBoundaryParams[rng.below(std::size(kTwoPieceBoundaryParams))];
+}
+
+}  // namespace
+
+const char* to_string(Generator g) {
+  switch (g) {
+    case Generator::kSubstitution: return "substitution";
+    case Generator::kIndel: return "indel";
+    case Generator::kHomopolymer: return "homopolymer";
+    case Generator::kLengthSweep: return "length_sweep";
+    case Generator::kBandEdge: return "band_edge";
+    case Generator::kSaturation: return "saturation";
+  }
+  return "?";
+}
+
+FuzzCase make_case(u64 seed) {
+  FuzzCase c;
+  c.seed = seed;
+  XorShift rng(seed ^ 0xc0ffee5eedULL);
+  c.generator = static_cast<Generator>(rng.below(kNumGenerators));
+  c.params = kDiffParamsPool[rng.below(std::size(kDiffParamsPool))];
+  c.tp = kTwoPieceParamsPool[rng.below(std::size(kTwoPieceParamsPool))];
+  switch (c.generator) {
+    case Generator::kSubstitution: gen_substitution(rng, c); break;
+    case Generator::kIndel: gen_indel(rng, c); break;
+    case Generator::kHomopolymer: gen_homopolymer(rng, c); break;
+    case Generator::kLengthSweep: gen_length_sweep(rng, c); break;
+    case Generator::kBandEdge: gen_band_edge(rng, c); break;
+    case Generator::kSaturation: gen_saturation(rng, c); break;
+  }
+  return c;
+}
+
+namespace {
+
+struct ComboTable {
+  std::vector<ComboStats> combos;
+
+  ComboStats& at(const std::string& name) {
+    for (auto& c : combos)
+      if (c.name == name) return c;
+    combos.push_back(ComboStats{name, 0, 0});
+    return combos.back();
+  }
+};
+
+/// Validate one matrix cell against a precomputed reference; on divergence
+/// minimize and report.
+void run_cell(const CaseSpec& spec, const AlignResult& ref, const FuzzCase& fc,
+              const SweepOptions& opt, SweepStats& stats, ComboTable& table,
+              const std::function<void(const Divergence&)>& on_divergence) {
+  if (!runnable(spec)) return;
+  ComboStats& combo = table.at(spec.combo());
+  ++combo.cases;
+  ++stats.cases_run;
+  const CheckResult check = check_result(spec, run_production(spec), ref);
+  if (check.ok) return;
+  ++combo.divergences;
+  Divergence div;
+  div.spec = opt.minimize ? minimize_case(spec) : spec;
+  div.failure = run_oracle(div.spec).failure;
+  if (div.failure.empty()) div.failure = check.failure;  // minimization lost it
+  div.seed = fc.seed;
+  div.generator = fc.generator;
+  stats.divergences.push_back(div);
+  if (on_divergence) on_divergence(stats.divergences.back());
+}
+
+}  // namespace
+
+SweepStats run_sweep(const SweepOptions& opt,
+                     const std::function<void(const Divergence&)>& on_divergence) {
+  SweepStats stats;
+  ComboTable table;
+  const std::vector<Isa> isas = available_isas();
+  const u32 simt_widths[] = {32, 64};
+
+  for (u64 i = 0; i < opt.seeds; ++i) {
+    const u64 seed = opt.first_seed + i;
+    const FuzzCase fc = make_case(seed);
+
+    CaseSpec base;
+    base.target = fc.target;
+    base.query = fc.query;
+    base.params = fc.params;
+    base.tp = fc.tp;
+
+    for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+      base.mode = mode;
+
+      if (opt.family_diff || opt.family_simt) {
+        base.family = Family::kDiff;
+        const AlignResult ref = run_reference(base);
+        if (opt.family_diff) {
+          for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+            for (const Isa isa : isas)
+              for (const bool cigar : {false, true}) {
+                CaseSpec spec = base;
+                spec.family = Family::kDiff;
+                spec.layout = layout;
+                spec.isa = isa;
+                spec.with_cigar = cigar;
+                run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+              }
+        }
+        const bool simt_sized =
+            static_cast<i32>(fc.target.size()) <= opt.simt_max_len &&
+            static_cast<i32>(fc.query.size()) <= opt.simt_max_len;
+        if (opt.family_simt && simt_sized && seed % opt.simt_every == 0) {
+          for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+            for (const u32 threads : simt_widths)
+              for (const bool cigar : {false, true}) {
+                CaseSpec spec = base;
+                spec.family = Family::kSimt;
+                spec.layout = layout;
+                spec.simt_threads = threads;
+                spec.with_cigar = cigar;
+                run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+              }
+        }
+      }
+
+      if (opt.family_twopiece) {
+        base.family = Family::kTwoPiece;
+        const AlignResult ref = run_reference(base);
+        for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+          for (const Isa isa : isas)
+            for (const bool cigar : {false, true}) {
+              CaseSpec spec = base;
+              spec.family = Family::kTwoPiece;
+              spec.layout = layout;
+              spec.isa = isa;
+              spec.with_cigar = cigar;
+              run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+            }
+      }
+    }
+  }
+  stats.combos = std::move(table.combos);
+  std::sort(stats.combos.begin(), stats.combos.end(),
+            [](const ComboStats& a, const ComboStats& b) { return a.name < b.name; });
+  return stats;
+}
+
+namespace {
+
+bool still_fails(const CaseSpec& spec) { return !run_oracle(spec).ok; }
+
+/// Try dropping `n` elements from the front or back of one sequence.
+bool try_trim(CaseSpec& spec, bool target_seq, bool front, std::size_t n) {
+  std::vector<u8>& s = target_seq ? spec.target : spec.query;
+  if (s.size() < n || n == 0) return false;
+  const std::vector<u8> saved = s;
+  if (front) {
+    s.erase(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+  } else {
+    s.resize(s.size() - n);
+  }
+  if (still_fails(spec)) return true;
+  s = saved;
+  return false;
+}
+
+}  // namespace
+
+CaseSpec minimize_case(const CaseSpec& spec) {
+  if (!still_fails(spec)) return spec;
+  CaseSpec cur = spec;
+  // Phase 1: chunked trimming from both ends of both sequences.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const bool target_seq : {true, false}) {
+      std::size_t chunk =
+          std::max<std::size_t>(1, (target_seq ? cur.target : cur.query).size() / 2);
+      while (chunk >= 1) {
+        while (try_trim(cur, target_seq, /*front=*/false, chunk)) progress = true;
+        while (try_trim(cur, target_seq, /*front=*/true, chunk)) progress = true;
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+  }
+  // Phase 2: canonicalize bases to 'A' where the failure persists (bounded;
+  // the SIMT interpreter makes oracle replays expensive on big cases).
+  if (cur.target.size() + cur.query.size() <= 192) {
+    for (const bool target_seq : {true, false}) {
+      std::vector<u8>& s = target_seq ? cur.target : cur.query;
+      for (auto& b : s) {
+        if (b == 0) continue;
+        const u8 saved = b;
+        b = 0;
+        if (!still_fails(cur)) b = saved;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace verify
+}  // namespace manymap

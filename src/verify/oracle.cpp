@@ -1,0 +1,205 @@
+#include "verify/verify.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "align/reference_dp.hpp"
+#include "simt/kernels.hpp"
+
+namespace manymap {
+namespace verify {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+DiffArgs diff_args(const CaseSpec& s) {
+  DiffArgs a;
+  a.target = s.target.data();
+  a.tlen = static_cast<i32>(s.target.size());
+  a.query = s.query.data();
+  a.qlen = static_cast<i32>(s.query.size());
+  a.params = s.params;
+  a.mode = s.mode;
+  a.with_cigar = s.with_cigar;
+  return a;
+}
+
+TwoPieceArgs twopiece_args(const CaseSpec& s) {
+  TwoPieceArgs a;
+  a.target = s.target.data();
+  a.tlen = static_cast<i32>(s.target.size());
+  a.query = s.query.data();
+  a.qlen = static_cast<i32>(s.query.size());
+  a.params = s.tp;
+  a.mode = s.mode;
+  a.with_cigar = s.with_cigar;
+  return a;
+}
+
+}  // namespace
+
+const char* to_string(Family family) {
+  switch (family) {
+    case Family::kDiff: return "diff";
+    case Family::kTwoPiece: return "twopiece";
+    case Family::kSimt: return "simt";
+  }
+  return "?";
+}
+
+std::string CaseSpec::combo() const {
+  std::string s = to_string(family);
+  s += '/';
+  s += manymap::to_string(layout);
+  s += '/';
+  if (family == Family::kSimt) {
+    s += fmt("%ut", simt_threads);
+  } else {
+    s += manymap::to_string(isa);
+  }
+  s += '/';
+  s += manymap::to_string(mode);
+  s += with_cigar ? "/path" : "/score";
+  return s;
+}
+
+bool runnable(const CaseSpec& spec) {
+  switch (spec.family) {
+    case Family::kDiff:
+      if (!spec.params.fits_int8()) return false;
+      return get_diff_kernel(spec.layout, spec.isa) != nullptr;
+    case Family::kTwoPiece:
+      if (!spec.tp.fits_int8()) return false;
+      return get_twopiece_kernel(spec.layout, spec.isa) != nullptr;
+    case Family::kSimt:
+      return spec.params.fits_int8() && spec.simt_threads > 0 &&
+             spec.simt_threads <= simt::DeviceSpec::v100().max_block_threads;
+  }
+  return false;
+}
+
+bool validate_cigar_shape(const Cigar& cigar, u64 t_span, u64 q_span, std::string* why) {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  u64 t = 0, q = 0;
+  char prev = '\0';
+  for (const CigarOp& op : cigar.ops()) {
+    if (op.op != 'M' && op.op != 'D' && op.op != 'I')
+      return fail(fmt("unknown op '%c'", op.op));
+    if (op.len == 0) return fail(fmt("zero-length '%c' op", op.op));
+    if (op.op == prev) return fail(fmt("adjacent '%c' runs not merged", op.op));
+    prev = op.op;
+    if (op.op != 'I') t += op.len;
+    if (op.op != 'D') q += op.len;
+  }
+  if (t != t_span)
+    return fail(fmt("target span %llu != expected %llu",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(t_span)));
+  if (q != q_span)
+    return fail(fmt("query span %llu != expected %llu",
+                    static_cast<unsigned long long>(q),
+                    static_cast<unsigned long long>(q_span)));
+  return true;
+}
+
+i64 twopiece_cigar_score(const Cigar& cigar, const std::vector<u8>& target,
+                         const std::vector<u8>& query, const TwoPieceParams& p) {
+  i64 score = 0;
+  u64 i = 0, j = 0;
+  for (const CigarOp& op : cigar.ops()) {
+    if (op.op == 'M') {
+      MM_REQUIRE(i + op.len <= target.size() && j + op.len <= query.size(),
+                 "two-piece CIGAR overruns the sequences");
+      for (u32 k = 0; k < op.len; ++k) score += p.sub(target[i + k], query[j + k]);
+      i += op.len;
+      j += op.len;
+    } else if (op.op == 'D') {
+      score -= p.gap_cost(op.len);
+      i += op.len;
+    } else {
+      MM_REQUIRE(op.op == 'I', "unsupported CIGAR op in two-piece scoring");
+      score -= p.gap_cost(op.len);
+      j += op.len;
+    }
+  }
+  return score;
+}
+
+AlignResult run_production(const CaseSpec& spec) {
+  MM_REQUIRE(runnable(spec), "case is not runnable on this machine");
+  switch (spec.family) {
+    case Family::kDiff:
+      return get_diff_kernel(spec.layout, spec.isa)(diff_args(spec));
+    case Family::kTwoPiece:
+      return get_twopiece_kernel(spec.layout, spec.isa)(twopiece_args(spec));
+    case Family::kSimt:
+      return simt::gpu_align(diff_args(spec), spec.layout, simt::DeviceSpec::v100(),
+                             spec.simt_threads)
+          .result;
+  }
+  fatal("unknown kernel family", __FILE__, __LINE__);
+}
+
+AlignResult run_reference(const CaseSpec& spec) {
+  if (spec.family == Family::kTwoPiece) {
+    TwoPieceArgs a = twopiece_args(spec);
+    a.with_cigar = true;
+    return twopiece_reference_align(a);
+  }
+  DiffArgs a = diff_args(spec);
+  a.with_cigar = true;
+  return reference_align(a);
+}
+
+CheckResult check_result(const CaseSpec& spec, const AlignResult& got,
+                         const AlignResult& ref) {
+  if (got.score != ref.score)
+    return CheckResult::fail(fmt("score %lld != reference %lld",
+                                 static_cast<long long>(got.score),
+                                 static_cast<long long>(ref.score)));
+  if (got.t_end != ref.t_end || got.q_end != ref.q_end)
+    return CheckResult::fail(fmt("end cell (%d,%d) != reference (%d,%d)", got.t_end,
+                                 got.q_end, ref.t_end, ref.q_end));
+  if (!spec.with_cigar) {
+    if (!got.cigar.empty())
+      return CheckResult::fail("score-only result carries a CIGAR");
+    return {};
+  }
+  std::string why;
+  // Degenerate global cases align against an empty side: the whole other
+  // sequence is one gap op and t_end/q_end stay -1 on the empty axis.
+  const u64 t_span = static_cast<u64>(got.t_end + 1);
+  const u64 q_span = static_cast<u64>(got.q_end + 1);
+  if (!validate_cigar_shape(got.cigar, t_span, q_span, &why))
+    return CheckResult::fail("malformed CIGAR: " + why);
+  const i64 path_score = spec.family == Family::kTwoPiece
+                             ? twopiece_cigar_score(got.cigar, spec.target, spec.query,
+                                                    spec.tp)
+                             : got.cigar.score(spec.target, spec.query, 0, 0, spec.params);
+  if (path_score != got.score)
+    return CheckResult::fail(fmt("CIGAR rescoring %lld != reported score %lld",
+                                 static_cast<long long>(path_score),
+                                 static_cast<long long>(got.score)));
+  if (got.cigar.to_string() != ref.cigar.to_string())
+    return CheckResult::fail("CIGAR " + got.cigar.to_string() + " != reference " +
+                             ref.cigar.to_string());
+  return {};
+}
+
+CheckResult run_oracle(const CaseSpec& spec) {
+  return check_result(spec, run_production(spec), run_reference(spec));
+}
+
+}  // namespace verify
+}  // namespace manymap

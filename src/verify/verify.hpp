@@ -1,0 +1,93 @@
+// Differential verification oracle for the alignment kernel matrix.
+//
+// A CaseSpec pins down ONE production kernel invocation — kernel family
+// (one-piece diff / two-piece diff / SIMT block form), memory layout, ISA,
+// alignment mode, score-only vs full path, scoring parameters and the
+// concrete sequence pair. The oracle replays the case through the
+// full-matrix reference DP and validates the production result:
+//   1. score equality with the reference,
+//   2. end-cell equality,
+//   3. CIGAR well-formedness (no zero-length ops, no adjacent runs of the
+//      same op, ops consume exactly the aligned target/query spans),
+//   4. score recomputation from the CIGAR equals the reported score,
+//   5. exact CIGAR equality with the reference (the kernels share the
+//      reference's deterministic tie-breaking, so paths must be bit-exact).
+//
+// This is the trust layer every perf PR lands on: a kernel refactor that
+// passes the fuzzer sweep (fuzzer.hpp) across the full
+// (layout x ISA x mode x path x family) matrix is score- and
+// CIGAR-equivalent to the gold standard.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/kernel_api.hpp"
+#include "align/twopiece.hpp"
+
+namespace manymap {
+namespace verify {
+
+/// Kernel families under verification. kSimt runs the block-interpreter
+/// GPU kernel forms (Fig. 4a/4b), which share the one-piece scoring model.
+enum class Family { kDiff, kTwoPiece, kSimt };
+
+const char* to_string(Family family);
+
+/// Self-contained description of one kernel invocation.
+struct CaseSpec {
+  Family family = Family::kDiff;
+  Layout layout = Layout::kManymap;
+  Isa isa = Isa::kScalar;  ///< ignored by kSimt (interpreter, not ISA)
+  AlignMode mode = AlignMode::kGlobal;
+  bool with_cigar = true;
+  u32 simt_threads = 64;   ///< block width for kSimt
+  ScoreParams params{};    ///< kDiff / kSimt scoring
+  TwoPieceParams tp{};     ///< kTwoPiece scoring
+  std::vector<u8> target;
+  std::vector<u8> query;
+
+  /// Human-readable (family/layout/isa/mode/path) combo label.
+  std::string combo() const;
+};
+
+/// True when the case's kernel exists on this machine (ISA compiled in and
+/// supported) and its parameters satisfy the int8 difference-lane contract.
+bool runnable(const CaseSpec& spec);
+
+struct CheckResult {
+  bool ok = true;
+  std::string failure;  ///< first violated invariant, human-readable
+
+  static CheckResult fail(std::string why) { return CheckResult{false, std::move(why)}; }
+};
+
+/// Structural CIGAR validation: every op length > 0, no two adjacent ops of
+/// the same kind (push() merges, so adjacency indicates a broken emitter),
+/// and the ops consume exactly `t_span` target and `q_span` query bases.
+bool validate_cigar_shape(const Cigar& cigar, u64 t_span, u64 q_span,
+                          std::string* why = nullptr);
+
+/// Score a CIGAR path under the two-piece gap model (the one-piece analogue
+/// is Cigar::score).
+i64 twopiece_cigar_score(const Cigar& cigar, const std::vector<u8>& target,
+                         const std::vector<u8>& query, const TwoPieceParams& p);
+
+/// Run the production kernel for a runnable case.
+AlignResult run_production(const CaseSpec& spec);
+
+/// Run the matching full-matrix reference DP (always with a CIGAR, so the
+/// oracle can compare paths).
+AlignResult run_reference(const CaseSpec& spec);
+
+/// Validate an already-produced result against a reference result. Exposed
+/// separately so tests can feed corrupted results and the sweep can reuse
+/// one reference across the (layout x ISA x path) cells of a case.
+CheckResult check_result(const CaseSpec& spec, const AlignResult& got,
+                         const AlignResult& ref);
+
+/// check_result(spec, run_production(spec), run_reference(spec)).
+CheckResult run_oracle(const CaseSpec& spec);
+
+}  // namespace verify
+}  // namespace manymap

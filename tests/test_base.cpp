@@ -120,6 +120,35 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
 }
 
+TEST(Stats, NearestRankSingleSample) {
+  // With one observation, every percentile is that observation — linear
+  // interpolation agrees here, but this pins the sparse-reservoir contract.
+  const std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.99), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 1.0), 7.5);
+}
+
+TEST(Stats, NearestRankTwoSamples) {
+  // The interpolating definition reports p99 = 1.0*0.02 + 100.0*0.98 =
+  // 98.02 — a latency no request experienced. Nearest-rank reports the
+  // observed maximum.
+  const std::vector<double> xs{100.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.50), 1.0);   // rank ceil(1.0) = 1
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.99), 100.0); // rank ceil(1.98) = 2
+}
+
+TEST(Stats, NearestRankNinetyNineSamples) {
+  // 99 samples 1..99: p99 rank = ceil(0.99*99) = ceil(98.01) = 99 -> 99.0;
+  // p50 rank = ceil(49.5) = 50 -> 50.0.
+  std::vector<double> xs;
+  for (int i = 99; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.01), 1.0);
+}
+
 TEST(CpuFeatures, Sse2PresentOnX86) {
 #if defined(__x86_64__)
   EXPECT_TRUE(cpu_features().sse2);

@@ -312,5 +312,29 @@ TEST(Metrics, LatencyReservoirStaysBounded) {
   EXPECT_GE(snap.latency_ms_p99, snap.latency_ms_p50);
 }
 
+TEST(Metrics, SparseReservoirPercentilesAreObservedSamples) {
+  // Nearest-rank on sparse reservoirs: the reported percentile must be a
+  // latency some request actually experienced, not an interpolated blend.
+  ServiceMetrics one;
+  one.on_completed(7.5, 1.0);
+  auto snap = one.snapshot();
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p50, 7.5);
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p99, 7.5);
+
+  ServiceMetrics two;
+  two.on_completed(100.0, 1.0);
+  two.on_completed(1.0, 1.0);
+  snap = two.snapshot();
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p50, 1.0);
+  // Interpolation would report 98.02 here; the observed tail is 100.
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p99, 100.0);
+
+  ServiceMetrics many;
+  for (int i = 1; i <= 99; ++i) many.on_completed(static_cast<double>(i), 1.0);
+  snap = many.snapshot();
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p50, 50.0);
+  EXPECT_DOUBLE_EQ(snap.latency_ms_p99, 99.0);
+}
+
 }  // namespace
 }  // namespace manymap

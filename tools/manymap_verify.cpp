@@ -1,0 +1,165 @@
+// manymap_verify — differential verification of the alignment kernel
+// matrix against the full-matrix reference DP.
+//
+//   manymap_verify [options]            fuzz sweep (default 256 seeds)
+//   manymap_verify --repro FILE [...]   replay committed repro cases
+//
+// Sweep options:
+//   --seeds N        fuzz seeds to sweep (default 256)
+//   --first-seed S   first seed (default 1; seeds are S..S+N-1)
+//   --family F       diff|twopiece|simt|all (default all)
+//   --no-minimize    report divergences without shrinking them
+//   --out DIR        write a minimized .repro file per divergence to DIR
+//   --quiet          suppress the per-combo table
+//
+// Exit status: 0 when every validated cell matched the reference, 1 on any
+// divergence (or non-reproducing repro), 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "verify/fuzzer.hpp"
+
+namespace manymap {
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: manymap_verify [--seeds N] [--first-seed S]\n"
+               "                      [--family diff|twopiece|simt|all]\n"
+               "                      [--no-minimize] [--out DIR] [--quiet]\n"
+               "       manymap_verify --repro FILE [FILE...]\n");
+}
+
+int run_repros(const std::vector<std::string>& files) {
+  int bad = 0;
+  for (const std::string& path : files) {
+    verify::CaseSpec spec;
+    std::string err;
+    if (!verify::load_repro_file(path, &spec, &err)) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), err.c_str());
+      ++bad;
+      continue;
+    }
+    if (!verify::runnable(spec)) {
+      // Either this machine lacks the ISA (skip) or the parameters violate
+      // the int8 contract (the committed fix for saturation repros: the
+      // kernels now refuse instead of silently corrupting lanes).
+      const bool params_ok = spec.family == verify::Family::kTwoPiece
+                                 ? spec.tp.fits_int8()
+                                 : spec.params.fits_int8();
+      std::printf("%-60s %s\n", path.c_str(),
+                  params_ok ? "SKIP (ISA unavailable)" : "OK (params rejected by int8 contract)");
+      continue;
+    }
+    const verify::CheckResult r = verify::run_oracle(spec);
+    std::printf("%-60s %s\n", path.c_str(), r.ok ? "OK" : "DIVERGES");
+    if (!r.ok) {
+      std::fprintf(stderr, "  %s: %s\n", spec.combo().c_str(), r.failure.c_str());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  using namespace manymap;
+  verify::SweepOptions opt;
+  bool quiet = false;
+  std::string out_dir;
+  std::vector<std::string> repro_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "manymap_verify: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      opt.seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--first-seed") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      opt.first_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--family") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      opt.family_diff = opt.family_twopiece = opt.family_simt = false;
+      if (std::strcmp(v, "diff") == 0) opt.family_diff = true;
+      else if (std::strcmp(v, "twopiece") == 0) opt.family_twopiece = true;
+      else if (std::strcmp(v, "simt") == 0) opt.family_simt = true;
+      else if (std::strcmp(v, "all") == 0)
+        opt.family_diff = opt.family_twopiece = opt.family_simt = true;
+      else {
+        std::fprintf(stderr, "manymap_verify: unknown family '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--no-minimize") {
+      opt.minimize = false;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      out_dir = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--repro") {
+      while (i + 1 < argc) repro_files.push_back(argv[++i]);
+      if (repro_files.empty()) {
+        std::fprintf(stderr, "manymap_verify: --repro needs at least one file\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "manymap_verify: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!repro_files.empty()) return run_repros(repro_files);
+
+  u64 emitted = 0;
+  const auto on_divergence = [&](const verify::Divergence& d) {
+    std::fprintf(stderr, "DIVERGENCE seed=%llu generator=%s %s\n  %s\n",
+                 static_cast<unsigned long long>(d.seed), to_string(d.generator),
+                 d.spec.combo().c_str(), d.failure.c_str());
+    if (!out_dir.empty()) {
+      char note[256];
+      std::snprintf(note, sizeof(note), "seed %llu generator %s\n%s",
+                    static_cast<unsigned long long>(d.seed), to_string(d.generator),
+                    d.failure.c_str());
+      const std::string path = out_dir + "/divergence_" + std::to_string(emitted) + ".repro";
+      std::ofstream out(path);
+      out << verify::format_repro(d.spec, note);
+      std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    }
+    ++emitted;
+  };
+
+  const verify::SweepStats stats = verify::run_sweep(opt, on_divergence);
+
+  if (!quiet) {
+    std::printf("%-40s %10s %12s\n", "combo", "cases", "divergences");
+    for (const auto& c : stats.combos)
+      std::printf("%-40s %10llu %12llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.cases),
+                  static_cast<unsigned long long>(c.divergences));
+  }
+  std::printf("verified %llu kernel invocations over %zu matrix cells, %zu divergences\n",
+              static_cast<unsigned long long>(stats.cases_run), stats.combos.size(),
+              stats.divergences.size());
+  return stats.divergences.empty() ? 0 : 1;
+}
