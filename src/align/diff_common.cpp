@@ -1,5 +1,7 @@
 #include "align/diff_common.hpp"
 
+#include "fault/fault.hpp"
+
 namespace manymap {
 
 const char* to_string(Layout layout) {
@@ -29,6 +31,11 @@ const char* to_string(AlignMode mode) {
 }
 
 namespace detail {
+
+void check_dp_alloc(u64 bytes) {
+  (void)bytes;
+  MM_INJECT("align.dp.alloc");
+}
 
 Cigar backtrack(const std::vector<u8>& dirs, const std::vector<u64>& diag_off, i32 tlen,
                 i32 qlen, i32 i_end, i32 j_end) {

@@ -41,6 +41,12 @@ inline i8 sat_i8(i32 v) {
   return static_cast<i8>(v < -128 ? -128 : (v > 127 ? 127 : v));
 }
 
+/// Fault-injection hook for DP workspace allocation ("align.dp.alloc").
+/// Out-of-line so the site lives in diff_common.cpp; throws FaultInjected
+/// when an armed plan fires, modelling allocation failure for oversized
+/// tiles. Callers recover via the kernel fallback ladder.
+void check_dp_alloc(u64 bytes);
+
 /// Reusable buffers for one alignment. The difference arrays are int8
 /// (Suzuki–Kasahara bound: |u|,|v| <= max(a, q+e); x,y in [-(q+e), -e]).
 struct DiffWorkspace {
@@ -53,6 +59,8 @@ struct DiffWorkspace {
 
   void prepare(const DiffArgs& a, bool manymap_layout) {
     const i32 tlen = a.tlen, qlen = a.qlen;
+    check_dp_alloc(4 * (static_cast<u64>(tlen) + kLanePad) +
+                   (a.with_cigar ? static_cast<u64>(tlen) * qlen : 0));
     U.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
     Y.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
     const i32 vx = manymap_layout ? qlen + 1 : tlen;

@@ -1,0 +1,42 @@
+// Kernel fallback ladder: run an alignment through progressively more
+// conservative implementations until one answers.
+//
+//   rung 0 — the dispatched kernel (typically the widest SIMD ISA)
+//   rung 1 — the scalar difference kernel, same layout
+//   rung 2 — banded reference: for global mode, the banded DP with the
+//            band covering the whole matrix (bit-identical to the
+//            reference DP, see banded.hpp); for extension mode, the
+//            full-matrix reference DP.
+//
+// Every rung produces bit-identical results by construction (the verify
+// oracle enforces this across the kernel matrix), so climbing the ladder
+// changes *how* an answer is computed, never *what* is answered. Each rung
+// gets a bounded number of retries; a rung is abandoned on any exception
+// (allocation failure, injected fault). If the last rung fails, the
+// exception propagates to the caller — at the service layer that becomes
+// a structured kFailed response.
+#pragma once
+
+#include "align/kernel_api.hpp"
+
+namespace manymap {
+
+struct FallbackPolicy {
+  u32 retries_per_rung = 1;  ///< extra attempts per rung after the first
+};
+
+/// What the ladder did for one call: which rung answered and how many
+/// failed attempts preceded the answer.
+struct FallbackOutcome {
+  u32 rung = 0;
+  u32 failed_attempts = 0;
+};
+
+/// Run `args` through the ladder starting at `primary` (the dispatched
+/// kernel for `layout`). Never returns a wrong answer: all rungs are
+/// bit-identical. Throws only if the final rung itself fails.
+AlignResult align_with_fallback(const DiffArgs& args, KernelFn primary, Layout layout,
+                                FallbackOutcome* outcome = nullptr,
+                                const FallbackPolicy& policy = {});
+
+}  // namespace manymap

@@ -95,6 +95,8 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
   const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
 
   const i32 vx_size = (kManymapLayout ? qlen + 1 : tlen) + 2;
+  detail::check_dp_alloc(6 * (static_cast<u64>(tlen) + 2) +
+                         (a.with_cigar ? static_cast<u64>(tlen) * qlen : 0));
   std::vector<i8> U(static_cast<std::size_t>(tlen) + 2), Y1(U.size()), Y2(U.size());
   std::vector<i8> V(static_cast<std::size_t>(vx_size)), X1(V.size()), X2(V.size());
 

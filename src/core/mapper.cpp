@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/banded.hpp"
+#include "align/fallback.hpp"
 #include "base/timer.hpp"
 #include "chain/chain.hpp"
 
@@ -42,6 +43,19 @@ Mapper::Mapper(const Reference& ref, MinimizerIndex index, MapOptions opt)
 }
 
 std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) const {
+  MapCall call;
+  call.timings = timings;
+  return map(read, call);
+}
+
+std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) const {
+  MapTimings* timings = call.timings;
+  const bool with_cigar = opt_.with_cigar && !call.score_only;
+  auto check_deadline = [&] {
+    if (call.deadline && std::chrono::steady_clock::now() > *call.deadline)
+      throw MapDeadlineExceeded();
+  };
+
   std::vector<Mapping> mappings;
   const u32 qlen = static_cast<u32>(read.size());
   if (qlen < opt_.sketch.k) return mappings;
@@ -49,10 +63,12 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
   WallTimer seed_timer;
   const auto query_minimizers = sketch(read.codes, 0, opt_.sketch);
   const auto anchors = collect_anchors(index_, query_minimizers, qlen, max_occ_);
+  check_deadline();  // after seeding, before chaining
   auto chains = chain_anchors(anchors, opt_.chain);
   const double seed_chain_s = seed_timer.seconds();
   if (timings != nullptr) timings->seed_chain_seconds += seed_chain_s;
   if (chains.empty()) return mappings;
+  check_deadline();  // after chaining, before base-level alignment
 
   if (chains.size() > opt_.max_mappings) chains.resize(opt_.max_mappings);
 
@@ -62,6 +78,8 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
   MM_REQUIRE(kernel != nullptr, "configured kernel unavailable");
   const std::vector<u8> rc = reverse_complement(read.codes);
   u64 total_cells = 0;
+  u64 kernel_retries = 0;
+  u32 deepest_rung = 0;
 
   auto run_kernel = [&](const std::vector<u8>& target, const std::vector<u8>& query,
                         AlignMode mode) {
@@ -72,13 +90,22 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
     a.qlen = static_cast<i32>(query.size());
     a.params = opt_.scores;
     a.mode = mode;
-    a.with_cigar = opt_.with_cigar;
-    auto r = opt_.kernel_override ? opt_.kernel_override(a) : kernel(a);
+    a.with_cigar = with_cigar;
+    AlignResult r;
+    if (opt_.kernel_override) {
+      r = opt_.kernel_override(a);
+    } else {
+      FallbackOutcome fo;
+      r = align_with_fallback(a, kernel, opt_.layout, &fo);
+      kernel_retries += fo.failed_attempts;
+      deepest_rung = std::max(deepest_rung, fo.rung);
+    }
     total_cells += r.cells;
     return r;
   };
 
   for (const auto& chain : chains) {
+    check_deadline();  // per-chain: a slow alignment gives up between chains
     const auto& q = chain.rev ? rc : read.codes;
     const auto& contig = ref_.contig(chain.rid);
     StitchResult s;
@@ -108,7 +135,7 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
         ba.qlen = static_cast<i32>(query.size());
         ba.params = opt_.scores;
         ba.band = static_cast<i32>(opt_.chain.bandwidth / 2) + 6;
-        ba.with_cigar = opt_.with_cigar;
+        ba.with_cigar = with_cigar;
         const auto r = banded_global_align(ba);
         total_cells += r.cells;
         append_cigar(s.cigar, r.cigar);
@@ -186,7 +213,7 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
       m.qstart = s.q_begin;
       m.qend = s.q_end;
     }
-    if (opt_.with_cigar) {
+    if (with_cigar) {
       m.cigar = std::move(s.cigar);
       // Exact rescoring and match counting from the final path.
       m.score = m.cigar.score(contig.codes, q, s.t_begin, s.q_begin, opt_.scores);
@@ -216,7 +243,7 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
   // Re-rank candidates by the exact DP score of the stitched alignment
   // (chain scores cannot separate near-identical repeat copies; the
   // base-level score can) and re-derive primary/secondary flags.
-  if (opt_.with_cigar && mappings.size() > 1) {
+  if (with_cigar && mappings.size() > 1) {
     std::stable_sort(mappings.begin(), mappings.end(),
                      [](const Mapping& x, const Mapping& y) { return x.score > y.score; });
     for (std::size_t i = 0; i < mappings.size(); ++i) {
@@ -253,6 +280,8 @@ std::vector<Mapping> Mapper::map(const Sequence& read, MapTimings* timings) cons
   if (timings != nullptr) {
     timings->align_seconds += align_timer.seconds();
     timings->dp_cells += total_cells;
+    timings->kernel_retries += kernel_retries;
+    timings->deepest_fallback_rung = std::max(timings->deepest_fallback_rung, deepest_rung);
   }
   return mappings;
 }

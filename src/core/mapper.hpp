@@ -4,6 +4,9 @@
 // the align step.
 #pragma once
 
+#include <chrono>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -37,18 +40,45 @@ struct Mapping {
   }
 };
 
-/// Per-read stage timing accumulation (Table 2 / Fig. 11 instrumentation).
+/// Per-read stage timing accumulation (Table 2 / Fig. 11 instrumentation),
+/// plus fallback-ladder accounting (which rung answered, see
+/// align/fallback.hpp).
 struct MapTimings {
   double seed_chain_seconds = 0.0;
   double align_seconds = 0.0;
   u64 dp_cells = 0;
+  u64 kernel_retries = 0;          ///< failed kernel attempts absorbed
+  u32 deepest_fallback_rung = 0;   ///< 0 = dispatched, 1 = scalar, 2 = banded ref
 
   MapTimings& operator+=(const MapTimings& o) {
     seed_chain_seconds += o.seed_chain_seconds;
     align_seconds += o.align_seconds;
     dp_cells += o.dp_cells;
+    kernel_retries += o.kernel_retries;
+    deepest_fallback_rung = deepest_fallback_rung > o.deepest_fallback_rung
+                                ? deepest_fallback_rung
+                                : o.deepest_fallback_rung;
     return *this;
   }
+};
+
+/// Thrown by Mapper::map when a MapCall deadline expires mid-compute; the
+/// cooperative checks sit between the seed/chain/align stages so a slow
+/// alignment cannot blow past its deadline by more than one stage.
+class MapDeadlineExceeded : public std::runtime_error {
+ public:
+  MapDeadlineExceeded() : std::runtime_error("map deadline exceeded") {}
+};
+
+/// Per-call context for Mapper::map.
+struct MapCall {
+  MapTimings* timings = nullptr;
+  /// Cooperative deadline: checked between pipeline stages, throws
+  /// MapDeadlineExceeded when exceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Degraded mode: skip base-level CIGAR alignment scoring even when
+  /// the options request it (chain-derived scores only).
+  bool score_only = false;
 };
 
 class Mapper {
@@ -62,7 +92,10 @@ class Mapper {
   /// Map one read; mappings sorted best-first. Optionally accumulates
   /// stage timings.
   std::vector<Mapping> map(const Sequence& read, MapTimings* timings = nullptr) const;
+  /// Map with a per-call context (deadline, degraded mode, timings).
+  std::vector<Mapping> map(const Sequence& read, const MapCall& call) const;
 
+  const Reference& reference() const { return ref_; }
   const MinimizerIndex& index() const { return index_; }
   const MapOptions& options() const { return opt_; }
   u32 max_occ() const { return max_occ_; }

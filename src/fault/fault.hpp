@@ -1,0 +1,179 @@
+// Deterministic, seed-driven fault injection for robustness testing.
+//
+// A FaultPlan arms named injection *sites* (string identifiers compiled
+// into the code via MM_INJECT) with a fault kind, a firing rate, and a
+// bound on total fires. Everything a plan does derives from one u64 seed:
+// each armed spec owns an independent xorshift64* stream, so a
+// single-threaded visit sequence fires identically across runs, and a
+// chaos schedule is fully described by (seed, spec list).
+//
+//   fault::FaultPlan plan(seed);
+//   plan.arm({"service.worker.compute", fault::FaultKind::kError, 4});
+//   fault::ScopedPlan guard(&plan);        // install for this scope
+//   ... run traffic; MM_INJECT sites consult the plan ...
+//
+// Site call forms:
+//   MM_INJECT(site)        throws FaultInjected (kError), sleeps (kSlow),
+//                          or stalls (kStall) — for call sites whose
+//                          callers handle exceptions.
+//   MM_INJECT_FAIL(site)   bool expression: true when a kError fault fires
+//                          — for call sites with a native failure path
+//                          (e.g. an allocator returning nullopt).
+//   MM_INJECT_DELAY(site)  honors kSlow/kStall only, never throws — for
+//                          threads that must not unwind (schedulers).
+//
+// Cost: when the build flag MANYMAP_FAULT_INJECTION is 0 the macros
+// compile to nothing. When 1 (the default), an unarmed process pays one
+// relaxed atomic load + predicted branch per site visit; sites sit at
+// request/allocation granularity, never inside DP loops.
+//
+// Threading: install/clear while no traffic is running (the plan pointer
+// is not reference-counted); with a plan installed, visits from any
+// number of threads are safe. Per-site firing is deterministic in the
+// site's visit order — single-threaded visit sequences reproduce exactly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/common.hpp"
+
+#ifndef MANYMAP_FAULT_INJECTION
+#define MANYMAP_FAULT_INJECTION 1
+#endif
+
+namespace manymap {
+namespace fault {
+
+enum class FaultKind {
+  kError,  ///< throw FaultInjected (MM_INJECT) / report failure (MM_INJECT_FAIL)
+  kSlow,   ///< sleep for `delay`, then continue normally
+  kStall,  ///< sleep for `delay` (long; meant to trip watchdogs), cancellable
+};
+
+const char* to_string(FaultKind kind);
+
+/// Thrown at a site when a kError fault fires via MM_INJECT.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// One armed fault: where, what, how often, how many times.
+struct FaultSpec {
+  /// Exact site name, or a prefix pattern ending in '*' ("service.*").
+  std::string site;
+  FaultKind kind = FaultKind::kError;
+  /// Fire on average once per `one_in` visits (1 = every visit). The
+  /// decision stream is deterministic per armed spec given the plan seed.
+  u32 one_in = 1;
+  /// Total fires allowed across the plan's lifetime; 0 = unbounded.
+  u32 max_fires = 0;
+  /// Sleep duration for kSlow / kStall.
+  std::chrono::milliseconds delay{0};
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() : FaultPlan(1) {}
+  explicit FaultPlan(u64 seed);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  void arm(FaultSpec spec);
+  u64 seed() const { return seed_; }
+
+  /// Wakes all in-progress kStall sleeps early and disables further
+  /// delays; firing decisions keep advancing (determinism is preserved
+  /// for counting, only the sleeping stops). Used to unblock shutdown.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Decide whether this visit to `site` fires; first armed spec whose
+  /// pattern matches consumes the visit. Thread-safe.
+  std::optional<FaultSpec> on_visit(const char* site);
+
+  u64 visits() const { return visits_.load(std::memory_order_relaxed); }
+  u64 fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    u64 rng;  ///< xorshift64* state, guarded by mu_
+    u64 fired = 0;
+  };
+
+  u64 seed_;
+  std::vector<Armed> armed_;
+  std::atomic<u64> visits_{0}, fires_{0};
+  std::atomic<bool> cancelled_{false};
+  std::mutex mu_;  ///< guards armed_ rng/fired advancement
+};
+
+/// Catalog of every site compiled into the tree (kept in fault.cpp next
+/// to nothing — update when adding MM_INJECT calls). Chaos tooling draws
+/// schedules from this list; tests assert it stays sorted + unique.
+const std::vector<std::string>& known_sites();
+
+/// Install `plan` as the process-global plan consulted by the macros;
+/// `plan` must outlive all traffic. nullptr clears.
+void install_plan(FaultPlan* plan);
+FaultPlan* current_plan();
+
+/// RAII install/clear.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan* plan) { install_plan(plan); }
+  ~ScopedPlan() { install_plan(nullptr); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+namespace detail {
+extern std::atomic<FaultPlan*> g_plan;
+void inject_slow(FaultPlan* plan, const char* site);
+bool inject_fail_slow(FaultPlan* plan, const char* site);
+void inject_delay_slow(FaultPlan* plan, const char* site);
+}  // namespace detail
+
+/// Hook behind MM_INJECT.
+inline void inject(const char* site) {
+  FaultPlan* p = detail::g_plan.load(std::memory_order_acquire);
+  if (p != nullptr) detail::inject_slow(p, site);
+}
+
+/// Hook behind MM_INJECT_FAIL.
+inline bool inject_fail(const char* site) {
+  FaultPlan* p = detail::g_plan.load(std::memory_order_acquire);
+  return p != nullptr && detail::inject_fail_slow(p, site);
+}
+
+/// Hook behind MM_INJECT_DELAY.
+inline void inject_delay(const char* site) {
+  FaultPlan* p = detail::g_plan.load(std::memory_order_acquire);
+  if (p != nullptr) detail::inject_delay_slow(p, site);
+}
+
+}  // namespace fault
+}  // namespace manymap
+
+#if MANYMAP_FAULT_INJECTION
+#define MM_INJECT(site) ::manymap::fault::inject(site)
+#define MM_INJECT_FAIL(site) ::manymap::fault::inject_fail(site)
+#define MM_INJECT_DELAY(site) ::manymap::fault::inject_delay(site)
+#else
+#define MM_INJECT(site) ((void)0)
+#define MM_INJECT_FAIL(site) (false)
+#define MM_INJECT_DELAY(site) ((void)0)
+#endif

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "io/buffered_reader.hpp"
 #include "io/mapped_file.hpp"
 
@@ -33,6 +34,7 @@ void append_pod(std::string& out, const auto& v) {
 }  // namespace
 
 u64 save_index(const std::string& path, const MinimizerIndex& index) {
+  MM_INJECT("index.save");
   std::string out;
   append_pod(out, kMagic);
   append_pod(out, kVersion);
@@ -69,6 +71,7 @@ u64 save_index(const std::string& path, const MinimizerIndex& index) {
 }
 
 MinimizerIndex load_index_stream(const std::string& path) {
+  MM_INJECT("index.load.stream");
   BufferedReader in(path, 4096);
   MM_REQUIRE(in.is_open(), "cannot open index file");
   u32 magic = 0, version = 0;
@@ -122,6 +125,7 @@ MinimizerIndex load_index_stream(const std::string& path) {
 }
 
 MinimizerIndex load_index_mmap(const std::string& path) {
+  MM_INJECT("index.load.mmap");
   MappedFile file;
   MM_REQUIRE(file.open(path), "cannot mmap index file");
   const u8* p = file.data();

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace manymap {
 
 MappedFile::~MappedFile() { close(); }
@@ -26,6 +28,7 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 
 bool MappedFile::open(const std::string& path) {
   close();
+  if (MM_INJECT_FAIL("io.mmap.open")) return false;
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return false;
   struct stat st{};
@@ -56,6 +59,7 @@ void MappedFile::close() {
 }
 
 std::string read_file(const std::string& path) {
+  MM_INJECT("io.file.read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   MM_REQUIRE(f != nullptr, "cannot open file for reading");
   std::string out;
@@ -67,6 +71,7 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, std::string_view contents) {
+  MM_INJECT("io.file.write");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   MM_REQUIRE(f != nullptr, "cannot open file for writing");
   const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);

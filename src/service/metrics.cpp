@@ -40,6 +40,17 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.mean_batch_size =
       s.batches ? static_cast<double>(s.batched_requests) / static_cast<double>(s.batches) : 0.0;
   s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);
+  s.worker_respawns = worker_respawns_.load(std::memory_order_relaxed);
+  s.breaker_opened = breaker_opened_.load(std::memory_order_relaxed);
+  s.degraded_now = degraded_now_.load(std::memory_order_relaxed);
+  s.degraded_responses = degraded_responses_.load(std::memory_order_relaxed);
+  s.fallback_scalar = fallback_scalar_.load(std::memory_order_relaxed);
+  s.fallback_banded = fallback_banded_.load(std::memory_order_relaxed);
+  s.kernel_retries = kernel_retries_.load(std::memory_order_relaxed);
+  s.verified = verified_.load(std::memory_order_relaxed);
+  s.verify_divergences = verify_divergences_.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   if (!latencies_ms_.empty()) {
     s.latency_ms_mean = summarize(latencies_ms_).mean;
@@ -55,23 +66,37 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 }
 
 std::string MetricsSnapshot::report() const {
-  char buf[640];
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "service metrics\n"
                 "  requests   submitted=%llu accepted=%llu completed=%llu "
-                "rejected=%llu timed_out=%llu\n"
+                "rejected=%llu timed_out=%llu failed=%llu\n"
                 "  batching   batches=%llu mean_batch_size=%.2f\n"
                 "  ingress    depth_last=%llu depth_peak=%llu\n"
-                "  latency_ms mean=%.3f p50=%.3f p99=%.3f (compute mean=%.3f)\n",
+                "  latency_ms mean=%.3f p50=%.3f p99=%.3f (compute mean=%.3f)\n"
+                "  robustness stalls=%llu respawns=%llu breaker_opened=%llu "
+                "degraded_now=%d degraded_responses=%llu\n"
+                "  fallback   scalar=%llu banded=%llu kernel_retries=%llu\n"
+                "  verify     sampled=%llu divergences=%llu\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(accepted),
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(timed_out),
+                static_cast<unsigned long long>(failed),
                 static_cast<unsigned long long>(batches), mean_batch_size,
                 static_cast<unsigned long long>(queue_depth_last),
                 static_cast<unsigned long long>(queue_depth_peak), latency_ms_mean,
-                latency_ms_p50, latency_ms_p99, compute_ms_mean);
+                latency_ms_p50, latency_ms_p99, compute_ms_mean,
+                static_cast<unsigned long long>(worker_stalls),
+                static_cast<unsigned long long>(worker_respawns),
+                static_cast<unsigned long long>(breaker_opened), degraded_now ? 1 : 0,
+                static_cast<unsigned long long>(degraded_responses),
+                static_cast<unsigned long long>(fallback_scalar),
+                static_cast<unsigned long long>(fallback_banded),
+                static_cast<unsigned long long>(kernel_retries),
+                static_cast<unsigned long long>(verified),
+                static_cast<unsigned long long>(verify_divergences));
   return buf;
 }
 

@@ -21,7 +21,8 @@ struct MetricsSnapshot {
   u64 submitted = 0;
   u64 accepted = 0;   ///< admitted to the ingress queue
   u64 rejected = 0;   ///< admission control: queue full
-  u64 timed_out = 0;  ///< deadline expired before compute
+  u64 timed_out = 0;  ///< deadline expired before/during compute
+  u64 failed = 0;     ///< answered kFailed (worker error or stall)
   u64 completed = 0;  ///< answered kOk
   u64 batches = 0;
   u64 batched_requests = 0;  ///< sum of batch sizes
@@ -33,6 +34,17 @@ struct MetricsSnapshot {
   double latency_ms_p50 = 0.0;
   double latency_ms_p99 = 0.0;
   double compute_ms_mean = 0.0;
+  // Robustness: watchdog, circuit breaker, fallback ladder, live verify.
+  u64 worker_stalls = 0;        ///< watchdog takeovers of a stuck worker
+  u64 worker_respawns = 0;      ///< replacement workers spawned
+  u64 breaker_opened = 0;       ///< degraded-mode entries
+  bool degraded_now = false;    ///< breaker currently open
+  u64 degraded_responses = 0;   ///< kOk answers served score-only
+  u64 fallback_scalar = 0;      ///< requests answered by the scalar rung
+  u64 fallback_banded = 0;      ///< requests answered by the banded-reference rung
+  u64 kernel_retries = 0;       ///< failed kernel attempts absorbed by the ladder
+  u64 verified = 0;             ///< live responses replayed through the oracle
+  u64 verify_divergences = 0;   ///< oracle disagreements among those
 
   /// Human-readable multi-line report (the periodic text snapshot).
   std::string report() const;
@@ -48,6 +60,24 @@ class ServiceMetrics {
   void on_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void on_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  void on_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_worker_stall() { worker_stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void on_worker_respawn() { worker_respawns_.fetch_add(1, std::memory_order_relaxed); }
+  void on_degraded_response() { degraded_responses_.fetch_add(1, std::memory_order_relaxed); }
+  void set_degraded(bool now_degraded) {
+    if (now_degraded) breaker_opened_.fetch_add(1, std::memory_order_relaxed);
+    degraded_now_.store(now_degraded, std::memory_order_relaxed);
+  }
+  /// Fallback-ladder accounting for one served request.
+  void on_fallback(u32 deepest_rung, u64 retries) {
+    if (deepest_rung >= 2) fallback_banded_.fetch_add(1, std::memory_order_relaxed);
+    else if (deepest_rung == 1) fallback_scalar_.fetch_add(1, std::memory_order_relaxed);
+    if (retries) kernel_retries_.fetch_add(retries, std::memory_order_relaxed);
+  }
+  void on_verified(bool diverged) {
+    verified_.fetch_add(1, std::memory_order_relaxed);
+    if (diverged) verify_divergences_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void on_batch(std::size_t batch_size) {
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -64,7 +94,13 @@ class ServiceMetrics {
 
  private:
   std::atomic<u64> submitted_{0}, accepted_{0}, rejected_{0}, timed_out_{0};
+  std::atomic<u64> failed_{0};
   std::atomic<u64> completed_{0};
+  std::atomic<u64> worker_stalls_{0}, worker_respawns_{0};
+  std::atomic<u64> breaker_opened_{0}, degraded_responses_{0};
+  std::atomic<bool> degraded_now_{false};
+  std::atomic<u64> fallback_scalar_{0}, fallback_banded_{0}, kernel_retries_{0};
+  std::atomic<u64> verified_{0}, verify_divergences_{0};
   std::atomic<u64> batches_{0}, batched_requests_{0};
   std::atomic<u64> queue_depth_last_{0}, queue_depth_peak_{0};
   mutable std::mutex mu_;  ///< guards the reservoirs only

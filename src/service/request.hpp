@@ -13,11 +13,14 @@
 
 namespace manymap {
 
-/// Terminal state of a request.
+/// Terminal state of a request. Every submitted request resolves exactly
+/// once with one of these — worker exceptions become kFailed responses,
+/// never broken promises.
 enum class RequestStatus {
   kOk,        ///< mapped (possibly to zero locations) and answered
   kRejected,  ///< admission control: ingress queue was full
-  kTimedOut,  ///< deadline expired before compute started
+  kTimedOut,  ///< deadline expired before or during compute
+  kFailed,    ///< worker error (exception, injected fault, stalled worker)
 };
 
 const char* to_string(RequestStatus s);
@@ -41,6 +44,8 @@ struct MapResponse {
   u32 shard = 0;                  ///< worker shard that served the request
   u64 batch_id = 0;               ///< compute batch the request rode in
   u32 batch_size = 0;             ///< size of that batch
+  std::string error;              ///< what went wrong (kFailed only)
+  bool degraded = false;          ///< served score-only by the circuit breaker
 };
 
 }  // namespace manymap

@@ -1,6 +1,10 @@
 #include "service/service.hpp"
 
+#include <cstdio>
+
 #include "base/timer.hpp"
+#include "fault/fault.hpp"
+#include "verify/verify.hpp"
 
 namespace manymap {
 
@@ -9,6 +13,7 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kOk: return "OK";
     case RequestStatus::kRejected: return "REJECTED";
     case RequestStatus::kTimedOut: return "TIMED_OUT";
+    case RequestStatus::kFailed: return "FAILED";
   }
   return "?";
 }
@@ -20,15 +25,22 @@ double ms_since(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+i64 now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
 }  // namespace
 
 AlignmentService::AlignmentService(const Reference& ref, ServiceConfig cfg)
-    : cfg_(cfg), mapper_(ref, cfg.map), ingress_(cfg.ingress_capacity) {
+    : cfg_(cfg), mapper_(ref, cfg.map), breaker_(cfg.breaker), ingress_(cfg.ingress_capacity) {
   start();
 }
 
 AlignmentService::AlignmentService(const Reference& ref, MinimizerIndex index, ServiceConfig cfg)
-    : cfg_(cfg), mapper_(ref, std::move(index), cfg.map), ingress_(cfg.ingress_capacity) {
+    : cfg_(cfg),
+      mapper_(ref, std::move(index), cfg.map),
+      breaker_(cfg.breaker),
+      ingress_(cfg.ingress_capacity) {
   start();
 }
 
@@ -39,9 +51,18 @@ void AlignmentService::start() {
   shards_.reserve(cfg_.shards);
   for (u32 s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(cfg_.shard_queue_capacity));
-    for (u32 w = 0; w < cfg_.workers_per_shard; ++w)
-      shards_.back()->workers.emplace_back([this, s] { worker_loop(s); });
+    Shard& shard = *shards_.back();
+    std::lock_guard lock(shard.mu);  // the watchdog scans this vector
+    for (u32 w = 0; w < cfg_.workers_per_shard; ++w) {
+      auto state = std::make_shared<WorkerState>();
+      state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+      shard.workers.push_back(
+          {std::thread([this, s, state] { worker_loop(s, state); }), state});
+    }
   }
+  if (cfg_.watchdog.enabled)
+    for (u32 s = 0; s < cfg_.shards; ++s)
+      shards_[s]->watchdog = std::thread([this, s] { watchdog_loop(s); });
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -74,6 +95,7 @@ std::future<MapResponse> AlignmentService::submit_wait(MapRequest req) {
 }
 
 void AlignmentService::dispatch_batch(RequestBatch&& batch) {
+  MM_INJECT_DELAY("service.queue.delay");
   u32 target = 0;
   if (cfg_.dispatch == ServiceConfig::Dispatch::kRoundRobin || shards_.size() == 1) {
     target = static_cast<u32>(rr_next_++ % shards_.size());
@@ -98,52 +120,232 @@ void AlignmentService::scheduler_loop() {
   for (auto& shard : shards_) shard->queue.close();
 }
 
-void AlignmentService::worker_loop(u32 shard_id) {
+MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
+                                        const RequestBatch& batch) {
+  MapResponse resp;
+  resp.id = p.req.id;
+  resp.shard = shard_id;
+  resp.batch_id = batch.id;
+  resp.batch_size = static_cast<u32>(batch.items.size());
+  const auto compute_start = std::chrono::steady_clock::now();
+  resp.queue_ms = ms_since(p.enqueued, compute_start);
+  if (p.req.deadline && compute_start > *p.req.deadline) {
+    resp.status = RequestStatus::kTimedOut;
+    return resp;
+  }
+  // Degraded mode: while the breaker is open, shed the base-level CIGAR
+  // pass (the expensive stage) and serve chain-derived mappings.
+  const bool degraded = breaker_.degraded(compute_start);
+  if (degraded != degraded_now_.exchange(degraded, std::memory_order_relaxed))
+    metrics_.set_degraded(degraded);
+  resp.degraded = degraded;
+  try {
+    MM_INJECT("service.worker.compute");
+    WallTimer t;
+    MapCall call;
+    call.timings = &resp.timings;
+    call.deadline = p.req.deadline;
+    call.score_only = degraded;
+    resp.mappings = mapper_.map(p.req.read, call);
+    resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !degraded);
+    resp.compute_ms = t.millis();
+    resp.status = RequestStatus::kOk;
+    maybe_verify_live(p.req, resp);
+  } catch (const MapDeadlineExceeded&) {
+    resp.status = RequestStatus::kTimedOut;
+    resp.error = "deadline exceeded during compute";
+  } catch (const std::exception& e) {
+    resp.status = RequestStatus::kFailed;
+    resp.error = e.what();
+  } catch (...) {
+    resp.status = RequestStatus::kFailed;
+    resp.error = "unknown worker exception";
+  }
+  return resp;
+}
+
+// Terminal accounting for a worker-resolved response. Called exactly once
+// per request, at promise-resolution time — NOT inside serve_one — so an
+// item the watchdog already failed (and counted) is never double-counted
+// when the stalled worker finishes its doomed compute.
+void AlignmentService::account(const PendingRequest& p, const MapResponse& resp) {
+  switch (resp.status) {
+    case RequestStatus::kOk:
+      metrics_.on_completed(ms_since(p.enqueued, std::chrono::steady_clock::now()),
+                            resp.compute_ms);
+      metrics_.on_fallback(resp.timings.deepest_fallback_rung, resp.timings.kernel_retries);
+      if (resp.degraded) metrics_.on_degraded_response();
+      break;
+    case RequestStatus::kTimedOut:
+      metrics_.on_timed_out();
+      break;
+    case RequestStatus::kFailed:
+      metrics_.on_failed();
+      breaker_.on_failure(std::chrono::steady_clock::now());
+      break;
+    case RequestStatus::kRejected:
+      break;  // counted at admission
+  }
+}
+
+void AlignmentService::maybe_verify_live(const MapRequest& req, const MapResponse& resp) {
+  if (cfg_.verify_sample_every == 0 || resp.degraded) return;
+  const u64 n = ok_responses_.fetch_add(1, std::memory_order_relaxed);
+  if (n % cfg_.verify_sample_every != 0) return;
+  const std::vector<u8> rc = reverse_complement(req.read.codes);
+  for (const Mapping& m : resp.mappings) {
+    if (m.cigar.empty()) continue;  // score-only mappings carry no path
+    verify::LiveMapping lm;
+    lm.contig = &mapper_.reference().contig(m.rid).codes;
+    lm.tstart = m.tstart;
+    lm.tend = m.tend;
+    lm.query = m.rev ? &rc : &req.read.codes;
+    lm.qstart = m.rev ? m.qlen - m.qend : m.qstart;
+    lm.qend = m.rev ? m.qlen - m.qstart : m.qend;
+    lm.score = m.score;
+    lm.cigar = &m.cigar;
+    const auto check = verify::check_live_mapping(lm, cfg_.map.scores, cfg_.verify_max_cells);
+    metrics_.on_verified(!check.ok);
+    if (!check.ok)
+      std::fprintf(stderr, "[verify] request %llu read %s: %s\n",
+                   static_cast<unsigned long long>(resp.id), req.read.name.c_str(),
+                   check.failure.c_str());
+  }
+}
+
+void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> state) {
   Shard& shard = *shards_[shard_id];
   for (;;) {
-    auto batch = shard.queue.pop();
-    if (!batch) return;
+    auto popped = shard.queue.pop();
+    if (!popped) return;
+    auto batch = std::make_shared<RequestBatch>(std::move(*popped));
     metrics_.on_batch(batch->items.size());
-    const u64 bases = batch->total_bases();
-    for (auto& p : batch->items) {
-      MapResponse resp;
-      resp.id = p.req.id;
-      resp.shard = shard_id;
-      resp.batch_id = batch->id;
-      resp.batch_size = static_cast<u32>(batch->items.size());
-      const auto compute_start = std::chrono::steady_clock::now();
-      resp.queue_ms = ms_since(p.enqueued, compute_start);
-      if (p.req.deadline && compute_start > *p.req.deadline) {
-        resp.status = RequestStatus::kTimedOut;
-        metrics_.on_timed_out();
-      } else {
-        try {
-          WallTimer t;
-          resp.mappings = mapper_.map(p.req.read, &resp.timings);
-          resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar);
-          resp.compute_ms = t.millis();
-          resp.status = RequestStatus::kOk;
-          metrics_.on_completed(ms_since(p.enqueued, std::chrono::steady_clock::now()),
-                                resp.compute_ms);
-        } catch (...) {
-          // Surface the failure to the caller instead of terminating the
-          // worker thread and leaving the future forever unresolved.
-          p.promise.set_exception(std::current_exception());
-          continue;
-        }
-      }
-      p.promise.set_value(std::move(resp));
+    state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+    {
+      std::lock_guard lock(state->mu);
+      state->batch = batch;
+      state->next = 0;
+      state->done = 0;
+      state->taken_over = false;
+      state->batch_bases = batch->total_bases();
     }
-    shard.outstanding_bases.fetch_sub(bases, std::memory_order_relaxed);
+    state->busy.store(true, std::memory_order_release);
+    bool lost_batch = false;
+    for (;;) {
+      std::size_t idx;
+      {
+        std::lock_guard lock(state->mu);
+        if (state->taken_over) {
+          lost_batch = true;
+          break;
+        }
+        if (state->next >= batch->items.size()) {
+          state->batch = nullptr;
+          break;
+        }
+        idx = state->next++;
+      }
+      state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+      PendingRequest& p = batch->items[idx];
+      MapResponse resp = serve_one(p, shard_id, *batch);  // compute outside the lock
+      {
+        std::lock_guard lock(state->mu);
+        if (state->taken_over) {
+          // The watchdog already answered this item (and the rest of the
+          // batch) with kFailed while we were stuck; discard our result.
+          lost_batch = true;
+          break;
+        }
+        account(p, resp);
+        p.promise.set_value(std::move(resp));
+        state->done = idx + 1;
+      }
+    }
+    state->busy.store(false, std::memory_order_release);
+    if (lost_batch) return;  // we were replaced; the respawn serves on
+    shard.outstanding_bases.fetch_sub(state->batch_bases, std::memory_order_relaxed);
+  }
+}
+
+void AlignmentService::watchdog_loop(u32 shard_id) {
+  Shard& shard = *shards_[shard_id];
+  for (;;) {
+    {
+      std::unique_lock lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, cfg_.watchdog.poll, [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard shard_lock(shard.mu);
+    for (auto& handle : shard.workers) {
+      WorkerState& st = *handle.state;
+      if (!st.busy.load(std::memory_order_acquire)) continue;
+      const auto beat = std::chrono::steady_clock::time_point(
+          std::chrono::steady_clock::duration(st.heartbeat_ns.load(std::memory_order_relaxed)));
+      if (now - beat < cfg_.watchdog.stall_timeout) continue;
+
+      // Stalled: take the batch over and fail every unresolved item. The
+      // worker checks `taken_over` under st.mu before resolving anything,
+      // so each promise is set exactly once.
+      std::shared_ptr<RequestBatch> batch;
+      std::size_t from = 0;
+      {
+        std::lock_guard lock(st.mu);
+        if (st.taken_over || st.batch == nullptr) continue;
+        st.taken_over = true;
+        batch = st.batch;
+        st.batch = nullptr;
+        from = st.done;
+        for (std::size_t i = from; i < batch->items.size(); ++i) {
+          PendingRequest& p = batch->items[i];
+          MapResponse resp;
+          resp.id = p.req.id;
+          resp.shard = shard_id;
+          resp.batch_id = batch->id;
+          resp.batch_size = static_cast<u32>(batch->items.size());
+          resp.status = RequestStatus::kFailed;
+          resp.error = "worker stalled; batch failed by watchdog";
+          resp.queue_ms = ms_since(p.enqueued, now);
+          p.promise.set_value(std::move(resp));
+          metrics_.on_failed();
+          breaker_.on_failure(now);
+        }
+        shard.outstanding_bases.fetch_sub(st.batch_bases, std::memory_order_relaxed);
+      }
+      metrics_.on_worker_stall();
+
+      // Retire the stuck thread (joined at shutdown; stalls are finite) and
+      // respawn a fresh worker so the shard keeps its capacity.
+      shard.retired.push_back(std::move(handle.thread));
+      auto fresh = std::make_shared<WorkerState>();
+      fresh->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+      handle.state = fresh;
+      handle.thread = std::thread([this, shard_id, fresh] { worker_loop(shard_id, fresh); });
+      metrics_.on_worker_respawn();
+    }
   }
 }
 
 void AlignmentService::shutdown() {
   if (stopped_.exchange(true)) return;
-  ingress_.close();     // no new admissions; queued requests still served
-  scheduler_.join();    // flushes the final partial batch, closes shards
+  ingress_.close();   // no new admissions; queued requests still served
+  scheduler_.join();  // flushes the final partial batch, closes shards
+  // Stop the watchdogs BEFORE joining workers so no respawn races the
+  // join below; in-flight batches still drain (stalls are finite).
+  {
+    std::lock_guard lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
   for (auto& shard : shards_)
-    for (auto& w : shard->workers) w.join();
+    if (shard->watchdog.joinable()) shard->watchdog.join();
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto& handle : shard->workers)
+      if (handle.thread.joinable()) handle.thread.join();
+    for (auto& t : shard->retired)
+      if (t.joinable()) t.join();
+  }
 }
 
 }  // namespace manymap

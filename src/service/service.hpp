@@ -17,17 +17,34 @@
 // and answers kRejected immediately when the queue is full, so a saturated
 // service sheds load instead of blocking callers without bound
 // (submit_wait() opts back into blocking for offline replay). Deadlines
-// are enforced at compute start: a request whose deadline passed while
-// queued is answered kTimedOut without being aligned.
+// are enforced at compute start AND cooperatively inside Mapper::map
+// (between the seed/chain/align stages), so a slow alignment answers
+// kTimedOut instead of blowing past its deadline unboundedly.
+//
+// Graceful degradation (this file + breaker.hpp + align/fallback.hpp):
+//  - worker exceptions become structured kFailed responses, never broken
+//    promises — every submitted request resolves exactly once;
+//  - a per-shard watchdog detects workers stuck in compute, fails their
+//    in-flight batch with kFailed, and respawns the worker (retired
+//    threads are joined at shutdown);
+//  - a circuit breaker opens on sustained failure and sheds to score-only
+//    alignment (no CIGAR pass) until a cooldown elapses;
+//  - kernel failures climb the fallback ladder (SIMD -> scalar -> banded
+//    reference) transparently, with the answering rung recorded;
+//  - verify_sample_every > 0 replays a sample of kOk responses through the
+//    differential oracle (verify/oracle.cpp) and counts divergences.
 #pragma once
 
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/aligner.hpp"
 #include "service/batch_scheduler.hpp"
+#include "service/breaker.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 
@@ -49,6 +66,27 @@ struct ServiceConfig {
   std::size_t shard_queue_capacity = 4;   ///< batches buffered per shard
   BatchPolicy batch{};
   bool paf_with_cigar = false;  ///< append cg:Z: tags to response PAF
+
+  /// Per-shard watchdog: detects workers stuck in compute for longer than
+  /// `stall_timeout`, fails their in-flight batch, respawns the worker.
+  struct WatchdogConfig {
+    bool enabled = true;
+    std::chrono::milliseconds poll{100};
+    /// Must exceed the worst-case legitimate compute time of one request.
+    std::chrono::milliseconds stall_timeout{10'000};
+  };
+  WatchdogConfig watchdog{};
+
+  /// Circuit breaker driving degraded (score-only) mode; see breaker.hpp.
+  BreakerConfig breaker{};
+
+  /// When > 0, every Nth kOk response is replayed through the differential
+  /// oracle (verify/oracle.cpp); divergences are logged and counted in
+  /// ServiceMetrics.
+  u64 verify_sample_every = 0;
+  /// Cap on t_span*q_span for the exact reference replay of a sampled
+  /// mapping (the reference DP is O(cells) int64 memory).
+  u64 verify_max_cells = 4'000'000;
 
   u32 total_workers() const { return shards * workers_per_shard; }
 };
@@ -85,27 +123,64 @@ class AlignmentService {
   const ServiceConfig& config() const { return cfg_; }
 
  private:
-  void start();
-  void scheduler_loop();
-  void worker_loop(u32 shard);
-  void dispatch_batch(RequestBatch&& batch);
-  std::future<MapResponse> admit(MapRequest req, bool blocking);
+  /// Claim/resolve state shared between one worker thread and the shard
+  /// watchdog. The worker claims items and resolves promises only under
+  /// `mu`; when the watchdog takes a batch over (`taken_over`), the worker
+  /// discards its in-flight result and exits — the watchdog has already
+  /// resolved the unresolved items with kFailed.
+  struct WorkerState {
+    std::mutex mu;
+    std::shared_ptr<RequestBatch> batch;  ///< null while idle
+    std::size_t next = 0;                 ///< first unclaimed item
+    std::size_t done = 0;                 ///< resolved items (prefix)
+    bool taken_over = false;
+    u64 batch_bases = 0;
+    std::atomic<bool> busy{false};
+    std::atomic<i64> heartbeat_ns{0};  ///< steady_clock epoch of last progress
+  };
 
-  ServiceConfig cfg_;
-  Mapper mapper_;
-  ServiceMetrics metrics_;
-
-  BoundedQueue<PendingRequest> ingress_;
   struct Shard {
     explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
     BoundedQueue<RequestBatch> queue;
     std::atomic<u64> outstanding_bases{0};
-    std::vector<std::thread> workers;
+    std::mutex mu;  ///< guards workers/retired below
+    struct WorkerHandle {
+      std::thread thread;
+      std::shared_ptr<WorkerState> state;
+    };
+    std::vector<WorkerHandle> workers;
+    std::vector<std::thread> retired;  ///< stalled threads, joined at shutdown
+    std::thread watchdog;
   };
+
+  void start();
+  void scheduler_loop();
+  void worker_loop(u32 shard, std::shared_ptr<WorkerState> state);
+  void watchdog_loop(u32 shard);
+  void dispatch_batch(RequestBatch&& batch);
+  std::future<MapResponse> admit(MapRequest req, bool blocking);
+  /// Compute one response (never throws; failures become kFailed).
+  /// Records no terminal metrics — see account().
+  MapResponse serve_one(PendingRequest& p, u32 shard_id, const RequestBatch& batch);
+  /// Terminal metrics/breaker accounting, called once at promise resolution.
+  void account(const PendingRequest& p, const MapResponse& resp);
+  void maybe_verify_live(const MapRequest& req, const MapResponse& resp);
+
+  ServiceConfig cfg_;
+  Mapper mapper_;
+  ServiceMetrics metrics_;
+  CircuitBreaker breaker_;
+
+  BoundedQueue<PendingRequest> ingress_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::thread scheduler_;
   u64 rr_next_ = 0;  ///< scheduler-thread only
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> degraded_now_{false};  ///< mirrors the breaker, for metrics
+  std::atomic<u64> ok_responses_{0};       ///< drives verify sampling
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< guarded by watchdog_mu_
 };
 
 }  // namespace manymap

@@ -1,5 +1,7 @@
 #include "simt/memory_pool.hpp"
 
+#include "fault/fault.hpp"
+
 namespace manymap {
 namespace simt {
 
@@ -11,6 +13,10 @@ MemoryPool::MemoryPool(u64 total_bytes, u32 num_streams) {
 
 std::optional<u64> MemoryPool::allocate(u32 stream, u64 bytes) {
   MM_REQUIRE(stream < offsets_.size(), "stream id out of range");
+  if (MM_INJECT_FAIL("simt.pool.alloc")) {
+    ++failed_allocations_;
+    return std::nullopt;  // callers CPU-fallback, as for real exhaustion
+  }
   const u64 aligned = round_up(bytes, 16);
   if (offsets_[stream] + aligned > capacity_) {
     ++failed_allocations_;

@@ -1,6 +1,7 @@
 #include "simt/stream.hpp"
 
 #include "align/diff_kernels.hpp"
+#include "fault/fault.hpp"
 
 namespace manymap {
 namespace simt {
@@ -32,6 +33,14 @@ BatchReport run_alignment_batch(const Device& device, const std::vector<Sequence
       // Pool partition too small: fall back to the CPU kernel (§4.5.2).
       report.results[i] = get_diff_kernel(config.layout, Isa::kScalar)(a);
       ++report.fallbacks_to_cpu;
+      report.total_cells += report.results[i].cells;
+      continue;
+    }
+    if (MM_INJECT_FAIL("simt.stream.launch")) {
+      // Stream launch error: retry the pair on the CPU kernel so the batch
+      // still returns a result for every pair.
+      report.results[i] = get_diff_kernel(config.layout, Isa::kScalar)(a);
+      ++report.stream_errors;
       report.total_cells += report.results[i].cells;
       continue;
     }

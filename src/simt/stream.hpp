@@ -30,6 +30,7 @@ struct BatchReport {
   u32 achieved_concurrency = 0;
   u64 kernels_on_gpu = 0;
   u64 fallbacks_to_cpu = 0;           ///< pool-exhausted pairs (§4.5.2)
+  u64 stream_errors = 0;              ///< launch failures retried on the CPU
   u64 total_cells = 0;
 
   double gcups() const {

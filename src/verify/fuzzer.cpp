@@ -235,7 +235,7 @@ SweepStats run_sweep(const SweepOptions& opt,
     for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
       base.mode = mode;
 
-      if (opt.family_diff || opt.family_simt) {
+      if (opt.family_diff || opt.family_simt || opt.family_banded) {
         base.family = Family::kDiff;
         const AlignResult ref = run_reference(base);
         if (opt.family_diff) {
@@ -253,6 +253,18 @@ SweepStats run_sweep(const SweepOptions& opt,
         const bool simt_sized =
             static_cast<i32>(fc.target.size()) <= opt.simt_max_len &&
             static_cast<i32>(fc.query.size()) <= opt.simt_max_len;
+        if (opt.family_banded) {
+          // Banded shares the diff reference: a full-coverage band (the
+          // fallback ladder's last rung) must match it bit-for-bit. Layout
+          // does not apply — one cell per path flavour. runnable() filters
+          // extension mode (only global banded exists).
+          for (const bool cigar : {false, true}) {
+            CaseSpec spec = base;
+            spec.family = Family::kBanded;
+            spec.with_cigar = cigar;
+            run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+          }
+        }
         if (opt.family_simt && simt_sized && seed % opt.simt_every == 0) {
           for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
             for (const u32 threads : simt_widths)

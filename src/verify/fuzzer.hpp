@@ -85,6 +85,7 @@ struct SweepOptions {
   bool family_diff = true;
   bool family_twopiece = true;
   bool family_simt = true;
+  bool family_banded = true;  ///< full-coverage banded DP (global mode only)
   bool minimize = true;      ///< shrink divergent cases before reporting
   i32 simt_max_len = 96;     ///< interpreter is slow; cap SIMT case size
   u64 simt_every = 4;        ///< run SIMT cells on every Nth seed

@@ -1,8 +1,10 @@
 #include "verify/verify.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 
+#include "align/banded.hpp"
 #include "align/reference_dp.hpp"
 #include "simt/kernels.hpp"
 
@@ -51,6 +53,7 @@ const char* to_string(Family family) {
     case Family::kDiff: return "diff";
     case Family::kTwoPiece: return "twopiece";
     case Family::kSimt: return "simt";
+    case Family::kBanded: return "banded";
   }
   return "?";
 }
@@ -62,6 +65,8 @@ std::string CaseSpec::combo() const {
   s += '/';
   if (family == Family::kSimt) {
     s += fmt("%ut", simt_threads);
+  } else if (family == Family::kBanded) {
+    s += "fullband";  // the oracle-checkable configuration: band covers all
   } else {
     s += manymap::to_string(isa);
   }
@@ -82,6 +87,10 @@ bool runnable(const CaseSpec& spec) {
     case Family::kSimt:
       return spec.params.fits_int8() && spec.simt_threads > 0 &&
              spec.simt_threads <= simt::DeviceSpec::v100().max_block_threads;
+    case Family::kBanded:
+      // i32 DP: no int8 contract. Only global mode exists; a full-coverage
+      // band is the only configuration comparable to the reference.
+      return spec.mode == AlignMode::kGlobal;
   }
   return false;
 }
@@ -147,6 +156,17 @@ AlignResult run_production(const CaseSpec& spec) {
       return simt::gpu_align(diff_args(spec), spec.layout, simt::DeviceSpec::v100(),
                              spec.simt_threads)
           .result;
+    case Family::kBanded: {
+      BandedArgs b;
+      b.target = spec.target.data();
+      b.tlen = static_cast<i32>(spec.target.size());
+      b.query = spec.query.data();
+      b.qlen = static_cast<i32>(spec.query.size());
+      b.params = spec.params;
+      b.band = std::max(b.tlen, b.qlen) + 1;  // full coverage
+      b.with_cigar = spec.with_cigar;
+      return banded_global_align(b);
+    }
   }
   fatal("unknown kernel family", __FILE__, __LINE__);
 }
@@ -199,6 +219,51 @@ CheckResult check_result(const CaseSpec& spec, const AlignResult& got,
 
 CheckResult run_oracle(const CaseSpec& spec) {
   return check_result(spec, run_production(spec), run_reference(spec));
+}
+
+CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
+                               u64 max_ref_cells) {
+  MM_REQUIRE(m.contig != nullptr && m.query != nullptr && m.cigar != nullptr,
+             "live mapping audit needs contig/query/cigar");
+  if (m.tend > m.contig->size() || m.tstart > m.tend)
+    return CheckResult::fail(fmt("reference span [%llu,%llu) outside contig of %llu",
+                                 static_cast<unsigned long long>(m.tstart),
+                                 static_cast<unsigned long long>(m.tend),
+                                 static_cast<unsigned long long>(m.contig->size())));
+  if (m.qend > m.query->size() || m.qstart > m.qend)
+    return CheckResult::fail(fmt("query span [%u,%u) outside read of %llu", m.qstart,
+                                 m.qend, static_cast<unsigned long long>(m.query->size())));
+  const u64 t_span = m.tend - m.tstart;
+  const u64 q_span = m.qend - m.qstart;
+  std::string why;
+  if (!validate_cigar_shape(*m.cigar, t_span, q_span, &why))
+    return CheckResult::fail("malformed CIGAR: " + why);
+  const i64 path_score = m.cigar->score(*m.contig, *m.query, m.tstart, m.qstart, params);
+  if (path_score != m.score)
+    return CheckResult::fail(fmt("CIGAR rescoring %lld != reported score %lld",
+                                 static_cast<long long>(path_score),
+                                 static_cast<long long>(m.score)));
+  // Reference upper bound, capped: the full-matrix DP is O(t_span * q_span)
+  // int64 cells, so only small spans are replayed exactly.
+  if (t_span > 0 && q_span > 0 && t_span * q_span <= max_ref_cells) {
+    const std::vector<u8> target(m.contig->begin() + static_cast<i64>(m.tstart),
+                                 m.contig->begin() + static_cast<i64>(m.tend));
+    const std::vector<u8> query(m.query->begin() + m.qstart, m.query->begin() + m.qend);
+    DiffArgs a;
+    a.target = target.data();
+    a.tlen = static_cast<i32>(target.size());
+    a.query = query.data();
+    a.qlen = static_cast<i32>(query.size());
+    a.params = params;
+    a.mode = AlignMode::kGlobal;
+    a.with_cigar = false;
+    const AlignResult ref = reference_align(a);
+    if (m.score > ref.score)
+      return CheckResult::fail(fmt("reported score %lld beats the reference optimum %lld",
+                                   static_cast<long long>(m.score),
+                                   static_cast<long long>(ref.score)));
+  }
+  return {};
 }
 
 }  // namespace verify

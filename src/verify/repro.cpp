@@ -40,6 +40,7 @@ bool parse_family(const std::string& s, Family* out) {
   if (s == "diff") *out = Family::kDiff;
   else if (s == "twopiece") *out = Family::kTwoPiece;
   else if (s == "simt") *out = Family::kSimt;
+  else if (s == "banded") *out = Family::kBanded;
   else return false;
   return true;
 }

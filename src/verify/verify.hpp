@@ -30,7 +30,10 @@ namespace verify {
 
 /// Kernel families under verification. kSimt runs the block-interpreter
 /// GPU kernel forms (Fig. 4a/4b), which share the one-piece scoring model.
-enum class Family { kDiff, kTwoPiece, kSimt };
+/// kBanded runs the banded global DP with a full-coverage band — the
+/// fallback ladder's last rung (align/fallback.hpp), which must equal the
+/// reference DP bit-for-bit, tie-breaking included.
+enum class Family { kDiff, kTwoPiece, kSimt, kBanded };
 
 const char* to_string(Family family);
 
@@ -88,6 +91,29 @@ CheckResult check_result(const CaseSpec& spec, const AlignResult& got,
 
 /// check_result(spec, run_production(spec), run_reference(spec)).
 CheckResult run_oracle(const CaseSpec& spec);
+
+/// One mapping from a live service response, reduced to what the oracle
+/// needs (no dependency on the service's types). `query` is the oriented
+/// read — reverse-complemented by the caller when the mapping is on the
+/// reverse strand — and qstart/qend are oriented coordinates.
+struct LiveMapping {
+  const std::vector<u8>* contig = nullptr;  ///< full contig codes
+  u64 tstart = 0, tend = 0;                 ///< reference span, end exclusive
+  const std::vector<u8>* query = nullptr;   ///< oriented query codes
+  u32 qstart = 0, qend = 0;                 ///< oriented span, end exclusive
+  i64 score = 0;                            ///< reported DP score
+  const Cigar* cigar = nullptr;             ///< reported path
+};
+
+/// Audit one live mapping: coordinate sanity, CIGAR shape over the spans,
+/// CIGAR rescoring == reported score, and — when the spanned matrix is at
+/// most `max_ref_cells` — the reference DP over the spans must not score
+/// LOWER than the reported path (the stitched path is one valid global
+/// path, so reported > reference proves a scoring bug; reported < reference
+/// is expected, stitching is a heuristic). Used by the serving layer's
+/// --verify sampling.
+CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
+                               u64 max_ref_cells);
 
 }  // namespace verify
 }  // namespace manymap

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/paf.hpp"
+#include "fault/fault.hpp"
 #include "service/batch_scheduler.hpp"
 #include "service/service.hpp"
 #include "simulate/genome.hpp"
@@ -311,6 +312,340 @@ TEST(Metrics, LatencyReservoirStaysBounded) {
   EXPECT_GE(snap.latency_ms_p50, static_cast<double>(n - ServiceMetrics::kReservoirCapacity));
   EXPECT_GE(snap.latency_ms_p99, snap.latency_ms_p50);
 }
+
+TEST(Service, LiveVerifySamplingCountsInMetrics) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 2;
+  cfg.verify_sample_every = 1;  // audit every kOk response
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 30; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, RequestStatus::kOk);
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  // The production mapper must pass its own live audit.
+  EXPECT_GT(snap.verified, 0u);
+  EXPECT_EQ(snap.verify_divergences, 0u);
+}
+
+#if MANYMAP_FAULT_INJECTION
+
+TEST(ServiceFault, WorkerComputeFaultYieldsStructuredFailed) {
+  const auto& w = workload();
+  fault::FaultPlan plan(21);
+  fault::FaultSpec spec;
+  spec.site = "service.worker.compute";
+  spec.one_in = 1;
+  spec.max_fires = 2;
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 10; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u64 failed = 0, ok = 0;
+  for (auto& f : futures) {
+    const MapResponse r = f.get();
+    if (r.status == RequestStatus::kFailed) {
+      ++failed;
+      EXPECT_NE(r.error.find("service.worker.compute"), std::string::npos);
+      EXPECT_TRUE(r.mappings.empty());
+    } else {
+      EXPECT_EQ(r.status, RequestStatus::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(failed, 2u);  // exactly max_fires requests failed
+  EXPECT_EQ(ok, 8u);
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.failed, 2u);
+  EXPECT_EQ(snap.accepted, snap.completed + snap.timed_out + snap.failed);
+}
+
+TEST(ServiceFault, MidComputeDeadlineAnswersTimedOut) {
+  const auto& w = workload();
+  fault::FaultPlan plan(22);
+  fault::FaultSpec spec;
+  spec.site = "service.worker.compute";
+  spec.kind = fault::FaultKind::kSlow;
+  spec.one_in = 1;
+  spec.delay = std::chrono::milliseconds(80);
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+  // The deadline is alive at compute start but expires during the injected
+  // slowdown — the cooperative checks inside Mapper::map must catch it.
+  MapRequest req;
+  req.id = 0;
+  req.read = w.reads[0];
+  req.deadline = std::chrono::steady_clock::now() + 20ms;
+  const MapResponse r = svc.submit_wait(std::move(req)).get();
+  EXPECT_EQ(r.status, RequestStatus::kTimedOut);
+  EXPECT_TRUE(r.mappings.empty());
+  svc.shutdown();
+  EXPECT_EQ(svc.metrics().snapshot().timed_out, 1u);
+}
+
+TEST(ServiceFault, WatchdogFailsStalledBatchAndRespawnsWorker) {
+  const auto& w = workload();
+  fault::FaultPlan plan(23);
+  fault::FaultSpec spec;
+  spec.site = "service.worker.compute";
+  spec.kind = fault::FaultKind::kStall;
+  spec.one_in = 1;
+  spec.max_fires = 1;
+  spec.delay = std::chrono::milliseconds(1'500);
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.watchdog.poll = 10ms;
+  cfg.watchdog.stall_timeout = 100ms;
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+
+  // The first wave rides one batch into the stall; the watchdog must fail
+  // it (not hang) well before the 1.5s sleep ends.
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 4; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u64 failed = 0, ok = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    const MapResponse r = f.get();
+    if (r.status == RequestStatus::kFailed) {
+      ++failed;
+      EXPECT_NE(r.error.find("stalled"), std::string::npos);
+    } else {
+      EXPECT_EQ(r.status, RequestStatus::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_GT(failed, 0u);  // at least the stalled request
+
+  // The respawned worker serves new traffic while the stalled thread is
+  // still sleeping (max_fires=1 keeps the replacement clean).
+  MapRequest after;
+  after.id = 100;
+  after.read = w.reads[0];
+  const MapResponse r = svc.submit_wait(std::move(after)).get();
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_EQ(r.paf, w.serial_paf[0]);
+
+  plan.cancel();  // wake the stalled thread so shutdown is fast
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.worker_stalls, 1u);
+  EXPECT_EQ(snap.worker_respawns, 1u);
+  EXPECT_EQ(snap.accepted, snap.completed + snap.timed_out + snap.failed);
+}
+
+// Regression (shutdown vs watchdog respawn): shutdown while a stalled
+// thread is still sleeping must join the respawned worker AND the retired
+// stalled thread, and submits after shutdown stay kRejected. Runs under
+// TSan via the `service` label.
+TEST(ServiceFault, ShutdownJoinsRespawnedWorkersAndRejectsAfter) {
+  const auto& w = workload();
+  fault::FaultPlan plan(24);
+  fault::FaultSpec spec;
+  spec.site = "service.worker.compute";
+  spec.kind = fault::FaultKind::kStall;
+  spec.one_in = 1;
+  spec.max_fires = 1;
+  spec.delay = std::chrono::milliseconds(800);
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.watchdog.poll = 10ms;
+  cfg.watchdog.stall_timeout = 80ms;
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+
+  MapRequest req;
+  req.id = 0;
+  req.read = w.reads[0];
+  auto fut = svc.submit_wait(std::move(req));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(fut.get().status, RequestStatus::kFailed);  // watchdog takeover
+
+  // Shut down while the stalled thread is (likely) still in its sleep.
+  svc.shutdown();
+  EXPECT_EQ(svc.metrics().snapshot().worker_respawns, 1u);
+
+  MapRequest late;
+  late.id = 1;
+  late.read = w.reads[0];
+  EXPECT_EQ(svc.submit(std::move(late)).get().status, RequestStatus::kRejected);
+  MapRequest late_wait;
+  late_wait.id = 2;
+  late_wait.read = w.reads[0];
+  EXPECT_EQ(svc.submit_wait(std::move(late_wait)).get().status, RequestStatus::kRejected);
+}
+
+TEST(ServiceFault, BreakerShedsToScoreOnlyThenRecovers) {
+  const auto& w = workload();
+  fault::FaultPlan plan(25);
+  fault::FaultSpec spec;
+  spec.site = "service.worker.compute";
+  spec.one_in = 1;
+  spec.max_fires = 2;
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.window = std::chrono::seconds(10);
+  cfg.breaker.cooldown = std::chrono::milliseconds(300);
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+
+  // Two injected failures open the breaker.
+  for (u64 i = 0; i < 2; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    EXPECT_EQ(svc.submit_wait(std::move(req)).get().status, RequestStatus::kFailed);
+  }
+  // While open, responses are served degraded: kOk, score-only mappings.
+  MapRequest deg;
+  deg.id = 10;
+  deg.read = w.reads[0];
+  const MapResponse d = svc.submit_wait(std::move(deg)).get();
+  EXPECT_EQ(d.status, RequestStatus::kOk);
+  EXPECT_TRUE(d.degraded);
+  ASSERT_FALSE(d.mappings.empty());
+  EXPECT_TRUE(d.mappings[0].cigar.empty());  // no CIGAR pass in degraded mode
+
+  // After the cooldown the breaker closes and full service resumes.
+  std::this_thread::sleep_for(500ms);
+  MapRequest full;
+  full.id = 11;
+  full.read = w.reads[0];
+  const MapResponse f = svc.submit_wait(std::move(full)).get();
+  EXPECT_EQ(f.status, RequestStatus::kOk);
+  EXPECT_FALSE(f.degraded);
+  EXPECT_EQ(f.paf, w.serial_paf[0]);
+
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_GE(snap.breaker_opened, 1u);
+  EXPECT_GE(snap.degraded_responses, 1u);
+  EXPECT_FALSE(snap.degraded_now);
+}
+
+TEST(ServiceFault, FallbackLadderKeepsResponsesByteIdentical) {
+  const auto& w = workload();
+  fault::FaultPlan plan(26);
+  fault::FaultSpec spec;
+  spec.site = "align.dp.alloc";
+  spec.one_in = 1;
+  spec.max_fires = 4;  // a few kernel attempts fail; the ladder absorbs them
+  plan.arm(spec);
+  ServiceConfig cfg;
+  cfg.workers_per_shard = 1;
+  AlignmentService svc(w.ref, cfg);
+  const fault::ScopedPlan guard(&plan);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u32 deepest = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    // The ladder changes HOW the answer is computed, never WHAT: every
+    // response stays byte-identical to the serial mapper.
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+    deepest = std::max(deepest, r.timings.deepest_fallback_rung);
+  }
+  EXPECT_GT(deepest, 0u);  // some request actually climbed
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.failed, 0u);  // faults were absorbed below the service layer
+  EXPECT_GT(snap.kernel_retries, 0u);
+}
+
+TEST(ServiceFault, ChaosMiniEveryRequestTerminalAndServiceRecovers) {
+  const auto& w = workload();
+  fault::FaultPlan plan(27);
+  fault::FaultSpec err;
+  err.site = "service.worker.compute";
+  err.one_in = 3;
+  plan.arm(err);
+  fault::FaultSpec alloc;
+  alloc.site = "align.dp.alloc";
+  alloc.one_in = 4;
+  plan.arm(alloc);
+  fault::FaultSpec delay;
+  delay.site = "service.queue.delay";
+  delay.kind = fault::FaultKind::kSlow;
+  delay.one_in = 2;
+  delay.delay = 2ms;
+  plan.arm(delay);
+
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.ingress_capacity = 16;
+  cfg.breaker.failure_threshold = 4;
+  cfg.breaker.cooldown = 100ms;
+  AlignmentService svc(w.ref, cfg);
+  {
+    const fault::ScopedPlan guard(&plan);
+    std::vector<std::future<MapResponse>> futures;
+    for (std::size_t i = 0; i < 40; ++i) {
+      MapRequest req;
+      req.id = i;
+      req.read = w.reads[i];
+      if (i % 5 == 0) req.deadline = std::chrono::steady_clock::now() + 200ms;
+      futures.push_back(i % 3 ? svc.submit_wait(std::move(req)) : svc.submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(60)), std::future_status::ready);
+      (void)f.get();  // any terminal status is fine; no hang, no broken promise
+    }
+    plan.cancel();
+  }
+
+  // Post-chaos, a clean request must answer kOk — wait out the breaker
+  // cooldown first so the response is full-fidelity, not degraded.
+  std::this_thread::sleep_for(300ms);
+  MapRequest clean;
+  clean.id = 1000;
+  clean.read = w.reads[0];
+  const MapResponse r = svc.submit_wait(std::move(clean)).get();
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_EQ(r.paf, w.serial_paf[0]);
+
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.submitted, snap.accepted + snap.rejected);
+  EXPECT_EQ(snap.accepted, snap.completed + snap.timed_out + snap.failed);
+}
+
+#endif  // MANYMAP_FAULT_INJECTION
 
 TEST(Metrics, SparseReservoirPercentilesAreObservedSamples) {
   // Nearest-rank on sparse reservoirs: the reported percentile must be a

@@ -1,0 +1,295 @@
+// manymap_chaos — seeded fault schedules against the alignment service.
+//
+//   manymap_chaos [--seeds N] [--first-seed S] [--verbose]
+//
+// Each seed deterministically derives a fault plan (worker exceptions,
+// slow/stalled compute, DP allocation failures, queue delays), a small
+// randomized service configuration (shards, workers, watchdog, breaker)
+// and a request mix (submit vs submit_wait, with and without deadlines),
+// then asserts the robustness contract:
+//
+//   1. every submitted request resolves exactly once with a terminal
+//      status (kOk / kRejected / kTimedOut / kFailed) — no hang, no
+//      broken promise, no crash;
+//   2. the metrics ledger balances: submitted == accepted + rejected and
+//      accepted == completed + timed_out + failed;
+//   3. after the plan is cancelled, a clean request answers kOk — faults
+//      never wedge the service.
+//
+// Exit status: 0 when every seed upholds the contract, 1 otherwise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "fault/fault.hpp"
+#include "service/service.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace {
+
+/// xorshift64* — independent of base/random so schedules stay stable.
+struct ChaosRng {
+  u64 s;
+  explicit ChaosRng(u64 seed) : s(seed ? seed : 0x6368616f73ULL) {}
+  u64 next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s * 0x2545f4914f6cdd1dULL;
+  }
+  u64 below(u64 n) { return next() % n; }
+  i64 range(i64 lo, i64 hi) { return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1))); }
+};
+
+struct SeedReport {
+  bool ok = true;
+  std::string failure;
+
+  void fail(const std::string& why) {
+    if (ok) failure = why;
+    ok = false;
+  }
+};
+
+/// One chaos round: build a service, arm a fault plan, push a request mix
+/// through it, check the contract, then prove the service recovers.
+/// `stall_floor_ms` is calibrated from measured serial compute so the
+/// watchdog never declares a legitimately slow environment (TSan, loaded
+/// CI) stalled.
+SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>& reads,
+                    i64 stall_floor_ms, bool verbose) {
+  SeedReport rep;
+  ChaosRng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  ServiceConfig cfg;
+  cfg.map = MapOptions::map_pb();
+  cfg.shards = static_cast<u32>(rng.range(1, 2));
+  cfg.workers_per_shard = static_cast<u32>(rng.range(1, 3));
+  cfg.ingress_capacity = static_cast<std::size_t>(rng.range(8, 32));
+  cfg.batch.max_batch_size = static_cast<u32>(rng.range(2, 8));
+  cfg.batch.max_delay = std::chrono::microseconds(rng.range(200, 2000));
+  cfg.watchdog.poll = std::chrono::milliseconds(20);
+  cfg.watchdog.stall_timeout =
+      std::chrono::milliseconds(std::max<i64>(rng.range(150, 250), stall_floor_ms));
+  cfg.breaker.failure_threshold = 4;
+  cfg.breaker.window = std::chrono::milliseconds(500);
+  cfg.breaker.cooldown = std::chrono::milliseconds(200);
+
+  // Fault schedule: 1-4 specs drawn from the site catalog. Stalls are kept
+  // rare and bounded (one firing, ~1-2x the watchdog timeout) so a round
+  // exercises takeover/respawn without dominating wall time.
+  fault::FaultPlan plan(seed);
+  const u32 nspecs = static_cast<u32>(rng.range(1, 4));
+  for (u32 i = 0; i < nspecs; ++i) {
+    fault::FaultSpec spec;
+    switch (rng.below(5)) {
+      case 0:
+        spec.site = "service.worker.compute";
+        spec.kind = fault::FaultKind::kError;
+        spec.one_in = static_cast<u32>(rng.range(3, 8));
+        break;
+      case 1:
+        spec.site = "service.worker.compute";
+        spec.kind = fault::FaultKind::kSlow;
+        spec.one_in = static_cast<u32>(rng.range(4, 10));
+        spec.delay = std::chrono::milliseconds(rng.range(5, 20));
+        break;
+      case 2:
+        spec.site = "service.worker.compute";
+        spec.kind = fault::FaultKind::kStall;
+        spec.one_in = static_cast<u32>(rng.range(10, 20));
+        spec.max_fires = 1;
+        spec.delay = std::chrono::milliseconds(
+            cfg.watchdog.stall_timeout.count() * rng.range(3, 6) / 2);
+        break;
+      case 3:
+        spec.site = "align.dp.alloc";
+        spec.kind = fault::FaultKind::kError;
+        spec.one_in = static_cast<u32>(rng.range(2, 6));
+        break;
+      default:
+        spec.site = "service.queue.delay";
+        spec.kind = fault::FaultKind::kSlow;
+        spec.one_in = static_cast<u32>(rng.range(2, 5));
+        spec.delay = std::chrono::milliseconds(rng.range(1, 10));
+        break;
+    }
+    plan.arm(spec);
+  }
+
+  AlignmentService svc(ref, cfg);
+  const fault::ScopedPlan scoped(&plan);
+
+  const std::size_t n = static_cast<std::size_t>(rng.range(24, 48));
+  std::vector<std::future<MapResponse>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = reads[rng.below(reads.size())];
+    if (rng.below(4) == 0)
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(rng.range(1, 400) +
+                                               (rng.below(2) ? stall_floor_ms : 0));
+    futures.push_back(rng.below(3) == 0 ? svc.submit(std::move(req))
+                                        : svc.submit_wait(std::move(req)));
+  }
+
+  // Contract 1: every future resolves with a terminal status. 60s is far
+  // beyond any legitimate schedule — hitting it means a hang.
+  u64 by_status[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (futures[i].wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+      rep.fail("request " + std::to_string(i) + " hung (no terminal status in 60s)");
+      plan.cancel();
+      return rep;  // leak the future; joining would hang too
+    }
+    const MapResponse r = futures[i].get();
+    by_status[static_cast<int>(r.status)]++;
+    if (r.status == RequestStatus::kFailed && r.error.empty())
+      rep.fail("kFailed response without an error string");
+  }
+
+  // Let in-flight watchdog bookkeeping settle, then stop injecting.
+  plan.cancel();
+  fault::install_plan(nullptr);
+
+  // Contract 3: a clean request after the storm answers kOk.
+  MapRequest clean;
+  clean.id = n;
+  clean.read = reads[0];
+  auto clean_fut = svc.submit_wait(std::move(clean));
+  if (clean_fut.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    rep.fail("post-chaos clean request hung");
+    return rep;
+  }
+  const MapResponse clean_resp = clean_fut.get();
+  if (clean_resp.status != RequestStatus::kOk)
+    rep.fail(std::string("post-chaos clean request answered ") + to_string(clean_resp.status));
+
+  svc.shutdown();
+
+  // Contract 2: the metrics ledger balances.
+  const MetricsSnapshot m = svc.metrics().snapshot();
+  if (m.submitted != m.accepted + m.rejected)
+    rep.fail("ledger: submitted != accepted + rejected");
+  if (m.accepted != m.completed + m.timed_out + m.failed)
+    rep.fail("ledger: accepted != completed + timed_out + failed");
+  if (m.worker_stalls != m.worker_respawns)
+    rep.fail("ledger: stalls != respawns");
+
+  if (verbose)
+    std::fprintf(stderr,
+                 "[chaos] seed=%llu shards=%u workers=%u specs=%u fires=%llu "
+                 "ok=%llu rejected=%llu timed_out=%llu failed=%llu stalls=%llu%s%s\n",
+                 static_cast<unsigned long long>(seed), cfg.shards, cfg.workers_per_shard,
+                 nspecs, static_cast<unsigned long long>(plan.fires()),
+                 static_cast<unsigned long long>(by_status[0]),
+                 static_cast<unsigned long long>(by_status[1]),
+                 static_cast<unsigned long long>(by_status[2]),
+                 static_cast<unsigned long long>(by_status[3]),
+                 static_cast<unsigned long long>(m.worker_stalls),
+                 rep.ok ? "" : " FAIL: ", rep.ok ? "" : rep.failure.c_str());
+  return rep;
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  using namespace manymap;
+  u64 seeds = 32, first_seed = 1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "manymap_chaos: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: manymap_chaos [--seeds N] [--first-seed S] [--verbose]\n");
+      return 0;
+    } else if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--first-seed") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      first_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "manymap_chaos: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+#if !MANYMAP_FAULT_INJECTION
+  std::fprintf(stderr, "manymap_chaos: built without MANYMAP_FAULT_INJECTION; nothing to do\n");
+  return 0;
+#endif
+
+  // One small shared workload; each seed draws its own request mix from it.
+  GenomeParams gp;
+  gp.total_length = 60'000;
+  gp.seed = 7;
+  const Reference ref = generate_genome(gp);
+  ReadSimParams rp;
+  rp.num_reads = 48;
+  rp.seed = 8;
+  rp.profile.max_length = 2'000;  // keep per-request compute small
+  std::vector<Sequence> reads;
+  for (auto& sr : ReadSimulator(ref, rp).simulate()) reads.push_back(std::move(sr.read));
+  MM_REQUIRE(!reads.empty(), "simulation produced no reads");
+
+  // Calibrate the watchdog floor to this machine: time serial compute on
+  // the workload's longest reads and require the stall timeout to clear it
+  // with a wide margin. Fixed wall-clock timeouts false-positive under
+  // ThreadSanitizer (~10-20x slowdown) and on loaded CI runners — the
+  // watchdog would shoot healthy workers and fail the clean request.
+  i64 stall_floor_ms = 0;
+  {
+    std::vector<const Sequence*> longest;
+    for (const auto& r : reads) longest.push_back(&r);
+    std::sort(longest.begin(), longest.end(),
+              [](const Sequence* a, const Sequence* b) { return a->size() > b->size(); });
+    const Mapper mapper(ref, MapOptions::map_pb());
+    for (std::size_t i = 0; i < longest.size() && i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)mapper.map(*longest[i]);
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      stall_floor_ms = std::max<i64>(stall_floor_ms, ms * 8);
+    }
+    if (verbose)
+      std::fprintf(stderr, "[chaos] calibrated watchdog stall floor: %lld ms\n",
+                   static_cast<long long>(stall_floor_ms));
+  }
+
+  u64 failures = 0;
+  for (u64 i = 0; i < seeds; ++i) {
+    const u64 seed = first_seed + i;
+    const SeedReport rep = run_seed(seed, ref, reads, stall_floor_ms, verbose);
+    if (!rep.ok) {
+      ++failures;
+      std::fprintf(stderr, "[chaos] seed %llu FAILED: %s\n",
+                   static_cast<unsigned long long>(seed), rep.failure.c_str());
+    }
+  }
+  std::printf("manymap_chaos: %llu/%llu seeds upheld the robustness contract\n",
+              static_cast<unsigned long long>(seeds - failures),
+              static_cast<unsigned long long>(seeds));
+  return failures == 0 ? 0 : 1;
+}

@@ -23,8 +23,11 @@
 // Replay:
 //   --rate R               Poisson arrivals/sec; 0 = burst (default 0)
 //   --admission block|reject   full-queue behaviour (default block)
-//   --verify               check responses == serial Mapper::map, exit 1 on
-//                          mismatch
+//   --verify               audit live: sample kOk responses through the
+//                          differential oracle while serving, then check
+//                          responses == serial Mapper::map; exit 1 on any
+//                          divergence or mismatch
+//   --verify-sample N      sample every Nth kOk response (default 16)
 //   --paf                  print the PAF of every OK response (trace order)
 #include <algorithm>
 #include <cmath>
@@ -99,7 +102,7 @@ int usage() {
                "  [--layout minimap2|manymap] [--isa name] [--workers N] [--shards N]\n"
                "  [--dispatch rr|length] [--queue-capacity N] [--batch-size N]\n"
                "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
-               "  [--admission block|reject] [--verify] [--paf]\n");
+               "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n");
   return 2;
 }
 
@@ -113,7 +116,7 @@ int main(int argc, char** argv) {
       "ref",      "reads-file", "length",         "reads",      "platform",
       "seed",     "preset",     "layout",         "isa",        "workers",
       "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
-      "deadline-ms", "rate",    "admission"};
+      "deadline-ms", "rate",    "admission",      "verify-sample"};
   const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
   if (!parsed) return usage();
   if (parsed->has("help")) {
@@ -163,6 +166,8 @@ int main(int argc, char** argv) {
   cfg.batch.max_batch_size = static_cast<u32>(args.get_int("batch-size", 16));
   cfg.batch.max_delay = std::chrono::microseconds(args.get_int("batch-delay-us", 2000));
   cfg.batch.longest_first = !args.has("no-longest-first");
+  if (args.has("verify"))
+    cfg.verify_sample_every = static_cast<u64>(args.get_int("verify-sample", 16));
 
   // 3. Arrival schedule: exponential inter-arrival gaps (Poisson process)
   //   at --rate req/s; rate 0 degenerates to a burst at t=0.
@@ -219,8 +224,10 @@ int main(int argc, char** argv) {
     for (const auto& r : responses)
       if (r.status == RequestStatus::kOk) std::cout << r.paf;
 
-  // 6. Optional verification: the service must be a behaviour-preserving
-  //   wrapper around Mapper::map — byte-identical PAF per request.
+  // 6. Optional verification: live oracle sampling happened while serving
+  //   (cfg.verify_sample_every); on top of it, the service must be a
+  //   behaviour-preserving wrapper around Mapper::map — byte-identical PAF
+  //   per request.
   if (args.has("verify")) {
     u64 mismatches = 0, unverifiable = 0;
     for (std::size_t i = 0; i < responses.size(); ++i) {
@@ -231,10 +238,15 @@ int main(int argc, char** argv) {
       const auto serial = svc.mapper().map(reads[i]);
       if (to_paf_block(serial, cfg.paf_with_cigar) != responses[i].paf) ++mismatches;
     }
-    std::fprintf(stderr, "[manymap_serve] verify: %s (%llu mismatches, %llu not-OK skipped)\n",
-                 mismatches == 0 ? "OK" : "FAIL", static_cast<unsigned long long>(mismatches),
-                 static_cast<unsigned long long>(unverifiable));
-    if (mismatches != 0) return 1;
+    std::fprintf(stderr,
+                 "[manymap_serve] verify: %s (%llu mismatches, %llu not-OK skipped; live "
+                 "oracle sampled=%llu divergences=%llu)\n",
+                 mismatches == 0 && snap.verify_divergences == 0 ? "OK" : "FAIL",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(unverifiable),
+                 static_cast<unsigned long long>(snap.verified),
+                 static_cast<unsigned long long>(snap.verify_divergences));
+    if (mismatches != 0 || snap.verify_divergences != 0) return 1;
   }
   return 0;
 }

@@ -29,7 +29,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|all]\n"
+               "                      [--family diff|twopiece|simt|banded|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
                "       manymap_verify --repro FILE [FILE...]\n");
 }
@@ -45,6 +45,10 @@ int run_repros(const std::vector<std::string>& files) {
       continue;
     }
     if (!verify::runnable(spec)) {
+      if (spec.family == verify::Family::kBanded) {
+        std::printf("%-60s SKIP (banded is global-only)\n", path.c_str());
+        continue;
+      }
       // Either this machine lacks the ISA (skip) or the parameters violate
       // the int8 contract (the committed fix for saturation repros: the
       // kernels now refuse instead of silently corrupting lanes).
@@ -98,12 +102,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--family") {
       const char* v = value();
       if (v == nullptr) return 2;
-      opt.family_diff = opt.family_twopiece = opt.family_simt = false;
+      opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = false;
       if (std::strcmp(v, "diff") == 0) opt.family_diff = true;
       else if (std::strcmp(v, "twopiece") == 0) opt.family_twopiece = true;
       else if (std::strcmp(v, "simt") == 0) opt.family_simt = true;
+      else if (std::strcmp(v, "banded") == 0) opt.family_banded = true;
       else if (std::strcmp(v, "all") == 0)
-        opt.family_diff = opt.family_twopiece = opt.family_simt = true;
+        opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = true;
       else {
         std::fprintf(stderr, "manymap_verify: unknown family '%s'\n", v);
         return 2;
