@@ -1,0 +1,260 @@
+// Hot-path allocation & direction-emission bench: proves the steady-state
+// alignment path performs ZERO heap allocations (score AND path mode) and
+// quantifies the ns/cell win from arena reuse + direct vector direction
+// stores. Covers every (family x layout x ISA) backend in both modes,
+// fresh-workspace vs arena-reused, and emits BENCH_hotpath.json holding
+// the committed pre-change baseline, the current numbers and the speedup.
+//
+// Usage:
+//   bench_hotpath [--out BENCH_hotpath.json]   full run (~1 min)
+//   bench_hotpath --smoke                      short run; exit 1 if any
+//                                              steady-state call allocates
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "align/arena.hpp"
+#include "align/diff_common.hpp"
+#include "align/kernel_api.hpp"
+#include "align/twopiece.hpp"
+#include "base/random.hpp"
+#include "base/timer.hpp"
+
+namespace manymap {
+namespace {
+
+// Pre-change ns/cell on the reference machine (commit 7c5dcf3: per-call
+// vector workspaces, zero-filled dirs, store-to-buf + memcpy direction
+// emission), same 2000x2000 noisy-pair workload. Keyed "family layout isa
+// mode". These anchor the speedup column so regressions against the
+// pre-arena code stay visible without rebuilding it.
+struct BaselineRow {
+  const char* key;
+  double ns_per_cell;
+};
+const BaselineRow kBaseline[] = {
+    {"diff minimap2 scalar score", 8.4065},   {"diff minimap2 scalar path", 8.2006},
+    {"diff minimap2 sse2 score", 0.3557},     {"diff minimap2 sse2 path", 0.8594},
+    {"diff minimap2 avx2 score", 0.2349},     {"diff minimap2 avx2 path", 0.5323},
+    {"diff minimap2 avx512 score", 0.1925},   {"diff minimap2 avx512 path", 0.4650},
+    {"diff manymap scalar score", 8.4086},    {"diff manymap scalar path", 8.6427},
+    {"diff manymap sse2 score", 0.2724},      {"diff manymap sse2 path", 0.6649},
+    {"diff manymap avx2 score", 0.1212},      {"diff manymap avx2 path", 0.3985},
+    {"diff manymap avx512 score", 0.1276},    {"diff manymap avx512 path", 0.3347},
+    {"twopiece minimap2 scalar score", 12.8275}, {"twopiece minimap2 scalar path", 14.0367},
+    {"twopiece minimap2 sse2 score", 0.6203},    {"twopiece minimap2 sse2 path", 1.3930},
+    {"twopiece minimap2 avx2 score", 0.3309},    {"twopiece minimap2 avx2 path", 0.6876},
+    {"twopiece minimap2 avx512 score", 0.3478},  {"twopiece minimap2 avx512 path", 0.5085},
+    {"twopiece manymap scalar score", 15.1481},  {"twopiece manymap scalar path", 13.9096},
+    {"twopiece manymap sse2 score", 0.5058},     {"twopiece manymap sse2 path", 0.9109},
+    {"twopiece manymap avx2 score", 0.2493},     {"twopiece manymap avx2 path", 0.5168},
+    {"twopiece manymap avx512 score", 0.2180},   {"twopiece manymap avx512 path", 0.4785},
+};
+
+double baseline_ns(const std::string& key) {
+  for (const BaselineRow& r : kBaseline)
+    if (key == r.key) return r.ns_per_cell;
+  return 0.0;
+}
+
+struct Workload {
+  std::vector<u8> target;
+  std::vector<u8> query;
+};
+
+Workload make_workload(i32 len) {
+  Workload w;
+  Rng rng(123);
+  w.target.resize(static_cast<std::size_t>(len));
+  for (auto& b : w.target) b = rng.base();
+  w.query = w.target;
+  for (auto& b : w.query)
+    if (rng.bernoulli(0.15)) b = rng.base();
+  return w;
+}
+
+struct Row {
+  std::string family, layout, isa, mode;
+  double fresh_ns = 0.0;        ///< arena == nullptr (per-call workspace)
+  double reused_ns = 0.0;       ///< steady state on a warmed arena
+  double baseline_ns = 0.0;     ///< committed pre-change number
+  u64 fresh_alloc_calls = 0;    ///< check_dp_alloc firings per fresh call
+  u64 fresh_alloc_bytes = 0;
+  u64 steady_alloc_calls = 0;   ///< firings across ALL steady-state calls
+  u64 steady_growths = 0;       ///< arena growth events ditto
+};
+
+/// Run `invoke` repeatedly for >= min_seconds (after one warm-up) and
+/// return ns/cell.
+template <class Fn>
+double time_ns_per_cell(Fn&& invoke, double min_seconds) {
+  invoke();  // warm-up (also warms the thread arena when one is in play)
+  WallTimer t;
+  int reps = 0;
+  u64 cells = 0;
+  do {
+    cells += invoke();
+    ++reps;
+  } while (t.seconds() < min_seconds && reps < 4000);
+  return t.seconds() * 1e9 / static_cast<double>(cells);
+}
+
+template <class Args, class Fn>
+Row bench_backend(const char* family, Layout layout, Isa isa, bool cigar, Fn fn,
+                  Args args, double min_seconds) {
+  Row row;
+  row.family = family;
+  row.layout = to_string(layout);
+  row.isa = to_string(isa);
+  row.mode = cigar ? "path" : "score";
+  row.baseline_ns =
+      baseline_ns(row.family + " " + row.layout + " " + row.isa + " " + row.mode);
+
+  detail::DpAllocStats& stats = detail::dp_alloc_stats();
+
+  // Fresh: no arena, so every call sizes a workspace from scratch.
+  args.arena = nullptr;
+  row.fresh_ns = time_ns_per_cell([&] { return fn(args).cells; }, min_seconds);
+  stats.reset();
+  fn(args);
+  row.fresh_alloc_calls = stats.calls;
+  row.fresh_alloc_bytes = stats.bytes;
+
+  // Reused: a warmed arena must never reach the allocator again.
+  detail::KernelArena arena;
+  args.arena = &arena;
+  fn(args);  // growth happens here
+  const u64 growths_before = arena.growth_events();
+  stats.reset();
+  row.reused_ns = time_ns_per_cell([&] { return fn(args).cells; }, min_seconds);
+  row.steady_alloc_calls = stats.calls;
+  row.steady_growths = arena.growth_events() - growths_before;
+  return row;
+}
+
+void collect(const Workload& w, double min_seconds, std::vector<Row>& rows) {
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap}) {
+    for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512}) {
+      for (const bool cigar : {false, true}) {
+        if (KernelFn fn = get_diff_kernel(layout, isa)) {
+          DiffArgs a;
+          a.target = w.target.data();
+          a.tlen = static_cast<i32>(w.target.size());
+          a.query = w.query.data();
+          a.qlen = static_cast<i32>(w.query.size());
+          a.mode = AlignMode::kGlobal;
+          a.with_cigar = cigar;
+          rows.push_back(bench_backend("diff", layout, isa, cigar, fn, a, min_seconds));
+        }
+        if (TwoPieceKernelFn fn = get_twopiece_kernel(layout, isa)) {
+          TwoPieceArgs a;
+          a.target = w.target.data();
+          a.tlen = static_cast<i32>(w.target.size());
+          a.query = w.query.data();
+          a.qlen = static_cast<i32>(w.query.size());
+          a.mode = AlignMode::kGlobal;
+          a.with_cigar = cigar;
+          rows.push_back(
+              bench_backend("twopiece", layout, isa, cigar, fn, a, min_seconds));
+        }
+      }
+    }
+  }
+}
+
+void write_json(const std::vector<Row>& rows, const std::string& path, i32 len) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"workload\": "
+               "{\"tlen\": %d, \"qlen\": %d, \"mutation_rate\": 0.15, \"seed\": 123},\n"
+               "  \"baseline_commit\": \"7c5dcf3\",\n  \"rows\": [\n", len, len);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup = r.reused_ns > 0.0 && r.baseline_ns > 0.0
+                               ? r.baseline_ns / r.reused_ns
+                               : 0.0;
+    std::fprintf(
+        f,
+        "    {\"family\": \"%s\", \"layout\": \"%s\", \"isa\": \"%s\", "
+        "\"mode\": \"%s\", \"baseline_ns_per_cell\": %.4f, "
+        "\"fresh_ns_per_cell\": %.4f, \"reused_ns_per_cell\": %.4f, "
+        "\"speedup_vs_baseline\": %.3f, \"fresh_alloc_calls\": %llu, "
+        "\"fresh_alloc_bytes\": %llu, \"steady_alloc_calls\": %llu, "
+        "\"steady_growth_events\": %llu}%s\n",
+        r.family.c_str(), r.layout.c_str(), r.isa.c_str(), r.mode.c_str(),
+        r.baseline_ns, r.fresh_ns, r.reused_ns, speedup,
+        static_cast<unsigned long long>(r.fresh_alloc_calls),
+        static_cast<unsigned long long>(r.fresh_alloc_bytes),
+        static_cast<unsigned long long>(r.steady_alloc_calls),
+        static_cast<unsigned long long>(r.steady_growths),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace manymap
+
+int main(int argc, char** argv) {
+  using namespace manymap;
+  bool smoke = false;
+  std::string out = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out file.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Smoke keeps the alloc-count contract but trims timing to near-nothing;
+  // a smaller pair also keeps the scalar backends fast under sanitizers.
+  const i32 len = smoke ? 500 : 2000;
+  const double min_seconds = smoke ? 0.0 : 0.25;
+  const Workload w = make_workload(len);
+
+  std::vector<Row> rows;
+  collect(w, min_seconds, rows);
+
+  std::printf("%-9s %-9s %-7s %-6s %10s %10s %10s %8s %7s %7s\n", "family", "layout",
+              "isa", "mode", "base ns", "fresh ns", "reuse ns", "speedup", "alloc/c",
+              "steady");
+  int violations = 0;
+  for (const Row& r : rows) {
+    const double speedup =
+        r.reused_ns > 0.0 && r.baseline_ns > 0.0 ? r.baseline_ns / r.reused_ns : 0.0;
+    std::printf("%-9s %-9s %-7s %-6s %10.4f %10.4f %10.4f %7.2fx %7llu %7llu\n",
+                r.family.c_str(), r.layout.c_str(), r.isa.c_str(), r.mode.c_str(),
+                r.baseline_ns, r.fresh_ns, r.reused_ns, speedup,
+                static_cast<unsigned long long>(r.fresh_alloc_calls),
+                static_cast<unsigned long long>(r.steady_alloc_calls));
+    // The zero-allocation contract: once an arena has seen a shape, further
+    // calls (score or path) must never reach the allocator.
+    if (r.steady_alloc_calls != 0 || r.steady_growths != 0) {
+      std::fprintf(stderr, "FAIL: %s/%s/%s/%s allocated in steady state "
+                   "(%llu check_dp_alloc calls, %llu growths)\n",
+                   r.family.c_str(), r.layout.c_str(), r.isa.c_str(), r.mode.c_str(),
+                   static_cast<unsigned long long>(r.steady_alloc_calls),
+                   static_cast<unsigned long long>(r.steady_growths));
+      ++violations;
+    }
+  }
+
+  if (!smoke) write_json(rows, out, len);
+  if (violations != 0) {
+    std::fprintf(stderr, "%d backend(s) violated the zero-allocation contract\n",
+                 violations);
+    return 1;
+  }
+  std::printf("steady-state allocations: 0 across %zu backend combos\n", rows.size());
+  return 0;
+}

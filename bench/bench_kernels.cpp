@@ -4,6 +4,10 @@
 // per-kernel numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "align/kernel_api.hpp"
 #include "base/random.hpp"
 
@@ -73,7 +77,20 @@ void register_all() {
 
 int main(int argc, char** argv) {
   manymap::register_all();
-  benchmark::Initialize(&argc, argv);
+  // Always leave a machine-readable artifact: default --benchmark_out to
+  // BENCH_kernels.json unless the caller chose their own sink.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -78,12 +78,18 @@ int main() {
     for (const auto& r : w.reads) (void)mapper.map(r);
     print_row("%-24s %10.1f req/s\n", "serial Mapper::map", w.reads.size() / t.seconds());
   }
+  JsonRows json("service_throughput");
   print_row("%-10s %-13s %12s\n", "workers", "batching", "req/s");
   for (const u32 workers : {1u, 2u, 4u}) {
     for (const bool longest_first : {true, false}) {
       const double rps = run_once(w, workers, longest_first);
       print_row("%-10u %-13s %12.1f\n", workers, longest_first ? "longest-first" : "fifo", rps);
+      json.row()
+          .field("workers", static_cast<u64>(workers))
+          .field("batching", longest_first ? "longest-first" : "fifo")
+          .field("requests_per_sec", rps);
     }
   }
+  json.write("BENCH_service_throughput.json");
   return 0;
 }

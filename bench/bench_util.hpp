@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "align/kernel_api.hpp"
@@ -56,6 +57,60 @@ inline double measure_gcups(KernelFn fn, const DiffArgs& args, int min_reps = 1,
   } while ((reps < min_reps || t.seconds() < min_seconds) && reps < 1000);
   return gcups(r.cells * static_cast<u64>(reps), t.seconds());
 }
+
+/// Minimal machine-readable sink for the hand-rolled benches: a flat list
+/// of rows, each a flat object, written as BENCH_<name>.json next to the
+/// human-readable table so CI and plotting scripts never scrape stdout.
+/// (google-benchmark suites get the same via --benchmark_out instead.)
+class JsonRows {
+ public:
+  explicit JsonRows(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonRows& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonRows& field(const char* key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+  JsonRows& field(const char* key, const char* v) { return field(key, std::string(v)); }
+  JsonRows& field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return raw(key, buf);
+  }
+  JsonRows& field(const char* key, u64 v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    return raw(key, buf);
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (std::size_t j = 0; j < rows_[i].size(); ++j)
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ", rows_[i][j].first.c_str(),
+                     rows_[i][j].second.c_str());
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  JsonRows& raw(const char* key, std::string v) {
+    rows_.back().emplace_back(key, std::move(v));
+    return *this;
+  }
+
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

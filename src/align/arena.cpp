@@ -1,0 +1,168 @@
+#include "align/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "align/diff_common.hpp"
+
+namespace manymap {
+namespace detail {
+
+namespace {
+
+/// DP row length (tlen plus the vector-overrun pad).
+inline std::size_t row_size(i32 tlen) {
+  return static_cast<std::size_t>(tlen) + kLanePad;
+}
+
+/// v/x slot count: the manymap layout indexes by t' = t - r + qlen, which
+/// spans [?, qlen]; the minimap2 layout indexes by t.
+inline std::size_t vx_size(i32 tlen, i32 qlen, bool manymap_layout) {
+  return static_cast<std::size_t>(manymap_layout ? qlen + 1 : tlen) + kLanePad;
+}
+
+}  // namespace
+
+u64 KernelArena::dirs_footprint(i32 tlen, i32 qlen) {
+  // tlen*qlen trapezoid cells plus kLanePad tail per diagonal row, so a
+  // full-width vector store at any row's last cell stays inside the row.
+  const u64 ndiag = static_cast<u64>(tlen) + static_cast<u64>(qlen) - 1;
+  return static_cast<u64>(tlen) * static_cast<u64>(qlen) + ndiag * kLanePad;
+}
+
+void KernelArena::refresh_diag_off(i32 tlen, i32 qlen) {
+  if (off_tlen_ == tlen && off_qlen_ == qlen) return;
+  u64 off = 0;
+  for (i32 r = 0; r < tlen + qlen - 1; ++r) {
+    diag_off_[static_cast<std::size_t>(r)] = off;
+    off += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1) + kLanePad;
+  }
+  off_tlen_ = tlen;
+  off_qlen_ = qlen;
+}
+
+void KernelArena::copy_sequences(const u8* target, i32 tlen, const u8* query, i32 qlen) {
+  // Only the valid prefixes: pad bytes beyond them are read exclusively by
+  // dead vector lanes, whose results never reach a live cell.
+  std::memcpy(tp_.data(), target, static_cast<std::size_t>(tlen));
+  u8* qr = qr_.data();
+  for (i32 j = 0; j < qlen; ++j) qr[qlen - 1 - j] = query[j];
+}
+
+void KernelArena::reserve_diff(const DiffArgs& a, bool manymap_layout, bool twopiece) {
+  const std::size_t un = row_size(a.tlen);
+  const std::size_t vn = vx_size(a.tlen, a.qlen, manymap_layout);
+  const std::size_t tn = row_size(a.tlen);
+  const std::size_t qn = static_cast<std::size_t>(a.qlen) + kLanePad;
+  const std::size_t dn =
+      a.with_cigar ? static_cast<std::size_t>(dirs_footprint(a.tlen, a.qlen)) : 0;
+  const std::size_t on =
+      a.with_cigar ? static_cast<std::size_t>(a.tlen) + static_cast<std::size_t>(a.qlen) : 0;
+
+  u64 need = deficit(u_, un) + deficit(y_, un) + deficit(v_, vn) + deficit(x_, vn) +
+             deficit(tp_, tn) + deficit(qr_, qn) + deficit(dirs_, dn) +
+             deficit(diag_off_, on);
+  if (twopiece) need += deficit(y2_, un) + deficit(x2_, vn);
+  if (need == 0) return;
+
+  // Single hook call with the full deficit BEFORE any resize: if the fault
+  // site throws, the arena is untouched and a retry re-attempts the exact
+  // same growth deterministically.
+  check_dp_alloc(need);
+  grow(u_, un);
+  grow(y_, un);
+  grow(v_, vn);
+  grow(x_, vn);
+  if (twopiece) {
+    grow(y2_, un);
+    grow(x2_, vn);
+  }
+  grow(tp_, tn);
+  grow(qr_, qn);
+  grow(dirs_, dn);
+  grow(diag_off_, on);
+}
+
+DiffWorkspace KernelArena::prepare_diff(const DiffArgs& a, bool manymap_layout) {
+  reserve_diff(a, manymap_layout, /*twopiece=*/false);
+  copy_sequences(a.target, a.tlen, a.query, a.qlen);
+  DiffWorkspace ws;
+  ws.U = u_.data();
+  ws.Y = y_.data();
+  ws.V = v_.data();
+  ws.X = x_.data();
+  ws.tp = tp_.data();
+  ws.qr = qr_.data();
+  if (a.with_cigar) {
+    refresh_diag_off(a.tlen, a.qlen);
+    ws.dirs = dirs_.data();
+    ws.diag_off = diag_off_.data();
+  }
+  return ws;
+}
+
+TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool manymap_layout) {
+  DiffArgs sized;
+  sized.target = a.target;
+  sized.tlen = a.tlen;
+  sized.query = a.query;
+  sized.qlen = a.qlen;
+  sized.with_cigar = a.with_cigar;
+  reserve_diff(sized, manymap_layout, /*twopiece=*/true);
+  copy_sequences(a.target, a.tlen, a.query, a.qlen);
+  TwoPieceWorkspace ws;
+  ws.U = u_.data();
+  ws.Y1 = y_.data();
+  ws.Y2 = y2_.data();
+  ws.V = v_.data();
+  ws.X1 = x_.data();
+  ws.X2 = x2_.data();
+  ws.tp = tp_.data();
+  ws.qr = qr_.data();
+  if (a.with_cigar) {
+    refresh_diag_off(a.tlen, a.qlen);
+    ws.dirs = dirs_.data();
+    ws.diag_off = diag_off_.data();
+  }
+  return ws;
+}
+
+u64 KernelArena::reserved_bytes() const {
+  return u_.size() + y_.size() + y2_.size() + v_.size() + x_.size() + x2_.size() +
+         tp_.size() + qr_.size() + dirs_.size() + diag_off_.size() * sizeof(u64);
+}
+
+void KernelArena::poison(u8 byte) {
+  const i8 sbyte = static_cast<i8>(byte);
+  for (auto* b : {&u_, &y_, &y2_, &v_, &x_, &x2_})
+    std::fill(b->begin(), b->end(), sbyte);
+  std::fill(tp_.begin(), tp_.end(), byte);
+  std::fill(qr_.begin(), qr_.end(), byte);
+  std::fill(dirs_.begin(), dirs_.end(), byte);
+  u64 pattern = 0;
+  for (int i = 0; i < 8; ++i) pattern = (pattern << 8) | byte;
+  std::fill(diag_off_.begin(), diag_off_.end(), pattern);
+  off_tlen_ = off_qlen_ = -1;  // diag_off content is now garbage
+}
+
+void KernelArena::release() {
+  for (auto* b : {&u_, &y_, &y2_, &v_, &x_, &x2_}) {
+    b->clear();
+    b->shrink_to_fit();
+  }
+  for (auto* b : {&tp_, &qr_, &dirs_}) {
+    b->clear();
+    b->shrink_to_fit();
+  }
+  diag_off_.clear();
+  diag_off_.shrink_to_fit();
+  off_tlen_ = off_qlen_ = -1;
+}
+
+KernelArena& KernelArena::for_thread() {
+  static thread_local KernelArena arena;
+  return arena;
+}
+
+}  // namespace detail
+}  // namespace manymap

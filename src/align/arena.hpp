@@ -1,0 +1,129 @@
+// Reusable per-thread workspace arenas for the alignment hot path.
+//
+// The difference kernels used to re-allocate and zero-fill every DP buffer
+// on every call — a per-call tax that dwarfs the per-iteration work the
+// paper's re-mapped layout (§4.3.1) removes. A KernelArena owns growable
+// buffers whose capacity is high-water-marked per thread, so steady-state
+// alignment performs ZERO heap allocations and ZERO memsets:
+//
+//  - U/Y/V/X (and the two-piece Y2/X2) are handed back dirty. Every valid
+//    cell of the anti-diagonal trapezoid is boundary-injected or written
+//    by the kernel before any valid lane reads it; SIMD overrun lanes
+//    beyond a diagonal's end only ever read and write slots that are dead
+//    for the rest of the alignment (re-injected at the next diagonal or
+//    inside the kLanePad tail), so stale bytes can never reach a result.
+//  - `dirs` is never zero-filled: backtrack only visits trapezoid cells,
+//    all of which the kernel wrote this call.
+//  - `diag_off` is recomputed only when (tlen, qlen) changes.
+//  - Only the sequence prefixes (tp, reversed qr) are re-initialized.
+//
+// The dirs layout pads every diagonal's row to the widest vector width
+// (kLanePad): diag_off[r+1] - diag_off[r] = row_len(r) + kLanePad, so the
+// SIMD kernels emit direction bytes with direct unaligned vector stores
+// instead of a stack-buffer bounce + memcpy per chunk. The pad of row r
+// absorbs the overrun; row r+1 starts after it.
+//
+// Growth is the ONLY allocation path and reports its true byte footprint
+// through check_dp_alloc ("align.dp.alloc" fault site), so allocation
+// failure is injectable and the arena is left untouched when the site
+// fires (a retry re-attempts the same growth).
+//
+// Thread safety: an arena is single-threaded. Use one per worker thread
+// (the service threads own theirs) or KernelArena::for_thread().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "align/kernel_api.hpp"
+#include "align/twopiece.hpp"
+
+namespace manymap {
+namespace detail {
+
+/// Non-owning view of one prepared one-piece workspace. Pointers are valid
+/// until the arena's next prepare_*/poison/release call.
+struct DiffWorkspace {
+  i8* U = nullptr;           ///< indexed by t (size tlen + pad)
+  i8* Y = nullptr;
+  i8* V = nullptr;           ///< mm2 layout: by t; manymap layout: by t'
+  i8* X = nullptr;
+  const u8* tp = nullptr;    ///< padded copy of target codes
+  const u8* qr = nullptr;    ///< reversed padded copy of query codes
+  u8* dirs = nullptr;        ///< per-cell direction bytes (path mode)
+  const u64* diag_off = nullptr;  ///< dirs offset of each padded diagonal row
+};
+
+/// Two-piece analogue: two difference rows per gap direction.
+struct TwoPieceWorkspace {
+  i8* U = nullptr;
+  i8* Y1 = nullptr;
+  i8* Y2 = nullptr;
+  i8* V = nullptr;
+  i8* X1 = nullptr;
+  i8* X2 = nullptr;
+  const u8* tp = nullptr;
+  const u8* qr = nullptr;
+  u8* dirs = nullptr;
+  const u64* diag_off = nullptr;
+};
+
+class KernelArena {
+ public:
+  KernelArena() = default;
+  KernelArena(const KernelArena&) = delete;
+  KernelArena& operator=(const KernelArena&) = delete;
+
+  /// Size and (re)initialize the one-piece workspace for `a`. Grows
+  /// buffers when the problem exceeds the high-water mark (the only
+  /// allocation path; reports through check_dp_alloc) and refreshes the
+  /// sequence copies; everything else is reused dirty.
+  DiffWorkspace prepare_diff(const DiffArgs& a, bool manymap_layout);
+  TwoPieceWorkspace prepare_twopiece(const TwoPieceArgs& a, bool manymap_layout);
+
+  /// Number of buffer growth events since construction (0 in steady state).
+  u64 growth_events() const { return growth_events_; }
+  /// Bytes currently reserved across all buffers (the high-water mark).
+  u64 reserved_bytes() const;
+
+  /// Overwrite every reserved byte with `byte` and invalidate the cached
+  /// diag_off table. Tests use this to prove dirty reuse is bit-exact.
+  void poison(u8 byte);
+  /// Free all reserved memory (a thread that just aligned a huge pair can
+  /// hand the pages back).
+  void release();
+
+  /// The calling thread's shared arena (lazily constructed).
+  static KernelArena& for_thread();
+
+ private:
+  /// Total dirs bytes for the padded-row layout.
+  static u64 dirs_footprint(i32 tlen, i32 qlen);
+  void refresh_diag_off(i32 tlen, i32 qlen);
+  /// Grow sequence/DP/dirs buffers to the requested sizes, charging the
+  /// true footprint of every grown buffer to check_dp_alloc first (so an
+  /// injected failure leaves the arena unchanged).
+  void reserve_diff(const DiffArgs& a, bool manymap_layout, bool twopiece);
+  void copy_sequences(const u8* target, i32 tlen, const u8* query, i32 qlen);
+
+  template <class T>
+  static u64 deficit(const std::vector<T>& b, std::size_t n) {
+    return b.size() < n ? static_cast<u64>(n) * sizeof(T) : 0;
+  }
+  template <class T>
+  void grow(std::vector<T>& b, std::size_t n) {
+    if (b.size() < n) {
+      b.resize(n);
+      ++growth_events_;
+    }
+  }
+
+  std::vector<i8> u_, y_, y2_, v_, x_, x2_;
+  std::vector<u8> tp_, qr_, dirs_;
+  std::vector<u64> diag_off_;
+  i32 off_tlen_ = -1, off_qlen_ = -1;  ///< cached diag_off key
+  u64 growth_events_ = 0;
+};
+
+}  // namespace detail
+}  // namespace manymap

@@ -15,6 +15,7 @@ namespace {
 
 struct VecAvx2 {
   using vec = __m256i;
+  using cmp = __m256i;  ///< 0x00/0xFF byte-mask vector
   static constexpr i32 W = 32;
 
   static vec load(const void* p) { return _mm256_loadu_si256(static_cast<const __m256i*>(p)); }
@@ -23,12 +24,18 @@ struct VecAvx2 {
   static vec zero() { return _mm256_setzero_si256(); }
   static vec adds(vec a, vec b) { return _mm256_adds_epi8(a, b); }
   static vec subs(vec a, vec b) { return _mm256_subs_epi8(a, b); }
-  static vec cmpgt(vec a, vec b) { return _mm256_cmpgt_epi8(a, b); }
-  static vec cmpeq(vec a, vec b) { return _mm256_cmpeq_epi8(a, b); }
-  static vec and_(vec a, vec b) { return _mm256_and_si256(a, b); }
-  static vec or_(vec a, vec b) { return _mm256_or_si256(a, b); }
+  static cmp gt(vec a, vec b) { return _mm256_cmpgt_epi8(a, b); }
+  static cmp eq(vec a, vec b) { return _mm256_cmpeq_epi8(a, b); }
+  static cmp cmp_and(cmp a, cmp b) { return _mm256_and_si256(a, b); }
   static vec max(vec a, vec b) { return _mm256_max_epi8(a, b); }
-  static vec blend(vec mask, vec a, vec b) { return _mm256_blendv_epi8(b, a, mask); }
+  /// m ? a : b.
+  static vec select(cmp m, vec a, vec b) { return _mm256_blendv_epi8(b, a, m); }
+  /// m ? v : 0.
+  static vec mask_val(cmp m, vec v) { return _mm256_and_si256(m, v); }
+  /// d | (m ? bits : 0).
+  static vec or_bits(vec d, cmp m, vec bits) {
+    return _mm256_or_si256(d, _mm256_and_si256(m, bits));
+  }
   /// [carry, v0, ..., v30]: permute to move the low lane up, alignr within
   /// lanes, then patch lane 0 byte 0 — three extra shuffles per load.
   static vec shift_in(vec v, i8 carry) {

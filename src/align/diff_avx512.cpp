@@ -13,6 +13,11 @@ namespace {
 
 struct VecAvx512 {
   using vec = __m512i;
+  /// Comparison result: a NATIVE k-register mask (one bit per byte lane).
+  /// Earlier revisions emulated SSE-style byte-mask vectors by expanding
+  /// every compare with vpmovm2b; keeping results in k-registers feeds
+  /// masked blends/moves directly and keeps the vector ports free.
+  using cmp = __mmask64;
   static constexpr i32 W = 64;
 
   static vec load(const void* p) { return _mm512_loadu_si512(p); }
@@ -21,18 +26,19 @@ struct VecAvx512 {
   static vec zero() { return _mm512_setzero_si512(); }
   static vec adds(vec a, vec b) { return _mm512_adds_epi8(a, b); }
   static vec subs(vec a, vec b) { return _mm512_subs_epi8(a, b); }
-  static vec cmpgt(vec a, vec b) {
-    return _mm512_movm_epi8(_mm512_cmpgt_epi8_mask(a, b));
-  }
-  static vec cmpeq(vec a, vec b) {
-    return _mm512_movm_epi8(_mm512_cmpeq_epi8_mask(a, b));
-  }
-  static vec and_(vec a, vec b) { return _mm512_and_si512(a, b); }
-  static vec or_(vec a, vec b) { return _mm512_or_si512(a, b); }
+  static cmp gt(vec a, vec b) { return _mm512_cmpgt_epi8_mask(a, b); }
+  static cmp eq(vec a, vec b) { return _mm512_cmpeq_epi8_mask(a, b); }
+  static cmp cmp_and(cmp a, cmp b) { return _kand_mask64(a, b); }
   static vec max(vec a, vec b) { return _mm512_max_epi8(a, b); }
-  /// mask ? a : b with byte masks: (mask & a) | (~mask & b) == ternlog 0xCA.
-  static vec blend(vec mask, vec a, vec b) {
-    return _mm512_ternarylogic_epi32(mask, a, b, 0xCA);
+  /// m ? a : b — one vpblendmb.
+  static vec select(cmp m, vec a, vec b) { return _mm512_mask_blend_epi8(m, b, a); }
+  /// m ? v : 0 — one zero-masked vmovdqu8.
+  static vec mask_val(cmp m, vec v) { return _mm512_maskz_mov_epi8(m, v); }
+  /// d | (m ? bits : 0). AVX-512BW has no byte-masked vpor, so mask the
+  /// bits vector (zero-masked move) and OR — still two plain ops with the
+  /// mask straight from the k-register, no vpmovm2b expansion.
+  static vec or_bits(vec d, cmp m, vec bits) {
+    return _mm512_or_si512(d, _mm512_maskz_mov_epi8(m, bits));
   }
   /// Full-width byte shift needs a lane rotation plus per-lane alignr plus
   /// a masked patch of byte 0 — the carry overhead at 512-bit width.

@@ -32,13 +32,20 @@ const char* to_string(AlignMode mode) {
 
 namespace detail {
 
+DpAllocStats& dp_alloc_stats() {
+  static thread_local DpAllocStats stats;
+  return stats;
+}
+
 void check_dp_alloc(u64 bytes) {
-  (void)bytes;
+  DpAllocStats& s = dp_alloc_stats();
+  ++s.calls;
+  s.bytes += bytes;
   MM_INJECT("align.dp.alloc");
 }
 
-Cigar backtrack(const std::vector<u8>& dirs, const std::vector<u64>& diag_off, i32 tlen,
-                i32 qlen, i32 i_end, i32 j_end) {
+Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
+                i32 j_end) {
   auto dir_at = [&](i32 i, i32 j) -> u8 {
     const i32 r = i + j;
     return dirs[diag_off[static_cast<std::size_t>(r)] +

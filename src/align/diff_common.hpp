@@ -21,6 +21,7 @@
 #include <cstring>
 #include <vector>
 
+#include "align/arena.hpp"
 #include "align/kernel_api.hpp"
 #include "sequence/dna.hpp"
 
@@ -42,46 +43,22 @@ inline i8 sat_i8(i32 v) {
 }
 
 /// Fault-injection hook for DP workspace allocation ("align.dp.alloc").
-/// Out-of-line so the site lives in diff_common.cpp; throws FaultInjected
-/// when an armed plan fires, modelling allocation failure for oversized
-/// tiles. Callers recover via the kernel fallback ladder.
+/// Called by KernelArena ONLY when buffers must grow (the single heap
+/// path), with the true byte deficit about to be allocated. Out-of-line so
+/// the site lives in diff_common.cpp; throws FaultInjected when an armed
+/// plan fires, modelling allocation failure for oversized tiles. Callers
+/// recover via the kernel fallback ladder.
 void check_dp_alloc(u64 bytes);
 
-/// Reusable buffers for one alignment. The difference arrays are int8
-/// (Suzuki–Kasahara bound: |u|,|v| <= max(a, q+e); x,y in [-(q+e), -e]).
-struct DiffWorkspace {
-  std::vector<i8> U, Y;      ///< indexed by t (size tlen + pad)
-  std::vector<i8> V, X;      ///< mm2 layout: by t; manymap layout: by t'
-  std::vector<u8> tp;        ///< padded copy of target codes
-  std::vector<u8> qr;        ///< reversed padded copy of query codes
-  std::vector<u8> dirs;      ///< per-cell direction bytes (path mode)
-  std::vector<u64> diag_off; ///< dirs offset of each diagonal (path mode)
-
-  void prepare(const DiffArgs& a, bool manymap_layout) {
-    const i32 tlen = a.tlen, qlen = a.qlen;
-    check_dp_alloc(4 * (static_cast<u64>(tlen) + kLanePad) +
-                   (a.with_cigar ? static_cast<u64>(tlen) * qlen : 0));
-    U.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
-    Y.assign(static_cast<std::size_t>(tlen) + kLanePad, 0);
-    const i32 vx = manymap_layout ? qlen + 1 : tlen;
-    V.assign(static_cast<std::size_t>(vx) + kLanePad, 0);
-    X.assign(static_cast<std::size_t>(vx) + kLanePad, 0);
-    tp.assign(static_cast<std::size_t>(tlen) + kLanePad, kBaseN);
-    std::memcpy(tp.data(), a.target, static_cast<std::size_t>(tlen));
-    qr.assign(static_cast<std::size_t>(qlen) + kLanePad, kBaseN);
-    for (i32 j = 0; j < qlen; ++j) qr[static_cast<std::size_t>(qlen - 1 - j)] = a.query[j];
-    if (a.with_cigar) {
-      const u64 cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
-      dirs.assign(cells, 0);
-      diag_off.assign(static_cast<std::size_t>(tlen + qlen), 0);
-      u64 off = 0;
-      for (i32 r = 0; r < tlen + qlen - 1; ++r) {
-        diag_off[static_cast<std::size_t>(r)] = off;
-        off += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
-      }
-    }
-  }
+/// Thread-local counters over check_dp_alloc, i.e. over every DP-workspace
+/// heap allocation. bench_hotpath and the zero-allocation tests sample
+/// these around a call to prove the steady state never allocates.
+struct DpAllocStats {
+  u64 calls = 0;  ///< growth events that reached the allocator
+  u64 bytes = 0;  ///< total bytes those growths requested
+  void reset() { calls = bytes = 0; }
 };
+DpAllocStats& dp_alloc_stats();
 
 /// Direction byte layout (stored per cell in path mode):
 ///   bits 0-1: source of H — 0 diagonal (M), 1 E-gap (D), 2 F-gap (I)
@@ -95,8 +72,10 @@ inline constexpr u8 kExtIns = 1 << 3;
 
 /// Reconstruct the CIGAR from direction bytes, starting at cell
 /// (i_end, j_end) and walking to the aligned beginning at (0,0).
-Cigar backtrack(const std::vector<u8>& dirs, const std::vector<u64>& diag_off, i32 tlen,
-                i32 qlen, i32 i_end, i32 j_end);
+/// `diag_off[r]` locates diagonal r in `dirs`; any row stride works
+/// (packed, or the arena's kLanePad-padded layout).
+Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
+                i32 j_end);
 
 /// Tracks the best semi-global cell; candidates must be offered in
 /// diagonal order, bottom-row candidate before last-column candidate

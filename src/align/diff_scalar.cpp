@@ -43,6 +43,10 @@ AlignResult finish(const DiffArgs& a, const DiffWorkspace& ws, const BorderTrack
   return out;
 }
 
+u8* dir_row_of(const DiffWorkspace& ws, const DiffArgs& a, i32 r) {
+  return a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
+}
+
 }  // namespace
 
 AlignResult align_scalar_mm2(const DiffArgs& a) {
@@ -50,17 +54,18 @@ AlignResult align_scalar_mm2(const DiffArgs& a) {
   if (handle_degenerate(a, out)) return out;
   MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
-  DiffWorkspace ws;
-  ws.prepare(a, /*manymap_layout=*/false);
+  KernelArena local;
+  KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const DiffWorkspace ws = arena.prepare_diff(a, /*manymap_layout=*/false);
   const Consts c(a.params);
   const ScoreMatrix sm(a.params);
   const i32 tlen = a.tlen, qlen = a.qlen;
-  i8* U = ws.U.data();
-  i8* Y = ws.Y.data();
-  i8* V = ws.V.data();
-  i8* X = ws.X.data();
-  const u8* T = ws.tp.data();
-  const u8* Qr = ws.qr.data();
+  i8* U = ws.U;
+  i8* Y = ws.Y;
+  i8* V = ws.V;
+  i8* X = ws.X;
+  const u8* T = ws.tp;
+  const u8* Qr = ws.qr;
   BorderTracker track(tlen, qlen, a.params);
 
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
@@ -79,8 +84,7 @@ AlignResult align_scalar_mm2(const DiffArgs& a) {
       U[en] = (r == 0) ? c.vx_init_first : c.vx_init_rest;
       Y[en] = c.xy_init;
     }
-    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
-                               : nullptr;
+    u8* dir_row = dir_row_of(ws, a, r);
     const i32 qoff = qlen - 1 - r;
     for (i32 t = st; t <= en; ++t) {
       const i32 sc = sm(T[t], Qr[qoff + t]);
@@ -122,17 +126,18 @@ AlignResult align_scalar_manymap(const DiffArgs& a) {
   if (handle_degenerate(a, out)) return out;
   MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
-  DiffWorkspace ws;
-  ws.prepare(a, /*manymap_layout=*/true);
+  KernelArena local;
+  KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const DiffWorkspace ws = arena.prepare_diff(a, /*manymap_layout=*/true);
   const Consts c(a.params);
   const ScoreMatrix sm(a.params);
   const i32 tlen = a.tlen, qlen = a.qlen;
-  i8* U = ws.U.data();
-  i8* Y = ws.Y.data();
-  i8* V = ws.V.data();  // indexed by t' = t - r + qlen
-  i8* X = ws.X.data();
-  const u8* T = ws.tp.data();
-  const u8* Qr = ws.qr.data();
+  i8* U = ws.U;
+  i8* Y = ws.Y;
+  i8* V = ws.V;  // indexed by t' = t - r + qlen
+  i8* X = ws.X;
+  const u8* T = ws.tp;
+  const u8* Qr = ws.qr;
   BorderTracker track(tlen, qlen, a.params);
 
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
@@ -147,8 +152,7 @@ AlignResult align_scalar_manymap(const DiffArgs& a) {
       U[en] = (r == 0) ? c.vx_init_first : c.vx_init_rest;
       Y[en] = c.xy_init;
     }
-    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
-                               : nullptr;
+    u8* dir_row = dir_row_of(ws, a, r);
     const i32 qoff = qlen - 1 - r;
     for (i32 t = st; t <= en; ++t) {
       const i32 tpi = t + shift;

@@ -12,11 +12,15 @@
 //  - manymap layout (Fig. 3b): v/x live at the SAME slot t' = t - r + |Q|;
 //    a plain unaligned load suffices.
 //
+// Comparisons use the trait's `cmp` type: byte-mask vectors on SSE2/AVX2,
+// native __mmask64 on AVX-512BW (no movm round-trips). Direction bytes are
+// stored with direct unaligned vector stores — the arena pads every dirs
+// row by kLanePad, so the up-to-(W-1)-byte overrun of a row's final chunk
+// lands in that row's dead tail, never in the next row.
+//
 // This header is included from per-ISA translation units compiled with the
 // matching -m flags; it must not be included anywhere else.
 #pragma once
-
-#include <cstring>
 
 #include "align/diff_common.hpp"
 
@@ -30,22 +34,25 @@ AlignResult simd_align(const DiffArgs& a) {
   MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
 
   using vec = typename VT::vec;
+  using msk = typename VT::cmp;
   constexpr i32 W = VT::W;
+  static_assert(W <= kLanePad, "dirs row pad must absorb a full vector overrun");
 
-  DiffWorkspace ws;
-  ws.prepare(a, kManymapLayout);
+  KernelArena local;
+  KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const DiffWorkspace ws = arena.prepare_diff(a, kManymapLayout);
   const i32 tlen = a.tlen, qlen = a.qlen;
   const i32 q = a.params.gap_open, e = a.params.gap_ext;
   const i8 init_first = static_cast<i8>(-(q + e));
   const i8 init_rest = static_cast<i8>(-e);
   const i8 init_xy = static_cast<i8>(-(q + e));
 
-  i8* U = ws.U.data();
-  i8* Y = ws.Y.data();
-  i8* V = ws.V.data();
-  i8* X = ws.X.data();
-  const u8* T = ws.tp.data();
-  const u8* Qr = ws.qr.data();
+  i8* U = ws.U;
+  i8* Y = ws.Y;
+  i8* V = ws.V;
+  i8* X = ws.X;
+  const u8* T = ws.tp;
+  const u8* Qr = ws.qr;
 
   const vec match_v = VT::set1(static_cast<i8>(a.params.match));
   const vec mismatch_v = VT::set1(static_cast<i8>(-a.params.mismatch));
@@ -85,15 +92,15 @@ AlignResult simd_align(const DiffArgs& a) {
       Y[en] = init_xy;
     }
 
-    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
-                               : nullptr;
+    u8* dir_row =
+        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
     const i32 qoff = qlen - 1 - r;
 
     for (i32 t = st; t <= en; t += W) {
       const vec Tv = VT::load(T + t);
       const vec Qv = VT::load(Qr + qoff + t);
-      const vec is_match = VT::and_(VT::cmpeq(Tv, Qv), VT::cmpgt(four_v, Tv));
-      const vec sc = VT::blend(is_match, match_v, mismatch_v);
+      const msk is_match = VT::cmp_and(VT::eq(Tv, Qv), VT::gt(four_v, Tv));
+      const vec sc = VT::select(is_match, match_v, mismatch_v);
 
       vec vt, xt;
       if constexpr (kManymapLayout) {
@@ -113,9 +120,9 @@ AlignResult simd_align(const DiffArgs& a) {
       const vec aa = VT::adds(xt, vt);
       const vec bb = VT::adds(yt, ut);
       vec z = sc;
-      const vec m1 = VT::cmpgt(aa, z);
+      const msk m1 = VT::gt(aa, z);
       z = VT::max(z, aa);
-      const vec m2 = VT::cmpgt(bb, z);
+      const msk m2 = VT::gt(bb, z);
       z = VT::max(z, bb);
 
       VT::store(U + t, VT::subs(z, vt));
@@ -136,13 +143,10 @@ AlignResult simd_align(const DiffArgs& a) {
       VT::store(Y + t, ynew);
 
       if (dir_row) {
-        vec d = VT::blend(m2, two_v, VT::and_(m1, one_v));
-        d = VT::or_(d, VT::and_(VT::cmpgt(ea, zero_v), ext_del_v));
-        d = VT::or_(d, VT::and_(VT::cmpgt(fb, zero_v), ext_ins_v));
-        alignas(64) u8 buf[W];
-        VT::store(buf, d);
-        const i32 n = en - t + 1 < W ? en - t + 1 : W;
-        std::memcpy(dir_row + (t - st), buf, static_cast<std::size_t>(n));
+        vec d = VT::select(m2, two_v, VT::mask_val(m1, one_v));
+        d = VT::or_bits(d, VT::gt(ea, zero_v), ext_del_v);
+        d = VT::or_bits(d, VT::gt(fb, zero_v), ext_ins_v);
+        VT::store(dir_row + (t - st), d);
       }
     }
 

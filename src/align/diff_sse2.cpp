@@ -14,6 +14,9 @@ namespace {
 
 struct VecSse2 {
   using vec = __m128i;
+  /// Comparison result: a 0x00/0xFF byte-mask vector (SSE2 has no mask
+  /// registers). AVX-512 overrides this with __mmask64.
+  using cmp = __m128i;
   static constexpr i32 W = 16;
 
   static vec load(const void* p) { return _mm_loadu_si128(static_cast<const __m128i*>(p)); }
@@ -22,17 +25,22 @@ struct VecSse2 {
   static vec zero() { return _mm_setzero_si128(); }
   static vec adds(vec a, vec b) { return _mm_adds_epi8(a, b); }
   static vec subs(vec a, vec b) { return _mm_subs_epi8(a, b); }
-  static vec cmpgt(vec a, vec b) { return _mm_cmpgt_epi8(a, b); }
-  static vec cmpeq(vec a, vec b) { return _mm_cmpeq_epi8(a, b); }
-  static vec and_(vec a, vec b) { return _mm_and_si128(a, b); }
-  static vec or_(vec a, vec b) { return _mm_or_si128(a, b); }
+  static cmp gt(vec a, vec b) { return _mm_cmpgt_epi8(a, b); }
+  static cmp eq(vec a, vec b) { return _mm_cmpeq_epi8(a, b); }
+  static cmp cmp_and(cmp a, cmp b) { return _mm_and_si128(a, b); }
   static vec max(vec a, vec b) {
-    const vec m = _mm_cmpgt_epi8(a, b);
-    return blend(m, a, b);
+    const cmp m = _mm_cmpgt_epi8(a, b);
+    return select(m, a, b);
   }
-  /// mask ? a : b, mask lanes are 0x00/0xFF.
-  static vec blend(vec mask, vec a, vec b) {
-    return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+  /// m ? a : b (SSE2 lacks pblendvb: and/andnot/or, exactly as ksw2 does).
+  static vec select(cmp m, vec a, vec b) {
+    return _mm_or_si128(_mm_and_si128(m, a), _mm_andnot_si128(m, b));
+  }
+  /// m ? v : 0.
+  static vec mask_val(cmp m, vec v) { return _mm_and_si128(m, v); }
+  /// d | (m ? bits : 0).
+  static vec or_bits(vec d, cmp m, vec bits) {
+    return _mm_or_si128(d, _mm_and_si128(m, bits));
   }
   /// [carry, v0, v1, ..., v14] — minimap2's inter-iteration carry splice.
   static vec shift_in(vec v, i8 carry) {

@@ -23,6 +23,10 @@
 
 namespace manymap {
 
+namespace detail {
+class KernelArena;  // align/arena.hpp
+}
+
 enum class AlignMode {
   kGlobal,     ///< both ends anchored; score at (|T|-1, |Q|-1)
   kExtension,  ///< semi-global: beginnings anchored, ends free (max over
@@ -52,6 +56,11 @@ struct DiffArgs {
   ScoreParams params{};
   AlignMode mode = AlignMode::kGlobal;
   bool with_cigar = false;
+  /// Optional reusable workspace. nullptr keeps the historical behavior
+  /// (the kernel allocates a fresh workspace for this call); long-lived
+  /// callers pass a per-thread arena so steady-state calls never touch
+  /// the heap. See align/arena.hpp.
+  detail::KernelArena* arena = nullptr;
 };
 
 using KernelFn = AlignResult (*)(const DiffArgs&);

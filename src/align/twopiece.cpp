@@ -44,8 +44,8 @@ bool degenerate(const TwoPieceArgs& a, AlignResult& out) {
 
 namespace detail {
 
-Cigar twopiece_backtrack(const std::vector<u8>& dirs, const std::vector<u64>& off, i32 tlen,
-                         i32 qlen, i32 i_end, i32 j_end) {
+Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
+                         i32 j_end) {
   auto dir_at = [&](i32 i, i32 j) -> u8 {
     const i32 r = i + j;
     return dirs[off[static_cast<std::size_t>(r)] + static_cast<u64>(i - diag_start(r, qlen))];
@@ -94,23 +94,15 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
   const auto& p = a.params;
   const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
 
-  const i32 vx_size = (kManymapLayout ? qlen + 1 : tlen) + 2;
-  detail::check_dp_alloc(6 * (static_cast<u64>(tlen) + 2) +
-                         (a.with_cigar ? static_cast<u64>(tlen) * qlen : 0));
-  std::vector<i8> U(static_cast<std::size_t>(tlen) + 2), Y1(U.size()), Y2(U.size());
-  std::vector<i8> V(static_cast<std::size_t>(vx_size)), X1(V.size()), X2(V.size());
-
-  std::vector<u8> dirs;
-  std::vector<u64> off;
-  if (a.with_cigar) {
-    dirs.assign(static_cast<u64>(tlen) * static_cast<u64>(qlen), 0);
-    off.assign(static_cast<std::size_t>(tlen + qlen), 0);
-    u64 o = 0;
-    for (i32 r = 0; r < tlen + qlen - 1; ++r) {
-      off[static_cast<std::size_t>(r)] = o;
-      o += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
-    }
-  }
+  detail::KernelArena local;
+  detail::KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const detail::TwoPieceWorkspace ws = arena.prepare_twopiece(a, kManymapLayout);
+  i8* U = ws.U;
+  i8* Y1 = ws.Y1;
+  i8* Y2 = ws.Y2;
+  i8* V = ws.V;
+  i8* X1 = ws.X1;
+  i8* X2 = ws.X2;
 
   // Boundary deltas: H(-1,j) = -gap_cost(j+1); delta(j) = H(-1,j)-H(-1,j-1).
   auto boundary_delta = [&](i32 j) -> i8 {
@@ -149,7 +141,8 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
       Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
     }
-    u8* dir_row = a.with_cigar ? dirs.data() + off[static_cast<std::size_t>(r)] : nullptr;
+    u8* dir_row =
+        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
 
     for (i32 t = st; t <= en; ++t) {
       const std::size_t ti = static_cast<std::size_t>(t);
@@ -217,7 +210,9 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
     out.t_end = track.best.i;
     out.q_end = track.best.j;
   }
-  if (a.with_cigar) out.cigar = detail::twopiece_backtrack(dirs, off, tlen, qlen, out.t_end, out.q_end);
+  if (a.with_cigar)
+    out.cigar =
+        detail::twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
   return out;
 }
 
@@ -325,7 +320,8 @@ AlignResult twopiece_reference_align(const TwoPieceArgs& a) {
                   static_cast<u64>(i - diag_start(r, qlen))] =
             dir[static_cast<std::size_t>(i) * qlen + static_cast<std::size_t>(j)];
       }
-    out.cigar = detail::twopiece_backtrack(diag_dirs, off, tlen, qlen, i_end, j_end);
+    out.cigar = detail::twopiece_backtrack(diag_dirs.data(), off.data(), tlen, qlen, i_end,
+                                           j_end);
   }
   return out;
 }

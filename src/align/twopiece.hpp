@@ -52,6 +52,8 @@ struct TwoPieceArgs {
   TwoPieceParams params{};
   AlignMode mode = AlignMode::kGlobal;
   bool with_cigar = false;
+  /// Optional reusable workspace (see DiffArgs::arena / align/arena.hpp).
+  detail::KernelArena* arena = nullptr;
 };
 
 /// Full-matrix reference (gold standard for the two-piece kernels).
@@ -73,9 +75,10 @@ TwoPieceKernelFn get_twopiece_kernel(Layout layout, Isa isa);
 
 namespace detail {
 /// Backtrack over the 5-state two-piece direction bytes (shared by the
-/// scalar and SIMD kernels and the reference).
-Cigar twopiece_backtrack(const std::vector<u8>& dirs, const std::vector<u64>& off, i32 tlen,
-                         i32 qlen, i32 i_end, i32 j_end);
+/// scalar and SIMD kernels and the reference). `off[r]` gives the offset
+/// of diagonal r in `dirs`; any row stride works (packed or padded).
+Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
+                         i32 j_end);
 }  // namespace detail
 
 }  // namespace manymap

@@ -2,11 +2,11 @@
 // exactly like diff_simd_impl.hpp. minimap2's production kernel
 // (ksw2_extd2_sse) is the two-piece SSE variant; this header brings the
 // same capability to both memory layouts so the paper's layout comparison
-// extends to the real scoring model. Only instantiated from per-ISA TUs.
+// extends to the real scoring model. Comparisons use the trait's native
+// `cmp` type (mask registers on AVX-512BW) and direction bytes go out via
+// direct vector stores into the arena's padded rows. Only instantiated
+// from per-ISA TUs.
 #pragma once
-
-#include <cstring>
-#include <vector>
 
 #include "align/diff_common.hpp"
 #include "align/twopiece.hpp"
@@ -17,7 +17,9 @@ namespace detail {
 template <class VT, bool kManymapLayout>
 AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
   using vec = typename VT::vec;
+  using msk = typename VT::cmp;
   constexpr i32 W = VT::W;
+  static_assert(W <= kLanePad, "dirs row pad must absorb a full vector overrun");
 
   AlignResult out;
   {
@@ -42,28 +44,17 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
   const auto& p = a.params;
   const i32 q1 = p.gap_open1, e1 = p.gap_ext1, q2 = p.gap_open2, e2 = p.gap_ext2;
 
-  // Buffers (padded like the one-piece workspace).
-  const std::size_t upad = static_cast<std::size_t>(tlen) + kLanePad;
-  const std::size_t vpad =
-      static_cast<std::size_t>(kManymapLayout ? qlen + 1 : tlen) + kLanePad;
-  std::vector<i8> U(upad, 0), Y1(upad, 0), Y2(upad, 0);
-  std::vector<i8> V(vpad, 0), X1(vpad, 0), X2(vpad, 0);
-  std::vector<u8> T(static_cast<std::size_t>(tlen) + kLanePad, kBaseN);
-  std::memcpy(T.data(), a.target, static_cast<std::size_t>(tlen));
-  std::vector<u8> Qr(static_cast<std::size_t>(qlen) + kLanePad, kBaseN);
-  for (i32 j = 0; j < qlen; ++j) Qr[static_cast<std::size_t>(qlen - 1 - j)] = a.query[j];
-
-  std::vector<u8> dirs;
-  std::vector<u64> off;
-  if (a.with_cigar) {
-    dirs.assign(static_cast<u64>(tlen) * static_cast<u64>(qlen), 0);
-    off.assign(static_cast<std::size_t>(tlen + qlen), 0);
-    u64 o = 0;
-    for (i32 r = 0; r < tlen + qlen - 1; ++r) {
-      off[static_cast<std::size_t>(r)] = o;
-      o += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1);
-    }
-  }
+  KernelArena local;
+  KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const TwoPieceWorkspace ws = arena.prepare_twopiece(a, kManymapLayout);
+  i8* U = ws.U;
+  i8* Y1 = ws.Y1;
+  i8* Y2 = ws.Y2;
+  i8* V = ws.V;
+  i8* X1 = ws.X1;
+  i8* X2 = ws.X2;
+  const u8* T = ws.tp;
+  const u8* Qr = ws.qr;
 
   auto boundary_delta = [&](i32 j) -> i8 {
     if (j == 0) return static_cast<i8>(-p.gap_cost(1));
@@ -79,6 +70,14 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
   const vec qe1_v = VT::set1(static_cast<i8>(-(q1 + e1)));
   const vec qe2_v = VT::set1(static_cast<i8>(-(q2 + e2)));
   const vec zero_v = VT::zero();
+  const vec one_v = VT::set1(1);
+  const vec two_v = VT::set1(2);
+  const vec three_v = VT::set1(3);
+  const vec src4_v = VT::set1(4);
+  const vec ext_e1_v = VT::set1(static_cast<i8>(1 << 3));
+  const vec ext_f1_v = VT::set1(static_cast<i8>(1 << 4));
+  const vec ext_e2_v = VT::set1(static_cast<i8>(1 << 5));
+  const vec ext_f2_v = VT::set1(static_cast<i8>(1 << 6));
 
   BorderTracker track(tlen, qlen, -p.gap_cost(1));
 
@@ -90,9 +89,9 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
     i8 v_c = 0, x1_c = 0, x2_c = 0;
     if constexpr (kManymapLayout) {
       if (st == 0) {
-        V[static_cast<std::size_t>(shift)] = boundary_delta(r);
-        X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
-        X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+        V[shift] = boundary_delta(r);
+        X1[shift] = static_cast<i8>(-(q1 + e1));
+        X2[shift] = static_cast<i8>(-(q2 + e2));
       }
     } else {
       if (st == 0) {
@@ -100,34 +99,35 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
         x1_c = static_cast<i8>(-(q1 + e1));
         x2_c = static_cast<i8>(-(q2 + e2));
       } else {
-        v_c = V[static_cast<std::size_t>(st - 1)];
-        x1_c = X1[static_cast<std::size_t>(st - 1)];
-        x2_c = X2[static_cast<std::size_t>(st - 1)];
+        v_c = V[st - 1];
+        x1_c = X1[st - 1];
+        x2_c = X2[st - 1];
       }
     }
     if (en == r) {
-      U[static_cast<std::size_t>(en)] = boundary_delta(r);
-      Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
-      Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
+      U[en] = boundary_delta(r);
+      Y1[en] = static_cast<i8>(-(q1 + e1));
+      Y2[en] = static_cast<i8>(-(q2 + e2));
     }
-    u8* dir_row = a.with_cigar ? dirs.data() + off[static_cast<std::size_t>(r)] : nullptr;
+    u8* dir_row =
+        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
     const i32 qoff = qlen - 1 - r;
 
     for (i32 t = st; t <= en; t += W) {
-      const vec Tv = VT::load(T.data() + t);
-      const vec Qv = VT::load(Qr.data() + qoff + t);
-      const vec is_match = VT::and_(VT::cmpeq(Tv, Qv), VT::cmpgt(four_v, Tv));
-      const vec sc = VT::blend(is_match, match_v, mismatch_v);
+      const vec Tv = VT::load(T + t);
+      const vec Qv = VT::load(Qr + qoff + t);
+      const msk is_match = VT::cmp_and(VT::eq(Tv, Qv), VT::gt(four_v, Tv));
+      const vec sc = VT::select(is_match, match_v, mismatch_v);
 
       vec vt, x1t, x2t;
       if constexpr (kManymapLayout) {
-        vt = VT::load(V.data() + t + shift);
-        x1t = VT::load(X1.data() + t + shift);
-        x2t = VT::load(X2.data() + t + shift);
+        vt = VT::load(V + t + shift);
+        x1t = VT::load(X1 + t + shift);
+        x2t = VT::load(X2 + t + shift);
       } else {
-        const vec vold = VT::load(V.data() + t);
-        const vec x1old = VT::load(X1.data() + t);
-        const vec x2old = VT::load(X2.data() + t);
+        const vec vold = VT::load(V + t);
+        const vec x1old = VT::load(X1 + t);
+        const vec x2old = VT::load(X2 + t);
         vt = VT::shift_in(vold, v_c);
         x1t = VT::shift_in(x1old, x1_c);
         x2t = VT::shift_in(x2old, x2_c);
@@ -135,29 +135,29 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
         x1_c = VT::last_lane(x1old);
         x2_c = VT::last_lane(x2old);
       }
-      const vec ut = VT::load(U.data() + t);
-      const vec y1t = VT::load(Y1.data() + t);
-      const vec y2t = VT::load(Y2.data() + t);
+      const vec ut = VT::load(U + t);
+      const vec y1t = VT::load(Y1 + t);
+      const vec y2t = VT::load(Y2 + t);
 
       const vec a1 = VT::adds(x1t, vt);
       const vec b1 = VT::adds(y1t, ut);
       const vec a2 = VT::adds(x2t, vt);
       const vec b2 = VT::adds(y2t, ut);
       vec z = sc;
-      const vec m1 = VT::cmpgt(a1, z);
+      const msk m1 = VT::gt(a1, z);
       z = VT::max(z, a1);
-      const vec m2 = VT::cmpgt(b1, z);
+      const msk m2 = VT::gt(b1, z);
       z = VT::max(z, b1);
-      const vec m3 = VT::cmpgt(a2, z);
+      const msk m3 = VT::gt(a2, z);
       z = VT::max(z, a2);
-      const vec m4 = VT::cmpgt(b2, z);
+      const msk m4 = VT::gt(b2, z);
       z = VT::max(z, b2);
 
-      VT::store(U.data() + t, VT::subs(z, vt));
+      VT::store(U + t, VT::subs(z, vt));
       if constexpr (kManymapLayout) {
-        VT::store(V.data() + t + shift, VT::subs(z, ut));
+        VT::store(V + t + shift, VT::subs(z, ut));
       } else {
-        VT::store(V.data() + t, VT::subs(z, ut));
+        VT::store(V + t, VT::subs(z, ut));
       }
       const vec ea1 = VT::adds(VT::subs(a1, z), q1_v);
       const vec fb1 = VT::adds(VT::subs(b1, z), q1_v);
@@ -168,38 +168,32 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
       const vec x2n = VT::adds(VT::max(ea2, zero_v), qe2_v);
       const vec y2n = VT::adds(VT::max(fb2, zero_v), qe2_v);
       if constexpr (kManymapLayout) {
-        VT::store(X1.data() + t + shift, x1n);
-        VT::store(X2.data() + t + shift, x2n);
+        VT::store(X1 + t + shift, x1n);
+        VT::store(X2 + t + shift, x2n);
       } else {
-        VT::store(X1.data() + t, x1n);
-        VT::store(X2.data() + t, x2n);
+        VT::store(X1 + t, x1n);
+        VT::store(X2 + t, x2n);
       }
-      VT::store(Y1.data() + t, y1n);
-      VT::store(Y2.data() + t, y2n);
+      VT::store(Y1 + t, y1n);
+      VT::store(Y2 + t, y2n);
 
       if (dir_row != nullptr) {
         // src = 0..4 with the tie order diag > E1 > F1 > E2 > F2.
-        vec d = VT::and_(m1, VT::set1(1));
-        d = VT::blend(m2, VT::set1(2), d);
-        d = VT::blend(m3, VT::set1(3), d);
-        d = VT::blend(m4, VT::set1(4), d);
-        d = VT::or_(d, VT::and_(VT::cmpgt(ea1, zero_v), VT::set1(1 << 3)));
-        d = VT::or_(d, VT::and_(VT::cmpgt(fb1, zero_v), VT::set1(1 << 4)));
-        d = VT::or_(d, VT::and_(VT::cmpgt(ea2, zero_v), VT::set1(1 << 5)));
-        d = VT::or_(d, VT::and_(VT::cmpgt(fb2, zero_v), VT::set1(1 << 6)));
-        alignas(64) u8 buf[W];
-        VT::store(buf, d);
-        const i32 n = en - t + 1 < W ? en - t + 1 : W;
-        std::memcpy(dir_row + (t - st), buf, static_cast<std::size_t>(n));
+        vec d = VT::mask_val(m1, one_v);
+        d = VT::select(m2, two_v, d);
+        d = VT::select(m3, three_v, d);
+        d = VT::select(m4, src4_v, d);
+        d = VT::or_bits(d, VT::gt(ea1, zero_v), ext_e1_v);
+        d = VT::or_bits(d, VT::gt(fb1, zero_v), ext_f1_v);
+        d = VT::or_bits(d, VT::gt(ea2, zero_v), ext_e2_v);
+        d = VT::or_bits(d, VT::gt(fb2, zero_v), ext_f2_v);
+        VT::store(dir_row + (t - st), d);
       }
     }
 
-    const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
-                                            : static_cast<std::size_t>(en);
-    const std::size_t st_v = kManymapLayout ? static_cast<std::size_t>(st + shift)
-                                            : static_cast<std::size_t>(st);
-    track.after_diagonal(r, U[static_cast<std::size_t>(en)], V[en_v], V[st_v],
-                         U[static_cast<std::size_t>(st)]);
+    const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
+    const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
+    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
   }
 
   out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
@@ -213,7 +207,7 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
     out.q_end = track.best.j;
   }
   if (a.with_cigar)
-    out.cigar = twopiece_backtrack(dirs, off, tlen, qlen, out.t_end, out.q_end);
+    out.cigar = twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
   return out;
 }
 

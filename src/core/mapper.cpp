@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/arena.hpp"
 #include "align/banded.hpp"
 #include "align/fallback.hpp"
 #include "base/timer.hpp"
@@ -80,6 +81,8 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
   u64 total_cells = 0;
   u64 kernel_retries = 0;
   u32 deepest_rung = 0;
+  detail::KernelArena& arena =
+      call.arena != nullptr ? *call.arena : detail::KernelArena::for_thread();
 
   auto run_kernel = [&](const std::vector<u8>& target, const std::vector<u8>& query,
                         AlignMode mode) {
@@ -91,6 +94,7 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     a.params = opt_.scores;
     a.mode = mode;
     a.with_cigar = with_cigar;
+    a.arena = &arena;
     AlignResult r;
     if (opt_.kernel_override) {
       r = opt_.kernel_override(a);

@@ -79,6 +79,11 @@ struct MapCall {
   /// Degraded mode: skip base-level CIGAR alignment scoring even when
   /// the options request it (chain-derived scores only).
   bool score_only = false;
+  /// Reusable DP workspace for every kernel invocation of this call.
+  /// nullptr selects the calling thread's shared arena
+  /// (detail::KernelArena::for_thread()), so repeated maps on one thread
+  /// never re-allocate; service workers pass their own arena explicitly.
+  detail::KernelArena* arena = nullptr;
 };
 
 class Mapper {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "align/arena.hpp"
 #include "base/timer.hpp"
 #include "fault/fault.hpp"
 #include "verify/verify.hpp"
@@ -121,7 +122,8 @@ void AlignmentService::scheduler_loop() {
 }
 
 MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
-                                        const RequestBatch& batch) {
+                                        const RequestBatch& batch,
+                                        detail::KernelArena* arena) {
   MapResponse resp;
   resp.id = p.req.id;
   resp.shard = shard_id;
@@ -146,6 +148,7 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
     call.timings = &resp.timings;
     call.deadline = p.req.deadline;
     call.score_only = degraded;
+    call.arena = arena;
     resp.mappings = mapper_.map(p.req.read, call);
     resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !degraded);
     resp.compute_ms = t.millis();
@@ -215,6 +218,11 @@ void AlignmentService::maybe_verify_live(const MapRequest& req, const MapRespons
 
 void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> state) {
   Shard& shard = *shards_[shard_id];
+  // One DP arena per worker thread, reused across every request this
+  // worker ever serves: after warm-up the alignment hot path is
+  // allocation-free. Dies with the worker (a respawned worker warms its
+  // own), so a batch takeover never shares buffers across threads.
+  detail::KernelArena arena;
   for (;;) {
     auto popped = shard.queue.pop();
     if (!popped) return;
@@ -247,7 +255,7 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
       }
       state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
       PendingRequest& p = batch->items[idx];
-      MapResponse resp = serve_one(p, shard_id, *batch);  // compute outside the lock
+      MapResponse resp = serve_one(p, shard_id, *batch, &arena);  // compute outside the lock
       {
         std::lock_guard lock(state->mu);
         if (state->taken_over) {

@@ -160,8 +160,11 @@ class AlignmentService {
   void dispatch_batch(RequestBatch&& batch);
   std::future<MapResponse> admit(MapRequest req, bool blocking);
   /// Compute one response (never throws; failures become kFailed).
-  /// Records no terminal metrics — see account().
-  MapResponse serve_one(PendingRequest& p, u32 shard_id, const RequestBatch& batch);
+  /// Records no terminal metrics — see account(). `arena` is the calling
+  /// worker's reusable DP workspace (steady-state alignments do not
+  /// allocate); nullptr falls back to the thread-shared arena.
+  MapResponse serve_one(PendingRequest& p, u32 shard_id, const RequestBatch& batch,
+                        detail::KernelArena* arena);
   /// Terminal metrics/breaker accounting, called once at promise resolution.
   void account(const PendingRequest& p, const MapResponse& resp);
   void maybe_verify_live(const MapRequest& req, const MapResponse& resp);

@@ -69,14 +69,17 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
   const ScoreMatrix sm(a.params);
   const bool manymap_layout = layout == Layout::kManymap;
 
-  detail::DiffWorkspace ws;
-  ws.prepare(a, manymap_layout);
-  i8* U = ws.U.data();
-  i8* Y = ws.Y.data();
-  i8* V = ws.V.data();
-  i8* X = ws.X.data();
-  const u8* T = ws.tp.data();
-  const u8* Qr = ws.qr.data();
+  // Host staging buffers come from the caller's arena when provided (the
+  // device-side memory_pool already amortizes its own allocations).
+  detail::KernelArena local;
+  detail::KernelArena& arena = a.arena != nullptr ? *a.arena : local;
+  const detail::DiffWorkspace ws = arena.prepare_diff(a, manymap_layout);
+  i8* U = ws.U;
+  i8* Y = ws.Y;
+  i8* V = ws.V;
+  i8* X = ws.X;
+  const u8* T = ws.tp;
+  const u8* Qr = ws.qr;
 
   // Memory placement: DP arrays + sequence tiles in shared memory if they
   // fit, else global (§4.5.2).
@@ -119,8 +122,8 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
       U[en] = (r == 0) ? init_first : init_rest;
       Y[en] = init_first;
     }
-    u8* dir_row = a.with_cigar ? ws.dirs.data() + ws.diag_off[static_cast<std::size_t>(r)]
-                               : nullptr;
+    u8* dir_row =
+        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
 
     for (i32 base = st; base <= en; base += static_cast<i32>(threads)) {
       const u32 active = static_cast<u32>(std::min<i32>(static_cast<i32>(threads), en - base + 1));

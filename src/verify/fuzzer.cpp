@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "align/arena.hpp"
 #include "align/reference_dp.hpp"
 #include "sequence/dna.hpp"
 
@@ -192,15 +193,19 @@ struct ComboTable {
 };
 
 /// Validate one matrix cell against a precomputed reference; on divergence
-/// minimize and report.
+/// minimize and report. `arena` is shared across every cell of the seed,
+/// so each invocation runs on a workspace left dirty by a *different*
+/// kernel/layout/shape — the harshest reuse pattern the production path
+/// can see (minimization replays arena-less, to keep repros standalone).
 void run_cell(const CaseSpec& spec, const AlignResult& ref, const FuzzCase& fc,
               const SweepOptions& opt, SweepStats& stats, ComboTable& table,
-              const std::function<void(const Divergence&)>& on_divergence) {
+              const std::function<void(const Divergence&)>& on_divergence,
+              detail::KernelArena& arena) {
   if (!runnable(spec)) return;
   ComboStats& combo = table.at(spec.combo());
   ++combo.cases;
   ++stats.cases_run;
-  const CheckResult check = check_result(spec, run_production(spec), ref);
+  const CheckResult check = check_result(spec, run_production(spec, &arena), ref);
   if (check.ok) return;
   ++combo.divergences;
   Divergence div;
@@ -225,6 +230,10 @@ SweepStats run_sweep(const SweepOptions& opt,
   for (u64 i = 0; i < opt.seeds; ++i) {
     const u64 seed = opt.first_seed + i;
     const FuzzCase fc = make_case(seed);
+    // One arena per seed, reused across every (family x layout x ISA x
+    // mode x path) cell: each kernel runs on whatever the previous one
+    // left behind, continuously exercising the dirty-reuse invariant.
+    detail::KernelArena arena;
 
     CaseSpec base;
     base.target = fc.target;
@@ -247,7 +256,7 @@ SweepStats run_sweep(const SweepOptions& opt,
                 spec.layout = layout;
                 spec.isa = isa;
                 spec.with_cigar = cigar;
-                run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+                run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
               }
         }
         const bool simt_sized =
@@ -262,7 +271,7 @@ SweepStats run_sweep(const SweepOptions& opt,
             CaseSpec spec = base;
             spec.family = Family::kBanded;
             spec.with_cigar = cigar;
-            run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+            run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
           }
         }
         if (opt.family_simt && simt_sized && seed % opt.simt_every == 0) {
@@ -274,7 +283,7 @@ SweepStats run_sweep(const SweepOptions& opt,
                 spec.layout = layout;
                 spec.simt_threads = threads;
                 spec.with_cigar = cigar;
-                run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+                run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
               }
         }
       }
@@ -290,7 +299,7 @@ SweepStats run_sweep(const SweepOptions& opt,
               spec.layout = layout;
               spec.isa = isa;
               spec.with_cigar = cigar;
-              run_cell(spec, ref, fc, opt, stats, table, on_divergence);
+              run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
             }
       }
     }

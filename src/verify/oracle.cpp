@@ -146,16 +146,28 @@ i64 twopiece_cigar_score(const Cigar& cigar, const std::vector<u8>& target,
 }
 
 AlignResult run_production(const CaseSpec& spec) {
+  return run_production(spec, nullptr);
+}
+
+AlignResult run_production(const CaseSpec& spec, detail::KernelArena* arena) {
   MM_REQUIRE(runnable(spec), "case is not runnable on this machine");
   switch (spec.family) {
-    case Family::kDiff:
-      return get_diff_kernel(spec.layout, spec.isa)(diff_args(spec));
-    case Family::kTwoPiece:
-      return get_twopiece_kernel(spec.layout, spec.isa)(twopiece_args(spec));
-    case Family::kSimt:
-      return simt::gpu_align(diff_args(spec), spec.layout, simt::DeviceSpec::v100(),
-                             spec.simt_threads)
+    case Family::kDiff: {
+      DiffArgs a = diff_args(spec);
+      a.arena = arena;
+      return get_diff_kernel(spec.layout, spec.isa)(a);
+    }
+    case Family::kTwoPiece: {
+      TwoPieceArgs a = twopiece_args(spec);
+      a.arena = arena;
+      return get_twopiece_kernel(spec.layout, spec.isa)(a);
+    }
+    case Family::kSimt: {
+      DiffArgs a = diff_args(spec);
+      a.arena = arena;
+      return simt::gpu_align(a, spec.layout, simt::DeviceSpec::v100(), spec.simt_threads)
           .result;
+    }
     case Family::kBanded: {
       BandedArgs b;
       b.target = spec.target.data();

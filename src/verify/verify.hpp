@@ -76,8 +76,13 @@ bool validate_cigar_shape(const Cigar& cigar, u64 t_span, u64 q_span,
 i64 twopiece_cigar_score(const Cigar& cigar, const std::vector<u8>& target,
                          const std::vector<u8>& query, const TwoPieceParams& p);
 
-/// Run the production kernel for a runnable case.
+/// Run the production kernel for a runnable case. The two-argument form
+/// routes the kernel's DP workspace through `arena` (see align/arena.hpp),
+/// so callers that replay many cases — the fuzzer sweep, the service's
+/// live verifier — exercise the dirty-workspace reuse path instead of a
+/// fresh allocation per case; nullptr keeps the fresh-workspace behaviour.
 AlignResult run_production(const CaseSpec& spec);
+AlignResult run_production(const CaseSpec& spec, detail::KernelArena* arena);
 
 /// Run the matching full-matrix reference DP (always with a CIGAR, so the
 /// oracle can compare paths).
