@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
+#include <type_traits>
 
 #include "align/diff_common.hpp"
+#include "align/dirs_spill.hpp"
 
 namespace manymap {
 namespace detail {
@@ -30,6 +33,21 @@ u64 KernelArena::dirs_footprint(i32 tlen, i32 qlen) {
   return static_cast<u64>(tlen) * static_cast<u64>(qlen) + ndiag * kLanePad;
 }
 
+u64 KernelArena::stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows) {
+  // Every padded row is at most min(|T|,|Q|) + kLanePad bytes; the block
+  // must hold at least one so any single row always fits.
+  const u64 max_row = static_cast<u64>(tlen < qlen ? tlen : qlen) + kLanePad;
+  u64 cap;
+  if (block_rows <= 0) {
+    constexpr u64 kDefaultBlockBytes = u64{8} << 20;
+    cap = kDefaultBlockBytes > max_row ? kDefaultBlockBytes : max_row;
+  } else {
+    cap = static_cast<u64>(block_rows) * max_row;
+  }
+  const u64 total = dirs_footprint(tlen, qlen);
+  return cap < total ? cap : total;
+}
+
 void KernelArena::refresh_diag_off(i32 tlen, i32 qlen) {
   if (off_tlen_ == tlen && off_qlen_ == qlen) return;
   u64 off = 0;
@@ -37,6 +55,8 @@ void KernelArena::refresh_diag_off(i32 tlen, i32 qlen) {
     diag_off_[static_cast<std::size_t>(r)] = off;
     off += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1) + kLanePad;
   }
+  // Sentinel: diag_off[ndiag] = total bytes, so row sizes are differences.
+  diag_off_[static_cast<std::size_t>(tlen + qlen - 1)] = off;
   off_tlen_ = tlen;
   off_qlen_ = qlen;
 }
@@ -54,8 +74,14 @@ void KernelArena::reserve_diff(const DiffArgs& a, bool manymap_layout, bool twop
   const std::size_t vn = vx_size(a.tlen, a.qlen, manymap_layout);
   const std::size_t tn = row_size(a.tlen);
   const std::size_t qn = static_cast<std::size_t>(a.qlen) + kLanePad;
+  // Streaming path mode only keeps one fixed-size block resident; the
+  // spill sink owns everything else.
   const std::size_t dn =
-      a.with_cigar ? static_cast<std::size_t>(dirs_footprint(a.tlen, a.qlen)) : 0;
+      !a.with_cigar ? 0
+      : a.spill != nullptr
+          ? static_cast<std::size_t>(
+                stream_block_bytes(a.tlen, a.qlen, a.spill_block_rows))
+          : static_cast<std::size_t>(dirs_footprint(a.tlen, a.qlen));
   const std::size_t on =
       a.with_cigar ? static_cast<std::size_t>(a.tlen) + static_cast<std::size_t>(a.qlen) : 0;
 
@@ -95,8 +121,11 @@ DiffWorkspace KernelArena::prepare_diff(const DiffArgs& a, bool manymap_layout) 
   ws.qr = qr_.data();
   if (a.with_cigar) {
     refresh_diag_off(a.tlen, a.qlen);
-    ws.dirs = dirs_.data();
     ws.diag_off = diag_off_.data();
+    if (a.spill != nullptr)
+      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows);
+    else
+      ws.dirs = dirs_.data();
   }
   return ws;
 }
@@ -108,6 +137,8 @@ TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool many
   sized.query = a.query;
   sized.qlen = a.qlen;
   sized.with_cigar = a.with_cigar;
+  sized.spill = a.spill;
+  sized.spill_block_rows = a.spill_block_rows;
   reserve_diff(sized, manymap_layout, /*twopiece=*/true);
   copy_sequences(a.target, a.tlen, a.query, a.qlen);
   TwoPieceWorkspace ws;
@@ -121,10 +152,25 @@ TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool many
   ws.qr = qr_.data();
   if (a.with_cigar) {
     refresh_diag_off(a.tlen, a.qlen);
-    ws.dirs = dirs_.data();
     ws.diag_off = diag_off_.data();
+    if (a.spill != nullptr)
+      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows);
+    else
+      ws.dirs = dirs_.data();
   }
   return ws;
+}
+
+DirsStream* KernelArena::init_stream(i32 tlen, i32 qlen, DirsSpill* spill,
+                                     i32 block_rows) {
+  stream_ = DirsStream{};
+  stream_.sink = spill;
+  stream_.block = dirs_.data();
+  stream_.block_cap = stream_block_bytes(tlen, qlen, block_rows);
+  stream_.diag_off = diag_off_.data();
+  stream_.ndiag = tlen + qlen - 1;
+  stream_.qlen = qlen;
+  return &stream_;
 }
 
 u64 KernelArena::reserved_bytes() const {
@@ -159,9 +205,102 @@ void KernelArena::release() {
   off_tlen_ = off_qlen_ = -1;
 }
 
+u64 KernelArena::trim(u64 max_bytes) {
+  u64 reserved = reserved_bytes();
+  if (reserved <= max_bytes) return 0;
+  const u64 start = reserved;
+
+  // Candidate buffers largest-first. dirs dominates after a path-mode
+  // call; the DP rows and sequence copies follow. diag_off goes last so
+  // its (tlen, qlen) cache survives small trims.
+  struct Victim {
+    u64 bytes;
+    std::function<void()> drop;
+  };
+  std::vector<Victim> victims;
+  auto add = [&victims](auto& buf) {
+    using Buf = std::remove_reference_t<decltype(buf)>;
+    const u64 bytes = buf.size() * sizeof(typename Buf::value_type);
+    if (bytes > 0)
+      victims.push_back({bytes, [&buf] {
+                           buf.clear();
+                           buf.shrink_to_fit();
+                         }});
+  };
+  add(dirs_);
+  for (auto* b : {&u_, &y_, &y2_, &v_, &x_, &x2_}) add(*b);
+  add(tp_);
+  add(qr_);
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.bytes > b.bytes; });
+  for (Victim& v : victims) {
+    if (reserved <= max_bytes) break;
+    v.drop();
+    reserved -= v.bytes;
+  }
+  if (reserved > max_bytes && !diag_off_.empty()) {
+    reserved -= diag_off_.size() * sizeof(u64);
+    diag_off_.clear();
+    diag_off_.shrink_to_fit();
+    off_tlen_ = off_qlen_ = -1;
+  }
+  return start - reserved;
+}
+
 KernelArena& KernelArena::for_thread() {
   static thread_local KernelArena arena;
   return arena;
+}
+
+u8* DirsStream::row(i32 r) {
+  const u64 off = diag_off[static_cast<std::size_t>(r)];
+  const u64 len = diag_off[static_cast<std::size_t>(r) + 1] - off;
+  if (fill + len > block_cap) flush();
+  // Rows arrive in diagonal order, so after any flush the cursor is
+  // exactly at this row's absolute offset.
+  u8* p = block + fill;
+  fill += len;
+  return p;
+}
+
+void DirsStream::flush() {
+  if (fill == 0) return;
+  check_dirs_spill(fill);
+  sink->write(base_off, block, fill);
+  ++spill_blocks;
+  spill_bytes += fill;
+  base_off += fill;
+  fill = 0;
+}
+
+void DirsStream::seal() {
+  // If nothing spilled, the whole dirs area is resident in `block` and
+  // backtrack runs in place; otherwise the tail joins the sink so the
+  // read window sees a complete area.
+  if (spill_blocks != 0) flush();
+  win_lo = 0;
+  win_hi = -1;
+}
+
+void DirsStream::load_ending_at(i32 r) {
+  // Greedily extend the window downward from r: the backtrack walk's
+  // diagonal never increases, so rows above r are dead.
+  i32 lo = r;
+  const u64 end = diag_off[static_cast<std::size_t>(r) + 1];
+  while (lo > 0 && end - diag_off[static_cast<std::size_t>(lo) - 1] <= block_cap)
+    --lo;
+  const u64 beg = diag_off[static_cast<std::size_t>(lo)];
+  sink->read(beg, block, end - beg);
+  win_lo = lo;
+  win_hi = r;
+}
+
+u8 DirsStream::at(i32 i, i32 j) {
+  const i32 r = i + j;
+  if (r < win_lo || r > win_hi) load_ending_at(r);
+  return block[diag_off[static_cast<std::size_t>(r)] -
+               diag_off[static_cast<std::size_t>(win_lo)] +
+               static_cast<u64>(i - diag_start(r, qlen))];
 }
 
 }  // namespace detail

@@ -39,7 +39,51 @@
 #include "align/twopiece.hpp"
 
 namespace manymap {
+
+class DirsSpill;  // align/dirs_spill.hpp
+
 namespace detail {
+
+/// Write-then-read cursor for the diagonal-block dirs streaming mode.
+/// During the DP, kernels obtain each diagonal's row pointer through
+/// row(); when the next row would not fit the resident block, the filled
+/// prefix is handed to the spill sink at its absolute dirs offset (the
+/// same offsets diag_off describes) and the cursor rewinds. Rows keep
+/// their kLanePad tails, so SIMD overruns stay inside the block exactly
+/// as they do in the resident layout. Backtracking calls seal() once and
+/// then reads direction bytes through at(), which reloads a sliding
+/// window of spilled rows ending at the requested diagonal — the walk's
+/// row index never increases, so each block is reloaded O(1) times.
+/// Owned by the KernelArena; valid until the next prepare_* call.
+struct DirsStream {
+  DirsSpill* sink = nullptr;
+  u8* block = nullptr;            ///< fixed-size resident block buffer
+  u64 block_cap = 0;              ///< block bytes (>= one padded row)
+  const u64* diag_off = nullptr;  ///< ndiag+1 offsets (sentinel at [ndiag])
+  i32 ndiag = 0;
+  i32 qlen = 0;
+  u64 base_off = 0;  ///< absolute dirs offset of block[0] (write side)
+  u64 fill = 0;      ///< bytes of the current block already written
+  u64 spill_blocks = 0;
+  u64 spill_bytes = 0;
+  i32 win_lo = 0, win_hi = -1;  ///< inclusive loaded row window (read side)
+
+  /// Write side: row pointer for diagonal r (rows must be requested in
+  /// increasing order, as every kernel does). Spills on overflow.
+  u8* row(i32 r);
+  /// Flush the tail once the DP is done so every row is readable.
+  void seal();
+  /// True when nothing was ever spilled: the whole dirs area sits in
+  /// `block` at its diag_off offsets and backtrack can run in place.
+  bool in_memory() const { return spill_blocks == 0; }
+  /// Read side: direction byte of cell (i, j); reloads the window when
+  /// the cell's diagonal falls outside it.
+  u8 at(i32 i, i32 j);
+
+ private:
+  void flush();
+  void load_ending_at(i32 r);
+};
 
 /// Non-owning view of one prepared one-piece workspace. Pointers are valid
 /// until the arena's next prepare_*/poison/release call.
@@ -50,8 +94,9 @@ struct DiffWorkspace {
   i8* X = nullptr;
   const u8* tp = nullptr;    ///< padded copy of target codes
   const u8* qr = nullptr;    ///< reversed padded copy of query codes
-  u8* dirs = nullptr;        ///< per-cell direction bytes (path mode)
+  u8* dirs = nullptr;        ///< per-cell direction bytes (resident path mode)
   const u64* diag_off = nullptr;  ///< dirs offset of each padded diagonal row
+  DirsStream* stream = nullptr;   ///< non-null in streaming path mode
 };
 
 /// Two-piece analogue: two difference rows per gap direction.
@@ -66,6 +111,7 @@ struct TwoPieceWorkspace {
   const u8* qr = nullptr;
   u8* dirs = nullptr;
   const u64* diag_off = nullptr;
+  DirsStream* stream = nullptr;
 };
 
 class KernelArena {
@@ -92,14 +138,29 @@ class KernelArena {
   /// Free all reserved memory (a thread that just aligned a huge pair can
   /// hand the pages back).
   void release();
+  /// Shrink toward `max_bytes` by freeing whole buffers largest-first
+  /// (dirs dominates after a path-mode call) until reserved_bytes() fits
+  /// or nothing is left. Returns the bytes freed (0 when already under).
+  /// The next call simply re-grows; results stay bit-exact.
+  u64 trim(u64 max_bytes);
+
+  /// Total dirs bytes of the padded-row layout for a tlen × qlen pair:
+  /// tlen·qlen cells + (tlen+qlen-1)·kLanePad pad. This is the resident
+  /// cost of a path-mode alignment without streaming, and the basis for
+  /// the service's per-request footprint estimates.
+  static u64 dirs_footprint(i32 tlen, i32 qlen);
+  /// Resident dirs block bytes a streaming path-mode call reserves
+  /// (block_rows = 0 picks the ~8 MiB default; clamped to the full
+  /// footprint, floored at one padded row).
+  static u64 stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows);
 
   /// The calling thread's shared arena (lazily constructed).
   static KernelArena& for_thread();
 
  private:
-  /// Total dirs bytes for the padded-row layout.
-  static u64 dirs_footprint(i32 tlen, i32 qlen);
   void refresh_diag_off(i32 tlen, i32 qlen);
+  /// Point the streaming cursor at the freshly prepared block buffer.
+  DirsStream* init_stream(i32 tlen, i32 qlen, DirsSpill* spill, i32 block_rows);
   /// Grow sequence/DP/dirs buffers to the requested sizes, charging the
   /// true footprint of every grown buffer to check_dp_alloc first (so an
   /// injected failure leaves the arena unchanged).
@@ -123,6 +184,7 @@ class KernelArena {
   std::vector<u64> diag_off_;
   i32 off_tlen_ = -1, off_qlen_ = -1;  ///< cached diag_off key
   u64 growth_events_ = 0;
+  DirsStream stream_;  ///< streaming cursor (live between prepare and backtrack)
 };
 
 }  // namespace detail

@@ -44,39 +44,39 @@ void check_dp_alloc(u64 bytes) {
   MM_INJECT("align.dp.alloc");
 }
 
+DirsSpillStats& dirs_spill_stats() {
+  static thread_local DirsSpillStats stats;
+  return stats;
+}
+
+void check_dirs_spill(u64 bytes) {
+  DirsSpillStats& s = dirs_spill_stats();
+  ++s.blocks;
+  s.bytes += bytes;
+  MM_INJECT("align.dirs.spill");
+}
+
 Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
                 i32 j_end) {
-  auto dir_at = [&](i32 i, i32 j) -> u8 {
-    const i32 r = i + j;
-    return dirs[diag_off[static_cast<std::size_t>(r)] +
-                static_cast<u64>(i - diag_start(r, qlen))];
-  };
   (void)tlen;
-  Cigar cig;
-  i32 i = i_end, j = j_end;
-  int state = 0;  // 0 = H, 1 = E (deletion run), 2 = F (insertion run)
-  while (i >= 0 && j >= 0) {
-    if (state == 0) state = dir_at(i, j) & 3;
-    if (state == 0) {
-      cig.push('M', 1);
-      --i;
-      --j;
-    } else if (state == 1) {
-      cig.push('D', 1);
-      const bool ext = i > 0 && (dir_at(i - 1, j) & kExtDel) != 0;
-      --i;
-      if (!ext) state = 0;
-    } else {
-      cig.push('I', 1);
-      const bool ext = j > 0 && (dir_at(i, j - 1) & kExtIns) != 0;
-      --j;
-      if (!ext) state = 0;
-    }
-  }
-  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
-  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
-  cig.reverse();
-  return cig;
+  return backtrack_cells(
+      [&](i32 i, i32 j) -> u8 {
+        const i32 r = i + j;
+        return dirs[diag_off[static_cast<std::size_t>(r)] +
+                    static_cast<u64>(i - diag_start(r, qlen))];
+      },
+      i_end, j_end);
+}
+
+Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end) {
+  if (ws.stream == nullptr)
+    return backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end);
+  DirsStream& s = *ws.stream;
+  s.seal();
+  // Nothing spilled: the block holds the whole dirs area at its diag_off
+  // offsets, so the resident walk applies unchanged.
+  if (s.in_memory()) return backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end);
+  return backtrack_cells([&s](i32 i, i32 j) { return s.at(i, j); }, i_end, j_end);
 }
 
 bool handle_degenerate(const DiffArgs& a, AlignResult& out) {

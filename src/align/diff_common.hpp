@@ -60,6 +60,21 @@ struct DpAllocStats {
 };
 DpAllocStats& dp_alloc_stats();
 
+/// Fault-injection hook for the dirs streaming path ("align.dirs.spill").
+/// Fired by DirsStream once per finished block, right before the block is
+/// handed to the spill sink; a thrown fault models spill failure and is
+/// recovered through the kernel fallback ladder like any compute error.
+void check_dirs_spill(u64 bytes);
+
+/// Thread-local counters over spilled dirs blocks; tests and bench use
+/// them to prove a configuration actually exercised the streaming path.
+struct DirsSpillStats {
+  u64 blocks = 0;  ///< blocks handed to a spill sink
+  u64 bytes = 0;   ///< total bytes those blocks carried
+  void reset() { blocks = bytes = 0; }
+};
+DirsSpillStats& dirs_spill_stats();
+
 /// Direction byte layout (stored per cell in path mode):
 ///   bits 0-1: source of H — 0 diagonal (M), 1 E-gap (D), 2 F-gap (I)
 ///   bit 2: E(i+1,j) extends E(i,j)   (a - z + q > 0)
@@ -70,12 +85,60 @@ inline constexpr u8 kDirIns = 2;
 inline constexpr u8 kExtDel = 1 << 2;
 inline constexpr u8 kExtIns = 1 << 3;
 
+/// One-piece backtrack state machine over any direction-byte accessor
+/// `dir_at(i, j) -> u8`, starting at (i_end, j_end) and walking to (0,0).
+/// Shared by the resident path (contiguous dirs + diag_off) and the
+/// streaming path (windowed reads over a DirsSpill sink).
+template <class DirAt>
+Cigar backtrack_cells(DirAt&& dir_at, i32 i_end, i32 j_end) {
+  Cigar cig;
+  i32 i = i_end, j = j_end;
+  int state = 0;  // 0 = H, 1 = E (deletion run), 2 = F (insertion run)
+  while (i >= 0 && j >= 0) {
+    if (state == 0) state = dir_at(i, j) & 3;
+    if (state == 0) {
+      cig.push('M', 1);
+      --i;
+      --j;
+    } else if (state == 1) {
+      cig.push('D', 1);
+      const bool ext = i > 0 && (dir_at(i - 1, j) & kExtDel) != 0;
+      --i;
+      if (!ext) state = 0;
+    } else {
+      cig.push('I', 1);
+      const bool ext = j > 0 && (dir_at(i, j - 1) & kExtIns) != 0;
+      --j;
+      if (!ext) state = 0;
+    }
+  }
+  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+  cig.reverse();
+  return cig;
+}
+
 /// Reconstruct the CIGAR from direction bytes, starting at cell
 /// (i_end, j_end) and walking to the aligned beginning at (0,0).
 /// `diag_off[r]` locates diagonal r in `dirs`; any row stride works
 /// (packed, or the arena's kLanePad-padded layout).
 Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
                 i32 j_end);
+
+/// Mode-dispatching backtrack over a prepared workspace: resident dirs
+/// walk in place, streamed dirs are sealed and walked through the spill
+/// window. Kernels call this instead of backtrack() directly.
+Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end);
+
+/// Direction row pointer for diagonal r: resident rows live at
+/// diag_off[r]; streamed rows come from the block cursor (which spills a
+/// finished block when the new row does not fit). nullptr in score mode.
+template <class WS>
+inline u8* dirs_row(const WS& ws, i32 r) {
+  if (ws.stream != nullptr) return ws.stream->row(r);
+  return ws.dirs != nullptr ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)]
+                            : nullptr;
+}
 
 /// Tracks the best semi-global cell; candidates must be offered in
 /// diagonal order, bottom-row candidate before last-column candidate

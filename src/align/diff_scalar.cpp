@@ -39,12 +39,13 @@ AlignResult finish(const DiffArgs& a, const DiffWorkspace& ws, const BorderTrack
     out.q_end = track.best.j;
   }
   if (a.with_cigar)
-    out.cigar = backtrack(ws.dirs, ws.diag_off, a.tlen, a.qlen, out.t_end, out.q_end);
+    out.cigar = backtrack_ws(ws, a.tlen, a.qlen, out.t_end, out.q_end);
   return out;
 }
 
 u8* dir_row_of(const DiffWorkspace& ws, const DiffArgs& a, i32 r) {
-  return a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
+  (void)a;
+  return dirs_row(ws, r);
 }
 
 }  // namespace

@@ -92,8 +92,7 @@ AlignResult simd_align(const DiffArgs& a) {
       Y[en] = init_xy;
     }
 
-    u8* dir_row =
-        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
+    u8* dir_row = dirs_row(ws, r);
     const i32 qoff = qlen - 1 - r;
 
     for (i32 t = st; t <= en; t += W) {
@@ -166,7 +165,7 @@ AlignResult simd_align(const DiffArgs& a) {
     out.q_end = track.best.j;
   }
   if (a.with_cigar)
-    out.cigar = backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
+    out.cigar = backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end);
   return out;
 }
 

@@ -1,0 +1,61 @@
+#include "align/dirs_spill.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "align/diff_common.hpp"
+#include "fault/fault.hpp"
+
+namespace manymap {
+
+void MemDirsSpill::write(u64 offset, const u8* data, u64 n) {
+  if (n == 0) return;
+  if (offset + n > buf_.size()) buf_.resize(static_cast<std::size_t>(offset + n));
+  std::memcpy(buf_.data() + offset, data, static_cast<std::size_t>(n));
+}
+
+void MemDirsSpill::read(u64 offset, u8* dst, u64 n) {
+  MM_REQUIRE(offset + n <= buf_.size(), "MemDirsSpill::read past spilled area");
+  std::memcpy(dst, buf_.data() + offset, static_cast<std::size_t>(n));
+}
+
+FileDirsSpill::FileDirsSpill() : f_(std::tmpfile()) {
+  if (f_ == nullptr) throw std::runtime_error("FileDirsSpill: tmpfile() failed");
+}
+
+FileDirsSpill::~FileDirsSpill() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileDirsSpill::write(u64 offset, const u8* data, u64 n) {
+  if (n == 0) return;
+  MM_INJECT("align.dirs.spill_io");
+  if (fseeko(f_, static_cast<off_t>(offset), SEEK_SET) != 0 ||
+      std::fwrite(data, 1, static_cast<std::size_t>(n), f_) != n)
+    throw std::runtime_error("FileDirsSpill: write failed");
+  if (offset + n > high_water_) high_water_ = offset + n;
+}
+
+void FileDirsSpill::read(u64 offset, u8* dst, u64 n) {
+  if (n == 0) return;
+  MM_INJECT("align.dirs.spill_io");
+  MM_REQUIRE(offset + n <= high_water_, "FileDirsSpill::read past spilled area");
+  if (fseeko(f_, static_cast<off_t>(offset), SEEK_SET) != 0 ||
+      std::fread(dst, 1, static_cast<std::size_t>(n), f_) != n)
+    throw std::runtime_error("FileDirsSpill: read failed");
+}
+
+std::unique_ptr<DirsSpill> make_dirs_spill(u64 estimated_bytes, u64 mem_cap_bytes) {
+  if (estimated_bytes <= mem_cap_bytes) return std::make_unique<MemDirsSpill>();
+  return std::make_unique<FileDirsSpill>();
+}
+
+i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes) {
+  const u64 row = static_cast<u64>(tlen < qlen ? tlen : qlen) + detail::kLanePad;
+  const u64 rows = budget_bytes / row;
+  if (rows < 1) return 1;
+  const i32 ndiag = tlen + qlen - 1;
+  return rows > static_cast<u64>(ndiag) ? ndiag : static_cast<i32>(rows);
+}
+
+}  // namespace manymap

@@ -1,0 +1,90 @@
+// Spill sinks for the diagonal-block dirs streaming mode.
+//
+// Path mode's direction matrix is the largest allocation in the system:
+// |T|·|Q| + (|T|+|Q|-1)·kLanePad bytes, i.e. >4 GiB for a 64 kbp × 64 kbp
+// pair and >20 GiB for ultra-long reads. Streaming mode bounds the
+// RESIDENT footprint instead: kernels write direction rows into a
+// fixed-size block owned by the KernelArena and hand finished blocks to a
+// DirsSpill sink keyed by the row's absolute dirs offset (the same offsets
+// diag_off describes). Backtracking then re-reads spilled blocks through a
+// sliding window of the same size, so peak dirs memory is
+// O(block·(|Q|+kLanePad)) regardless of |T|·|Q|.
+//
+// Two sinks are provided: MemDirsSpill (growable heap buffer, for small
+// overshoot past the resident budget) and FileDirsSpill (unnamed temp
+// file, for huge pairs whose dirs must leave RAM entirely). Both are
+// offset-addressed and idempotent on rewrite, so a kernel retry after an
+// injected fault simply overwrites the same ranges. Fault sites:
+// "align.dirs.spill" fires on every block handoff (see diff_common.hpp's
+// check_dirs_spill), "align.dirs.spill_io" on every file read/write.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// Offset-addressed byte sink + source for spilled direction blocks.
+/// Writes arrive in increasing, non-overlapping offset order during the DP
+/// and may be re-issued from offset 0 after a kernel retry; reads happen
+/// only after the last write of a pass (backtrack).
+class DirsSpill {
+ public:
+  virtual ~DirsSpill() = default;
+  virtual void write(u64 offset, const u8* data, u64 n) = 0;
+  virtual void read(u64 offset, u8* dst, u64 n) = 0;
+  /// High-water bytes this sink holds (for tests and metrics).
+  virtual u64 spilled_bytes() const = 0;
+};
+
+/// Heap-backed sink: keeps spilled blocks in one growable buffer. Right
+/// when the full dirs area overshoots the resident block budget by a
+/// factor small enough to stay in RAM.
+class MemDirsSpill final : public DirsSpill {
+ public:
+  void write(u64 offset, const u8* data, u64 n) override;
+  void read(u64 offset, u8* dst, u64 n) override;
+  u64 spilled_bytes() const override { return buf_.size(); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+/// Temp-file sink: spills to an unnamed tmpfile (unlinked at creation, so
+/// the bytes vanish when the object dies, even on crash). For pairs whose
+/// dirs area must not stay resident at all. I/O errors and the
+/// "align.dirs.spill_io" fault site surface as exceptions, which the
+/// kernel fallback ladder treats like any other compute failure.
+class FileDirsSpill final : public DirsSpill {
+ public:
+  FileDirsSpill();
+  ~FileDirsSpill() override;
+  FileDirsSpill(const FileDirsSpill&) = delete;
+  FileDirsSpill& operator=(const FileDirsSpill&) = delete;
+
+  void write(u64 offset, const u8* data, u64 n) override;
+  void read(u64 offset, u8* dst, u64 n) override;
+  u64 spilled_bytes() const override { return high_water_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  u64 high_water_ = 0;
+};
+
+/// Default in-RAM ceiling for spilled dirs before make_dirs_spill picks a
+/// temp file over a heap buffer.
+inline constexpr u64 kDefaultSpillMemCap = u64{256} << 20;
+
+/// Pick a sink for an alignment whose full dirs area is `estimated_bytes`:
+/// heap when it fits under `mem_cap_bytes`, temp file otherwise.
+std::unique_ptr<DirsSpill> make_dirs_spill(u64 estimated_bytes,
+                                           u64 mem_cap_bytes = kDefaultSpillMemCap);
+
+/// Streaming block height (in padded diagonal rows) that keeps the
+/// resident block of a tlen × qlen pair within `budget_bytes`; >= 1.
+i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes);
+
+}  // namespace manymap

@@ -23,6 +23,8 @@
 
 namespace manymap {
 
+class DirsSpill;  // align/dirs_spill.hpp
+
 namespace detail {
 class KernelArena;  // align/arena.hpp
 }
@@ -61,6 +63,16 @@ struct DiffArgs {
   /// callers pass a per-thread arena so steady-state calls never touch
   /// the heap. See align/arena.hpp.
   detail::KernelArena* arena = nullptr;
+  /// Optional spill sink enabling diagonal-block dirs streaming in path
+  /// mode: direction rows are written into a fixed-size resident block and
+  /// finished blocks handed to `spill`, bounding peak dirs memory at
+  /// O(block·(|Q|+kLanePad)) with a bit-identical CIGAR. nullptr keeps the
+  /// fully-resident dirs area. See align/dirs_spill.hpp.
+  DirsSpill* spill = nullptr;
+  /// Streaming block height in padded diagonal rows (used only when
+  /// `spill` is set). 0 picks a default ~8 MiB block; 1 is the legal
+  /// degenerate minimum; a value >= |T|+|Q|-1 never spills.
+  i32 spill_block_rows = 0;
 };
 
 using KernelFn = AlignResult (*)(const DiffArgs&);

@@ -141,4 +141,79 @@ AlignResult reference_align(const DiffArgs& a) {
   return out;
 }
 
+AlignResult reference_align_streamed(const DiffArgs& args) {
+  DiffArgs a = args;
+  a.with_cigar = false;  // a single row band cannot recover the path
+  AlignResult out;
+  if (detail::handle_degenerate(a, out)) return out;
+
+  const i32 tlen = a.tlen, qlen = a.qlen;
+  const i32 q = a.params.gap_open, e = a.params.gap_ext;
+
+  // prev[j + 1] = H(i-1, j), prev[0] = H(i-1, -1): one rolling row of the
+  // fill() recurrence above, which only ever reads the previous row and
+  // the current row left-to-right.
+  std::vector<i32> prev(static_cast<std::size_t>(qlen) + 1);
+  std::vector<i32> cur(static_cast<std::size_t>(qlen) + 1);
+  std::vector<i32> E_row(static_cast<std::size_t>(qlen), 0);
+  std::vector<i32> last_col(static_cast<std::size_t>(tlen));  // H(i, qlen-1)
+
+  prev[0] = 0;
+  for (i32 j = 0; j < qlen; ++j) prev[static_cast<std::size_t>(j) + 1] = -(q + (j + 1) * e);
+
+  for (i32 i = 0; i < tlen; ++i) {
+    cur[0] = -(q + (i + 1) * e);  // H(i, -1)
+    i32 F = 0;
+    for (i32 j = 0; j < qlen; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      i32 E;
+      if (i == 0) {
+        E = prev[sj + 1] - q - e;
+      } else {
+        const i32 open = prev[sj + 1] - q;
+        E = (E_row[sj] > open ? E_row[sj] : open) - e;
+      }
+      if (j == 0) {
+        F = cur[0] - q - e;
+      } else {
+        const i32 open = cur[sj] - q;
+        F = (F > open ? F : open) - e;
+      }
+      i32 h = prev[sj] + a.params.sub(a.target[i], a.query[j]);
+      if (E > h) h = E;
+      if (F > h) h = F;
+      cur[sj + 1] = h;
+      E_row[sj] = E;
+    }
+    last_col[static_cast<std::size_t>(i)] = cur[static_cast<std::size_t>(qlen)];
+    std::swap(prev, cur);
+  }
+  out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+
+  // prev now holds the final row: prev[j + 1] = H(tlen-1, j).
+  if (a.mode == AlignMode::kGlobal) {
+    out.score = prev[static_cast<std::size_t>(qlen)];
+    out.t_end = tlen - 1;
+    out.q_end = qlen - 1;
+  } else {
+    // Same anti-diagonal offer order as reference_align, replayed from the
+    // captured last row / last column, so ties break identically.
+    detail::BestCell best;
+    for (i32 r = 0; r <= tlen + qlen - 2; ++r) {
+      if (r >= tlen - 1) {
+        const i32 j = r - (tlen - 1);
+        if (j < qlen) best.offer(prev[static_cast<std::size_t>(j) + 1], tlen - 1, j);
+      }
+      if (r >= qlen - 1) {
+        const i32 i = r - (qlen - 1);
+        if (i < tlen) best.offer(last_col[static_cast<std::size_t>(i)], i, qlen - 1);
+      }
+    }
+    out.score = best.score;
+    out.t_end = best.i;
+    out.q_end = best.j;
+  }
+  return out;
+}
+
 }  // namespace manymap

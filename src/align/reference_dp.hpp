@@ -13,4 +13,12 @@ namespace manymap {
 
 AlignResult reference_align(const DiffArgs& args);
 
+/// Score-only variant that streams the DP in row bands: one rolling H row
+/// plus O(|T|+|Q|) edge captures for extension's end-cell scan, never the
+/// O(|T|*|Q|) matrices. Scores, end cells and tie-breaking are identical
+/// to reference_align; `with_cigar` is ignored (no path is recoverable
+/// from a single band). This is what lets the oracle spot-verify >32 kbp
+/// live mappings without gigabytes of reference state.
+AlignResult reference_align_streamed(const DiffArgs& args);
+
 }  // namespace manymap

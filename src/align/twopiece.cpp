@@ -12,14 +12,12 @@ namespace {
 using detail::diag_end;
 using detail::diag_start;
 
-// Direction byte layout for the two-piece path:
-//   bits 0-2: source of H — 0 diag, 1 E1, 2 F1, 3 E2, 4 F2
-//   bit 3: E1 extends, bit 4: F1 extends, bit 5: E2 extends, bit 6: F2.
-constexpr u8 kSrcMask = 0x7;
-constexpr u8 kExtE1 = 1 << 3;
-constexpr u8 kExtF1 = 1 << 4;
-constexpr u8 kExtE2 = 1 << 5;
-constexpr u8 kExtF2 = 1 << 6;
+// Direction byte constants live in twopiece.hpp's detail namespace so the
+// streamed backtrack template can share them.
+constexpr u8 kExtE1 = detail::kTpExtE1;
+constexpr u8 kExtF1 = detail::kTpExtF1;
+constexpr u8 kExtE2 = detail::kTpExtE2;
+constexpr u8 kExtF2 = detail::kTpExtF2;
 
 bool degenerate(const TwoPieceArgs& a, AlignResult& out) {
   if (a.tlen > 0 && a.qlen > 0) return false;
@@ -46,38 +44,26 @@ namespace detail {
 
 Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
                          i32 j_end) {
-  auto dir_at = [&](i32 i, i32 j) -> u8 {
-    const i32 r = i + j;
-    return dirs[off[static_cast<std::size_t>(r)] + static_cast<u64>(i - diag_start(r, qlen))];
-  };
   (void)tlen;
-  Cigar cig;
-  i32 i = i_end, j = j_end;
-  int state = 0;  // 0 H, 1 E1, 2 F1, 3 E2, 4 F2
-  while (i >= 0 && j >= 0) {
-    if (state == 0) state = dir_at(i, j) & kSrcMask;
-    if (state == 0) {
-      cig.push('M', 1);
-      --i;
-      --j;
-    } else if (state == 1 || state == 3) {
-      cig.push('D', 1);
-      const u8 flag = state == 1 ? kExtE1 : kExtE2;
-      const bool ext = i > 0 && (dir_at(i - 1, j) & flag) != 0;
-      --i;
-      if (!ext) state = 0;
-    } else {
-      cig.push('I', 1);
-      const u8 flag = state == 2 ? kExtF1 : kExtF2;
-      const bool ext = j > 0 && (dir_at(i, j - 1) & flag) != 0;
-      --j;
-      if (!ext) state = 0;
-    }
-  }
-  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
-  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
-  cig.reverse();
-  return cig;
+  return twopiece_backtrack_cells(
+      [&](i32 i, i32 j) -> u8 {
+        const i32 r = i + j;
+        return dirs[off[static_cast<std::size_t>(r)] +
+                    static_cast<u64>(i - diag_start(r, qlen))];
+      },
+      i_end, j_end);
+}
+
+Cigar twopiece_backtrack_ws(const TwoPieceWorkspace& ws, i32 tlen, i32 qlen,
+                            i32 i_end, i32 j_end) {
+  if (ws.stream == nullptr)
+    return twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end);
+  DirsStream& s = *ws.stream;
+  s.seal();
+  if (s.in_memory())
+    return twopiece_backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end);
+  return twopiece_backtrack_cells([&s](i32 i, i32 j) { return s.at(i, j); }, i_end,
+                                  j_end);
 }
 
 }  // namespace detail
@@ -141,8 +127,7 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
       Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
     }
-    u8* dir_row =
-        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
+    u8* dir_row = detail::dirs_row(ws, r);
 
     for (i32 t = st; t <= en; ++t) {
       const std::size_t ti = static_cast<std::size_t>(t);
@@ -211,8 +196,7 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
     out.q_end = track.best.j;
   }
   if (a.with_cigar)
-    out.cigar =
-        detail::twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
+    out.cigar = detail::twopiece_backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end);
   return out;
 }
 

@@ -54,6 +54,10 @@ struct TwoPieceArgs {
   bool with_cigar = false;
   /// Optional reusable workspace (see DiffArgs::arena / align/arena.hpp).
   detail::KernelArena* arena = nullptr;
+  /// Optional diagonal-block dirs streaming, mirroring DiffArgs::spill /
+  /// DiffArgs::spill_block_rows (see align/dirs_spill.hpp).
+  DirsSpill* spill = nullptr;
+  i32 spill_block_rows = 0;
 };
 
 /// Full-matrix reference (gold standard for the two-piece kernels).
@@ -74,11 +78,62 @@ using TwoPieceKernelFn = AlignResult (*)(const TwoPieceArgs&);
 TwoPieceKernelFn get_twopiece_kernel(Layout layout, Isa isa);
 
 namespace detail {
+
+struct TwoPieceWorkspace;  // align/arena.hpp
+
+// Direction byte layout for the two-piece path:
+//   bits 0-2: source of H — 0 diag, 1 E1, 2 F1, 3 E2, 4 F2
+//   bit 3: E1 extends, bit 4: F1 extends, bit 5: E2 extends, bit 6: F2.
+inline constexpr u8 kTpSrcMask = 0x7;
+inline constexpr u8 kTpExtE1 = 1 << 3;
+inline constexpr u8 kTpExtF1 = 1 << 4;
+inline constexpr u8 kTpExtE2 = 1 << 5;
+inline constexpr u8 kTpExtF2 = 1 << 6;
+
+/// Two-piece backtrack state machine over any direction-byte accessor
+/// `dir_at(i, j) -> u8`; shared by the resident and streamed paths.
+template <class DirAt>
+Cigar twopiece_backtrack_cells(DirAt&& dir_at, i32 i_end, i32 j_end) {
+  Cigar cig;
+  i32 i = i_end, j = j_end;
+  int state = 0;  // 0 H, 1 E1, 2 F1, 3 E2, 4 F2
+  while (i >= 0 && j >= 0) {
+    if (state == 0) state = dir_at(i, j) & kTpSrcMask;
+    if (state == 0) {
+      cig.push('M', 1);
+      --i;
+      --j;
+    } else if (state == 1 || state == 3) {
+      cig.push('D', 1);
+      const u8 flag = state == 1 ? kTpExtE1 : kTpExtE2;
+      const bool ext = i > 0 && (dir_at(i - 1, j) & flag) != 0;
+      --i;
+      if (!ext) state = 0;
+    } else {
+      cig.push('I', 1);
+      const u8 flag = state == 2 ? kTpExtF1 : kTpExtF2;
+      const bool ext = j > 0 && (dir_at(i, j - 1) & flag) != 0;
+      --j;
+      if (!ext) state = 0;
+    }
+  }
+  if (i >= 0) cig.push('D', static_cast<u32>(i + 1));
+  if (j >= 0) cig.push('I', static_cast<u32>(j + 1));
+  cig.reverse();
+  return cig;
+}
+
 /// Backtrack over the 5-state two-piece direction bytes (shared by the
 /// scalar and SIMD kernels and the reference). `off[r]` gives the offset
 /// of diagonal r in `dirs`; any row stride works (packed or padded).
 Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
                          i32 j_end);
+
+/// Mode-dispatching backtrack over a prepared two-piece workspace
+/// (resident dirs in place, streamed dirs through the spill window).
+Cigar twopiece_backtrack_ws(const TwoPieceWorkspace& ws, i32 tlen, i32 qlen,
+                            i32 i_end, i32 j_end);
+
 }  // namespace detail
 
 }  // namespace manymap

@@ -109,8 +109,7 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
       Y1[en] = static_cast<i8>(-(q1 + e1));
       Y2[en] = static_cast<i8>(-(q2 + e2));
     }
-    u8* dir_row =
-        a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
+    u8* dir_row = dirs_row(ws, r);
     const i32 qoff = qlen - 1 - r;
 
     for (i32 t = st; t <= en; t += W) {
@@ -207,7 +206,7 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
     out.q_end = track.best.j;
   }
   if (a.with_cigar)
-    out.cigar = twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, out.t_end, out.q_end);
+    out.cigar = twopiece_backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end);
   return out;
 }
 

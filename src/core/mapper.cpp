@@ -4,6 +4,8 @@
 
 #include "align/arena.hpp"
 #include "align/banded.hpp"
+#include "align/diff_common.hpp"
+#include "align/dirs_spill.hpp"
 #include "align/fallback.hpp"
 #include "base/timer.hpp"
 #include "chain/chain.hpp"
@@ -34,6 +36,23 @@ struct StitchResult {
 };
 
 }  // namespace
+
+u64 estimate_dirs_bytes(const MapOptions& opt, u32 read_len) {
+  if (read_len == 0) return 0;
+  // Worst capped end extension: query up to kExtensionCap, target window
+  // stretched by the end bonus.
+  const u64 ext_q = std::min<u64>(read_len, kExtensionCap);
+  const u64 ext_t = ext_q + opt.end_bonus_window;
+  const u64 ext_fp = detail::KernelArena::dirs_footprint(static_cast<i32>(ext_t),
+                                                         static_cast<i32>(ext_q));
+  // Worst inter-anchor gap fill: cell count is capped at kGapCellCap
+  // (larger gaps take the banded path), each dimension by the read; the
+  // per-diagonal lane padding adds at most (t+q)*kLanePad on top.
+  const u64 len = static_cast<u64>(read_len);
+  const u64 gap_cells = std::min(len * len, kGapCellCap);
+  const u64 gap_fp = gap_cells + 2 * len * detail::kLanePad;
+  return std::max(ext_fp, gap_fp);
+}
 
 Mapper::Mapper(const Reference& ref, MapOptions opt)
     : Mapper(ref, MinimizerIndex::build(ref, opt.sketch), std::move(opt)) {}
@@ -81,8 +100,25 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
   u64 total_cells = 0;
   u64 kernel_retries = 0;
   u32 deepest_rung = 0;
+  u64 streamed_kernels = 0;
+  const u64 spilled_before = detail::dirs_spill_stats().bytes;
   detail::KernelArena& arena =
       call.arena != nullptr ? *call.arena : detail::KernelArena::for_thread();
+
+  // Lazily created spill sink, shared by every streamed kernel of this
+  // call (each kernel rewrites from offset 0; reads never cross calls).
+  // An in-memory sink is upgraded to a temp file if a later kernel's
+  // footprint outgrows the in-memory cap.
+  std::unique_ptr<DirsSpill> spill;
+  u64 spill_class = 0;  ///< largest footprint the sink was built for
+  auto spill_for = [&](u64 footprint) -> DirsSpill* {
+    if (spill == nullptr ||
+        (spill_class <= kDefaultSpillMemCap && footprint > kDefaultSpillMemCap)) {
+      spill = make_dirs_spill(footprint);
+    }
+    spill_class = std::max(spill_class, footprint);
+    return spill.get();
+  };
 
   auto run_kernel = [&](const std::vector<u8>& target, const std::vector<u8>& query,
                         AlignMode mode) {
@@ -95,6 +131,14 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     a.mode = mode;
     a.with_cigar = with_cigar;
     a.arena = &arena;
+    if (with_cigar && call.dirs_budget_bytes > 0) {
+      const u64 fp = detail::KernelArena::dirs_footprint(a.tlen, a.qlen);
+      if (fp > call.dirs_budget_bytes) {
+        a.spill = spill_for(fp);
+        a.spill_block_rows = spill_rows_for_budget(a.tlen, a.qlen, call.dirs_budget_bytes);
+        ++streamed_kernels;
+      }
+    }
     AlignResult r;
     if (opt_.kernel_override) {
       r = opt_.kernel_override(a);
@@ -286,6 +330,8 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     timings->dp_cells += total_cells;
     timings->kernel_retries += kernel_retries;
     timings->deepest_fallback_rung = std::max(timings->deepest_fallback_rung, deepest_rung);
+    timings->streamed_kernels += streamed_kernels;
+    timings->dirs_spilled_bytes += detail::dirs_spill_stats().bytes - spilled_before;
   }
   return mappings;
 }

@@ -49,6 +49,8 @@ struct MapTimings {
   u64 dp_cells = 0;
   u64 kernel_retries = 0;          ///< failed kernel attempts absorbed
   u32 deepest_fallback_rung = 0;   ///< 0 = dispatched, 1 = scalar, 2 = banded ref
+  u64 streamed_kernels = 0;        ///< kernel calls run with streamed dirs
+  u64 dirs_spilled_bytes = 0;      ///< direction bytes written to spill sinks
 
   MapTimings& operator+=(const MapTimings& o) {
     seed_chain_seconds += o.seed_chain_seconds;
@@ -58,6 +60,8 @@ struct MapTimings {
     deepest_fallback_rung = deepest_fallback_rung > o.deepest_fallback_rung
                                 ? deepest_fallback_rung
                                 : o.deepest_fallback_rung;
+    streamed_kernels += o.streamed_kernels;
+    dirs_spilled_bytes += o.dirs_spilled_bytes;
     return *this;
   }
 };
@@ -84,7 +88,21 @@ struct MapCall {
   /// (detail::KernelArena::for_thread()), so repeated maps on one thread
   /// never re-allocate; service workers pass their own arena explicitly.
   detail::KernelArena* arena = nullptr;
+  /// Per-call resident ceiling for direction bytes. Any single kernel
+  /// whose dirs footprint (KernelArena::dirs_footprint) exceeds this runs
+  /// with diagonal-block dirs streaming (align/dirs_spill.hpp): peak
+  /// resident dirs stay within the budget while finished blocks spill to
+  /// an in-memory or temp-file sink. 0 keeps the fully resident path.
+  u64 dirs_budget_bytes = 0;
 };
+
+/// Pessimistic upper bound on the resident direction-byte footprint one
+/// Mapper::map(read) holds at any instant. Kernels run serially within a
+/// call, so this is the worst single kernel: either a capped end
+/// extension or a capped inter-anchor gap fill (larger gaps are banded
+/// and never hold an O(t*q) dirs area). Used by the service layer for
+/// footprint-aware admission.
+u64 estimate_dirs_bytes(const MapOptions& opt, u32 read_len);
 
 class Mapper {
  public:

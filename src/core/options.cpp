@@ -1,5 +1,10 @@
 #include "core/options.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
 namespace manymap {
 
 MapOptions MapOptions::map_pb() {
@@ -47,6 +52,33 @@ bool apply_isa_name(MapOptions& opt, std::string_view name) {
   if (get_diff_kernel(opt.layout, isa) == nullptr) return false;
   opt.isa = isa;
   return true;
+}
+
+std::optional<i64> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string owned(text);  // strtoll needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(owned.c_str(), &end, 10);
+  if (errno == ERANGE || end != owned.c_str() + owned.size()) return std::nullopt;
+  return static_cast<i64>(v);
+}
+
+std::optional<i64> parse_positive_int(std::string_view text) {
+  const auto v = parse_int(text);
+  if (!v || *v <= 0) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_nonneg_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (errno == ERANGE || end != owned.c_str() + owned.size()) return std::nullopt;
+  if (!std::isfinite(v) || v < 0.0) return std::nullopt;
+  return v;
 }
 
 }  // namespace manymap

@@ -52,4 +52,19 @@ bool apply_layout_name(MapOptions& opt, std::string_view name);
 /// currently selected layout.
 bool apply_isa_name(MapOptions& opt, std::string_view name);
 
+// Strict CLI numeric parsing shared by the front ends: malformed text is
+// a config error answered with a usage message, never a silent clamp, a
+// partial parse ("2x" -> 2), or an uncaught std::stoll exception.
+
+/// Well-formed base-10 integer (optional leading '-'); nullopt otherwise.
+std::optional<i64> parse_int(std::string_view text);
+
+/// As parse_int but additionally requires value > 0 — for option classes
+/// where zero/negative is meaningless (threads, batch sizes, capacities,
+/// sample rates, memory budgets).
+std::optional<i64> parse_positive_int(std::string_view text);
+
+/// Well-formed finite real >= 0 (rates and timeouts where 0 = disabled).
+std::optional<double> parse_nonneg_double(std::string_view text);
+
 }  // namespace manymap

@@ -86,6 +86,8 @@ std::optional<FaultSpec> FaultPlan::on_visit(const char* site) {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> kSites = {
+      "align.dirs.spill",        // streamed dirs block handoff to a spill sink
+      "align.dirs.spill_io",     // temp-file spill read/write
       "align.dp.alloc",          // DP workspace allocation (diff + twopiece)
       "index.load.mmap",         // mmap-backed index load
       "index.load.stream",       // streamed index load

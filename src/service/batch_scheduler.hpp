@@ -28,6 +28,10 @@ struct PendingRequest {
 struct RequestBatch {
   u64 id = 0;
   std::vector<PendingRequest> items;
+  /// Estimated peak dirs bytes of the batch (sum of per-request
+  /// estimate_dirs_bytes), filled at dispatch for footprint-aware shard
+  /// accounting; 0 when no memory budget is configured.
+  u64 est_dirs_bytes = 0;
 
   u64 total_bases() const {
     u64 n = 0;

@@ -51,6 +51,11 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.kernel_retries = kernel_retries_.load(std::memory_order_relaxed);
   s.verified = verified_.load(std::memory_order_relaxed);
   s.verify_divergences = verify_divergences_.load(std::memory_order_relaxed);
+  s.streamed_responses = streamed_responses_.load(std::memory_order_relaxed);
+  s.mem_score_only = mem_score_only_.load(std::memory_order_relaxed);
+  s.dirs_spilled_bytes = dirs_spilled_bytes_.load(std::memory_order_relaxed);
+  s.budget_redirects = budget_redirects_.load(std::memory_order_relaxed);
+  s.arena_trims = arena_trims_.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   if (!latencies_ms_.empty()) {
     s.latency_ms_mean = summarize(latencies_ms_).mean;
@@ -66,7 +71,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 }
 
 std::string MetricsSnapshot::report() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(buf, sizeof(buf),
                 "service metrics\n"
                 "  requests   submitted=%llu accepted=%llu completed=%llu "
@@ -77,6 +82,8 @@ std::string MetricsSnapshot::report() const {
                 "  robustness stalls=%llu respawns=%llu breaker_opened=%llu "
                 "degraded_now=%d degraded_responses=%llu\n"
                 "  fallback   scalar=%llu banded=%llu kernel_retries=%llu\n"
+                "  memory     streamed=%llu score_only=%llu spilled_bytes=%llu "
+                "redirects=%llu arena_trims=%llu\n"
                 "  verify     sampled=%llu divergences=%llu\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(accepted),
@@ -95,6 +102,11 @@ std::string MetricsSnapshot::report() const {
                 static_cast<unsigned long long>(fallback_scalar),
                 static_cast<unsigned long long>(fallback_banded),
                 static_cast<unsigned long long>(kernel_retries),
+                static_cast<unsigned long long>(streamed_responses),
+                static_cast<unsigned long long>(mem_score_only),
+                static_cast<unsigned long long>(dirs_spilled_bytes),
+                static_cast<unsigned long long>(budget_redirects),
+                static_cast<unsigned long long>(arena_trims),
                 static_cast<unsigned long long>(verified),
                 static_cast<unsigned long long>(verify_divergences));
   return buf;

@@ -45,6 +45,12 @@ struct MetricsSnapshot {
   u64 kernel_retries = 0;       ///< failed kernel attempts absorbed by the ladder
   u64 verified = 0;             ///< live responses replayed through the oracle
   u64 verify_divergences = 0;   ///< oracle disagreements among those
+  // Memory-budget ladder (footprint-aware admission + streamed dirs).
+  u64 streamed_responses = 0;   ///< kOk answers that streamed dirs to a spill sink
+  u64 mem_score_only = 0;       ///< kOk answers shed to score-only by the footprint cap
+  u64 dirs_spilled_bytes = 0;   ///< total direction bytes written to spill sinks
+  u64 budget_redirects = 0;     ///< batches routed off an over-budget shard
+  u64 arena_trims = 0;          ///< idle workers that released DP arena memory
 
   /// Human-readable multi-line report (the periodic text snapshot).
   std::string report() const;
@@ -78,6 +84,14 @@ class ServiceMetrics {
     verified_.fetch_add(1, std::memory_order_relaxed);
     if (diverged) verify_divergences_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Memory-budget ladder accounting.
+  void on_streamed_response(u64 spilled_bytes) {
+    streamed_responses_.fetch_add(1, std::memory_order_relaxed);
+    if (spilled_bytes) dirs_spilled_bytes_.fetch_add(spilled_bytes, std::memory_order_relaxed);
+  }
+  void on_mem_score_only() { mem_score_only_.fetch_add(1, std::memory_order_relaxed); }
+  void on_budget_redirect() { budget_redirects_.fetch_add(1, std::memory_order_relaxed); }
+  void on_arena_trim() { arena_trims_.fetch_add(1, std::memory_order_relaxed); }
 
   void on_batch(std::size_t batch_size) {
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -101,6 +115,8 @@ class ServiceMetrics {
   std::atomic<bool> degraded_now_{false};
   std::atomic<u64> fallback_scalar_{0}, fallback_banded_{0}, kernel_retries_{0};
   std::atomic<u64> verified_{0}, verify_divergences_{0};
+  std::atomic<u64> streamed_responses_{0}, mem_score_only_{0}, dirs_spilled_bytes_{0};
+  std::atomic<u64> budget_redirects_{0}, arena_trims_{0};
   std::atomic<u64> batches_{0}, batched_requests_{0};
   std::atomic<u64> queue_depth_last_{0}, queue_depth_peak_{0};
   mutable std::mutex mu_;  ///< guards the reservoirs only

@@ -25,6 +25,16 @@ enum class RequestStatus {
 
 const char* to_string(RequestStatus s);
 
+/// Which rung of the memory/degradation ladder served a kOk response.
+/// Ordered: each level strictly cheaper in resident memory than the last.
+enum class DegradeLevel {
+  kNone,          ///< fully resident direction bytes (normal path)
+  kStreamedDirs,  ///< dirs streamed block-by-block through a spill sink
+  kScoreOnly,     ///< no CIGAR pass at all (breaker open or footprint cap)
+};
+
+const char* to_string(DegradeLevel d);
+
 struct MapRequest {
   u64 id = 0;      ///< caller-chosen; echoed back in the response
   Sequence read;
@@ -46,6 +56,10 @@ struct MapResponse {
   u32 batch_size = 0;             ///< size of that batch
   std::string error;              ///< what went wrong (kFailed only)
   bool degraded = false;          ///< served score-only by the circuit breaker
+  /// Memory-ladder rung that served the request (structured status for
+  /// over-budget degradation; `degraded` stays breaker-specific).
+  DegradeLevel degrade = DegradeLevel::kNone;
+  u64 est_dirs_bytes = 0;         ///< admission-time dirs footprint estimate
 };
 
 }  // namespace manymap

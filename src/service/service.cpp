@@ -19,6 +19,15 @@ const char* to_string(RequestStatus s) {
   return "?";
 }
 
+const char* to_string(DegradeLevel d) {
+  switch (d) {
+    case DegradeLevel::kNone: return "NONE";
+    case DegradeLevel::kStreamedDirs: return "STREAMED_DIRS";
+    case DegradeLevel::kScoreOnly: return "SCORE_ONLY";
+  }
+  return "?";
+}
+
 namespace {
 
 double ms_since(std::chrono::steady_clock::time_point t0,
@@ -97,6 +106,11 @@ std::future<MapResponse> AlignmentService::submit_wait(MapRequest req) {
 
 void AlignmentService::dispatch_batch(RequestBatch&& batch) {
   MM_INJECT_DELAY("service.queue.delay");
+  if (cfg_.mem.shard_budget_bytes > 0) {
+    for (const auto& p : batch.items)
+      batch.est_dirs_bytes +=
+          estimate_dirs_bytes(cfg_.map, static_cast<u32>(p.req.read.size()));
+  }
   u32 target = 0;
   if (cfg_.dispatch == ServiceConfig::Dispatch::kRoundRobin || shards_.size() == 1) {
     target = static_cast<u32>(rr_next_++ % shards_.size());
@@ -110,7 +124,30 @@ void AlignmentService::dispatch_batch(RequestBatch&& batch) {
       }
     }
   }
+  // Footprint-aware gating: a batch headed for a shard already over its
+  // estimated dirs budget is redirected to the shard with the least dirs
+  // in flight (never blocked — queue backpressure still bounds the rest).
+  if (cfg_.mem.shard_budget_bytes > 0 && shards_.size() > 1) {
+    const u64 cur = shards_[target]->outstanding_dirs_bytes.load(std::memory_order_relaxed);
+    if (cur + batch.est_dirs_bytes > cfg_.mem.shard_budget_bytes) {
+      u32 leanest = target;
+      u64 least = cur;
+      for (u32 s = 0; s < shards_.size(); ++s) {
+        const u64 v = shards_[s]->outstanding_dirs_bytes.load(std::memory_order_relaxed);
+        if (v < least) {
+          least = v;
+          leanest = s;
+        }
+      }
+      if (leanest != target) {
+        target = leanest;
+        metrics_.on_budget_redirect();
+      }
+    }
+  }
   shards_[target]->outstanding_bases.fetch_add(batch.total_bases(), std::memory_order_relaxed);
+  shards_[target]->outstanding_dirs_bytes.fetch_add(batch.est_dirs_bytes,
+                                                    std::memory_order_relaxed);
   shards_[target]->queue.push(std::move(batch));  // blocking: backpressure
 }
 
@@ -141,16 +178,28 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
   if (degraded != degraded_now_.exchange(degraded, std::memory_order_relaxed))
     metrics_.set_degraded(degraded);
   resp.degraded = degraded;
+  // Memory-budget ladder: estimate the request's worst-case resident dirs
+  // footprint and pick the cheapest rung that honours the budget —
+  // resident dirs, streamed dirs, or score-only for pathological sizes.
+  resp.est_dirs_bytes =
+      estimate_dirs_bytes(cfg_.map, static_cast<u32>(p.req.read.size()));
+  const bool mem_score_only = cfg_.mem.score_only_above_bytes > 0 &&
+                              resp.est_dirs_bytes > cfg_.mem.score_only_above_bytes;
+  const bool stream_dirs = !mem_score_only && cfg_.mem.resident_request_bytes > 0 &&
+                           resp.est_dirs_bytes > cfg_.mem.resident_request_bytes;
   try {
     MM_INJECT("service.worker.compute");
     WallTimer t;
     MapCall call;
     call.timings = &resp.timings;
     call.deadline = p.req.deadline;
-    call.score_only = degraded;
+    call.score_only = degraded || mem_score_only;
     call.arena = arena;
+    if (stream_dirs) call.dirs_budget_bytes = cfg_.mem.resident_request_bytes;
     resp.mappings = mapper_.map(p.req.read, call);
-    resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !degraded);
+    if (call.score_only) resp.degrade = DegradeLevel::kScoreOnly;
+    else if (resp.timings.streamed_kernels > 0) resp.degrade = DegradeLevel::kStreamedDirs;
+    resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !call.score_only);
     resp.compute_ms = t.millis();
     resp.status = RequestStatus::kOk;
     maybe_verify_live(p.req, resp);
@@ -178,6 +227,10 @@ void AlignmentService::account(const PendingRequest& p, const MapResponse& resp)
                             resp.compute_ms);
       metrics_.on_fallback(resp.timings.deepest_fallback_rung, resp.timings.kernel_retries);
       if (resp.degraded) metrics_.on_degraded_response();
+      if (resp.degrade == DegradeLevel::kStreamedDirs)
+        metrics_.on_streamed_response(resp.timings.dirs_spilled_bytes);
+      else if (resp.degrade == DegradeLevel::kScoreOnly && !resp.degraded)
+        metrics_.on_mem_score_only();
       break;
     case RequestStatus::kTimedOut:
       metrics_.on_timed_out();
@@ -224,7 +277,19 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
   // own), so a batch takeover never shares buffers across threads.
   detail::KernelArena arena;
   for (;;) {
-    auto popped = shard.queue.pop();
+    std::optional<RequestBatch> popped;
+    if (cfg_.idle_trim.enabled) {
+      // Deadline-aware pop so a quiet worker can release its DP memory:
+      // every idle interval without a batch trims the arena down to the
+      // retained floor (a no-op once already trimmed — no metric spam).
+      for (;;) {
+        popped = shard.queue.pop_for(cfg_.idle_trim.after_idle);
+        if (popped || shard.queue.closed()) break;
+        if (arena.trim(cfg_.idle_trim.retain_bytes) > 0) metrics_.on_arena_trim();
+      }
+    } else {
+      popped = shard.queue.pop();
+    }
     if (!popped) return;
     auto batch = std::make_shared<RequestBatch>(std::move(*popped));
     metrics_.on_batch(batch->items.size());
@@ -236,6 +301,7 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
       state->done = 0;
       state->taken_over = false;
       state->batch_bases = batch->total_bases();
+      state->batch_dirs_bytes = batch->est_dirs_bytes;
     }
     state->busy.store(true, std::memory_order_release);
     bool lost_batch = false;
@@ -272,6 +338,7 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
     state->busy.store(false, std::memory_order_release);
     if (lost_batch) return;  // we were replaced; the respawn serves on
     shard.outstanding_bases.fetch_sub(state->batch_bases, std::memory_order_relaxed);
+    shard.outstanding_dirs_bytes.fetch_sub(state->batch_dirs_bytes, std::memory_order_relaxed);
   }
 }
 
@@ -319,6 +386,7 @@ void AlignmentService::watchdog_loop(u32 shard_id) {
           breaker_.on_failure(now);
         }
         shard.outstanding_bases.fetch_sub(st.batch_bases, std::memory_order_relaxed);
+        shard.outstanding_dirs_bytes.fetch_sub(st.batch_dirs_bytes, std::memory_order_relaxed);
       }
       metrics_.on_worker_stall();
 

@@ -80,6 +80,38 @@ struct ServiceConfig {
   /// Circuit breaker driving degraded (score-only) mode; see breaker.hpp.
   BreakerConfig breaker{};
 
+  /// Footprint-aware memory budget (the degradation ladder: resident dirs
+  /// -> streamed dirs -> score-only). Per-request cost estimates come from
+  /// estimate_dirs_bytes (the worst single kernel of a Mapper::map call);
+  /// each rung is independently disabled by 0.
+  struct MemoryConfig {
+    /// Per-shard ceiling on estimated in-flight dirs bytes. The scheduler
+    /// gates dispatch on it: a batch headed for an over-budget shard is
+    /// redirected to the shard with the least estimated dirs in flight.
+    u64 shard_budget_bytes = 0;
+    /// Per-request resident dirs ceiling: a request estimated above it is
+    /// served with streamed dirs (MapCall::dirs_budget_bytes = this), so
+    /// its peak resident direction bytes stay bounded while finished
+    /// blocks spill; answers carry DegradeLevel::kStreamedDirs.
+    u64 resident_request_bytes = 0;
+    /// Hard footprint cap: requests estimated above it skip the CIGAR
+    /// pass entirely (score-only, DegradeLevel::kScoreOnly) — even the
+    /// spilled volume would be unreasonable to produce.
+    u64 score_only_above_bytes = 0;
+  };
+  MemoryConfig mem{};
+
+  /// Idle-arena trimming: a worker that has seen no batch for
+  /// `after_idle` trims its DP arena down to `retain_bytes`, so a quiet
+  /// shard releases its warm-path memory (the next batch re-grows it;
+  /// results are unaffected — the arena is pure scratch).
+  struct IdleTrimConfig {
+    bool enabled = true;
+    std::chrono::milliseconds after_idle{500};
+    u64 retain_bytes = u64{1} << 20;
+  };
+  IdleTrimConfig idle_trim{};
+
   /// When > 0, every Nth kOk response is replayed through the differential
   /// oracle (verify/oracle.cpp); divergences are logged and counted in
   /// ServiceMetrics.
@@ -135,6 +167,7 @@ class AlignmentService {
     std::size_t done = 0;                 ///< resolved items (prefix)
     bool taken_over = false;
     u64 batch_bases = 0;
+    u64 batch_dirs_bytes = 0;  ///< estimated dirs bytes reserved at dispatch
     std::atomic<bool> busy{false};
     std::atomic<i64> heartbeat_ns{0};  ///< steady_clock epoch of last progress
   };
@@ -143,6 +176,9 @@ class AlignmentService {
     explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
     BoundedQueue<RequestBatch> queue;
     std::atomic<u64> outstanding_bases{0};
+    /// Estimated dirs bytes of dispatched-but-unfinished batches; the
+    /// scheduler's footprint-aware gating reads it, workers settle it.
+    std::atomic<u64> outstanding_dirs_bytes{0};
     std::mutex mu;  ///< guards workers/retired below
     struct WorkerHandle {
       std::thread thread;

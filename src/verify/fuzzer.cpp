@@ -1,9 +1,14 @@
 #include "verify/fuzzer.hpp"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <iterator>
 
+#include <memory>
+
 #include "align/arena.hpp"
+#include "align/dirs_spill.hpp"
 #include "align/reference_dp.hpp"
 #include "sequence/dna.hpp"
 
@@ -179,7 +184,29 @@ FuzzCase make_case(u64 seed) {
   return c;
 }
 
+FuzzCase make_longread_case(u64 seed, i32 target_len) {
+  FuzzCase c;
+  c.seed = seed;
+  c.generator = Generator::kIndel;
+  XorShift rng(seed ^ 0x10a6de5dULL);
+  c.params = kDiffParamsPool[rng.below(std::size(kDiffParamsPool))];
+  c.tp = kTwoPieceParamsPool[rng.below(std::size(kTwoPieceParamsPool))];
+  c.target = random_seq(rng, target_len);
+  // PacBio-like combined error rate: 8–17% substitutions + indels.
+  c.query = indel_mutate(rng, c.target, 8 + rng.below(10));
+  return c;
+}
+
 namespace {
+
+std::string fmt_failure(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
 
 struct ComboTable {
   std::vector<ComboStats> combos;
@@ -302,6 +329,135 @@ SweepStats run_sweep(const SweepOptions& opt,
               run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
             }
       }
+    }
+  }
+  stats.combos = std::move(table.combos);
+  std::sort(stats.combos.begin(), stats.combos.end(),
+            [](const ComboStats& a, const ComboStats& b) { return a.name < b.name; });
+  return stats;
+}
+
+SweepStats run_longread_sweep(const LongReadOptions& opt,
+                              const std::function<void(const Divergence&)>& on_divergence) {
+  SweepStats stats;
+  ComboTable table;
+  const std::vector<Isa> isas = available_isas();
+  // One arena for the whole sweep: every kernel — resident or streamed —
+  // runs on workspace left dirty by a different seed, layout and shape.
+  detail::KernelArena arena;
+
+  for (u64 n = 0; n < opt.seeds; ++n) {
+    const u64 seed = opt.first_seed + n;
+    XorShift pick(seed * 0x9e3779b97f4a7c15ULL + 0x5eedf00dULL);
+    const i32 len =
+        static_cast<i32>(pick.range(opt.min_len, std::max(opt.min_len, opt.max_len)));
+    const FuzzCase fc = make_longread_case(seed, len);
+
+    CaseSpec spec;
+    spec.family = (seed & 1) != 0 ? Family::kTwoPiece : Family::kDiff;
+    spec.layout = pick.chance(1, 2) ? Layout::kMinimap2 : Layout::kManymap;
+    spec.isa = isas[pick.below(isas.size())];
+    spec.mode = pick.chance(1, 2) ? AlignMode::kExtension : AlignMode::kGlobal;
+    spec.with_cigar = true;
+    spec.params = fc.params;
+    spec.tp = fc.tp;
+    spec.target = fc.target;
+    spec.query = fc.query;
+    if (!runnable(spec)) continue;  // pool params always fit int8; ISA gaps only
+
+    ComboStats& combo = table.at("longread/" + spec.combo());
+    auto report = [&](std::string why) {
+      ++combo.divergences;
+      Divergence div;
+      div.spec = spec;  // un-minimized: long-read cases stay as generated
+      div.failure = std::move(why);
+      div.seed = seed;
+      div.generator = fc.generator;
+      stats.divergences.push_back(div);
+      if (on_divergence) on_divergence(stats.divergences.back());
+    };
+
+    // Resident-dirs baseline, self-checked (shape + rescoring) so a broken
+    // baseline cannot silently "agree" with an equally broken stream.
+    const AlignResult resident = run_production(spec, &arena);
+    ++stats.cases_run;
+    ++combo.cases;
+    std::string why;
+    if (!validate_cigar_shape(resident.cigar, static_cast<u64>(resident.t_end + 1),
+                              static_cast<u64>(resident.q_end + 1), &why)) {
+      report("resident baseline has malformed CIGAR: " + why);
+      continue;
+    }
+    const i64 rescore =
+        spec.family == Family::kTwoPiece
+            ? twopiece_cigar_score(resident.cigar, spec.target, spec.query, spec.tp)
+            : resident.cigar.score(spec.target, spec.query, 0, 0, spec.params);
+    if (rescore != resident.score) {
+      report(fmt_failure("resident baseline CIGAR rescoring %lld != score %lld",
+                         static_cast<long long>(rescore),
+                         static_cast<long long>(resident.score)));
+      continue;
+    }
+
+    // Streamed replays: degenerate one-row blocks, a small-budget block,
+    // and the default block, through heap and (periodically) file sinks.
+    const i32 tl = static_cast<i32>(spec.target.size());
+    const i32 ql = static_cast<i32>(spec.query.size());
+    struct StreamRun {
+      const char* name;
+      i32 rows;
+      bool file;
+    };
+    const bool file_seed = opt.file_spill_every > 0 && seed % opt.file_spill_every == 0;
+    const StreamRun runs[] = {
+        {"rows=1", 1, false},
+        {"budget=256KiB", spill_rows_for_budget(tl, ql, u64{256} << 10), file_seed},
+        {"default-block", 0, false},
+    };
+    for (const StreamRun& r : runs) {
+      const std::unique_ptr<DirsSpill> sink =
+          r.file ? std::unique_ptr<DirsSpill>(std::make_unique<FileDirsSpill>())
+                 : std::unique_ptr<DirsSpill>(std::make_unique<MemDirsSpill>());
+      const AlignResult streamed = run_production_streamed(spec, &arena, sink.get(), r.rows);
+      ++stats.cases_run;
+      ++combo.cases;
+      if (streamed.score != resident.score || streamed.t_end != resident.t_end ||
+          streamed.q_end != resident.q_end) {
+        report(fmt_failure("streamed (%s, %s sink) score/end %lld/(%d,%d) != resident "
+                           "%lld/(%d,%d)",
+                           r.name, r.file ? "file" : "mem",
+                           static_cast<long long>(streamed.score), streamed.t_end,
+                           streamed.q_end, static_cast<long long>(resident.score),
+                           resident.t_end, resident.q_end));
+        continue;
+      }
+      if (streamed.cigar.to_string() != resident.cigar.to_string()) {
+        report(fmt_failure("streamed (%s, %s sink) CIGAR differs from resident", r.name,
+                           r.file ? "file" : "mem"));
+      }
+    }
+
+    // Row-band streamed reference: score/end cell must match the kernel
+    // (one-piece model only; the two-piece reference has no streamed form).
+    if (opt.with_reference && spec.family == Family::kDiff) {
+      DiffArgs a;
+      a.target = spec.target.data();
+      a.tlen = tl;
+      a.query = spec.query.data();
+      a.qlen = ql;
+      a.params = spec.params;
+      a.mode = spec.mode;
+      a.with_cigar = false;
+      const AlignResult ref = reference_align_streamed(a);
+      ++stats.cases_run;
+      ++combo.cases;
+      if (ref.score != resident.score || ref.t_end != resident.t_end ||
+          ref.q_end != resident.q_end)
+        report(fmt_failure("row-band reference score/end %lld/(%d,%d) != kernel "
+                           "%lld/(%d,%d)",
+                           static_cast<long long>(ref.score), ref.t_end, ref.q_end,
+                           static_cast<long long>(resident.score), resident.t_end,
+                           resident.q_end));
     }
   }
   stats.combos = std::move(table.combos);

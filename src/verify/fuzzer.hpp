@@ -79,6 +79,12 @@ struct FuzzCase {
 /// Deterministic: the same seed always yields the same case.
 FuzzCase make_case(u64 seed);
 
+/// Long-read-shaped case: a `target_len` random target and an
+/// indel-mutated query at PacBio-like error rates, with scoring drawn from
+/// the int8-safe pools. Deterministic in (seed, target_len). Used by the
+/// long-read sweep and the CI memory-budget smoke.
+FuzzCase make_longread_case(u64 seed, i32 target_len);
+
 struct SweepOptions {
   u64 seeds = 256;
   u64 first_seed = 1;
@@ -89,6 +95,21 @@ struct SweepOptions {
   bool minimize = true;      ///< shrink divergent cases before reporting
   i32 simt_max_len = 96;     ///< interpreter is slow; cap SIMT case size
   u64 simt_every = 4;        ///< run SIMT cells on every Nth seed
+};
+
+/// Options for the long-read streaming sweep (run_longread_sweep).
+struct LongReadOptions {
+  u64 seeds = 100;
+  u64 first_seed = 1;
+  i32 min_len = 1024;  ///< per-seed target length, drawn uniformly
+  i32 max_len = 4096;
+  /// Also check the kernel score/end cell against the row-band streamed
+  /// reference DP (diff-family seeds only; the two-piece reference has no
+  /// streamed form).
+  bool with_reference = true;
+  /// Route every Nth seed's spill through a temp file (FileDirsSpill)
+  /// instead of the heap sink, exercising the file I/O path.
+  u64 file_spill_every = 8;
 };
 
 /// One confirmed divergence, minimized when SweepOptions::minimize is set.
@@ -117,6 +138,20 @@ struct SweepStats {
 /// minimization, as each divergence is found.
 SweepStats run_sweep(const SweepOptions& opt,
                      const std::function<void(const Divergence&)>& on_divergence = {});
+
+/// End-to-end sweep of the diagonal-block dirs streaming path on
+/// long-read-sized pairs. Each seed picks one (family, layout, ISA, mode)
+/// cell, runs the resident-dirs kernel as the baseline, then replays the
+/// identical case through the streaming path at several block heights
+/// (degenerate 1-row, a small-budget block, the default block) and through
+/// both spill sinks — every replay must be bit-identical in score, end
+/// cell and CIGAR. Diff-family seeds additionally check the score/end cell
+/// against the row-band streamed reference DP. Divergences are reported
+/// un-minimized (cases are large; the failure text names the block
+/// configuration).
+SweepStats run_longread_sweep(
+    const LongReadOptions& opt,
+    const std::function<void(const Divergence&)>& on_divergence = {});
 
 /// Greedy shrink: chunked trims of both sequences from both ends, then
 /// base-to-'A' simplification, keeping every step that still fails the

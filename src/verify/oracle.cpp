@@ -183,6 +183,25 @@ AlignResult run_production(const CaseSpec& spec, detail::KernelArena* arena) {
   fatal("unknown kernel family", __FILE__, __LINE__);
 }
 
+AlignResult run_production_streamed(const CaseSpec& spec, detail::KernelArena* arena,
+                                    DirsSpill* spill, i32 block_rows) {
+  MM_REQUIRE(runnable(spec), "case is not runnable on this machine");
+  MM_REQUIRE(spec.family == Family::kDiff || spec.family == Family::kTwoPiece,
+             "dirs streaming exists for the diff / two-piece kernels only");
+  if (spec.family == Family::kDiff) {
+    DiffArgs a = diff_args(spec);
+    a.arena = arena;
+    a.spill = spill;
+    a.spill_block_rows = block_rows;
+    return get_diff_kernel(spec.layout, spec.isa)(a);
+  }
+  TwoPieceArgs a = twopiece_args(spec);
+  a.arena = arena;
+  a.spill = spill;
+  a.spill_block_rows = block_rows;
+  return get_twopiece_kernel(spec.layout, spec.isa)(a);
+}
+
 AlignResult run_reference(const CaseSpec& spec) {
   if (spec.family == Family::kTwoPiece) {
     TwoPieceArgs a = twopiece_args(spec);
@@ -234,7 +253,7 @@ CheckResult run_oracle(const CaseSpec& spec) {
 }
 
 CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
-                               u64 max_ref_cells) {
+                               u64 max_ref_cells, u64 max_stream_cells) {
   MM_REQUIRE(m.contig != nullptr && m.query != nullptr && m.cigar != nullptr,
              "live mapping audit needs contig/query/cigar");
   if (m.tend > m.contig->size() || m.tstart > m.tend)
@@ -255,9 +274,12 @@ CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
     return CheckResult::fail(fmt("CIGAR rescoring %lld != reported score %lld",
                                  static_cast<long long>(path_score),
                                  static_cast<long long>(m.score)));
-  // Reference upper bound, capped: the full-matrix DP is O(t_span * q_span)
-  // int64 cells, so only small spans are replayed exactly.
-  if (t_span > 0 && q_span > 0 && t_span * q_span <= max_ref_cells) {
+  // Reference upper bound: small spans replay the full-matrix DP exactly;
+  // larger spans (up to max_stream_cells) replay the row-band streamed
+  // reference, whose resident state is O(t_span + q_span) instead of the
+  // O(t_span * q_span) int32 matrices — long-read mappings stay auditable.
+  const u64 cells = t_span * q_span;
+  if (t_span > 0 && q_span > 0 && cells <= std::max(max_ref_cells, max_stream_cells)) {
     const std::vector<u8> target(m.contig->begin() + static_cast<i64>(m.tstart),
                                  m.contig->begin() + static_cast<i64>(m.tend));
     const std::vector<u8> query(m.query->begin() + m.qstart, m.query->begin() + m.qend);
@@ -269,7 +291,8 @@ CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
     a.params = params;
     a.mode = AlignMode::kGlobal;
     a.with_cigar = false;
-    const AlignResult ref = reference_align(a);
+    const AlignResult ref =
+        cells <= max_ref_cells ? reference_align(a) : reference_align_streamed(a);
     if (m.score > ref.score)
       return CheckResult::fail(fmt("reported score %lld beats the reference optimum %lld",
                                    static_cast<long long>(m.score),

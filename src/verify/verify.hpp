@@ -84,6 +84,14 @@ i64 twopiece_cigar_score(const Cigar& cigar, const std::vector<u8>& target,
 AlignResult run_production(const CaseSpec& spec);
 AlignResult run_production(const CaseSpec& spec, detail::KernelArena* arena);
 
+/// As run_production, but drives the diagonal-block dirs streaming path:
+/// direction rows leave the arena through `spill` in blocks of
+/// `block_rows` padded diagonal rows (0 picks the default block; see
+/// align/dirs_spill.hpp). kDiff / kTwoPiece only — the other families have
+/// no streaming form. Results must be bit-identical to the resident path.
+AlignResult run_production_streamed(const CaseSpec& spec, detail::KernelArena* arena,
+                                    DirsSpill* spill, i32 block_rows);
+
 /// Run the matching full-matrix reference DP (always with a CIGAR, so the
 /// oracle can compare paths).
 AlignResult run_reference(const CaseSpec& spec);
@@ -110,15 +118,25 @@ struct LiveMapping {
   const Cigar* cigar = nullptr;             ///< reported path
 };
 
+/// Default ceiling for the row-band streamed reference replay inside
+/// check_live_mapping: covers a 64 kbp x 64 kbp span (~4.1e9 cells) with
+/// headroom while keeping a single audit at seconds, not minutes.
+inline constexpr u64 kDefaultMaxStreamCells = u64{5} << 30;
+
 /// Audit one live mapping: coordinate sanity, CIGAR shape over the spans,
-/// CIGAR rescoring == reported score, and — when the spanned matrix is at
-/// most `max_ref_cells` — the reference DP over the spans must not score
-/// LOWER than the reported path (the stitched path is one valid global
-/// path, so reported > reference proves a scoring bug; reported < reference
-/// is expected, stitching is a heuristic). Used by the serving layer's
-/// --verify sampling.
+/// CIGAR rescoring == reported score, and a reference upper-bound check —
+/// the reference DP over the spans must not score LOWER than the reported
+/// path (the stitched path is one valid global path, so reported >
+/// reference proves a scoring bug; reported < reference is expected,
+/// stitching is a heuristic). Spans up to `max_ref_cells` replay the
+/// full-matrix reference; larger spans up to `max_stream_cells` replay the
+/// row-band streamed reference (reference_align_streamed), which needs
+/// O(|T|+|Q|) memory instead of O(|T|*|Q|) — this is what lets >32 kbp
+/// mappings be spot-verified at all. Used by the serving layer's --verify
+/// sampling.
 CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
-                               u64 max_ref_cells);
+                               u64 max_ref_cells,
+                               u64 max_stream_cells = kDefaultMaxStreamCells);
 
 }  // namespace verify
 }  // namespace manymap

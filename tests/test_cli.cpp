@@ -12,6 +12,9 @@
 #ifndef MANYMAP_CLI_PATH
 #define MANYMAP_CLI_PATH "../tools/manymap"
 #endif
+#ifndef MANYMAP_SERVE_PATH
+#define MANYMAP_SERVE_PATH "../tools/manymap_serve"
+#endif
 
 namespace manymap {
 namespace {
@@ -20,6 +23,11 @@ std::string tmp(const char* name) { return ::testing::TempDir() + "/" + name; }
 
 int run_cli(const std::string& args) {
   const std::string cmd = std::string(MANYMAP_CLI_PATH) + " " + args + " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+int run_serve(const std::string& args) {
+  const std::string cmd = std::string(MANYMAP_SERVE_PATH) + " " + args + " >/dev/null 2>&1";
   return std::system(cmd.c_str());
 }
 
@@ -70,6 +78,53 @@ TEST(Cli, SimulateIndexMapRoundTrip) {
 TEST(Cli, UsageOnBadInvocation) {
   EXPECT_NE(run_cli(""), 0);
   EXPECT_NE(run_cli("frobnicate"), 0);
+}
+
+// Numeric option validation: zero, negative, or malformed values are
+// config errors answered with the usage message (exit 2), never a silent
+// clamp or a crash. One shared simulate output keeps this fast.
+TEST(Cli, RejectsNonPositiveNumericOptions) {
+  const std::string ref = tmp("cli_ref3.fa");
+  const std::string reads = tmp("cli_reads3.fq");
+  ASSERT_EQ(run_cli("simulate " + ref + " " + reads + " --length 50000 --reads 3"), 0);
+
+  // map: threads must be a positive integer.
+  for (const char* bad : {"0", "-2", "1x", "huge", ""}) {
+    EXPECT_NE(run_cli("map " + ref + " " + reads + " --threads '" + bad + "' > /dev/null"), 0)
+        << "--threads " << bad;
+  }
+  // index: k and w must be positive.
+  const std::string index = tmp("cli_ref3.mmi");
+  EXPECT_NE(run_cli("index " + ref + " " + index + " -k 0"), 0);
+  EXPECT_NE(run_cli("index " + ref + " " + index + " -w -3"), 0);
+  // simulate: length/contigs/reads positive, seed non-negative.
+  EXPECT_NE(run_cli("simulate " + ref + " " + reads + " --length 0"), 0);
+  EXPECT_NE(run_cli("simulate " + ref + " " + reads + " --reads -1"), 0);
+  EXPECT_NE(run_cli("simulate " + ref + " " + reads + " --seed -1"), 0);
+  EXPECT_EQ(run_cli("simulate " + ref + " " + reads + " --length 50000 --reads 3 --seed 0"), 0);
+
+  std::remove(ref.c_str());
+  std::remove(reads.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(Serve, RejectsNonPositiveNumericOptions) {
+  for (const char* bad :
+       {"--workers 0", "--shards -1", "--batch-size 0", "--queue-capacity -4",
+        "--verify-sample 0", "--mem-budget-mb 0", "--mem-budget-mb -5", "--reads 2x",
+        "--length nope", "--batch-delay-us 0", "--deadline-ms -1", "--rate -0.5",
+        "--seed -9"}) {
+    // Bad value last so it wins over the baseline (repeated options keep
+    // the final occurrence).
+    EXPECT_NE(run_serve("--reads 1 --length 10000 " + std::string(bad)), 0) << bad;
+  }
+}
+
+TEST(Serve, MemBudgetRunEndsCleanly) {
+  // A tiny budget forces the dirs-streaming rung of the degradation ladder
+  // end-to-end through the real binary; --verify audits the sampled
+  // responses against the oracle.
+  EXPECT_EQ(run_serve("--length 30000 --reads 6 --mem-budget-mb 1 --verify --workers 1"), 0);
 }
 
 TEST(Cli, LayoutAndIsaSelection) {

@@ -647,6 +647,133 @@ TEST(ServiceFault, ChaosMiniEveryRequestTerminalAndServiceRecovers) {
 
 #endif  // MANYMAP_FAULT_INJECTION
 
+// ---- memory budget: footprint-aware admission and the degradation ladder.
+
+TEST(ServiceMemory, TightBudgetStreamsDirsByteIdentically) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 2;
+  // Resident threshold far below any request estimate: every path-mode
+  // kernel must stream its dirs, and the PAF must not change by one byte.
+  cfg.mem.shard_budget_bytes = u64{8} << 20;
+  cfg.mem.resident_request_bytes = u64{32} << 10;
+  cfg.mem.score_only_above_bytes = u64{1} << 40;  // never score-only
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 40; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u64 streamed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+    EXPECT_GT(r.est_dirs_bytes, 0u);
+    if (r.degrade == DegradeLevel::kStreamedDirs) {
+      ++streamed;
+      EXPECT_GT(r.timings.streamed_kernels, 0u);
+    }
+  }
+  EXPECT_GT(streamed, 0u);
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.streamed_responses, streamed);
+  EXPECT_GT(snap.dirs_spilled_bytes, 0u);
+  EXPECT_EQ(snap.mem_score_only, 0u);
+}
+
+TEST(ServiceMemory, OverBudgetRequestsDegradeToScoreOnly) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  // Everything sits above the score-only rung: responses stay kOk but drop
+  // the CIGAR, and the ladder takes precedence over streaming.
+  cfg.mem.shard_budget_bytes = u64{8} << 20;
+  cfg.mem.resident_request_bytes = u64{32} << 10;
+  cfg.mem.score_only_above_bytes = 1;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 12; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (auto& f : futures) {
+    const MapResponse r = f.get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.degrade, DegradeLevel::kScoreOnly);
+    EXPECT_EQ(r.paf.find("cg:Z"), std::string::npos);
+  }
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.mem_score_only, 12u);
+  EXPECT_EQ(snap.streamed_responses, 0u);
+}
+
+TEST(ServiceMemory, ShardBudgetRedirectsCountAndPreserveResults) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 1;
+  cfg.batch.max_batch_size = 4;
+  // A 1-byte shard budget puts every batch over budget at dispatch: each
+  // one redirects to the shard with the least outstanding dirs bytes.
+  // Results must stay byte-identical — gating reorders, never corrupts.
+  cfg.mem.shard_budget_bytes = 1;
+  cfg.mem.resident_request_bytes = u64{1} << 40;
+  cfg.mem.score_only_above_bytes = u64{1} << 40;
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 24; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+  }
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_GT(snap.budget_redirects, 0u);
+}
+
+TEST(ServiceMemory, IdleWorkersTrimTheirArenas) {
+  const auto& w = workload();
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.idle_trim.enabled = true;
+  cfg.idle_trim.after_idle = 20ms;
+  cfg.idle_trim.retain_bytes = 1 << 10;
+  AlignmentService svc(w.ref, cfg);
+  MapRequest req;
+  req.id = 0;
+  req.read = w.reads[0];
+  ASSERT_EQ(svc.submit_wait(std::move(req)).get().status, RequestStatus::kOk);
+  // Let the idle timeout fire a few times; the first one past the batch
+  // must release the arena down to retain_bytes and count a trim.
+  std::this_thread::sleep_for(150ms);
+  const auto idle_snap = svc.metrics().snapshot();
+  EXPECT_GT(idle_snap.arena_trims, 0u);
+  // A request after the trim rebuilds the workspace transparently.
+  MapRequest again;
+  again.id = 1;
+  again.read = w.reads[1];
+  const MapResponse r = svc.submit_wait(std::move(again)).get();
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_EQ(r.paf, w.serial_paf[1]);
+  svc.shutdown();
+}
+
 TEST(Metrics, SparseReservoirPercentilesAreObservedSamples) {
   // Nearest-rank on sparse reservoirs: the reported percentile must be a
   // latency some request actually experienced, not an interpolated blend.

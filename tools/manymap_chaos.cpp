@@ -6,7 +6,12 @@
 // slow/stalled compute, DP allocation failures, queue delays), a small
 // randomized service configuration (shards, workers, watchdog, breaker)
 // and a request mix (submit vs submit_wait, with and without deadlines),
-// then asserts the robustness contract:
+// then asserts the robustness contract. Every eighth seed is a SPILL
+// STORM: the memory budget is squeezed until every path-mode kernel
+// streams its direction bytes through a spill sink, and the
+// align.dirs.spill / align.dirs.spill_io fault sites are battered on top —
+// the degradation ladder must still deliver terminal statuses. The
+// contract:
 //
 //   1. every submitted request resolves exactly once with a terminal
 //      status (kOk / kRejected / kTimedOut / kFailed) — no hang, no
@@ -82,6 +87,17 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
   cfg.breaker.window = std::chrono::milliseconds(500);
   cfg.breaker.cooldown = std::chrono::milliseconds(200);
 
+  // Spill-storm seeds: a memory budget tight enough that every path-mode
+  // kernel streams its dirs through a spill sink, plus faults on the spill
+  // handoff and file I/O sites. Exercises the full degradation ladder
+  // (resident -> streamed -> fallback) under injected spill failures.
+  const bool spill_storm = seed % 8 == 0;
+  if (spill_storm) {
+    cfg.mem.shard_budget_bytes = u64{8} << 20;
+    cfg.mem.resident_request_bytes = u64{32} << 10;
+    cfg.mem.score_only_above_bytes = u64{1} << 30;
+  }
+
   // Fault schedule: 1-4 specs drawn from the site catalog. Stalls are kept
   // rare and bounded (one firing, ~1-2x the watchdog timeout) so a round
   // exercises takeover/respawn without dominating wall time.
@@ -122,6 +138,18 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
         break;
     }
     plan.arm(spec);
+  }
+  if (spill_storm) {
+    fault::FaultSpec spill;
+    spill.site = "align.dirs.spill";
+    spill.kind = fault::FaultKind::kError;
+    spill.one_in = static_cast<u32>(rng.range(4, 12));
+    plan.arm(spill);
+    fault::FaultSpec io;
+    io.site = "align.dirs.spill_io";
+    io.kind = fault::FaultKind::kError;
+    io.one_in = static_cast<u32>(rng.range(16, 64));
+    plan.arm(io);
   }
 
   AlignmentService svc(ref, cfg);
@@ -187,9 +215,10 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
 
   if (verbose)
     std::fprintf(stderr,
-                 "[chaos] seed=%llu shards=%u workers=%u specs=%u fires=%llu "
+                 "[chaos] seed=%llu%s shards=%u workers=%u specs=%u fires=%llu "
                  "ok=%llu rejected=%llu timed_out=%llu failed=%llu stalls=%llu%s%s\n",
-                 static_cast<unsigned long long>(seed), cfg.shards, cfg.workers_per_shard,
+                 static_cast<unsigned long long>(seed), spill_storm ? " [spill-storm]" : "",
+                 cfg.shards, cfg.workers_per_shard,
                  nspecs, static_cast<unsigned long long>(plan.fires()),
                  static_cast<unsigned long long>(by_status[0]),
                  static_cast<unsigned long long>(by_status[1]),

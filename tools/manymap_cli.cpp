@@ -33,6 +33,8 @@
 namespace manymap {
 namespace {
 
+int usage();
+
 struct ArgList {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
@@ -41,11 +43,31 @@ struct ArgList {
     const auto it = options.find(k);
     return it == options.end() ? dflt : it->second;
   }
-  i64 get_int(const std::string& k, i64 dflt) const {
-    const auto it = options.find(k);
-    return it == options.end() ? dflt : std::stoll(it->second);
-  }
 };
+
+/// Fetch an option as a strictly positive integer. Zero, negative, or
+/// malformed values are config errors: the offending value is reported
+/// and nullopt returned so the caller falls through to usage().
+std::optional<i64> positive_opt(const ArgList& args, const std::string& key, i64 dflt) {
+  if (!args.has(key)) return dflt;
+  const auto v = parse_positive_int(args.get(key, ""));
+  if (!v)
+    std::fprintf(stderr, "manymap: --%s needs a positive integer, got '%s'\n", key.c_str(),
+                 args.get(key, "").c_str());
+  return v;
+}
+
+/// Fetch an option as a non-negative integer (seeds).
+std::optional<i64> nonneg_opt(const ArgList& args, const std::string& key, i64 dflt) {
+  if (!args.has(key)) return dflt;
+  const auto v = parse_int(args.get(key, ""));
+  if (!v || *v < 0) {
+    std::fprintf(stderr, "manymap: --%s needs a non-negative integer, got '%s'\n", key.c_str(),
+                 args.get(key, "").c_str());
+    return std::nullopt;
+  }
+  return v;
+}
 
 ArgList parse_args(int argc, char** argv, const std::vector<std::string>& flags) {
   ArgList out;
@@ -85,9 +107,12 @@ Reference load_reference(const std::string& path, bool use_mmap) {
 
 int cmd_index(const ArgList& args) {
   MM_REQUIRE(args.positional.size() == 2, "usage: manymap index <ref.fa> <out.mmi>");
+  const auto k = positive_opt(args, "k", 15);
+  const auto w = positive_opt(args, "w", 10);
+  if (!k || !w) return usage();
   SketchParams sp;
-  sp.k = static_cast<u32>(args.get_int("k", 15));
-  sp.w = static_cast<u32>(args.get_int("w", 10));
+  sp.k = static_cast<u32>(*k);
+  sp.w = static_cast<u32>(*w);
   const Reference ref = load_reference(args.positional[0], true);
   const auto index = MinimizerIndex::build(ref, sp);
   const u64 bytes = save_index(args.positional[1], index);
@@ -127,7 +152,9 @@ int cmd_map(const ArgList& args) {
   const bool sam = args.has("sam");
   const bool cigar_tag = args.has("cigar");
   if (sam) std::cout << sam_header(ref);
-  const u32 threads = static_cast<u32>(args.get_int("threads", 2));
+  const auto threads_opt = positive_opt(args, "threads", 2);
+  if (!threads_opt) return usage();
+  const u32 threads = static_cast<u32>(*threads_opt);
   WallTimer timer;
   u64 mapped = 0;
   if (sam || threads <= 1) {
@@ -152,10 +179,15 @@ int cmd_map(const ArgList& args) {
 int cmd_simulate(const ArgList& args) {
   MM_REQUIRE(args.positional.size() == 2,
              "usage: manymap simulate <out_ref.fa> <out_reads.fq> [options]");
+  const auto length = positive_opt(args, "length", 1'000'000);
+  const auto contigs_n = positive_opt(args, "contigs", 2);
+  const auto reads_n = positive_opt(args, "reads", 500);
+  const auto seed = nonneg_opt(args, "seed", 7);
+  if (!length || !contigs_n || !reads_n || !seed) return usage();
   GenomeParams g;
-  g.total_length = static_cast<u64>(args.get_int("length", 1'000'000));
-  g.num_contigs = static_cast<u32>(args.get_int("contigs", 2));
-  g.seed = static_cast<u64>(args.get_int("seed", 7));
+  g.total_length = static_cast<u64>(*length);
+  g.num_contigs = static_cast<u32>(*contigs_n);
+  g.seed = static_cast<u64>(*seed);
   const Reference ref = generate_genome(g);
   std::vector<Sequence> contigs = ref.contigs();
   write_fasta_file(args.positional[0], contigs);
@@ -163,7 +195,7 @@ int cmd_simulate(const ArgList& args) {
   ReadSimParams rp;
   rp.profile = args.get("platform", "pacbio") == "nanopore" ? ErrorProfile::nanopore()
                                                             : ErrorProfile::pacbio();
-  rp.num_reads = static_cast<u32>(args.get_int("reads", 500));
+  rp.num_reads = static_cast<u32>(*reads_n);
   rp.seed = g.seed + 1;
   const auto sim = ReadSimulator(ref, rp).simulate();
   const u64 bytes = write_dataset(args.positional[1], sim);

@@ -29,6 +29,14 @@
 //                          divergence or mismatch
 //   --verify-sample N      sample every Nth kOk response (default 16)
 //   --paf                  print the PAF of every OK response (trace order)
+//   --mem-budget-mb M      per-shard dirs memory budget: requests whose
+//                          estimated direction-byte footprint exceeds M/4 MiB
+//                          run with streamed dirs (spill sinks), past 16*M
+//                          they are served score-only; dispatch routes
+//                          batches away from over-budget shards
+//
+// All numeric options are validated: counts must be positive integers,
+// --deadline-ms/--rate non-negative; violations answer with usage().
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -56,15 +64,41 @@ struct ArgList {
     const auto it = options.find(k);
     return it == options.end() ? dflt : it->second;
   }
-  i64 get_int(const std::string& k, i64 dflt) const {
-    const auto it = options.find(k);
-    return it == options.end() ? dflt : std::stoll(it->second);
-  }
-  double get_double(const std::string& k, double dflt) const {
-    const auto it = options.find(k);
-    return it == options.end() ? dflt : std::stod(it->second);
-  }
 };
+
+/// Fetch an option as a strictly positive integer; zero/negative or
+/// malformed values are reported (the caller answers with usage()).
+std::optional<i64> positive_opt(const ArgList& args, const std::string& key, i64 dflt) {
+  if (!args.has(key)) return dflt;
+  const auto v = parse_positive_int(args.get(key, ""));
+  if (!v)
+    std::fprintf(stderr, "manymap_serve: --%s needs a positive integer, got '%s'\n",
+                 key.c_str(), args.get(key, "").c_str());
+  return v;
+}
+
+/// Fetch an option as a non-negative integer (seeds).
+std::optional<i64> nonneg_int_opt(const ArgList& args, const std::string& key, i64 dflt) {
+  if (!args.has(key)) return dflt;
+  const auto v = parse_int(args.get(key, ""));
+  if (!v || *v < 0) {
+    std::fprintf(stderr, "manymap_serve: --%s needs a non-negative integer, got '%s'\n",
+                 key.c_str(), args.get(key, "").c_str());
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Fetch an option as a non-negative real (rates/timeouts; 0 = disabled).
+std::optional<double> nonneg_double_opt(const ArgList& args, const std::string& key,
+                                        double dflt) {
+  if (!args.has(key)) return dflt;
+  const auto v = parse_nonneg_double(args.get(key, ""));
+  if (!v)
+    std::fprintf(stderr, "manymap_serve: --%s needs a non-negative number, got '%s'\n",
+                 key.c_str(), args.get(key, "").c_str());
+  return v;
+}
 
 /// Parses `--flag` / `--option value` pairs. Returns nullopt (after printing
 /// the offending token) on anything unknown or malformed, so main can fall
@@ -102,7 +136,11 @@ int usage() {
                "  [--layout minimap2|manymap] [--isa name] [--workers N] [--shards N]\n"
                "  [--dispatch rr|length] [--queue-capacity N] [--batch-size N]\n"
                "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
-               "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n");
+               "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n"
+               "  [--mem-budget-mb M]\n"
+               "numeric options must be positive integers (--deadline-ms/--rate accept 0 =\n"
+               "disabled); --mem-budget-mb caps each shard's estimated in-flight direction\n"
+               "bytes and degrades over-budget requests to streamed dirs, then score-only\n");
   return 2;
 }
 
@@ -116,7 +154,7 @@ int main(int argc, char** argv) {
       "ref",      "reads-file", "length",         "reads",      "platform",
       "seed",     "preset",     "layout",         "isa",        "workers",
       "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
-      "deadline-ms", "rate",    "admission",      "verify-sample"};
+      "deadline-ms", "rate",    "admission",      "verify-sample", "mem-budget-mb"};
   const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
   if (!parsed) return usage();
   if (parsed->has("help")) {
@@ -125,7 +163,25 @@ int main(int argc, char** argv) {
   }
   const ArgList& args = *parsed;
 
-  const u64 seed = static_cast<u64>(args.get_int("seed", 42));
+  // Strict numeric validation up front: every count must be positive,
+  // rates/timeouts non-negative; anything else answers with usage.
+  const auto seed_opt = nonneg_int_opt(args, "seed", 42);
+  const auto length_opt = positive_opt(args, "length", 400'000);
+  const auto reads_opt = positive_opt(args, "reads", 2000);
+  const auto shards_opt = positive_opt(args, "shards", 1);
+  const auto workers_opt = positive_opt(args, "workers", 4);
+  const auto queue_cap_opt = positive_opt(args, "queue-capacity", 64);
+  const auto batch_size_opt = positive_opt(args, "batch-size", 16);
+  const auto batch_delay_opt = positive_opt(args, "batch-delay-us", 2000);
+  const auto verify_sample_opt = positive_opt(args, "verify-sample", 16);
+  const auto mem_budget_opt = positive_opt(args, "mem-budget-mb", 0);
+  const auto deadline_opt = nonneg_double_opt(args, "deadline-ms", 0.0);
+  const auto rate_opt = nonneg_double_opt(args, "rate", 0.0);
+  if (!seed_opt || !length_opt || !reads_opt || !shards_opt || !workers_opt ||
+      !queue_cap_opt || !batch_size_opt || !batch_delay_opt || !verify_sample_opt ||
+      !mem_budget_opt || !deadline_opt || !rate_opt)
+    return usage();
+  const u64 seed = static_cast<u64>(*seed_opt);
 
   // 1. Workload: reference + reads, loaded or simulated (fixed seed).
   Reference ref;
@@ -133,7 +189,7 @@ int main(int argc, char** argv) {
     for (auto& c : read_sequence_file(args.get("ref", ""))) ref.add(std::move(c));
   } else {
     GenomeParams gp;
-    gp.total_length = static_cast<u64>(args.get_int("length", 400'000));
+    gp.total_length = static_cast<u64>(*length_opt);
     gp.seed = seed;
     ref = generate_genome(gp);
   }
@@ -144,7 +200,7 @@ int main(int argc, char** argv) {
     ReadSimParams rp;
     rp.profile = args.get("platform", "pacbio") == "nanopore" ? ErrorProfile::nanopore()
                                                               : ErrorProfile::pacbio();
-    rp.num_reads = static_cast<u32>(args.get_int("reads", 2000));
+    rp.num_reads = static_cast<u32>(*reads_opt);
     rp.seed = seed + 1;
     for (auto& sr : ReadSimulator(ref, rp).simulate()) reads.push_back(std::move(sr.read));
   }
@@ -158,20 +214,29 @@ int main(int argc, char** argv) {
   MM_REQUIRE(apply_layout_name(cfg.map, args.get("layout", "manymap")), "bad --layout");
   if (args.has("isa"))
     MM_REQUIRE(apply_isa_name(cfg.map, args.get("isa", "")), "bad --isa or unavailable");
-  cfg.shards = static_cast<u32>(args.get_int("shards", 1));
-  cfg.workers_per_shard = static_cast<u32>(args.get_int("workers", 4));
+  cfg.shards = static_cast<u32>(*shards_opt);
+  cfg.workers_per_shard = static_cast<u32>(*workers_opt);
   cfg.dispatch = args.get("dispatch", "rr") == "length" ? ServiceConfig::Dispatch::kLeastLoaded
                                                         : ServiceConfig::Dispatch::kRoundRobin;
-  cfg.ingress_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 64));
-  cfg.batch.max_batch_size = static_cast<u32>(args.get_int("batch-size", 16));
-  cfg.batch.max_delay = std::chrono::microseconds(args.get_int("batch-delay-us", 2000));
+  cfg.ingress_capacity = static_cast<std::size_t>(*queue_cap_opt);
+  cfg.batch.max_batch_size = static_cast<u32>(*batch_size_opt);
+  cfg.batch.max_delay = std::chrono::microseconds(*batch_delay_opt);
   cfg.batch.longest_first = !args.has("no-longest-first");
-  if (args.has("verify"))
-    cfg.verify_sample_every = static_cast<u64>(args.get_int("verify-sample", 16));
+  if (args.has("verify")) cfg.verify_sample_every = static_cast<u64>(*verify_sample_opt);
+  if (args.has("mem-budget-mb")) {
+    // One knob drives the whole ladder: the shard budget is M MiB, a
+    // single request may hold at most a quarter of it resident (above
+    // that it streams dirs), and anything estimated past 16x the budget
+    // is served score-only.
+    const u64 budget = static_cast<u64>(*mem_budget_opt) << 20;
+    cfg.mem.shard_budget_bytes = budget;
+    cfg.mem.resident_request_bytes = budget / 4;
+    cfg.mem.score_only_above_bytes = budget * 16;
+  }
 
   // 3. Arrival schedule: exponential inter-arrival gaps (Poisson process)
   //   at --rate req/s; rate 0 degenerates to a burst at t=0.
-  const double rate = args.get_double("rate", 0.0);
+  const double rate = *rate_opt;
   Rng arrivals(seed + 2);
   std::vector<double> arrive_at(reads.size(), 0.0);
   if (rate > 0.0) {
@@ -181,7 +246,7 @@ int main(int argc, char** argv) {
       a = t;
     }
   }
-  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  const double deadline_ms = *deadline_opt;
   const bool blocking = args.get("admission", "block") != "reject";
 
   // 4. Replay the trace.

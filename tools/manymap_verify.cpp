@@ -7,7 +7,8 @@
 // Sweep options:
 //   --seeds N        fuzz seeds to sweep (default 256)
 //   --first-seed S   first seed (default 1; seeds are S..S+N-1)
-//   --family F       diff|twopiece|simt|all (default all)
+//   --family F       diff|twopiece|simt|banded|longread|all (default all);
+//                    `longread` sweeps the dirs streaming path end-to-end
 //   --no-minimize    report divergences without shrinking them
 //   --out DIR        write a minimized .repro file per divergence to DIR
 //   --quiet          suppress the per-combo table
@@ -21,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "align/arena.hpp"
+#include "align/dirs_spill.hpp"
+#include "core/options.hpp"
 #include "verify/fuzzer.hpp"
 
 namespace manymap {
@@ -29,9 +33,77 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|banded|all]\n"
+               "                      [--family diff|twopiece|simt|banded|longread|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
-               "       manymap_verify --repro FILE [FILE...]\n");
+               "       manymap_verify --smoke-longread N [--smoke-budget-mb M]\n"
+               "       manymap_verify --repro FILE [FILE...]\n"
+               "\n"
+               "--family longread sweeps the diagonal-block dirs streaming path on\n"
+               "long-read-sized pairs (resident vs streamed bit-identity plus the\n"
+               "row-band streamed reference). --smoke-longread aligns one N x ~N bp\n"
+               "pair in path mode with dirs spilled to a temp file under an M MiB\n"
+               "resident block budget (default 48) — runnable under ulimit -v.\n");
+}
+
+/// CI memory-budget smoke: one long-read pair through the streaming path,
+/// file-backed spill, resident dirs bounded by `budget_mb`. Two different
+/// block heights must agree bit-for-bit and pass shape + rescoring.
+int run_smoke_longread(i64 n, i64 budget_mb) {
+  using namespace verify;
+  const verify::FuzzCase fc = make_longread_case(/*seed=*/1, static_cast<i32>(n));
+  CaseSpec spec;
+  spec.family = Family::kDiff;
+  spec.layout = Layout::kManymap;
+  spec.isa = best_isa();
+  spec.mode = AlignMode::kGlobal;
+  spec.with_cigar = true;
+  spec.params = ScoreParams::map_pb();
+  spec.target = fc.target;
+  spec.query = fc.query;
+
+  const i32 tl = static_cast<i32>(spec.target.size());
+  const i32 ql = static_cast<i32>(spec.query.size());
+  const u64 footprint = detail::KernelArena::dirs_footprint(tl, ql);
+  const u64 budget = static_cast<u64>(budget_mb) << 20;
+  const i32 rows = spill_rows_for_budget(tl, ql, budget);
+  const u64 block = detail::KernelArena::stream_block_bytes(tl, ql, rows);
+  std::fprintf(stderr,
+               "smoke-longread: %d x %d bp, dirs footprint %.1f MiB, resident block "
+               "%.1f MiB (%d rows), file spill\n",
+               tl, ql, static_cast<double>(footprint) / (1 << 20),
+               static_cast<double>(block) / (1 << 20), rows);
+
+  detail::KernelArena arena;
+  FileDirsSpill sink;
+  const AlignResult first = run_production_streamed(spec, &arena, &sink, rows);
+  std::string why;
+  if (!verify::validate_cigar_shape(first.cigar, static_cast<u64>(first.t_end + 1),
+                                    static_cast<u64>(first.q_end + 1), &why)) {
+    std::fprintf(stderr, "smoke-longread: malformed CIGAR: %s\n", why.c_str());
+    return 1;
+  }
+  const i64 rescore = first.cigar.score(spec.target, spec.query, 0, 0, spec.params);
+  if (rescore != first.score) {
+    std::fprintf(stderr, "smoke-longread: CIGAR rescoring %lld != score %lld\n",
+                 static_cast<long long>(rescore), static_cast<long long>(first.score));
+    return 1;
+  }
+  // Replay at half the block height: block boundaries move, bytes must not.
+  FileDirsSpill sink2;
+  const AlignResult second =
+      run_production_streamed(spec, &arena, &sink2, std::max<i32>(1, rows / 2));
+  if (second.score != first.score || second.t_end != first.t_end ||
+      second.q_end != first.q_end || second.cigar.to_string() != first.cigar.to_string()) {
+    std::fprintf(stderr, "smoke-longread: block heights %d and %d disagree\n", rows,
+                 std::max<i32>(1, rows / 2));
+    return 1;
+  }
+  std::printf("smoke-longread OK: score=%lld cigar_ops=%zu spilled=%.1f MiB "
+              "resident_block=%.1f MiB\n",
+              static_cast<long long>(first.score), first.cigar.ops().size(),
+              static_cast<double>(sink.spilled_bytes()) / (1 << 20),
+              static_cast<double>(block) / (1 << 20));
+  return 0;
 }
 
 int run_repros(const std::vector<std::string>& files) {
@@ -76,6 +148,9 @@ int main(int argc, char** argv) {
   using namespace manymap;
   verify::SweepOptions opt;
   bool quiet = false;
+  bool family_longread = false;
+  i64 smoke_len = 0;
+  i64 smoke_budget_mb = 48;
   std::string out_dir;
   std::vector<std::string> repro_files;
 
@@ -107,12 +182,31 @@ int main(int argc, char** argv) {
       else if (std::strcmp(v, "twopiece") == 0) opt.family_twopiece = true;
       else if (std::strcmp(v, "simt") == 0) opt.family_simt = true;
       else if (std::strcmp(v, "banded") == 0) opt.family_banded = true;
+      else if (std::strcmp(v, "longread") == 0) family_longread = true;
       else if (std::strcmp(v, "all") == 0)
         opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = true;
       else {
         std::fprintf(stderr, "manymap_verify: unknown family '%s'\n", v);
         return 2;
       }
+    } else if (arg == "--smoke-longread") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      const auto parsed = parse_positive_int(v);
+      if (!parsed) {
+        std::fprintf(stderr, "manymap_verify: --smoke-longread needs a positive length\n");
+        return 2;
+      }
+      smoke_len = *parsed;
+    } else if (arg == "--smoke-budget-mb") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      const auto parsed = parse_positive_int(v);
+      if (!parsed) {
+        std::fprintf(stderr, "manymap_verify: --smoke-budget-mb needs a positive size\n");
+        return 2;
+      }
+      smoke_budget_mb = *parsed;
     } else if (arg == "--no-minimize") {
       opt.minimize = false;
     } else if (arg == "--out") {
@@ -135,6 +229,7 @@ int main(int argc, char** argv) {
   }
 
   if (!repro_files.empty()) return run_repros(repro_files);
+  if (smoke_len > 0) return run_smoke_longread(smoke_len, smoke_budget_mb);
 
   u64 emitted = 0;
   const auto on_divergence = [&](const verify::Divergence& d) {
@@ -154,7 +249,15 @@ int main(int argc, char** argv) {
     ++emitted;
   };
 
-  const verify::SweepStats stats = verify::run_sweep(opt, on_divergence);
+  verify::SweepStats stats;
+  if (family_longread) {
+    verify::LongReadOptions lr;
+    lr.seeds = opt.seeds;
+    lr.first_seed = opt.first_seed;
+    stats = verify::run_longread_sweep(lr, on_divergence);
+  } else {
+    stats = verify::run_sweep(opt, on_divergence);
+  }
 
   if (!quiet) {
     std::printf("%-40s %10s %12s\n", "combo", "cases", "divergences");
