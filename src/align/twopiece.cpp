@@ -70,8 +70,11 @@ Cigar twopiece_backtrack_ws(const TwoPieceWorkspace& ws, i32 tlen, i32 qlen,
 
 namespace {
 
-/// Shared scalar kernel; ManymapLayout selects the v/x slot mapping.
-template <bool kManymapLayout>
+/// Shared scalar kernel; ManymapLayout selects the v/x slot mapping and
+/// kWithDirs compiles the direction-byte bookkeeping out of score-only
+/// calls (the arena hands back raw pointers, so the lane arrays are also
+/// restrict-qualified to keep carries in registers across the inner loop).
+template <bool kManymapLayout, bool kWithDirs>
 AlignResult twopiece_diff(const TwoPieceArgs& a) {
   AlignResult out;
   if (degenerate(a, out)) return out;
@@ -83,12 +86,12 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
   detail::KernelArena local;
   detail::KernelArena& arena = a.arena != nullptr ? *a.arena : local;
   const detail::TwoPieceWorkspace ws = arena.prepare_twopiece(a, kManymapLayout);
-  i8* U = ws.U;
-  i8* Y1 = ws.Y1;
-  i8* Y2 = ws.Y2;
-  i8* V = ws.V;
-  i8* X1 = ws.X1;
-  i8* X2 = ws.X2;
+  i8* __restrict U = ws.U;
+  i8* __restrict Y1 = ws.Y1;
+  i8* __restrict Y2 = ws.Y2;
+  i8* __restrict V = ws.V;
+  i8* __restrict X1 = ws.X1;
+  i8* __restrict X2 = ws.X2;
 
   // Boundary deltas: H(-1,j) = -gap_cost(j+1); delta(j) = H(-1,j)-H(-1,j-1).
   auto boundary_delta = [&](i32 j) -> i8 {
@@ -127,7 +130,7 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
       Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
     }
-    u8* dir_row = detail::dirs_row(ws, r);
+    u8* __restrict dir_row = kWithDirs ? detail::dirs_row(ws, r) : nullptr;
 
     for (i32 t = st; t <= en; ++t) {
       const std::size_t ti = static_cast<std::size_t>(t);
@@ -155,26 +158,46 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       const i32 a2 = x2t + vt, b2 = y2t + ut;
       i32 z = sc;
       u8 d = 0;
-      if (a1 > z) { z = a1; d = 1; }
-      if (b1 > z) { z = b1; d = 2; }
-      if (a2 > z) { z = a2; d = 3; }
-      if (b2 > z) { z = b2; d = 4; }
+      if constexpr (kWithDirs) {
+        if (a1 > z) { z = a1; d = 1; }
+        if (b1 > z) { z = b1; d = 2; }
+        if (a2 > z) { z = a2; d = 3; }
+        if (b2 > z) { z = b2; d = 4; }
+      } else {
+        z = std::max({z, a1, b1, a2, b2});
+      }
 
       U[ti] = detail::sat_i8(z - vt);
       V[vi] = detail::sat_i8(z - ut);
       i32 w = a1 - z + q1;
-      if (w > 0) d |= kExtE1; else w = 0;
+      if constexpr (kWithDirs) {
+        if (w > 0) d |= kExtE1;
+      }
+      if (w < 0) w = 0;
       X1[vi] = detail::sat_i8(w - q1 - e1);
       w = b1 - z + q1;
-      if (w > 0) d |= kExtF1; else w = 0;
+      if constexpr (kWithDirs) {
+        if (w > 0) d |= kExtF1;
+      }
+      if (w < 0) w = 0;
       Y1[ti] = detail::sat_i8(w - q1 - e1);
       w = a2 - z + q2;
-      if (w > 0) d |= kExtE2; else w = 0;
+      if constexpr (kWithDirs) {
+        if (w > 0) d |= kExtE2;
+      }
+      if (w < 0) w = 0;
       X2[vi] = detail::sat_i8(w - q2 - e2);
       w = b2 - z + q2;
-      if (w > 0) d |= kExtF2; else w = 0;
+      if constexpr (kWithDirs) {
+        if (w > 0) d |= kExtF2;
+      }
+      if (w < 0) w = 0;
       Y2[ti] = detail::sat_i8(w - q2 - e2);
-      if (dir_row != nullptr) dir_row[t - st] = d;
+      if constexpr (kWithDirs) {
+        if (dir_row != nullptr) dir_row[t - st] = d;
+      } else {
+        (void)d;
+      }
     }
 
     const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
@@ -202,8 +225,12 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
 
 }  // namespace
 
-AlignResult twopiece_align_mm2(const TwoPieceArgs& a) { return twopiece_diff<false>(a); }
-AlignResult twopiece_align_manymap(const TwoPieceArgs& a) { return twopiece_diff<true>(a); }
+AlignResult twopiece_align_mm2(const TwoPieceArgs& a) {
+  return a.with_cigar ? twopiece_diff<false, true>(a) : twopiece_diff<false, false>(a);
+}
+AlignResult twopiece_align_manymap(const TwoPieceArgs& a) {
+  return a.with_cigar ? twopiece_diff<true, true>(a) : twopiece_diff<true, false>(a);
+}
 
 AlignResult twopiece_reference_align(const TwoPieceArgs& a) {
   AlignResult out;

@@ -140,7 +140,9 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
       }
     }
     AlignResult r;
-    if (opt_.kernel_override) {
+    if (call.kernel_override != nullptr && *call.kernel_override) {
+      r = (*call.kernel_override)(a);
+    } else if (opt_.kernel_override) {
       r = opt_.kernel_override(a);
     } else {
       FallbackOutcome fo;

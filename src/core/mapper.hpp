@@ -94,6 +94,13 @@ struct MapCall {
   /// resident dirs stay within the budget while finished blocks spill to
   /// an in-memory or temp-file sink. 0 keeps the fully resident path.
   u64 dirs_budget_bytes = 0;
+  /// Per-call kernel override, taking precedence over
+  /// MapOptions::kernel_override: the service's device-offload path routes
+  /// one call's DP segments through the simulated GPU while the shared
+  /// Mapper stays CPU-configured. Like the options-level override it
+  /// BYPASSES the fallback ladder — the callee owns failure recovery.
+  /// Non-owning; must outlive the map() call.
+  const std::function<AlignResult(const DiffArgs&)>* kernel_override = nullptr;
 };
 
 /// Pessimistic upper bound on the resident direction-byte footprint one

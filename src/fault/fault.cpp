@@ -89,6 +89,8 @@ const std::vector<std::string>& known_sites() {
       "align.dirs.spill",        // streamed dirs block handoff to a spill sink
       "align.dirs.spill_io",     // temp-file spill read/write
       "align.dp.alloc",          // DP workspace allocation (diff + twopiece)
+      "gpu.launch",              // device kernel launch (offload subsystem)
+      "gpu.stage_oom",           // pinned-style host staging allocation
       "index.load.mmap",         // mmap-backed index load
       "index.load.stream",       // streamed index load
       "index.save",              // index serialization

@@ -1,0 +1,43 @@
+#include "gpu/occupancy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace manymap {
+namespace gpu {
+
+void OccupancyTracker::record_launch(const simt::KernelCost& cost) {
+  std::lock_guard lock(mu_);
+  pending_.push_back(cost);
+  ++acc_.launches;
+}
+
+simt::Device::RunReport OccupancyTracker::flush(const simt::Device& device) {
+  std::vector<simt::KernelCost> batch;
+  {
+    std::lock_guard lock(mu_);
+    if (pending_.empty()) return {};
+    batch.swap(pending_);
+  }
+  // device.run is a pure replay over the cost list; keep it outside the
+  // lock so concurrent workers can keep recording launches.
+  const simt::Device::RunReport report = device.run(batch, num_streams_);
+  std::lock_guard lock(mu_);
+  ++acc_.flushes;
+  acc_.total_cycles += report.total_cycles;
+  acc_.device_seconds += report.seconds;
+  acc_.peak_concurrency = std::max(acc_.peak_concurrency, report.achieved_concurrency);
+  acc_.num_streams = num_streams_;
+  acc_.max_resident_grids = device.spec().max_resident_grids;
+  return report;
+}
+
+OccupancySnapshot OccupancyTracker::snapshot() const {
+  std::lock_guard lock(mu_);
+  OccupancySnapshot s = acc_;
+  s.num_streams = num_streams_;
+  return s;
+}
+
+}  // namespace gpu
+}  // namespace manymap

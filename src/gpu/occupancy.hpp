@@ -1,0 +1,65 @@
+// Device occupancy accounting for the offload subsystem: every score-mode
+// kernel launch deposits its interpreter-measured KernelCost here; once a
+// batch completes, flush() replays the pending launches through the
+// discrete-event device model (streams, resident-grid cap, SM
+// time-sharing) and folds the run into cumulative occupancy statistics —
+// simulated device seconds, peak resident concurrency, and stream
+// utilization — that ServiceMetrics and the throughput bench report.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace manymap {
+namespace gpu {
+
+struct OccupancySnapshot {
+  u64 launches = 0;        ///< kernels recorded since construction
+  u64 flushes = 0;         ///< device.run() replays performed
+  u64 total_cycles = 0;    ///< SM cycles across all flushed runs
+  double device_seconds = 0.0;  ///< simulated device busy time
+  u32 peak_concurrency = 0;     ///< max resident kernels over all flushes
+  u32 num_streams = 0;
+  u32 max_resident_grids = 0;
+
+  /// Peak resident kernels as a fraction of the device's grid capacity.
+  double occupancy() const {
+    return max_resident_grids > 0
+               ? static_cast<double>(peak_concurrency) / max_resident_grids
+               : 0.0;
+  }
+  /// Peak resident kernels as a fraction of the configured streams (a
+  /// stream runs at most one kernel at a time, so this is how much of the
+  /// host's issue width the device actually absorbed).
+  double stream_utilization() const {
+    if (num_streams == 0) return 0.0;
+    const double u = static_cast<double>(peak_concurrency) / num_streams;
+    return u > 1.0 ? 1.0 : u;
+  }
+};
+
+class OccupancyTracker {
+ public:
+  explicit OccupancyTracker(u32 num_streams) : num_streams_(num_streams) {}
+
+  /// Record one launched kernel's cost (thread-safe; cheap append).
+  void record_launch(const simt::KernelCost& cost);
+
+  /// Replay all pending launches through `device` with the configured
+  /// stream count and fold the report into the cumulative snapshot.
+  /// Returns the report of this flush (zeroes when nothing was pending).
+  simt::Device::RunReport flush(const simt::Device& device);
+
+  OccupancySnapshot snapshot() const;
+
+ private:
+  const u32 num_streams_;
+  mutable std::mutex mu_;
+  std::vector<simt::KernelCost> pending_;
+  OccupancySnapshot acc_;
+};
+
+}  // namespace gpu
+}  // namespace manymap

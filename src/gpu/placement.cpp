@@ -1,0 +1,55 @@
+#include "gpu/placement.hpp"
+
+#include <cmath>
+
+namespace manymap {
+namespace gpu {
+
+const char* to_string(PlacementReason r) {
+  switch (r) {
+    case PlacementReason::kOffload: return "offload";
+    case PlacementReason::kEmptyBatch: return "empty-batch";
+    case PlacementReason::kSmallBatch: return "small-batch";
+    case PlacementReason::kShortReads: return "short-reads";
+    case PlacementReason::kSkewedLengths: return "skewed-lengths";
+  }
+  return "?";
+}
+
+PlacementDecision decide_placement(const std::vector<u32>& read_lengths,
+                                   const PlacementPolicy& policy) {
+  PlacementDecision d;
+  if (read_lengths.empty()) {
+    d.reason = PlacementReason::kEmptyBatch;
+    return d;
+  }
+  for (const u32 len : read_lengths) d.total_bases += len;
+  const double n = static_cast<double>(read_lengths.size());
+  d.mean_len = static_cast<double>(d.total_bases) / n;
+  if (d.mean_len > 0.0) {
+    double ss = 0.0;
+    for (const u32 len : read_lengths) {
+      const double delta = static_cast<double>(len) - d.mean_len;
+      ss += delta * delta;
+    }
+    d.length_cv = std::sqrt(ss / n) / d.mean_len;
+  }
+  if (read_lengths.size() < policy.min_reads) {
+    d.reason = PlacementReason::kSmallBatch;
+    return d;
+  }
+  if (d.mean_len < static_cast<double>(policy.min_mean_read_len)) {
+    d.reason = PlacementReason::kShortReads;
+    return d;
+  }
+  if (d.length_cv > policy.max_length_cv) {
+    d.reason = PlacementReason::kSkewedLengths;
+    return d;
+  }
+  d.offload = true;
+  d.reason = PlacementReason::kOffload;
+  return d;
+}
+
+}  // namespace gpu
+}  // namespace manymap

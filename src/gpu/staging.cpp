@@ -1,0 +1,56 @@
+#include "gpu/staging.hpp"
+
+#include <cstring>
+
+#include "fault/fault.hpp"
+
+namespace manymap {
+namespace gpu {
+
+StagingArea::StagingArea(u64 total_bytes, u32 num_streams)
+    : buffer_(total_bytes), pool_(total_bytes, num_streams) {}
+
+std::optional<StagingArea::Slot> StagingArea::stage(u32 stream, const u8* data,
+                                                    u64 bytes) {
+  std::lock_guard lock(mu_);
+  if (MM_INJECT_FAIL("gpu.stage_oom")) {
+    ++stage_failures_;
+    return std::nullopt;
+  }
+  const std::optional<u64> offset = pool_.allocate(stream, bytes);
+  if (!offset) {
+    ++stage_failures_;
+    return std::nullopt;
+  }
+  Slot slot;
+  slot.stream = stream;
+  slot.offset = *offset;
+  slot.bytes = bytes;
+  slot.host = buffer_.data() + *offset;
+  if (bytes > 0) std::memcpy(buffer_.data() + *offset, data, bytes);
+  staged_bytes_ += bytes;
+  return slot;
+}
+
+void StagingArea::release(u32 stream) {
+  std::lock_guard lock(mu_);
+  pool_.reset(stream);
+}
+
+u64 StagingArea::bytes_in_use(u32 stream) const {
+  std::lock_guard lock(mu_);
+  return pool_.bytes_in_use(stream);
+}
+
+u64 StagingArea::staged_bytes() const {
+  std::lock_guard lock(mu_);
+  return staged_bytes_;
+}
+
+u64 StagingArea::stage_failures() const {
+  std::lock_guard lock(mu_);
+  return stage_failures_;
+}
+
+}  // namespace gpu
+}  // namespace manymap

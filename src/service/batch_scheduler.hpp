@@ -32,6 +32,10 @@ struct RequestBatch {
   /// estimate_dirs_bytes), filled at dispatch for footprint-aware shard
   /// accounting; 0 when no memory budget is configured.
   u64 est_dirs_bytes = 0;
+  /// Set on the remainder of a batch whose device launch failed mid-way:
+  /// the re-queued batch must stay on the CPU path, which also makes the
+  /// re-queue happen at most once per original batch.
+  bool cpu_only = false;
 
   u64 total_bases() const {
     u64 n = 0;

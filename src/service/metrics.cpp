@@ -56,6 +56,18 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.dirs_spilled_bytes = dirs_spilled_bytes_.load(std::memory_order_relaxed);
   s.budget_redirects = budget_redirects_.load(std::memory_order_relaxed);
   s.arena_trims = arena_trims_.load(std::memory_order_relaxed);
+  s.gpu_offload_batches = gpu_offload_batches_.load(std::memory_order_relaxed);
+  s.gpu_cpu_batches = gpu_cpu_batches_.load(std::memory_order_relaxed);
+  s.gpu_requests = gpu_requests_.load(std::memory_order_relaxed);
+  s.gpu_device_kernels = gpu_device_kernels_.load(std::memory_order_relaxed);
+  s.gpu_host_segments = gpu_host_segments_.load(std::memory_order_relaxed);
+  s.gpu_staged_bytes = gpu_staged_bytes_.load(std::memory_order_relaxed);
+  s.gpu_stage_fallbacks = gpu_stage_fallbacks_.load(std::memory_order_relaxed);
+  s.gpu_launch_failures = gpu_launch_failures_.load(std::memory_order_relaxed);
+  s.gpu_requeued_batches = gpu_requeued_batches_.load(std::memory_order_relaxed);
+  s.gpu_device_seconds = gpu_device_seconds_.load(std::memory_order_relaxed);
+  s.gpu_occupancy = gpu_occupancy_.load(std::memory_order_relaxed);
+  s.gpu_stream_utilization = gpu_stream_utilization_.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   if (!latencies_ms_.empty()) {
     s.latency_ms_mean = summarize(latencies_ms_).mean;
@@ -71,7 +83,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 }
 
 std::string MetricsSnapshot::report() const {
-  char buf[2048];
+  char buf[2560];
   std::snprintf(buf, sizeof(buf),
                 "service metrics\n"
                 "  requests   submitted=%llu accepted=%llu completed=%llu "
@@ -109,7 +121,27 @@ std::string MetricsSnapshot::report() const {
                 static_cast<unsigned long long>(arena_trims),
                 static_cast<unsigned long long>(verified),
                 static_cast<unsigned long long>(verify_divergences));
-  return buf;
+  std::string out = buf;
+  if (gpu_offload_batches + gpu_cpu_batches + gpu_requests > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  gpu        offloaded=%llu kept_cpu=%llu requests=%llu "
+                  "kernels=%llu host_segments=%llu\n"
+                  "  gpu mem    staged_bytes=%llu stage_fallbacks=%llu\n"
+                  "  gpu fail   launch_failures=%llu requeued_batches=%llu\n"
+                  "  gpu time   device_seconds=%.6f occupancy=%.3f stream_util=%.3f\n",
+                  static_cast<unsigned long long>(gpu_offload_batches),
+                  static_cast<unsigned long long>(gpu_cpu_batches),
+                  static_cast<unsigned long long>(gpu_requests),
+                  static_cast<unsigned long long>(gpu_device_kernels),
+                  static_cast<unsigned long long>(gpu_host_segments),
+                  static_cast<unsigned long long>(gpu_staged_bytes),
+                  static_cast<unsigned long long>(gpu_stage_fallbacks),
+                  static_cast<unsigned long long>(gpu_launch_failures),
+                  static_cast<unsigned long long>(gpu_requeued_batches),
+                  gpu_device_seconds, gpu_occupancy, gpu_stream_utilization);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace manymap

@@ -51,9 +51,39 @@ struct MetricsSnapshot {
   u64 dirs_spilled_bytes = 0;   ///< total direction bytes written to spill sinks
   u64 budget_redirects = 0;     ///< batches routed off an over-budget shard
   u64 arena_trims = 0;          ///< idle workers that released DP arena memory
+  // Device offload (placement decisions, staging, occupancy); populated
+  // only when the service runs with GPU offload enabled.
+  u64 gpu_offload_batches = 0;  ///< batches the placement policy sent to the device
+  u64 gpu_cpu_batches = 0;      ///< device-eligible batches kept on the CPU path
+  u64 gpu_requests = 0;         ///< responses whose DP ran (partly) on device
+  u64 gpu_device_kernels = 0;   ///< score-mode kernels launched on the device
+  u64 gpu_host_segments = 0;    ///< segments kept host-side (cutoff/path/fallback)
+  u64 gpu_staged_bytes = 0;     ///< bytes staged into per-stream host buffers
+  u64 gpu_stage_fallbacks = 0;  ///< staging exhaustion -> CPU fallbacks
+  u64 gpu_launch_failures = 0;  ///< device launch failures absorbed by fallback
+  u64 gpu_requeued_batches = 0; ///< mid-batch failure remainders re-queued to CPU
+  double gpu_device_seconds = 0.0;      ///< simulated device busy time
+  double gpu_occupancy = 0.0;           ///< peak resident grids / grid capacity
+  double gpu_stream_utilization = 0.0;  ///< peak resident grids / host streams
 
   /// Human-readable multi-line report (the periodic text snapshot).
   std::string report() const;
+};
+
+/// Dependency-free mirror of the offload subsystem's counters, pushed into
+/// ServiceMetrics by the gpu-capable workers after each batch (gauges, so
+/// the last push wins; all values are cumulative on the producer side).
+struct GpuMetrics {
+  u64 offload_batches = 0;
+  u64 cpu_batches = 0;
+  u64 device_kernels = 0;
+  u64 host_segments = 0;
+  u64 staged_bytes = 0;
+  u64 stage_fallbacks = 0;
+  u64 launch_failures = 0;
+  double device_seconds = 0.0;
+  double occupancy = 0.0;
+  double stream_utilization = 0.0;
 };
 
 class ServiceMetrics {
@@ -92,6 +122,23 @@ class ServiceMetrics {
   void on_mem_score_only() { mem_score_only_.fetch_add(1, std::memory_order_relaxed); }
   void on_budget_redirect() { budget_redirects_.fetch_add(1, std::memory_order_relaxed); }
   void on_arena_trim() { arena_trims_.fetch_add(1, std::memory_order_relaxed); }
+  /// Device-offload accounting: per-response and per-requeue events are
+  /// service-level counters; the subsystem's cumulative stats arrive as a
+  /// gauge snapshot via set_gpu after each gpu-capable batch.
+  void on_gpu_request() { gpu_requests_.fetch_add(1, std::memory_order_relaxed); }
+  void on_gpu_requeue() { gpu_requeued_batches_.fetch_add(1, std::memory_order_relaxed); }
+  void set_gpu(const GpuMetrics& g) {
+    gpu_offload_batches_.store(g.offload_batches, std::memory_order_relaxed);
+    gpu_cpu_batches_.store(g.cpu_batches, std::memory_order_relaxed);
+    gpu_device_kernels_.store(g.device_kernels, std::memory_order_relaxed);
+    gpu_host_segments_.store(g.host_segments, std::memory_order_relaxed);
+    gpu_staged_bytes_.store(g.staged_bytes, std::memory_order_relaxed);
+    gpu_stage_fallbacks_.store(g.stage_fallbacks, std::memory_order_relaxed);
+    gpu_launch_failures_.store(g.launch_failures, std::memory_order_relaxed);
+    gpu_device_seconds_.store(g.device_seconds, std::memory_order_relaxed);
+    gpu_occupancy_.store(g.occupancy, std::memory_order_relaxed);
+    gpu_stream_utilization_.store(g.stream_utilization, std::memory_order_relaxed);
+  }
 
   void on_batch(std::size_t batch_size) {
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -117,6 +164,12 @@ class ServiceMetrics {
   std::atomic<u64> verified_{0}, verify_divergences_{0};
   std::atomic<u64> streamed_responses_{0}, mem_score_only_{0}, dirs_spilled_bytes_{0};
   std::atomic<u64> budget_redirects_{0}, arena_trims_{0};
+  std::atomic<u64> gpu_offload_batches_{0}, gpu_cpu_batches_{0}, gpu_requests_{0};
+  std::atomic<u64> gpu_device_kernels_{0}, gpu_host_segments_{0};
+  std::atomic<u64> gpu_staged_bytes_{0}, gpu_stage_fallbacks_{0};
+  std::atomic<u64> gpu_launch_failures_{0}, gpu_requeued_batches_{0};
+  std::atomic<double> gpu_device_seconds_{0.0}, gpu_occupancy_{0.0};
+  std::atomic<double> gpu_stream_utilization_{0.0};
   std::atomic<u64> batches_{0}, batched_requests_{0};
   std::atomic<u64> queue_depth_last_{0}, queue_depth_peak_{0};
   mutable std::mutex mu_;  ///< guards the reservoirs only

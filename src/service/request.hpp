@@ -60,6 +60,10 @@ struct MapResponse {
   /// over-budget degradation; `degraded` stays breaker-specific).
   DegradeLevel degrade = DegradeLevel::kNone;
   u64 est_dirs_bytes = 0;         ///< admission-time dirs footprint estimate
+  /// True when at least one DP segment of this request ran its score pass
+  /// on the simulated device (the placement policy offloaded the batch and
+  /// the launch succeeded). Results are bit-identical either way.
+  bool on_device = false;
 };
 
 }  // namespace manymap

@@ -58,6 +58,10 @@ AlignmentService::~AlignmentService() { shutdown(); }
 
 void AlignmentService::start() {
   MM_REQUIRE(cfg_.shards > 0 && cfg_.workers_per_shard > 0, "service needs workers");
+  // One shared offload subsystem for every worker, built before any worker
+  // can pop a batch. Kernel resolution (host fallback rung) happens here,
+  // so a misconfigured layout fails at construction, not mid-request.
+  if (cfg_.gpu.enabled) gpu_ = std::make_unique<gpu::GpuBatchMapper>(cfg_.gpu.batch);
   shards_.reserve(cfg_.shards);
   for (u32 s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(cfg_.shard_queue_capacity));
@@ -160,7 +164,7 @@ void AlignmentService::scheduler_loop() {
 
 MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
                                         const RequestBatch& batch,
-                                        detail::KernelArena* arena) {
+                                        detail::KernelArena* arena, GpuServe* gpu) {
   MapResponse resp;
   resp.id = p.req.id;
   resp.shard = shard_id;
@@ -196,12 +200,34 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
     call.score_only = degraded || mem_score_only;
     call.arena = arena;
     if (stream_dirs) call.dirs_budget_bytes = cfg_.mem.resident_request_bytes;
+    // Device offload: route every DP segment of this request through the
+    // batch mapper. The override bypasses the CPU fallback ladder by
+    // contract — GpuBatchMapper owns failure recovery (every device-side
+    // failure answers via the host kernel, bit-identically). A launch
+    // failure latches `launch_failed` so the rest of this request finishes
+    // host-side and the worker re-queues the remaining batch items.
+    std::function<AlignResult(const DiffArgs&)> dev_kernel;
+    if (gpu != nullptr && gpu->mapper != nullptr) {
+      gpu->used_device = false;  // per-request: drives resp.on_device below
+      dev_kernel = [gpu](const DiffArgs& a) {
+        if (gpu->launch_failed) return gpu->mapper->host_align(a);
+        auto seg = gpu->mapper->align_segment(a, gpu->stream);
+        if (seg.launch_failed) gpu->launch_failed = true;
+        if (seg.on_device) gpu->used_device = true;
+        return seg.result;
+      };
+      call.kernel_override = &dev_kernel;
+    }
     resp.mappings = mapper_.map(p.req.read, call);
     if (call.score_only) resp.degrade = DegradeLevel::kScoreOnly;
     else if (resp.timings.streamed_kernels > 0) resp.degrade = DegradeLevel::kStreamedDirs;
     resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !call.score_only);
     resp.compute_ms = t.millis();
     resp.status = RequestStatus::kOk;
+    if (gpu != nullptr && gpu->used_device) {
+      resp.on_device = true;
+      metrics_.on_gpu_request();
+    }
     maybe_verify_live(p.req, resp);
   } catch (const MapDeadlineExceeded&) {
     resp.status = RequestStatus::kTimedOut;
@@ -276,6 +302,12 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
   // allocation-free. Dies with the worker (a respawned worker warms its
   // own), so a batch takeover never shares buffers across threads.
   detail::KernelArena arena;
+  // Every worker is GPU-capable when offload is enabled; each gets its own
+  // staging stream (round-robin at spawn) so concurrent batches stage into
+  // distinct partitions of the shared staging area.
+  const u32 gpu_stream =
+      gpu_ ? gpu_stream_next_.fetch_add(1, std::memory_order_relaxed) % cfg_.gpu.batch.num_streams
+           : 0;
   for (;;) {
     std::optional<RequestBatch> popped;
     if (cfg_.idle_trim.enabled) {
@@ -304,6 +336,21 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
       state->batch_dirs_bytes = batch->est_dirs_bytes;
     }
     state->busy.store(true, std::memory_order_release);
+    // Placement: the length distribution of the popped batch decides CPU
+    // vs device. A re-queued remainder (cpu_only) never re-offloads — that
+    // both honours the failed device and bounds the re-queue to once.
+    GpuServe gpu_ctx;
+    GpuServe* gpu_serve = nullptr;
+    if (gpu_ != nullptr && !batch->cpu_only) {
+      std::vector<u32> lens;
+      lens.reserve(batch->items.size());
+      for (const auto& p : batch->items) lens.push_back(static_cast<u32>(p.req.read.size()));
+      if (gpu_->place(lens).offload) {
+        gpu_ctx.mapper = gpu_.get();
+        gpu_ctx.stream = gpu_stream;
+        gpu_serve = &gpu_ctx;
+      }
+    }
     bool lost_batch = false;
     for (;;) {
       std::size_t idx;
@@ -321,7 +368,9 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
       }
       state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
       PendingRequest& p = batch->items[idx];
-      MapResponse resp = serve_one(p, shard_id, *batch, &arena);  // compute outside the lock
+      // compute outside the lock
+      MapResponse resp = serve_one(p, shard_id, *batch, &arena, gpu_serve);
+      std::optional<RequestBatch> requeue;
       {
         std::lock_guard lock(state->mu);
         if (state->taken_over) {
@@ -333,9 +382,65 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
         account(p, resp);
         p.promise.set_value(std::move(resp));
         state->done = idx + 1;
+        // Device launch failure: pull the unclaimed remainder out of the
+        // batch (under the same lock the watchdog and the claim loop use,
+        // so no item is dropped or duplicated) and hand it back to the
+        // shard queue as a cpu_only batch. Exactly once: gpu_serve is
+        // cleared below and the remainder can never re-offload.
+        if (gpu_serve != nullptr && gpu_ctx.launch_failed &&
+            state->next < batch->items.size()) {
+          RequestBatch rest;
+          rest.id = batch->id;
+          rest.cpu_only = true;
+          rest.items.reserve(batch->items.size() - state->next);
+          for (std::size_t i = state->next; i < batch->items.size(); ++i)
+            rest.items.push_back(std::move(batch->items[i]));
+          batch->items.resize(state->next);
+          state->batch_bases -= rest.total_bases();
+          requeue = std::move(rest);
+        }
+      }
+      if (gpu_serve != nullptr && gpu_ctx.launch_failed) gpu_serve = nullptr;
+      if (requeue) {
+        metrics_.on_gpu_requeue();
+        const u64 rest_bases = requeue->total_bases();
+        shard.outstanding_bases.fetch_add(rest_bases, std::memory_order_relaxed);
+        // try_push, never push: this worker is one of the queue's own
+        // consumers, so blocking on a full queue could deadlock the shard.
+        if (!shard.queue.try_push(std::move(*requeue))) {
+          // Queue full (or closing): serve the remainder inline on the CPU
+          // path. These items left the shared batch under the lock above,
+          // so they are owned solely by this worker — no taken_over
+          // consultation applies to them.
+          shard.outstanding_bases.fetch_sub(rest_bases, std::memory_order_relaxed);
+          for (auto& rp : requeue->items) {
+            MapResponse rr = serve_one(rp, shard_id, *requeue, &arena, nullptr);
+            account(rp, rr);
+            rp.promise.set_value(std::move(rr));
+          }
+        }
       }
     }
     state->busy.store(false, std::memory_order_release);
+    // Settle the device model once per gpu-capable batch: replay the
+    // accumulated launches through the occupancy tracker and publish the
+    // subsystem's cumulative counters as metric gauges.
+    if (gpu_ != nullptr) {
+      if (gpu_ctx.mapper != nullptr) gpu_->flush();
+      const gpu::GpuBatchStats gs = gpu_->stats();
+      GpuMetrics gm;
+      gm.offload_batches = gs.offload_batches;
+      gm.cpu_batches = gs.cpu_batches;
+      gm.device_kernels = gs.device_kernels;
+      gm.host_segments = gs.host_segments;
+      gm.staged_bytes = gs.staged_bytes;
+      gm.stage_fallbacks = gs.stage_fallbacks;
+      gm.launch_failures = gs.launch_failures;
+      gm.device_seconds = gs.occupancy.device_seconds;
+      gm.occupancy = gs.occupancy.occupancy();
+      gm.stream_utilization = gs.occupancy.stream_utilization();
+      metrics_.set_gpu(gm);
+    }
     if (lost_batch) return;  // we were replaced; the respawn serves on
     shard.outstanding_bases.fetch_sub(state->batch_bases, std::memory_order_relaxed);
     shard.outstanding_dirs_bytes.fetch_sub(state->batch_dirs_bytes, std::memory_order_relaxed);

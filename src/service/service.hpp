@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/aligner.hpp"
+#include "gpu/batch_mapper.hpp"
 #include "service/batch_scheduler.hpp"
 #include "service/breaker.hpp"
 #include "service/metrics.hpp"
@@ -111,6 +112,20 @@ struct ServiceConfig {
     u64 retain_bytes = u64{1} << 20;
   };
   IdleTrimConfig idle_trim{};
+
+  /// Device offload: when enabled every worker is GPU-capable. Per popped
+  /// batch the placement policy (gpu/placement.hpp) keeps short/skewed
+  /// batches on the plain CPU path and routes long uniform batches through
+  /// the simulated device — score-mode DP on the device from per-stream
+  /// staged host buffers, path completion on the host, bit-identical
+  /// responses. Device failures fall back to the CPU; a mid-batch launch
+  /// failure re-queues the unclaimed remainder as a cpu_only batch exactly
+  /// once (no drops, no duplicates).
+  struct GpuConfig {
+    bool enabled = false;
+    gpu::GpuBatchConfig batch{};
+  };
+  GpuConfig gpu{};
 
   /// When > 0, every Nth kOk response is replayed through the differential
   /// oracle (verify/oracle.cpp); divergences are logged and counted in
@@ -195,12 +210,28 @@ class AlignmentService {
   void watchdog_loop(u32 shard);
   void dispatch_batch(RequestBatch&& batch);
   std::future<MapResponse> admit(MapRequest req, bool blocking);
+  /// Per-batch device-offload context a worker threads through serve_one
+  /// when the placement policy routed the batch to the device. `mapper` is
+  /// the shared GpuBatchMapper; `stream` is this worker's staging stream.
+  /// `launch_failed` latches sticky on the first device launch failure so
+  /// the rest of the request finishes host-side, and signals the worker to
+  /// re-queue the unclaimed remainder of the batch; `used_device` records
+  /// whether any segment of the *current request* ran on the device
+  /// (reset per serve_one call; drives MapResponse::on_device).
+  struct GpuServe {
+    gpu::GpuBatchMapper* mapper = nullptr;
+    u32 stream = 0;
+    bool launch_failed = false;
+    bool used_device = false;
+  };
+
   /// Compute one response (never throws; failures become kFailed).
   /// Records no terminal metrics — see account(). `arena` is the calling
   /// worker's reusable DP workspace (steady-state alignments do not
-  /// allocate); nullptr falls back to the thread-shared arena.
+  /// allocate); nullptr falls back to the thread-shared arena. `gpu`
+  /// non-null routes score-mode DP through the device (see GpuServe).
   MapResponse serve_one(PendingRequest& p, u32 shard_id, const RequestBatch& batch,
-                        detail::KernelArena* arena);
+                        detail::KernelArena* arena, GpuServe* gpu = nullptr);
   /// Terminal metrics/breaker accounting, called once at promise resolution.
   void account(const PendingRequest& p, const MapResponse& resp);
   void maybe_verify_live(const MapRequest& req, const MapResponse& resp);
@@ -209,6 +240,11 @@ class AlignmentService {
   Mapper mapper_;
   ServiceMetrics metrics_;
   CircuitBreaker breaker_;
+  /// Shared device-offload subsystem (null unless cfg_.gpu.enabled). One
+  /// mapper serves every worker; workers are assigned staging streams
+  /// round-robin at spawn via gpu_stream_next_.
+  std::unique_ptr<gpu::GpuBatchMapper> gpu_;
+  std::atomic<u32> gpu_stream_next_{0};
 
   BoundedQueue<PendingRequest> ingress_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -10,7 +10,9 @@
 #include "align/arena.hpp"
 #include "align/dirs_spill.hpp"
 #include "align/reference_dp.hpp"
+#include "gpu/batch_mapper.hpp"
 #include "sequence/dna.hpp"
+#include "simt/kernels.hpp"
 
 namespace manymap {
 namespace verify {
@@ -468,10 +470,11 @@ SweepStats run_longread_sweep(const LongReadOptions& opt,
 
 namespace {
 
-bool still_fails(const CaseSpec& spec) { return !run_oracle(spec).ok; }
+using FailsFn = std::function<bool(const CaseSpec&)>;
 
 /// Try dropping `n` elements from the front or back of one sequence.
-bool try_trim(CaseSpec& spec, bool target_seq, bool front, std::size_t n) {
+bool try_trim(CaseSpec& spec, const FailsFn& fails, bool target_seq, bool front,
+              std::size_t n) {
   std::vector<u8>& s = target_seq ? spec.target : spec.query;
   if (s.size() < n || n == 0) return false;
   const std::vector<u8> saved = s;
@@ -480,15 +483,14 @@ bool try_trim(CaseSpec& spec, bool target_seq, bool front, std::size_t n) {
   } else {
     s.resize(s.size() - n);
   }
-  if (still_fails(spec)) return true;
+  if (fails(spec)) return true;
   s = saved;
   return false;
 }
 
-}  // namespace
-
-CaseSpec minimize_case(const CaseSpec& spec) {
-  if (!still_fails(spec)) return spec;
+/// Predicate-generic shrink shared by the oracle and device minimizers.
+CaseSpec minimize_spec(const CaseSpec& spec, const FailsFn& fails) {
+  if (!fails(spec)) return spec;
   CaseSpec cur = spec;
   // Phase 1: chunked trimming from both ends of both sequences.
   bool progress = true;
@@ -498,8 +500,8 @@ CaseSpec minimize_case(const CaseSpec& spec) {
       std::size_t chunk =
           std::max<std::size_t>(1, (target_seq ? cur.target : cur.query).size() / 2);
       while (chunk >= 1) {
-        while (try_trim(cur, target_seq, /*front=*/false, chunk)) progress = true;
-        while (try_trim(cur, target_seq, /*front=*/true, chunk)) progress = true;
+        while (try_trim(cur, fails, target_seq, /*front=*/false, chunk)) progress = true;
+        while (try_trim(cur, fails, target_seq, /*front=*/true, chunk)) progress = true;
         if (chunk == 1) break;
         chunk /= 2;
       }
@@ -514,11 +516,169 @@ CaseSpec minimize_case(const CaseSpec& spec) {
         if (b == 0) continue;
         const u8 saved = b;
         b = 0;
-        if (!still_fails(cur)) b = saved;
+        if (!fails(cur)) b = saved;
       }
     }
   }
   return cur;
+}
+
+}  // namespace
+
+CaseSpec minimize_case(const CaseSpec& spec) {
+  return minimize_spec(spec, [](const CaseSpec& s) { return !run_oracle(s).ok; });
+}
+
+namespace {
+
+/// DiffArgs view of a CaseSpec (score params; sequences stay owned by spec).
+DiffArgs diff_args_of(const CaseSpec& spec, bool with_cigar) {
+  DiffArgs a;
+  a.target = spec.target.data();
+  a.tlen = static_cast<i32>(spec.target.size());
+  a.query = spec.query.data();
+  a.qlen = static_cast<i32>(spec.query.size());
+  a.params = spec.params;
+  a.mode = spec.mode;
+  a.with_cigar = with_cigar;
+  return a;
+}
+
+/// Device-vs-CPU check for one diff-family segment through the production
+/// offload path (staging, score-on-device, path-on-host completion).
+CheckResult check_gpu_diff(const CaseSpec& spec, gpu::GpuBatchMapper& mapper, u32 stream) {
+  const DiffArgs a = diff_args_of(spec, spec.with_cigar);
+  const AlignResult cpu = mapper.config().host_kernel(a);
+  const gpu::GpuBatchMapper::SegmentResult seg = mapper.align_segment(a, stream);
+  if (seg.result.score != cpu.score || seg.result.t_end != cpu.t_end ||
+      seg.result.q_end != cpu.q_end)
+    return CheckResult::fail(fmt_failure(
+        "gpu segment score/end %lld/(%d,%d) != cpu %lld/(%d,%d)%s",
+        static_cast<long long>(seg.result.score), seg.result.t_end, seg.result.q_end,
+        static_cast<long long>(cpu.score), cpu.t_end, cpu.q_end,
+        seg.on_device ? "" : " [cpu-fallback path]"));
+  if (spec.with_cigar && seg.result.cigar.to_string() != cpu.cigar.to_string())
+    return CheckResult::fail("gpu path-split CIGAR differs from cpu path");
+  return {};
+}
+
+/// Device-vs-CPU check for one two-piece segment (device runs score mode).
+CheckResult check_gpu_twopiece(const CaseSpec& spec, TwoPieceKernelFn cpu_kernel) {
+  TwoPieceArgs a;
+  a.target = spec.target.data();
+  a.tlen = static_cast<i32>(spec.target.size());
+  a.query = spec.query.data();
+  a.qlen = static_cast<i32>(spec.query.size());
+  a.params = spec.tp;
+  a.mode = spec.mode;
+  a.with_cigar = false;
+  const AlignResult cpu = cpu_kernel(a);
+  const simt::GpuAlignResult dev =
+      simt::gpu_align_twopiece(a, spec.layout, simt::DeviceSpec::v100(), spec.simt_threads);
+  if (dev.result.score != cpu.score || dev.result.t_end != cpu.t_end ||
+      dev.result.q_end != cpu.q_end)
+    return CheckResult::fail(fmt_failure(
+        "gpu twopiece score/end %lld/(%d,%d) != cpu %lld/(%d,%d)",
+        static_cast<long long>(dev.result.score), dev.result.t_end, dev.result.q_end,
+        static_cast<long long>(cpu.score), cpu.t_end, cpu.q_end));
+  return {};
+}
+
+}  // namespace
+
+CheckResult check_gpu_case(const CaseSpec& spec) {
+  if (!runnable(spec)) return {};
+  if (spec.family == Family::kTwoPiece) {
+    const TwoPieceKernelFn k = get_twopiece_kernel(spec.layout, spec.isa);
+    if (k == nullptr) return {};
+    return check_gpu_twopiece(spec, k);
+  }
+  gpu::GpuBatchConfig cfg;
+  cfg.layout = spec.layout;
+  cfg.threads_per_block = spec.simt_threads;
+  cfg.num_streams = 1;
+  cfg.staging_bytes =
+      std::max<u64>(u64{1} << 20, 2 * (spec.target.size() + spec.query.size()));
+  cfg.min_gpu_cells = 1;  // force the device even on minimized cases
+  cfg.host_kernel = get_diff_kernel(spec.layout, spec.isa);
+  if (cfg.host_kernel == nullptr) return {};
+  gpu::GpuBatchMapper mapper(cfg);
+  return check_gpu_diff(spec, mapper, 0);
+}
+
+SweepStats run_gpu_sweep(const GpuSweepOptions& opt,
+                         const std::function<void(const Divergence&)>& on_divergence) {
+  SweepStats stats;
+  ComboTable table;
+  const std::vector<Isa> isas = available_isas();
+  const u32 stream_counts[] = {1, 2, 3, 4, 8};
+  const u32 block_widths[] = {64, 128, 256};
+  const auto gpu_fails = [](const CaseSpec& s) { return !check_gpu_case(s).ok; };
+
+  for (u64 n = 0; n < opt.seeds; ++n) {
+    const u64 seed = opt.first_seed + n;
+    XorShift pick(seed * 0x9e3779b97f4a7c15ULL + 0x6b75da5eULL);
+
+    // One offload subsystem per seed with a randomized shape. A quarter of
+    // the seeds get a deliberately tiny staging area so segments trip the
+    // staging-exhaustion fallback mid-batch — the fallback must stay
+    // bit-identical, not just the happy path.
+    gpu::GpuBatchConfig cfg;
+    cfg.layout = pick.chance(1, 2) ? Layout::kMinimap2 : Layout::kManymap;
+    cfg.threads_per_block = block_widths[pick.below(std::size(block_widths))];
+    cfg.num_streams = stream_counts[pick.below(std::size(stream_counts))];
+    cfg.staging_bytes =
+        pick.chance(1, 4) ? (u64{256}) * cfg.num_streams : (u64{1} << 20);
+    cfg.min_gpu_cells = 1;
+    const Isa isa = isas[pick.below(isas.size())];
+    cfg.host_kernel = get_diff_kernel(cfg.layout, isa);
+    if (cfg.host_kernel == nullptr) continue;  // ISA gap on this machine
+    gpu::GpuBatchMapper mapper(cfg);
+    const TwoPieceKernelFn tp_kernel = get_twopiece_kernel(cfg.layout, isa);
+
+    // Randomized batch composition: 2..6 segments of mixed lengths, modes,
+    // families and path flavours, staged through random streams.
+    const u64 nsegs = 2 + pick.below(5);
+    for (u64 i = 0; i < nsegs; ++i) {
+      const i32 len =
+          static_cast<i32>(pick.range(opt.min_len, std::max(opt.min_len, opt.max_len)));
+      const FuzzCase fc = make_longread_case(seed * 131 + i, len);
+      CaseSpec spec;
+      spec.layout = cfg.layout;
+      spec.isa = isa;
+      spec.simt_threads = cfg.threads_per_block;
+      spec.mode = pick.chance(1, 2) ? AlignMode::kExtension : AlignMode::kGlobal;
+      spec.params = fc.params;
+      spec.tp = fc.tp;
+      spec.target = fc.target;
+      spec.query = fc.query;
+      const bool twopiece = tp_kernel != nullptr && pick.chance(1, 3);
+      spec.family = twopiece ? Family::kTwoPiece : Family::kDiff;
+      spec.with_cigar = twopiece ? false : pick.chance(1, 2);
+      if (!runnable(spec)) continue;
+      const u32 stream = static_cast<u32>(pick.below(cfg.num_streams));
+
+      ComboStats& combo = table.at("gpu/" + spec.combo());
+      ++combo.cases;
+      ++stats.cases_run;
+      const CheckResult check =
+          twopiece ? check_gpu_twopiece(spec, tp_kernel) : check_gpu_diff(spec, mapper, stream);
+      if (check.ok) continue;
+      ++combo.divergences;
+      Divergence div;
+      div.spec = opt.minimize ? minimize_spec(spec, gpu_fails) : spec;
+      div.failure = check_gpu_case(div.spec).failure;
+      if (div.failure.empty()) div.failure = check.failure;  // minimization lost it
+      div.seed = seed;
+      div.generator = fc.generator;
+      stats.divergences.push_back(div);
+      if (on_divergence) on_divergence(stats.divergences.back());
+    }
+  }
+  stats.combos = std::move(table.combos);
+  std::sort(stats.combos.begin(), stats.combos.end(),
+            [](const ComboStats& a, const ComboStats& b) { return a.name < b.name; });
+  return stats;
 }
 
 }  // namespace verify

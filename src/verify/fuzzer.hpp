@@ -112,6 +112,24 @@ struct LongReadOptions {
   u64 file_spill_every = 8;
 };
 
+/// Options for the device-agreement sweep (run_gpu_sweep).
+struct GpuSweepOptions {
+  u64 seeds = 48;
+  u64 first_seed = 1;
+  i32 min_len = 96;   ///< per-segment target length, drawn uniformly
+  i32 max_len = 288;  ///< (the device interpreter cost scales with cells)
+  bool minimize = true;  ///< shrink divergent cases before reporting
+};
+
+/// Device-vs-CPU agreement for ONE case: replays the case through the
+/// offload subsystem (score-mode DP on the simulated device; extension
+/// paths completed on the host from the device end cell) and through the
+/// spec's host kernel, requiring bit-identical score, end cell and — for
+/// path-mode diff cases — CIGAR. kDiff and kTwoPiece families only; the
+/// device runs two-piece kernels in score mode, so with_cigar is ignored
+/// there. Non-runnable specs and ISA gaps answer ok (nothing to compare).
+CheckResult check_gpu_case(const CaseSpec& spec);
+
 /// One confirmed divergence, minimized when SweepOptions::minimize is set.
 struct Divergence {
   CaseSpec spec;
@@ -152,6 +170,16 @@ SweepStats run_sweep(const SweepOptions& opt,
 SweepStats run_longread_sweep(
     const LongReadOptions& opt,
     const std::function<void(const Divergence&)>& on_divergence = {});
+
+/// Device-agreement sweep: each seed builds one offload subsystem with a
+/// randomized shape (stream count, staging budget — occasionally tight
+/// enough to trip the staging-exhaustion fallback — and block width), then
+/// pushes a randomized batch composition (segment count, lengths, modes,
+/// families, path flavours, staged through random streams) and requires
+/// every segment to agree with the host kernel bit-for-bit. Divergences
+/// are minimized against check_gpu_case when opt.minimize is set.
+SweepStats run_gpu_sweep(const GpuSweepOptions& opt,
+                         const std::function<void(const Divergence&)>& on_divergence = {});
 
 /// Greedy shrink: chunked trims of both sequences from both ends, then
 /// base-to-'A' simplification, keeping every step that still fails the

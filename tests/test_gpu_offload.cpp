@@ -1,0 +1,522 @@
+// Device offload subsystem tests (ctest label: gpu-offload):
+//   - placement-policy property tests pinning the documented decision
+//     boundaries (min_reads / min_mean_read_len / max_length_cv) and their
+//     ordering;
+//   - StagingArea stage/release/exhaustion and per-stream isolation;
+//   - OccupancyTracker accounting through the discrete-event device model;
+//   - GpuBatchMapper bit-identity with the host kernel across score/path
+//     modes, the min-cells cutoff, and every fallback rung (staging
+//     exhaustion, injected launch failure);
+//   - the two-piece device kernel against its CPU counterpart;
+//   - AlignmentService end-to-end: gpu-enabled responses byte-identical to
+//     the serial mapper, and a mid-batch launch-failure storm that must
+//     re-queue remainders exactly once with no drops or duplicates.
+// Workloads stay small: the SIMT interpreter is cycle-accurate and runs
+// roughly 25x slower than the native CPU kernels in wall time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "align/kernel_api.hpp"
+#include "align/twopiece.hpp"
+#include "core/paf.hpp"
+#include "fault/fault.hpp"
+#include "gpu/batch_mapper.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/placement.hpp"
+#include "gpu/staging.hpp"
+#include "service/service.hpp"
+#include "simt/kernels.hpp"
+#include "simulate/genome.hpp"
+#include "simulate/read_sim.hpp"
+
+namespace manymap {
+namespace gpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Placement policy: the decision boundaries are part of the public contract
+// (DESIGN.md documents them); these tests pin the defaults and the rule
+// order so a silent change shows up as a failing property, not a throughput
+// regression three layers up.
+
+std::vector<u32> uniform_lengths(std::size_t n, u32 len) {
+  return std::vector<u32>(n, len);
+}
+
+TEST(Placement, EmptyBatchStaysOnCpu) {
+  const auto d = decide_placement({}, PlacementPolicy{});
+  EXPECT_FALSE(d.offload);
+  EXPECT_EQ(d.reason, PlacementReason::kEmptyBatch);
+  EXPECT_EQ(d.total_bases, 0u);
+}
+
+TEST(Placement, MinReadsBoundary) {
+  const PlacementPolicy policy{};  // min_reads = 4
+  const auto below = decide_placement(uniform_lengths(3, 5000), policy);
+  EXPECT_FALSE(below.offload);
+  EXPECT_EQ(below.reason, PlacementReason::kSmallBatch);
+  const auto at = decide_placement(uniform_lengths(4, 5000), policy);
+  EXPECT_TRUE(at.offload);
+  EXPECT_EQ(at.reason, PlacementReason::kOffload);
+}
+
+TEST(Placement, MinMeanReadLenBoundary) {
+  const PlacementPolicy policy{};  // min_mean_read_len = 1000
+  const auto below = decide_placement(uniform_lengths(8, 999), policy);
+  EXPECT_FALSE(below.offload);
+  EXPECT_EQ(below.reason, PlacementReason::kShortReads);
+  EXPECT_DOUBLE_EQ(below.mean_len, 999.0);
+  const auto at = decide_placement(uniform_lengths(8, 1000), policy);
+  EXPECT_TRUE(at.offload);  // boundary is inclusive: mean == threshold offloads
+}
+
+TEST(Placement, MaxLengthCvBoundary) {
+  const PlacementPolicy policy{};  // max_length_cv = 0.75
+  // Two-point distribution {a,a,b,b}: population CV = (b-a)/(a+b).
+  const std::vector<u32> skewed = {1000, 1000, 7100, 7100};   // CV ~ 0.753
+  const std::vector<u32> uniform = {1000, 1000, 6900, 6900};  // CV ~ 0.747
+  const auto rej = decide_placement(skewed, policy);
+  EXPECT_FALSE(rej.offload);
+  EXPECT_EQ(rej.reason, PlacementReason::kSkewedLengths);
+  EXPECT_GT(rej.length_cv, policy.max_length_cv);
+  const auto acc = decide_placement(uniform, policy);
+  EXPECT_TRUE(acc.offload);
+  EXPECT_LT(acc.length_cv, policy.max_length_cv);
+}
+
+TEST(Placement, LongReadTraceShapedBatchOffloads) {
+  // Lognormal-ish per-batch CV of real simulated traces is ~0.4-0.7; the
+  // default policy must accept such batches (this is the regression that
+  // once pinned every PacBio batch to the CPU).
+  const std::vector<u32> trace = {2200, 3400, 4100, 5200, 6600, 8900, 11000, 14000};
+  const auto d = decide_placement(trace, PlacementPolicy{});
+  EXPECT_TRUE(d.offload) << "cv=" << d.length_cv;
+}
+
+TEST(Placement, RulesApplyInDocumentedOrder) {
+  const PlacementPolicy policy{};
+  // Small AND short AND skewed: the small-batch rule wins (order 2 < 3 < 4).
+  const auto small = decide_placement({10, 100000}, policy);
+  EXPECT_EQ(small.reason, PlacementReason::kSmallBatch);
+  // Short AND skewed: the short-reads rule wins.
+  const auto shrt = decide_placement({10, 10, 10, 900}, policy);
+  EXPECT_EQ(shrt.reason, PlacementReason::kShortReads);
+}
+
+TEST(Placement, PolicyKnobsAreRespected) {
+  PlacementPolicy open;
+  open.min_reads = 1;
+  open.min_mean_read_len = 1;
+  open.max_length_cv = 1e9;
+  EXPECT_TRUE(decide_placement({7}, open).offload);
+  PlacementPolicy closed;
+  closed.min_reads = 100;
+  EXPECT_EQ(decide_placement(uniform_lengths(99, 5000), closed).reason,
+            PlacementReason::kSmallBatch);
+}
+
+TEST(Placement, DecisionCarriesDistributionStats) {
+  const auto d = decide_placement({1000, 3000}, PlacementPolicy{});
+  EXPECT_EQ(d.total_bases, 4000u);
+  EXPECT_DOUBLE_EQ(d.mean_len, 2000.0);
+  EXPECT_DOUBLE_EQ(d.length_cv, 0.5);  // population stddev 1000 / mean 2000
+}
+
+// ---------------------------------------------------------------------------
+// StagingArea: per-stream bump partitions with one-shot release.
+
+TEST(Staging, StageCopiesAndReleaseResets) {
+  StagingArea area(/*total_bytes=*/256, /*num_streams=*/2);
+  const std::vector<u8> data = {1, 2, 3, 0, 2, 1};
+  const auto slot = area.stage(0, data.data(), data.size());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->stream, 0u);
+  EXPECT_EQ(slot->bytes, data.size());
+  ASSERT_NE(slot->host, nullptr);
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(slot->host[i], data[i]);
+  // The pool hands out aligned granules, so in-use can exceed the payload.
+  EXPECT_GE(area.bytes_in_use(0), data.size());
+  EXPECT_EQ(area.bytes_in_use(1), 0u);
+  area.release(0);
+  EXPECT_EQ(area.bytes_in_use(0), 0u);
+  EXPECT_EQ(area.staged_bytes(), data.size());  // lifetime counter survives
+}
+
+TEST(Staging, ExhaustionFailsCleanlyPerStream) {
+  StagingArea area(/*total_bytes=*/64, /*num_streams=*/2);
+  const u64 cap = area.per_stream_capacity();
+  std::vector<u8> big(cap + 1, 2);
+  EXPECT_FALSE(area.stage(0, big.data(), big.size()).has_value());
+  EXPECT_EQ(area.bytes_in_use(0), 0u);  // failed stage leaves nothing behind
+  EXPECT_EQ(area.stage_failures(), 1u);
+  // Fill stream 0 exactly, then verify stream 1 is unaffected.
+  std::vector<u8> fit(cap, 3);
+  ASSERT_TRUE(area.stage(0, fit.data(), fit.size()).has_value());
+  EXPECT_FALSE(area.stage(0, fit.data(), 1).has_value());
+  EXPECT_TRUE(area.stage(1, fit.data(), fit.size()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// OccupancyTracker: launches accumulate, flush() replays them through the
+// device model and folds the run into the cumulative snapshot.
+
+TEST(Occupancy, FlushFoldsLaunchesIntoSnapshot) {
+  const simt::DeviceSpec spec = simt::DeviceSpec::v100();
+  const simt::Device device(spec);
+  OccupancyTracker tracker(/*num_streams=*/4);
+  const simt::KernelCost cost = simt::gpu_align_cost(
+      128, 128, Layout::kManymap, spec, /*threads=*/128, /*with_cigar=*/false);
+  for (int i = 0; i < 6; ++i) tracker.record_launch(cost);
+  const auto report = tracker.flush(device);
+  EXPECT_GT(report.total_cycles, 0u);
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.launches, 6u);
+  EXPECT_EQ(snap.flushes, 1u);
+  EXPECT_GT(snap.device_seconds, 0.0);
+  EXPECT_GE(snap.peak_concurrency, 1u);
+  EXPECT_GT(snap.occupancy(), 0.0);
+  EXPECT_LE(snap.occupancy(), 1.0);
+  EXPECT_GT(snap.stream_utilization(), 0.0);
+  EXPECT_LE(snap.stream_utilization(), 1.0);
+  // An empty flush is a no-op on the cumulative counters.
+  tracker.flush(device);
+  EXPECT_EQ(tracker.snapshot().launches, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// GpuBatchMapper: bit-identity and the fallback ladder.
+
+std::vector<u8> random_seq(u64 seed, i32 len) {
+  std::vector<u8> s(static_cast<std::size_t>(len));
+  u64 x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (auto& b : s) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<u8>((x * 0x2545f4914f6cdd1dULL) & 3);
+  }
+  return s;
+}
+
+GpuBatchConfig small_config() {
+  GpuBatchConfig cfg;
+  cfg.num_streams = 2;
+  cfg.staging_bytes = u64{1} << 20;
+  cfg.min_gpu_cells = 1;  // tiny test segments must still hit the device
+  return cfg;
+}
+
+TEST(BatchMapper, DeviceScoreMatchesHostKernel) {
+  GpuBatchMapper mapper(small_config());
+  for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+    const auto target = random_seq(11 + static_cast<u64>(mode), 160);
+    auto query = target;  // related pair: realistic traceback structure
+    query.resize(150);
+    query[7] = static_cast<u8>((query[7] + 1) & 3);
+    DiffArgs a;
+    a.target = target.data();
+    a.tlen = static_cast<i32>(target.size());
+    a.query = query.data();
+    a.qlen = static_cast<i32>(query.size());
+    a.mode = mode;
+    const AlignResult cpu = mapper.host_align(a);
+    const auto seg = mapper.align_segment(a, /*stream=*/0);
+    EXPECT_TRUE(seg.on_device);
+    EXPECT_FALSE(seg.launch_failed);
+    EXPECT_EQ(seg.result.score, cpu.score);
+    EXPECT_EQ(seg.result.t_end, cpu.t_end);
+    EXPECT_EQ(seg.result.q_end, cpu.q_end);
+  }
+  const auto stats = mapper.stats();
+  EXPECT_EQ(stats.device_kernels, 2u);
+  EXPECT_GT(stats.staged_bytes, 0u);
+}
+
+TEST(BatchMapper, ExtensionPathSplitReproducesCpuCigar) {
+  // Path mode: the device returns the end cell, the host completes a
+  // clipped global DP over that prefix — CIGAR must be bit-identical.
+  GpuBatchMapper mapper(small_config());
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    const auto target = random_seq(seed * 101, 140 + static_cast<i32>(seed) * 13);
+    auto query = target;
+    query.resize(query.size() - 9);
+    query[3] = static_cast<u8>((query[3] + 2) & 3);
+    DiffArgs a;
+    a.target = target.data();
+    a.tlen = static_cast<i32>(target.size());
+    a.query = query.data();
+    a.qlen = static_cast<i32>(query.size());
+    a.mode = AlignMode::kExtension;
+    a.with_cigar = true;
+    const AlignResult cpu = mapper.host_align(a);
+    const auto seg = mapper.align_segment(a, static_cast<u32>(seed));
+    EXPECT_TRUE(seg.on_device) << "seed " << seed;
+    EXPECT_EQ(seg.result.score, cpu.score) << "seed " << seed;
+    EXPECT_EQ(seg.result.t_end, cpu.t_end) << "seed " << seed;
+    EXPECT_EQ(seg.result.q_end, cpu.q_end) << "seed " << seed;
+    EXPECT_EQ(seg.result.cigar.to_string(), cpu.cigar.to_string()) << "seed " << seed;
+  }
+}
+
+TEST(BatchMapper, MinCellsCutoffKeepsTinySegmentsOnHost) {
+  GpuBatchConfig cfg = small_config();
+  cfg.min_gpu_cells = 1u << 20;  // nothing in this test clears the bar
+  GpuBatchMapper mapper(cfg);
+  const auto target = random_seq(5, 64);
+  const auto query = random_seq(6, 60);
+  DiffArgs a;
+  a.target = target.data();
+  a.tlen = 64;
+  a.query = query.data();
+  a.qlen = 60;
+  const auto seg = mapper.align_segment(a, 0);
+  EXPECT_FALSE(seg.on_device);
+  EXPECT_FALSE(seg.launch_failed);
+  const auto stats = mapper.stats();  // before host_align, which also counts
+  EXPECT_EQ(stats.device_kernels, 0u);
+  EXPECT_EQ(stats.host_segments, 1u);
+  EXPECT_EQ(stats.staged_bytes, 0u);  // cutoff happens before staging
+  EXPECT_EQ(seg.result.score, mapper.host_align(a).score);
+}
+
+TEST(BatchMapper, StagingExhaustionFallsBackToHost) {
+  GpuBatchConfig cfg = small_config();
+  cfg.num_streams = 1;
+  cfg.staging_bytes = 64;  // far below one segment's target+query
+  GpuBatchMapper mapper(cfg);
+  const auto target = random_seq(7, 200);
+  const auto query = random_seq(8, 190);
+  DiffArgs a;
+  a.target = target.data();
+  a.tlen = 200;
+  a.query = query.data();
+  a.qlen = 190;
+  const auto seg = mapper.align_segment(a, 0);
+  EXPECT_FALSE(seg.on_device);
+  EXPECT_FALSE(seg.launch_failed);  // staging exhaustion is the silent rung
+  EXPECT_EQ(seg.result.score, mapper.host_align(a).score);
+  const auto stats = mapper.stats();
+  EXPECT_GE(stats.stage_fallbacks, 1u);
+  EXPECT_EQ(stats.device_kernels, 0u);
+}
+
+TEST(BatchMapper, InjectedLaunchFailureFlagsAndFallsBack) {
+  fault::FaultPlan plan(42);
+  plan.arm({"gpu.launch", fault::FaultKind::kError, /*one_in=*/1, /*max_fires=*/1});
+  fault::ScopedPlan guard(&plan);
+  GpuBatchMapper mapper(small_config());
+  const auto target = random_seq(9, 150);
+  const auto query = random_seq(10, 140);
+  DiffArgs a;
+  a.target = target.data();
+  a.tlen = 150;
+  a.query = query.data();
+  a.qlen = 140;
+  const auto failed = mapper.align_segment(a, 0);
+  EXPECT_TRUE(failed.launch_failed);  // flagged so the service can requeue
+  EXPECT_FALSE(failed.on_device);
+  EXPECT_EQ(failed.result.score, mapper.host_align(a).score);
+  EXPECT_EQ(mapper.stats().launch_failures, 1u);
+  // The plan's single fire is spent: the next segment launches normally.
+  const auto ok = mapper.align_segment(a, 0);
+  EXPECT_TRUE(ok.on_device);
+  EXPECT_FALSE(ok.launch_failed);
+}
+
+TEST(BatchMapper, InjectedStageOomIsSilentFallback) {
+  fault::FaultPlan plan(43);
+  plan.arm({"gpu.stage_oom", fault::FaultKind::kError, /*one_in=*/1, /*max_fires=*/1});
+  fault::ScopedPlan guard(&plan);
+  GpuBatchMapper mapper(small_config());
+  const auto target = random_seq(12, 120);
+  const auto query = random_seq(13, 110);
+  DiffArgs a;
+  a.target = target.data();
+  a.tlen = 120;
+  a.query = query.data();
+  a.qlen = 110;
+  const auto seg = mapper.align_segment(a, 1);
+  EXPECT_FALSE(seg.on_device);
+  EXPECT_FALSE(seg.launch_failed);  // OOM never escalates to a requeue
+  EXPECT_EQ(seg.result.score, mapper.host_align(a).score);
+  EXPECT_GE(mapper.stats().stage_fallbacks, 1u);
+}
+
+TEST(BatchMapper, PlaceCountsDecisions) {
+  GpuBatchMapper mapper(small_config());
+  EXPECT_TRUE(mapper.place(uniform_lengths(8, 4000)).offload);
+  EXPECT_FALSE(mapper.place(uniform_lengths(2, 4000)).offload);
+  const auto stats = mapper.stats();
+  EXPECT_EQ(stats.offload_batches, 1u);
+  EXPECT_EQ(stats.cpu_batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-piece device kernel (score mode only — path stays on the host).
+
+TEST(TwoPiece, DeviceScoreMatchesCpuKernel) {
+  const TwoPieceKernelFn cpu = get_twopiece_kernel(Layout::kManymap, Isa::kScalar);
+  ASSERT_NE(cpu, nullptr);
+  for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
+    const auto target = random_seq(21 + static_cast<u64>(mode), 130);
+    auto query = target;
+    query.resize(120);
+    query[11] = static_cast<u8>((query[11] + 3) & 3);
+    TwoPieceArgs a;
+    a.target = target.data();
+    a.tlen = static_cast<i32>(target.size());
+    a.query = query.data();
+    a.qlen = static_cast<i32>(query.size());
+    a.mode = mode;
+    const AlignResult host = cpu(a);
+    const auto dev = simt::gpu_align_twopiece(a, Layout::kManymap,
+                                              simt::DeviceSpec::v100(), 128);
+    EXPECT_EQ(dev.result.score, host.score);
+    EXPECT_EQ(dev.result.t_end, host.t_end);
+    EXPECT_EQ(dev.result.q_end, host.q_end);
+    EXPECT_GT(dev.cost.cycles, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AlignmentService end-to-end. The workload keeps reads short and the
+// placement policy loosened so the interpreter-backed device path stays
+// fast while still offloading every batch.
+
+struct GpuWorkload {
+  Reference ref;
+  std::vector<Sequence> reads;
+  std::vector<std::string> serial_paf;
+
+  GpuWorkload() {
+    GenomeParams gp;
+    gp.total_length = 40'000;
+    gp.num_contigs = 2;
+    gp.seed = 777;
+    ref = generate_genome(gp);
+    ReadSimParams rp;
+    rp.num_reads = 32;
+    rp.seed = 778;
+    rp.profile.log_mu = std::log(500.0);
+    rp.profile.log_sigma = 0.35;
+    rp.profile.min_length = 250;
+    rp.profile.max_length = 900;
+    for (auto& sr : ReadSimulator(ref, rp).simulate()) reads.push_back(std::move(sr.read));
+    const Mapper mapper(ref, MapOptions::map_pb());
+    for (const auto& r : reads) serial_paf.push_back(to_paf_block(mapper.map(r)));
+  }
+};
+
+const GpuWorkload& gpu_workload() {
+  static const GpuWorkload w;
+  return w;
+}
+
+ServiceConfig gpu_service_config() {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 2;
+  cfg.batch.max_batch_size = 8;
+  cfg.gpu.enabled = true;
+  cfg.gpu.batch.num_streams = 2;
+  cfg.gpu.batch.min_gpu_cells = 1;
+  cfg.gpu.batch.placement.min_reads = 1;
+  cfg.gpu.batch.placement.min_mean_read_len = 100;
+  cfg.gpu.batch.placement.max_length_cv = 4.0;
+  return cfg;
+}
+
+TEST(ServiceGpu, OffloadedResponsesMatchSerialMapper) {
+  const auto& w = gpu_workload();
+  AlignmentService svc(w.ref, gpu_service_config());
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  u64 on_device = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+    if (r.on_device) ++on_device;
+  }
+  svc.shutdown();
+  EXPECT_GT(on_device, 0u);
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.completed, w.reads.size());
+  EXPECT_GT(snap.gpu_offload_batches, 0u);
+  EXPECT_EQ(snap.gpu_requests, on_device);
+  EXPECT_GT(snap.gpu_device_kernels, 0u);
+  EXPECT_GT(snap.gpu_staged_bytes, 0u);
+  EXPECT_GT(snap.gpu_device_seconds, 0.0);
+  EXPECT_GT(snap.gpu_occupancy, 0.0);
+  EXPECT_GT(snap.gpu_stream_utilization, 0.0);
+}
+
+TEST(ServiceGpu, LaunchFailureStormRequeuesExactlyOnceAndDropsNothing) {
+  const auto& w = gpu_workload();
+  fault::FaultPlan plan(4242);
+  plan.arm({"gpu.launch", fault::FaultKind::kError, /*one_in=*/3});
+  fault::ScopedPlan guard(&plan);
+  AlignmentService svc(w.ref, gpu_service_config());
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  // Exactly one response per request (a duplicate fulfil would throw
+  // std::future_error inside the service), every one kOk + byte-identical
+  // — the remainder of a failed batch must be served, not dropped.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error;
+    EXPECT_EQ(r.id, i);
+    EXPECT_EQ(r.paf, w.serial_paf[i]) << "read " << i;
+  }
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.completed, w.reads.size());
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_GT(snap.gpu_launch_failures, 0u);  // the storm actually fired
+  // Requeues are bounded by one per launch failure: a re-queued remainder
+  // is cpu_only and never re-enters the device path.
+  EXPECT_LE(snap.gpu_requeued_batches, snap.gpu_launch_failures);
+}
+
+TEST(ServiceGpu, SkewedBatchesStayOnCpuPath) {
+  const auto& w = gpu_workload();
+  ServiceConfig cfg = gpu_service_config();
+  cfg.gpu.batch.placement.min_mean_read_len = 1'000'000;  // reject everything
+  AlignmentService svc(w.ref, cfg);
+  std::vector<std::future<MapResponse>> futures;
+  for (std::size_t i = 0; i < 12; ++i) {
+    MapRequest req;
+    req.id = i;
+    req.read = w.reads[i];
+    futures.push_back(svc.submit_wait(std::move(req)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const MapResponse r = futures[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_FALSE(r.on_device);
+    EXPECT_EQ(r.paf, w.serial_paf[i]);
+  }
+  svc.shutdown();
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.gpu_offload_batches, 0u);
+  EXPECT_GT(snap.gpu_cpu_batches, 0u);
+  EXPECT_EQ(snap.gpu_requests, 0u);
+}
+
+}  // namespace
+}  // namespace gpu
+}  // namespace manymap

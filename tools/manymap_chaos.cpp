@@ -10,7 +10,11 @@
 // STORM: the memory budget is squeezed until every path-mode kernel
 // streams its direction bytes through a spill sink, and the
 // align.dirs.spill / align.dirs.spill_io fault sites are battered on top —
-// the degradation ladder must still deliver terminal statuses. The
+// the degradation ladder must still deliver terminal statuses. Every
+// fourth seed is a GPU STORM: device offload is enabled (placement loosened
+// so the workload actually reaches the device) while the gpu.launch and
+// gpu.stage_oom fault sites force device failures — the CPU fallback and
+// the exactly-once batch-remainder re-queue must keep every seed green. The
 // contract:
 //
 //   1. every submitted request resolves exactly once with a terminal
@@ -98,6 +102,28 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
     cfg.mem.score_only_above_bytes = u64{1} << 30;
   }
 
+  // GPU-storm seeds: device offload enabled with a loose placement policy
+  // (the workload's short reads must actually reach the device) and a tiny
+  // staging area, then forced launch and staging failures on top. The
+  // fallback ladder — stage_oom -> CPU segment, launch failure -> CPU +
+  // exactly-once remainder re-queue — must keep every response terminal.
+  const bool gpu_storm = seed % 4 == 0;
+  if (gpu_storm) {
+    cfg.gpu.enabled = true;
+    cfg.gpu.batch.num_streams = static_cast<u32>(rng.range(1, 4));
+    cfg.gpu.batch.staging_bytes = u64{64} << 10;
+    cfg.gpu.batch.placement.min_reads = 1;
+    cfg.gpu.batch.placement.min_mean_read_len = 200;
+    cfg.gpu.batch.placement.max_length_cv = 2.0;
+    // The simulated device *executes* lanes through the cycle-accurate
+    // interpreter (~25x native wall time), so a per-item heartbeat that is
+    // honest on the CPU looks stalled on the device path. Scale the stall
+    // timeout accordingly (stall-fault delays below derive from it, so
+    // injected stalls still outlast the watchdog); CPU-calibrated takeover
+    // timing stays covered by the three quarters of seeds without gpu.
+    cfg.watchdog.stall_timeout *= 25;
+  }
+
   // Fault schedule: 1-4 specs drawn from the site catalog. Stalls are kept
   // rare and bounded (one firing, ~1-2x the watchdog timeout) so a round
   // exercises takeover/respawn without dominating wall time.
@@ -151,6 +177,18 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
     io.one_in = static_cast<u32>(rng.range(16, 64));
     plan.arm(io);
   }
+  if (gpu_storm) {
+    fault::FaultSpec launch;
+    launch.site = "gpu.launch";
+    launch.kind = fault::FaultKind::kError;
+    launch.one_in = static_cast<u32>(rng.range(3, 10));
+    plan.arm(launch);
+    fault::FaultSpec oom;
+    oom.site = "gpu.stage_oom";
+    oom.kind = fault::FaultKind::kError;
+    oom.one_in = static_cast<u32>(rng.range(2, 8));
+    plan.arm(oom);
+  }
 
   AlignmentService svc(ref, cfg);
   const fault::ScopedPlan scoped(&plan);
@@ -200,7 +238,8 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
   }
   const MapResponse clean_resp = clean_fut.get();
   if (clean_resp.status != RequestStatus::kOk)
-    rep.fail(std::string("post-chaos clean request answered ") + to_string(clean_resp.status));
+    rep.fail(std::string("post-chaos clean request answered ") + to_string(clean_resp.status) +
+             (clean_resp.error.empty() ? "" : " (" + clean_resp.error + ")"));
 
   svc.shutdown();
 
@@ -215,10 +254,10 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
 
   if (verbose)
     std::fprintf(stderr,
-                 "[chaos] seed=%llu%s shards=%u workers=%u specs=%u fires=%llu "
+                 "[chaos] seed=%llu%s%s shards=%u workers=%u specs=%u fires=%llu "
                  "ok=%llu rejected=%llu timed_out=%llu failed=%llu stalls=%llu%s%s\n",
                  static_cast<unsigned long long>(seed), spill_storm ? " [spill-storm]" : "",
-                 cfg.shards, cfg.workers_per_shard,
+                 gpu_storm ? " [gpu-storm]" : "", cfg.shards, cfg.workers_per_shard,
                  nspecs, static_cast<unsigned long long>(plan.fires()),
                  static_cast<unsigned long long>(by_status[0]),
                  static_cast<unsigned long long>(by_status[1]),

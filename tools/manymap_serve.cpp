@@ -34,6 +34,11 @@
 //                          run with streamed dirs (spill sinks), past 16*M
 //                          they are served score-only; dispatch routes
 //                          batches away from over-budget shards
+//   --gpu                  enable device offload: the placement policy
+//                          routes long uniform batches through the simulated
+//                          SIMT device (score-mode DP on device, path on
+//                          host); responses stay bit-identical to CPU-only
+//   --gpu-streams N        host staging streams for --gpu (default 8)
 //
 // All numeric options are validated: counts must be positive integers,
 // --deadline-ms/--rate non-negative; violations answer with usage().
@@ -137,10 +142,11 @@ int usage() {
                "  [--dispatch rr|length] [--queue-capacity N] [--batch-size N]\n"
                "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
                "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n"
-               "  [--mem-budget-mb M]\n"
+               "  [--mem-budget-mb M] [--gpu] [--gpu-streams N]\n"
                "numeric options must be positive integers (--deadline-ms/--rate accept 0 =\n"
                "disabled); --mem-budget-mb caps each shard's estimated in-flight direction\n"
-               "bytes and degrades over-budget requests to streamed dirs, then score-only\n");
+               "bytes and degrades over-budget requests to streamed dirs, then score-only;\n"
+               "--gpu offloads long uniform batches to the simulated device (bit-identical)\n");
   return 2;
 }
 
@@ -149,12 +155,13 @@ int usage() {
 
 int main(int argc, char** argv) {
   using namespace manymap;
-  const std::vector<std::string> flags{"no-longest-first", "verify", "paf", "help"};
+  const std::vector<std::string> flags{"no-longest-first", "verify", "paf", "gpu", "help"};
   const std::vector<std::string> valued{
       "ref",      "reads-file", "length",         "reads",      "platform",
       "seed",     "preset",     "layout",         "isa",        "workers",
       "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
-      "deadline-ms", "rate",    "admission",      "verify-sample", "mem-budget-mb"};
+      "deadline-ms", "rate",    "admission",      "verify-sample", "mem-budget-mb",
+      "gpu-streams"};
   const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
   if (!parsed) return usage();
   if (parsed->has("help")) {
@@ -175,11 +182,12 @@ int main(int argc, char** argv) {
   const auto batch_delay_opt = positive_opt(args, "batch-delay-us", 2000);
   const auto verify_sample_opt = positive_opt(args, "verify-sample", 16);
   const auto mem_budget_opt = positive_opt(args, "mem-budget-mb", 0);
+  const auto gpu_streams_opt = positive_opt(args, "gpu-streams", 8);
   const auto deadline_opt = nonneg_double_opt(args, "deadline-ms", 0.0);
   const auto rate_opt = nonneg_double_opt(args, "rate", 0.0);
   if (!seed_opt || !length_opt || !reads_opt || !shards_opt || !workers_opt ||
       !queue_cap_opt || !batch_size_opt || !batch_delay_opt || !verify_sample_opt ||
-      !mem_budget_opt || !deadline_opt || !rate_opt)
+      !mem_budget_opt || !gpu_streams_opt || !deadline_opt || !rate_opt)
     return usage();
   const u64 seed = static_cast<u64>(*seed_opt);
 
@@ -232,6 +240,11 @@ int main(int argc, char** argv) {
     cfg.mem.shard_budget_bytes = budget;
     cfg.mem.resident_request_bytes = budget / 4;
     cfg.mem.score_only_above_bytes = budget * 16;
+  }
+  if (args.has("gpu")) {
+    cfg.gpu.enabled = true;
+    cfg.gpu.batch.layout = cfg.map.layout;
+    cfg.gpu.batch.num_streams = static_cast<u32>(*gpu_streams_opt);
   }
 
   // 3. Arrival schedule: exponential inter-arrival gaps (Poisson process)

@@ -7,8 +7,10 @@
 // Sweep options:
 //   --seeds N        fuzz seeds to sweep (default 256)
 //   --first-seed S   first seed (default 1; seeds are S..S+N-1)
-//   --family F       diff|twopiece|simt|banded|longread|all (default all);
-//                    `longread` sweeps the dirs streaming path end-to-end
+//   --family F       diff|twopiece|simt|banded|longread|gpu|all (default all);
+//                    `longread` sweeps the dirs streaming path end-to-end;
+//                    `gpu` sweeps device-vs-CPU agreement through the
+//                    offload subsystem (randomized batches and streams)
 //   --no-minimize    report divergences without shrinking them
 //   --out DIR        write a minimized .repro file per divergence to DIR
 //   --quiet          suppress the per-combo table
@@ -33,14 +35,18 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|banded|longread|all]\n"
+               "                      [--family diff|twopiece|simt|banded|longread|gpu|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
                "       manymap_verify --smoke-longread N [--smoke-budget-mb M]\n"
-               "       manymap_verify --repro FILE [FILE...]\n"
+               "       manymap_verify [--family gpu] --repro FILE [FILE...]\n"
                "\n"
                "--family longread sweeps the diagonal-block dirs streaming path on\n"
                "long-read-sized pairs (resident vs streamed bit-identity plus the\n"
-               "row-band streamed reference). --smoke-longread aligns one N x ~N bp\n"
+               "row-band streamed reference). --family gpu sweeps device-vs-CPU\n"
+               "agreement through the offload subsystem over randomized batch\n"
+               "compositions and stream counts; with --repro it replays each case\n"
+               "through check_gpu_case instead of the reference oracle.\n"
+               "--smoke-longread aligns one N x ~N bp\n"
                "pair in path mode with dirs spilled to a temp file under an M MiB\n"
                "resident block budget (default 48) — runnable under ulimit -v.\n");
 }
@@ -106,7 +112,7 @@ int run_smoke_longread(i64 n, i64 budget_mb) {
   return 0;
 }
 
-int run_repros(const std::vector<std::string>& files) {
+int run_repros(const std::vector<std::string>& files, bool gpu) {
   int bad = 0;
   for (const std::string& path : files) {
     verify::CaseSpec spec;
@@ -114,6 +120,17 @@ int run_repros(const std::vector<std::string>& files) {
     if (!verify::load_repro_file(path, &spec, &err)) {
       std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), err.c_str());
       ++bad;
+      continue;
+    }
+    if (gpu) {
+      // Device-agreement replay: the case may pass the reference oracle
+      // (the CPU kernel is right) while the device path diverges.
+      const verify::CheckResult r = verify::check_gpu_case(spec);
+      std::printf("%-60s %s\n", path.c_str(), r.ok ? "OK" : "DIVERGES");
+      if (!r.ok) {
+        std::fprintf(stderr, "  gpu/%s: %s\n", spec.combo().c_str(), r.failure.c_str());
+        ++bad;
+      }
       continue;
     }
     if (!verify::runnable(spec)) {
@@ -149,6 +166,7 @@ int main(int argc, char** argv) {
   verify::SweepOptions opt;
   bool quiet = false;
   bool family_longread = false;
+  bool family_gpu = false;
   i64 smoke_len = 0;
   i64 smoke_budget_mb = 48;
   std::string out_dir;
@@ -183,6 +201,7 @@ int main(int argc, char** argv) {
       else if (std::strcmp(v, "simt") == 0) opt.family_simt = true;
       else if (std::strcmp(v, "banded") == 0) opt.family_banded = true;
       else if (std::strcmp(v, "longread") == 0) family_longread = true;
+      else if (std::strcmp(v, "gpu") == 0) family_gpu = true;
       else if (std::strcmp(v, "all") == 0)
         opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = true;
       else {
@@ -228,7 +247,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!repro_files.empty()) return run_repros(repro_files);
+  if (!repro_files.empty()) return run_repros(repro_files, family_gpu);
   if (smoke_len > 0) return run_smoke_longread(smoke_len, smoke_budget_mb);
 
   u64 emitted = 0;
@@ -255,6 +274,12 @@ int main(int argc, char** argv) {
     lr.seeds = opt.seeds;
     lr.first_seed = opt.first_seed;
     stats = verify::run_longread_sweep(lr, on_divergence);
+  } else if (family_gpu) {
+    verify::GpuSweepOptions gp;
+    gp.seeds = opt.seeds;
+    gp.first_seed = opt.first_seed;
+    gp.minimize = opt.minimize;
+    stats = verify::run_gpu_sweep(gp, on_divergence);
   } else {
     stats = verify::run_sweep(opt, on_divergence);
   }
