@@ -26,17 +26,28 @@ inline std::size_t vx_size(i32 tlen, i32 qlen, bool manymap_layout) {
 
 }  // namespace
 
-u64 KernelArena::dirs_footprint(i32 tlen, i32 qlen) {
+u64 KernelArena::dirs_footprint(i32 tlen, i32 qlen, i32 band) {
   // tlen*qlen trapezoid cells plus kLanePad tail per diagonal row, so a
   // full-width vector store at any row's last cell stays inside the row.
+  // band > 0 caps every row at the static band width (an upper bound on
+  // the banded layout; refresh_diag_off packs the exact per-row widths).
   const u64 ndiag = static_cast<u64>(tlen) + static_cast<u64>(qlen) - 1;
-  return static_cast<u64>(tlen) * static_cast<u64>(qlen) + ndiag * kLanePad;
+  u64 max_row = static_cast<u64>(tlen < qlen ? tlen : qlen);
+  if (band > 0 && 2 * static_cast<u64>(band) + 1 < max_row)
+    max_row = 2 * static_cast<u64>(band) + 1;
+  const u64 full = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  const u64 cells = ndiag * max_row < full ? ndiag * max_row : full;
+  return cells + ndiag * kLanePad;
 }
 
-u64 KernelArena::stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows) {
-  // Every padded row is at most min(|T|,|Q|) + kLanePad bytes; the block
-  // must hold at least one so any single row always fits.
-  const u64 max_row = static_cast<u64>(tlen < qlen ? tlen : qlen) + kLanePad;
+u64 KernelArena::stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows, i32 band) {
+  // Every padded row is at most min(|T|,|Q|) + kLanePad bytes (the band
+  // width when banded); the block must hold at least one so any single
+  // row always fits.
+  u64 max_row = static_cast<u64>(tlen < qlen ? tlen : qlen);
+  if (band > 0 && 2 * static_cast<u64>(band) + 1 < max_row)
+    max_row = 2 * static_cast<u64>(band) + 1;
+  max_row += kLanePad;
   u64 cap;
   if (block_rows <= 0) {
     constexpr u64 kDefaultBlockBytes = u64{8} << 20;
@@ -44,21 +55,24 @@ u64 KernelArena::stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows) {
   } else {
     cap = static_cast<u64>(block_rows) * max_row;
   }
-  const u64 total = dirs_footprint(tlen, qlen);
+  const u64 total = dirs_footprint(tlen, qlen, band);
   return cap < total ? cap : total;
 }
 
-void KernelArena::refresh_diag_off(i32 tlen, i32 qlen) {
-  if (off_tlen_ == tlen && off_qlen_ == qlen) return;
+void KernelArena::refresh_diag_off(i32 tlen, i32 qlen, i32 band) {
+  if (off_tlen_ == tlen && off_qlen_ == qlen && off_band_ == band) return;
   u64 off = 0;
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
     diag_off_[static_cast<std::size_t>(r)] = off;
-    off += static_cast<u64>(diag_end(r, tlen) - diag_start(r, qlen) + 1) + kLanePad;
+    i32 lo, hi;
+    banded_bounds(r, tlen, qlen, band, &lo, &hi);
+    off += static_cast<u64>(hi - lo + 1) + kLanePad;
   }
   // Sentinel: diag_off[ndiag] = total bytes, so row sizes are differences.
   diag_off_[static_cast<std::size_t>(tlen + qlen - 1)] = off;
   off_tlen_ = tlen;
   off_qlen_ = qlen;
+  off_band_ = band;
 }
 
 void KernelArena::copy_sequences(const u8* target, i32 tlen, const u8* query, i32 qlen) {
@@ -80,8 +94,8 @@ void KernelArena::reserve_diff(const DiffArgs& a, bool manymap_layout, bool twop
       !a.with_cigar ? 0
       : a.spill != nullptr
           ? static_cast<std::size_t>(
-                stream_block_bytes(a.tlen, a.qlen, a.spill_block_rows))
-          : static_cast<std::size_t>(dirs_footprint(a.tlen, a.qlen));
+                stream_block_bytes(a.tlen, a.qlen, a.spill_block_rows, a.band))
+          : static_cast<std::size_t>(dirs_footprint(a.tlen, a.qlen, a.band));
   const std::size_t on =
       a.with_cigar ? static_cast<std::size_t>(a.tlen) + static_cast<std::size_t>(a.qlen) : 0;
 
@@ -120,10 +134,10 @@ DiffWorkspace KernelArena::prepare_diff(const DiffArgs& a, bool manymap_layout) 
   ws.tp = tp_.data();
   ws.qr = qr_.data();
   if (a.with_cigar) {
-    refresh_diag_off(a.tlen, a.qlen);
+    refresh_diag_off(a.tlen, a.qlen, a.band);
     ws.diag_off = diag_off_.data();
     if (a.spill != nullptr)
-      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows);
+      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows, a.band);
     else
       ws.dirs = dirs_.data();
   }
@@ -139,6 +153,7 @@ TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool many
   sized.with_cigar = a.with_cigar;
   sized.spill = a.spill;
   sized.spill_block_rows = a.spill_block_rows;
+  sized.band = a.band;
   reserve_diff(sized, manymap_layout, /*twopiece=*/true);
   copy_sequences(a.target, a.tlen, a.query, a.qlen);
   TwoPieceWorkspace ws;
@@ -151,10 +166,10 @@ TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool many
   ws.tp = tp_.data();
   ws.qr = qr_.data();
   if (a.with_cigar) {
-    refresh_diag_off(a.tlen, a.qlen);
+    refresh_diag_off(a.tlen, a.qlen, a.band);
     ws.diag_off = diag_off_.data();
     if (a.spill != nullptr)
-      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows);
+      ws.stream = init_stream(a.tlen, a.qlen, a.spill, a.spill_block_rows, a.band);
     else
       ws.dirs = dirs_.data();
   }
@@ -162,14 +177,16 @@ TwoPieceWorkspace KernelArena::prepare_twopiece(const TwoPieceArgs& a, bool many
 }
 
 DirsStream* KernelArena::init_stream(i32 tlen, i32 qlen, DirsSpill* spill,
-                                     i32 block_rows) {
+                                     i32 block_rows, i32 band) {
   stream_ = DirsStream{};
   stream_.sink = spill;
   stream_.block = dirs_.data();
-  stream_.block_cap = stream_block_bytes(tlen, qlen, block_rows);
+  stream_.block_cap = stream_block_bytes(tlen, qlen, block_rows, band);
   stream_.diag_off = diag_off_.data();
   stream_.ndiag = tlen + qlen - 1;
+  stream_.tlen = tlen;
   stream_.qlen = qlen;
+  stream_.band = band;
   return &stream_;
 }
 
@@ -297,10 +314,11 @@ void DirsStream::load_ending_at(i32 r) {
 
 u8 DirsStream::at(i32 i, i32 j) {
   const i32 r = i + j;
+  const u64 idx = band > 0 ? banded_row_index(i, j, tlen, qlen, band)
+                           : static_cast<u64>(i - diag_start(r, qlen));
   if (r < win_lo || r > win_hi) load_ending_at(r);
   return block[diag_off[static_cast<std::size_t>(r)] -
-               diag_off[static_cast<std::size_t>(win_lo)] +
-               static_cast<u64>(i - diag_start(r, qlen))];
+               diag_off[static_cast<std::size_t>(win_lo)] + idx];
 }
 
 }  // namespace detail

@@ -61,7 +61,9 @@ struct DirsStream {
   u64 block_cap = 0;              ///< block bytes (>= one padded row)
   const u64* diag_off = nullptr;  ///< ndiag+1 offsets (sentinel at [ndiag])
   i32 ndiag = 0;
+  i32 tlen = 0;
   i32 qlen = 0;
+  i32 band = 0;  ///< static band half-width the rows were laid out for
   u64 base_off = 0;  ///< absolute dirs offset of block[0] (write side)
   u64 fill = 0;      ///< bytes of the current block already written
   u64 spill_blocks = 0;
@@ -147,20 +149,24 @@ class KernelArena {
   /// Total dirs bytes of the padded-row layout for a tlen × qlen pair:
   /// tlen·qlen cells + (tlen+qlen-1)·kLanePad pad. This is the resident
   /// cost of a path-mode alignment without streaming, and the basis for
-  /// the service's per-request footprint estimates.
-  static u64 dirs_footprint(i32 tlen, i32 qlen);
+  /// the service's per-request footprint estimates. band > 0 bounds each
+  /// row at the 2·band+1 static band width, shrinking the footprint from
+  /// O(|T|·|Q|) to O(band·(|T|+|Q|)) (a slight over-estimate: the banded
+  /// layout's exact row widths are what refresh_diag_off computes).
+  static u64 dirs_footprint(i32 tlen, i32 qlen, i32 band = 0);
   /// Resident dirs block bytes a streaming path-mode call reserves
   /// (block_rows = 0 picks the ~8 MiB default; clamped to the full
-  /// footprint, floored at one padded row).
-  static u64 stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows);
+  /// footprint, floored at one padded row — a banded row for band > 0).
+  static u64 stream_block_bytes(i32 tlen, i32 qlen, i32 block_rows, i32 band = 0);
 
   /// The calling thread's shared arena (lazily constructed).
   static KernelArena& for_thread();
 
  private:
-  void refresh_diag_off(i32 tlen, i32 qlen);
+  void refresh_diag_off(i32 tlen, i32 qlen, i32 band);
   /// Point the streaming cursor at the freshly prepared block buffer.
-  DirsStream* init_stream(i32 tlen, i32 qlen, DirsSpill* spill, i32 block_rows);
+  DirsStream* init_stream(i32 tlen, i32 qlen, DirsSpill* spill, i32 block_rows,
+                          i32 band);
   /// Grow sequence/DP/dirs buffers to the requested sizes, charging the
   /// true footprint of every grown buffer to check_dp_alloc first (so an
   /// injected failure leaves the arena unchanged).
@@ -182,7 +188,7 @@ class KernelArena {
   std::vector<i8> u_, y_, y2_, v_, x_, x2_;
   std::vector<u8> tp_, qr_, dirs_;
   std::vector<u64> diag_off_;
-  i32 off_tlen_ = -1, off_qlen_ = -1;  ///< cached diag_off key
+  i32 off_tlen_ = -1, off_qlen_ = -1, off_band_ = -1;  ///< cached diag_off key
   u64 growth_events_ = 0;
   DirsStream stream_;  ///< streaming cursor (live between prepare and backtrack)
 };

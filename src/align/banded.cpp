@@ -39,7 +39,22 @@ AlignResult banded_global_align(const BandedArgs& a) {
   MM_REQUIRE(a.band >= 0, "negative band");
   const i32 tlen = a.tlen, qlen = a.qlen;
   const i32 q = a.params.gap_open, e = a.params.gap_ext;
-  const i32 width = 2 * a.band + 1;
+  // Corner coverage: with a steep query/target slope the fixed half-width
+  // can leave adjacent row windows disjoint — every in-band cell then
+  // derives from kNegInf and the "global" result is garbage (and the
+  // tlen <= 1 band_center degenerate pins the window to column 0, so the
+  // last column is never in band). Widen the half-width until consecutive
+  // centers move by at most `band` columns, which keeps the window
+  // staircase connected and puts (tlen-1, qlen-1) in the last window.
+  i32 band = a.band;
+  if (tlen <= 1) {
+    band = std::max(band, qlen - 1);
+  } else if (qlen > 1) {
+    const i32 slope_ceil = static_cast<i32>(
+        (static_cast<i64>(qlen) - 2) / (tlen - 1) + 1);  // ceil((qlen-1)/(tlen-1))
+    band = std::max(band, slope_ceil);
+  }
+  const i32 width = 2 * band + 1;
 
   // Direction bytes per (row, band offset); reuse the diff kernels' bit
   // layout so the backtrack state machine is shared logic.
@@ -51,6 +66,20 @@ AlignResult banded_global_align(const BandedArgs& a) {
   std::vector<i32> H_cur(width, kNegInf), E_cur(width, kNegInf);
   i32 jlo_prev = 0;
 
+  // Escape ledger (see detail::BandTracker): upper bound on any path that
+  // leaves the band, collected from the cells such a path must exit
+  // through. In row space these are the right edge (j = jhi, exits via a
+  // rightward move) and — because jlo may advance several columns per row
+  // at steep slopes — the "shadow" prefix [jlo(i), jlo(i+1)-1] that the
+  // next row's window no longer covers (exits via down/diag moves).
+  i64 ledger = INT64_MIN / 4;
+  const i64 match = a.params.match;
+  auto escape_bound = [&](i32 h, i32 i, i32 j) {
+    if (h <= kNegInf / 2) return;
+    const i64 rest = std::min<i64>(tlen - 1 - i, qlen - 1 - j);
+    ledger = std::max(ledger, static_cast<i64>(h) + match * rest);
+  };
+
   auto boundary_h = [&](i32 i, i32 j) -> i32 {
     // H on the virtual row/column -1 (beginnings aligned at (0,0)).
     if (i == -1 && j == -1) return 0;
@@ -61,8 +90,8 @@ AlignResult banded_global_align(const BandedArgs& a) {
 
   for (i32 i = 0; i < tlen; ++i) {
     const i32 jc = band_center(i, tlen, qlen);
-    const i32 jlo = std::max(0, jc - a.band);
-    const i32 jhi = std::min(qlen - 1, jc + a.band);
+    const i32 jlo = std::max(0, jc - band);
+    const i32 jhi = std::min(qlen - 1, jc + band);
     jlo_of[static_cast<std::size_t>(i)] = jlo;
     std::fill(H_cur.begin(), H_cur.end(), kNegInf);
     std::fill(E_cur.begin(), E_cur.end(), kNegInf);
@@ -123,6 +152,12 @@ AlignResult banded_global_align(const BandedArgs& a) {
         dirs[static_cast<std::size_t>(i) * width + k] = d;
       }
     }
+    if (jhi < qlen - 1) escape_bound(H_cur[static_cast<std::size_t>(jhi - jlo)], i, jhi);
+    if (i < tlen - 1) {
+      const i32 jlo_next = std::max(0, band_center(i + 1, tlen, qlen) - band);
+      for (i32 j = jlo; j <= std::min(jhi, jlo_next - 1); ++j)
+        escape_bound(H_cur[static_cast<std::size_t>(j - jlo)], i, j);
+    }
     H_prev.swap(H_cur);
     E_prev.swap(E_cur);
     jlo_prev = jlo;
@@ -131,15 +166,23 @@ AlignResult banded_global_align(const BandedArgs& a) {
   out.cells = static_cast<u64>(tlen) * static_cast<u64>(std::min(qlen, width));
   out.t_end = tlen - 1;
   out.q_end = qlen - 1;
+  // Both invariants hold by construction after the widening above; a
+  // violation would be a geometry bug, not an input condition.
   const i32 k_end = (qlen - 1) - jlo_prev;
   MM_REQUIRE(k_end >= 0 && k_end < width, "band does not reach the corner");
   out.score = H_prev[static_cast<std::size_t>(k_end)];
   MM_REQUIRE(out.score > kNegInf / 2, "no in-band path reaches the corner");
+  // >= so a tie with a potentially-escaping path also flags: no flag means
+  // the result equals the unbanded optimum, tie-breaks included. The flag
+  // is advisory here: this rung still returns its best in-band path (the
+  // historical contract — gap fills accept band-confined alignments), so
+  // the backtrack below runs either way.
+  out.band_hit = ledger >= out.score;
 
   if (a.with_cigar) {
     auto dir_at = [&](i32 i, i32 j) -> u8 {
       const i32 k = j - jlo_of[static_cast<std::size_t>(i)];
-      MM_REQUIRE(k >= 0 && k < width, "backtrack left the band");
+      if (k < 0 || k >= width) throw BandHitError("banded backtrack left the band");
       return dirs[static_cast<std::size_t>(i) * width + k];
     };
     Cigar cig;

@@ -8,6 +8,13 @@
 // asymmetric gap lengths are handled without widening the band.
 // Cells outside the band are -infinity; when the band covers the whole
 // matrix the result is exactly the reference DP's (same tie-breaking).
+//
+// The requested half-width is automatically widened just enough that
+// consecutive row windows stay connected and the (|T|-1,|Q|-1) corner is
+// always in band (steep |Q|/|T| slopes and the |T| <= 1 degenerate used
+// to leave the corner out of band entirely). An escape ledger sets
+// AlignResult::band_hit when the unbanded optimum may lie outside the
+// band — callers that need exactness rerun with a covering band.
 #pragma once
 
 #include "align/kernel_api.hpp"
@@ -26,7 +33,11 @@ struct BandedArgs {
 
 /// Global alignment constrained to the band. The returned score is optimal
 /// among paths inside the band (equal to the unbanded optimum whenever the
-/// optimal path fits).
+/// optimal path fits; band_hit is set when that cannot be proven). The
+/// flag is advisory: the best in-band path and CIGAR are still returned —
+/// callers that need exactness rerun with a covering band. Backtrack
+/// throws BandHitError if the recorded path escapes the band (geometry
+/// invariant violation; never expected after the auto-widening).
 AlignResult banded_global_align(const BandedArgs& args);
 
 }  // namespace manymap

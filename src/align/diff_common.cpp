@@ -57,8 +57,14 @@ void check_dirs_spill(u64 bytes) {
 }
 
 Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
-                i32 j_end) {
-  (void)tlen;
+                i32 j_end, i32 band) {
+  if (band > 0)
+    return backtrack_cells(
+        [&](i32 i, i32 j) -> u8 {
+          return check_banded_dir(dirs[diag_off[static_cast<std::size_t>(i + j)] +
+                                       banded_row_index(i, j, tlen, qlen, band)]);
+        },
+        i_end, j_end);
   return backtrack_cells(
       [&](i32 i, i32 j) -> u8 {
         const i32 r = i + j;
@@ -68,14 +74,19 @@ Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_e
       i_end, j_end);
 }
 
-Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end) {
+Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end,
+                   i32 band) {
   if (ws.stream == nullptr)
-    return backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end);
+    return backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end, band);
   DirsStream& s = *ws.stream;
   s.seal();
   // Nothing spilled: the block holds the whole dirs area at its diag_off
   // offsets, so the resident walk applies unchanged.
-  if (s.in_memory()) return backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end);
+  if (s.in_memory())
+    return backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end, band);
+  if (band > 0)
+    return backtrack_cells(
+        [&s](i32 i, i32 j) { return check_banded_dir(s.at(i, j)); }, i_end, j_end);
   return backtrack_cells([&s](i32 i, i32 j) { return s.at(i, j); }, i_end, j_end);
 }
 

@@ -18,6 +18,7 @@
 // without materializing H.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -33,6 +34,27 @@ inline constexpr i32 kLanePad = 64;
 
 inline i32 diag_start(i32 r, i32 qlen) { return r >= qlen ? r - qlen + 1 : 0; }
 inline i32 diag_end(i32 r, i32 tlen) { return r < tlen ? r : tlen - 1; }
+
+/// Static band around the (0,0)→(tlen-1,qlen-1) line in anti-diagonal
+/// coordinates: on diagonal r the center lane is the floor of the line
+/// i = r·(tlen-1)/(tlen+qlen-2), which always lies inside [st, en]; the
+/// band clips [center-band, center+band] to the matrix. Each bound
+/// advances by 0 or 1 per diagonal and the window always contains (0,0)
+/// and the corner, so banded global DP needs no corner widening.
+/// band <= 0 yields the full diagonal [st, en].
+inline void banded_bounds(i32 r, i32 tlen, i32 qlen, i32 band, i32* lo, i32* hi) {
+  const i32 st = diag_start(r, qlen);
+  const i32 en = diag_end(r, tlen);
+  if (band <= 0) {
+    *lo = st;
+    *hi = en;
+    return;
+  }
+  const i64 den = static_cast<i64>(tlen) + qlen - 2;
+  const i32 tc = den > 0 ? static_cast<i32>(static_cast<i64>(r) * (tlen - 1) / den) : 0;
+  *lo = std::max(st, tc - band);
+  *hi = std::min(en, tc + band);
+}
 
 /// Saturating int8 cast. The SIMD kernels clamp via adds/subs; the scalar
 /// kernels compute in int32 and must clamp identically on store, so all
@@ -85,6 +107,11 @@ inline constexpr u8 kDirIns = 2;
 inline constexpr u8 kExtDel = 1 << 2;
 inline constexpr u8 kExtIns = 1 << 3;
 
+/// Sentinel stored in dirs rows for statically-in-band cells the zdrop
+/// shrink skipped; never a legal direction byte in either gap model.
+/// Backtrack treats it exactly like an out-of-band cell (BandHitError).
+inline constexpr u8 kDirPruned = 0xFF;
+
 /// One-piece backtrack state machine over any direction-byte accessor
 /// `dir_at(i, j) -> u8`, starting at (i_end, j_end) and walking to (0,0).
 /// Shared by the resident path (contiguous dirs + diag_off) and the
@@ -121,14 +148,17 @@ Cigar backtrack_cells(DirAt&& dir_at, i32 i_end, i32 j_end) {
 /// Reconstruct the CIGAR from direction bytes, starting at cell
 /// (i_end, j_end) and walking to the aligned beginning at (0,0).
 /// `diag_off[r]` locates diagonal r in `dirs`; any row stride works
-/// (packed, or the arena's kLanePad-padded layout).
+/// (packed, or the arena's kLanePad-padded layout). With band > 0 rows
+/// are indexed from each diagonal's static band start and a walk outside
+/// the band (or into a pruned cell) throws BandHitError.
 Cigar backtrack(const u8* dirs, const u64* diag_off, i32 tlen, i32 qlen, i32 i_end,
-                i32 j_end);
+                i32 j_end, i32 band = 0);
 
 /// Mode-dispatching backtrack over a prepared workspace: resident dirs
 /// walk in place, streamed dirs are sealed and walked through the spill
 /// window. Kernels call this instead of backtrack() directly.
-Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end);
+Cigar backtrack_ws(const DiffWorkspace& ws, i32 tlen, i32 qlen, i32 i_end, i32 j_end,
+                   i32 band = 0);
 
 /// Direction row pointer for diagonal r: resident rows live at
 /// diag_off[r]; streamed rows come from the block cursor (which spills a
@@ -194,6 +224,157 @@ struct BorderTracker {
     if (r >= qlen - 1) best.offer(h_top, r - qlen + 1, qlen - 1);
   }
 };
+
+/// Banded generalization of BorderTracker: traces H along both edges of
+/// the LIVE lane interval (static band ∩ zdrop survivors), accumulates
+/// the semi-global candidates the full kernels would offer whenever an
+/// edge coincides with the matrix border, and keeps a conservative
+/// "escape ledger" — an upper bound on the score of any path that leaves
+/// the band, so `hit()` proves post-hoc whether the unbanded optimum
+/// could have escaped.
+///
+/// Edge-H bookkeeping mirrors BorderTracker exactly: when an edge lane
+/// ADVANCES between diagonals (lane index +1) the border cell moves down
+/// a row, so H advances by u at the new lane; when it STALLS the cell
+/// slides right along a row, advancing by v. With band <= 0 both edges
+/// track st/en and this reduces to BorderTracker bit-for-bit.
+///
+/// Ledger soundness: a path step can only exit the live interval through
+/// the edge-lane cell of its departure diagonal (edges move by at most
+/// one lane per diagonal, and path lanes are non-decreasing), its prefix
+/// score there is bounded by the confined edge H, and any continuation
+/// gains at most `match` per remaining min(rows, cols). `hit()` uses >=
+/// so score TIES with a potentially-escaping path also force the full
+/// rerun — that is what makes "no flag → bit-identical to full kernels,
+/// end cell and CIGAR tie-breaks included" hold.
+struct BandTracker {
+  static constexpr i64 kLedgerNone = INT64_MIN / 4;
+
+  i32 tlen, qlen, band, zdrop;
+  bool global;
+  i64 match;        ///< best per-cell gain, for the escape bound
+  i32 lo = 0, hi = 0;    ///< live lane interval of the current diagonal
+  i32 blo = 0, bhi = 0;  ///< static band bounds of the current diagonal
+  bool lo_adv = true, hi_adv = true;  ///< edge transition vs previous diag
+  i64 h_lo, h_hi;   ///< H at (lo, r-lo) / (hi, r-hi) after after_diagonal
+  i64 ledger = kLedgerNone;
+  i64 best_seen;    ///< running max of edge H values (zdrop reference)
+  u64 cells = 0;    ///< live cells actually computed
+  bool zdropped = false;
+  bool dead = false;  ///< zdrop emptied the live interval; stop the DP
+  BestCell best;
+
+  BandTracker(i32 tl, i32 ql, i32 bw, i32 zd, AlignMode mode, i64 match_score,
+              i64 h_init)
+      : tlen(tl), qlen(ql), band(bw), zdrop(zd),
+        global(mode == AlignMode::kGlobal), match(match_score), h_lo(h_init),
+        h_hi(h_init), best_seen(h_init) {}
+
+  /// Advance to diagonal r: refresh the static bounds, clip the live
+  /// interval and classify both edge transitions. Returns false when the
+  /// interval died — the kernel stops its diagonal loop.
+  bool begin_diagonal(i32 r) {
+    const i32 plo = lo, phi = hi;
+    banded_bounds(r, tlen, qlen, band, &blo, &bhi);
+    if (r == 0) {
+      lo = hi = 0;
+      lo_adv = hi_adv = true;  // H(0,0) = h_init + u(0,0) on both edges
+      cells += 1;
+      return true;
+    }
+    // The static bounds move by at most one lane per diagonal, so the
+    // clipped live edges do too — precisely the invariant the edge-H
+    // updates and the ledger's exit-cell argument rely on.
+    lo = std::max(blo, plo);
+    hi = std::min(bhi, phi + 1);
+    if (lo > hi) {
+      dead = true;
+      return false;
+    }
+    lo_adv = lo != plo;
+    hi_adv = hi != phi;
+    cells += static_cast<u64>(hi - lo + 1);
+    return true;
+  }
+
+  /// After diagonal r is computed: u/v written this diagonal at the live
+  /// edge lanes (the caller resolves the layout's v slot mapping).
+  void after_diagonal(i32 r, i8 u_lo, i8 v_lo, i8 u_hi, i8 v_hi) {
+    h_lo += lo_adv ? u_lo : v_lo;
+    h_hi += hi_adv ? u_hi : v_hi;
+    const i32 st = diag_start(r, qlen);
+    const i32 en = diag_end(r, tlen);
+    // Semi-global candidates in the full kernels' order (bottom row before
+    // last column); every in-band border cell is an edge cell, so nothing
+    // in band is missed.
+    if (hi == en && en == tlen - 1) best.offer(h_hi, tlen - 1, r - (tlen - 1));
+    if (lo == st && r >= qlen - 1) best.offer(h_lo, r - qlen + 1, qlen - 1);
+    // Escape ledger: an edge strictly inside the full diagonal borders
+    // out-of-band matrix cells a path could leave through.
+    if (lo > st)
+      ledger = std::max(
+          ledger, h_lo + match * std::min<i64>(tlen - 1 - lo, qlen - 1 - (r - lo)));
+    if (hi < en)
+      ledger = std::max(
+          ledger, h_hi + match * std::min<i64>(tlen - 1 - hi, qlen - 1 - (r - hi)));
+  }
+
+  /// ksw2-style adaptive shrink after diagonal r: while an edge H has
+  /// fallen more than `zdrop` below the running best, retire that lane by
+  /// walking H along the current diagonal (u_at/v_at read this diagonal's
+  /// difference lanes BY LANE INDEX; the caller maps layout slots).
+  /// Amortized O(total band width) across the whole alignment.
+  template <class UAt, class VAt>
+  void maybe_shrink(UAt&& u_at, VAt&& v_at) {
+    if (zdrop <= 0 || dead) return;
+    best_seen = std::max({best_seen, h_lo, h_hi});
+    bool pruned = false;
+    while (hi > lo && h_hi + zdrop < best_seen) {
+      // H(i-1, j+1) = H(i, j) - u(i, j) + v(i-1, j+1), same diagonal.
+      h_hi += -static_cast<i64>(u_at(hi)) + v_at(hi - 1);
+      --hi;
+      pruned = true;
+    }
+    while (lo < hi && h_lo + zdrop < best_seen) {
+      // H(i+1, j-1) = H(i, j) - v(i, j) + u(i+1, j-1), same diagonal.
+      h_lo += -static_cast<i64>(v_at(lo)) + u_at(lo + 1);
+      ++lo;
+      pruned = true;
+    }
+    if (pruned) zdropped = true;
+    if (lo == hi && h_hi + zdrop < best_seen) dead = true;
+  }
+
+  /// Could the unbanded optimum have escaped the band? (Score ties count:
+  /// a tie can still steal the full kernel's end-cell/CIGAR tie-break.)
+  bool hit(i64 final_score) const {
+    if (dead && global) return true;  // never reached the corner
+    return ledger != kLedgerNone && ledger >= final_score;
+  }
+};
+
+/// Assemble the AlignResult of a banded kernel run from its BandTracker:
+/// cells/zdropped bookkeeping, the global-corner or best-border score,
+/// hit() evaluation, and the banded backtrack (skipped when flagged).
+/// Shared by the scalar and every SIMD banded kernel (diff_scalar.cpp).
+AlignResult finish_banded(const DiffArgs& a, const DiffWorkspace& ws,
+                          const BandTracker& track);
+
+/// Band guard for backtrack accessors: row-relative index of (i, j)
+/// within its diagonal's static band row, throwing when the recorded
+/// path stepped outside the band.
+inline u64 banded_row_index(i32 i, i32 j, i32 tlen, i32 qlen, i32 band) {
+  i32 lo, hi;
+  banded_bounds(i + j, tlen, qlen, band, &lo, &hi);
+  if (i < lo || i > hi) throw BandHitError("backtrack left the band");
+  return static_cast<u64>(i - lo);
+}
+
+/// Pruned-cell guard applied to every banded backtrack read.
+inline u8 check_banded_dir(u8 b) {
+  if (b == kDirPruned) throw BandHitError("backtrack entered a zdrop-pruned cell");
+  return b;
+}
 
 }  // namespace detail
 }  // namespace manymap

@@ -18,6 +18,14 @@
 // row by kLanePad, so the up-to-(W-1)-byte overrun of a row's final chunk
 // lands in that row's dead tail, never in the next row.
 //
+// Banded runs (DiffArgs::band > 0) reuse the same chunk loop over the
+// BandTracker's live lane interval. The final chunk may overrun past the
+// high edge; those garbage lanes are safe because (a) every same-lane U/Y
+// read at the next diagonal's new high lane is overwritten by the edge
+// injection first, (b) v/x reads only ever look one lane BELOW the live
+// interval, and (c) the in-band tail of the dirs row is stamped with
+// kDirPruned after the vector loop, re-covering any overrun bytes.
+//
 // This header is included from per-ISA translation units compiled with the
 // matching -m flags; it must not be included anywhere else.
 #pragma once
@@ -27,8 +35,8 @@
 namespace manymap {
 namespace detail {
 
-template <class VT, bool kManymapLayout>
-AlignResult simd_align(const DiffArgs& a) {
+template <class VT, bool kManymapLayout, bool kBanded>
+AlignResult simd_align_impl(const DiffArgs& a) {
   AlignResult out;
   if (handle_degenerate(a, out)) return out;
   MM_REQUIRE(a.params.fits_int8(), "scores too large for int8 difference kernels");
@@ -65,37 +73,70 @@ AlignResult simd_align(const DiffArgs& a) {
   const vec ext_del_v = VT::set1(static_cast<i8>(kExtDel));
   const vec ext_ins_v = VT::set1(static_cast<i8>(kExtIns));
 
-  BorderTracker track(tlen, qlen, a.params);
+  [[maybe_unused]] BorderTracker track(tlen, qlen, a.params);
+  [[maybe_unused]] BandTracker btrack(tlen, qlen, a.band, a.zdrop, a.mode,
+                                      a.params.match,
+                                      -static_cast<i64>(q + e));
 
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
     const i32 st = diag_start(r, qlen);
     const i32 en = diag_end(r, tlen);
     const i32 shift = qlen - r;  // manymap: t' = t + shift
+    i32 lo = st, hi = en, row0 = st;
 
     i8 v_carry = 0, x_carry = 0;
-    if constexpr (kManymapLayout) {
-      if (st == 0) {
-        V[shift] = (r == 0) ? init_first : init_rest;
-        X[shift] = init_xy;
+    if constexpr (kBanded) {
+      if (!btrack.begin_diagonal(r)) break;
+      lo = btrack.lo;
+      hi = btrack.hi;
+      row0 = btrack.blo;
+      if constexpr (kManymapLayout) {
+        if (lo == 0) {
+          V[shift] = (r == 0) ? init_first : init_rest;
+          X[shift] = init_xy;
+        } else if (!btrack.lo_adv) {  // wall: lane lo-1 left the band
+          V[lo + shift] = init_first;
+          X[lo + shift] = init_xy;
+        }  // else: slot lo+shift already holds lane lo-1's genuine values
+      } else {
+        if (lo > 0 && btrack.lo_adv) {
+          v_carry = V[lo - 1];  // lane lo-1 was live on the prev diagonal
+          x_carry = X[lo - 1];
+        } else {
+          // lo == 0: matrix boundary; lo > 0 stalled: wall injection.
+          v_carry = (r == 0 || lo > 0) ? init_first : init_rest;
+          x_carry = init_xy;
+        }
+      }
+      if (btrack.hi_adv) {  // lane hi is new: boundary or wall injection
+        U[hi] = (hi == r && r != 0) ? init_rest : init_first;
+        Y[hi] = init_xy;
       }
     } else {
-      if (st == 0) {
-        v_carry = (r == 0) ? init_first : init_rest;
-        x_carry = init_xy;
+      if constexpr (kManymapLayout) {
+        if (st == 0) {
+          V[shift] = (r == 0) ? init_first : init_rest;
+          X[shift] = init_xy;
+        }
       } else {
-        v_carry = V[st - 1];
-        x_carry = X[st - 1];
+        if (st == 0) {
+          v_carry = (r == 0) ? init_first : init_rest;
+          x_carry = init_xy;
+        } else {
+          v_carry = V[st - 1];
+          x_carry = X[st - 1];
+        }
       }
-    }
-    if (en == r) {
-      U[en] = (r == 0) ? init_first : init_rest;
-      Y[en] = init_xy;
+      if (en == r) {
+        U[en] = (r == 0) ? init_first : init_rest;
+        Y[en] = init_xy;
+      }
     }
 
     u8* dir_row = dirs_row(ws, r);
     const i32 qoff = qlen - 1 - r;
 
-    for (i32 t = st; t <= en; t += W) {
+    for (i32 t = lo; t <= hi; t += W) {
       const vec Tv = VT::load(T + t);
       const vec Qv = VT::load(Qr + qoff + t);
       const msk is_match = VT::cmp_and(VT::eq(Tv, Qv), VT::gt(four_v, Tv));
@@ -145,14 +186,29 @@ AlignResult simd_align(const DiffArgs& a) {
         vec d = VT::select(m2, two_v, VT::mask_val(m1, one_v));
         d = VT::or_bits(d, VT::gt(ea, zero_v), ext_del_v);
         d = VT::or_bits(d, VT::gt(fb, zero_v), ext_ins_v);
-        VT::store(dir_row + (t - st), d);
+        VT::store(dir_row + (t - row0), d);
       }
     }
 
-    const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
-    const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
-    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    if constexpr (kBanded) {
+      if (dir_row) {  // zdrop-retired lanes inside the static band; also
+                      // re-covers the final chunk's overrun garbage bytes
+        for (i32 t = row0; t < lo; ++t) dir_row[t - row0] = kDirPruned;
+        for (i32 t = hi + 1; t <= btrack.bhi; ++t) dir_row[t - row0] = kDirPruned;
+      }
+      const i8 v_lo = kManymapLayout ? V[lo + shift] : V[lo];
+      const i8 v_hi = kManymapLayout ? V[hi + shift] : V[hi];
+      btrack.after_diagonal(r, U[lo], v_lo, U[hi], v_hi);
+      btrack.maybe_shrink([&](i32 t) { return U[t]; },
+                          [&](i32 t) { return kManymapLayout ? V[t + shift] : V[t]; });
+    } else {
+      const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
+      const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
+      track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    }
   }
+
+  if constexpr (kBanded) return finish_banded(a, ws, btrack);
 
   out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
   if (a.mode == AlignMode::kGlobal) {
@@ -167,6 +223,12 @@ AlignResult simd_align(const DiffArgs& a) {
   if (a.with_cigar)
     out.cigar = backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end);
   return out;
+}
+
+template <class VT, bool kManymapLayout>
+AlignResult simd_align(const DiffArgs& a) {
+  return a.band > 0 ? simd_align_impl<VT, kManymapLayout, true>(a)
+                    : simd_align_impl<VT, kManymapLayout, false>(a);
 }
 
 }  // namespace detail

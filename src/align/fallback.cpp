@@ -45,6 +45,11 @@ AlignResult align_with_fallback(const DiffArgs& args, KernelFn primary, Layout l
         AlignResult r = fn();
         record(rung);
         return r;
+      } catch (const BandHitError&) {
+        // Not a compute failure: the band was too narrow, and every rung
+        // would hit it identically. Band policy (rerun unbanded) belongs to
+        // the caller, so propagate instead of climbing the ladder.
+        throw;
       } catch (const std::exception&) {
         ++failed;
       }

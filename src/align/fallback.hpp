@@ -15,6 +15,11 @@
 // (allocation failure, injected fault). If the last rung fails, the
 // exception propagates to the caller — at the service layer that becomes
 // a structured kFailed response.
+//
+// BandHitError is the one exception the ladder does NOT treat as a rung
+// failure: a too-narrow band would defeat every rung the same way, so it
+// propagates immediately and the caller decides whether to rerun unbanded
+// (see Mapper's auto-full fallback).
 #pragma once
 
 #include "align/kernel_api.hpp"

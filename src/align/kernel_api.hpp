@@ -14,6 +14,7 @@
 // results (verified by the test suite).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,26 @@ struct AlignResult {
   i32 q_end = -1;  ///< inclusive query end index of the best cell
   u64 cells = 0;   ///< DP cells evaluated (for GCUPS)
   Cigar cigar;     ///< empty in score-only mode
+  /// Banded kernels only: the conservative escape ledger could not prove
+  /// the unbanded optimum stays inside the band, so score/cigar may be
+  /// band-confined. Callers must rerun unbanded (band = 0) to trust the
+  /// result; when false, the result is bit-identical to the full kernel.
+  bool band_hit = false;
+  /// Banded kernels only: the zdrop heuristic pruned the live interval
+  /// below the static band somewhere (score is then heuristic, as in
+  /// ksw2 — zdropped results are accepted, not retried).
+  bool zdropped = false;
+};
+
+/// Thrown by banded backtrack when the traced path steps outside the
+/// static band or into a zdrop-pruned cell. The score-side escape ledger
+/// is conservative but tie-breaking can still route the recorded path
+/// through an edge-injected wall cell; the walk itself is the last-resort
+/// detector. Callers treat it exactly like AlignResult::band_hit == true
+/// and rerun with band = 0.
+class BandHitError : public std::runtime_error {
+ public:
+  explicit BandHitError(const char* what) : std::runtime_error(what) {}
 };
 
 struct DiffArgs {
@@ -73,6 +94,16 @@ struct DiffArgs {
   /// `spill` is set). 0 picks a default ~8 MiB block; 1 is the legal
   /// degenerate minimum; a value >= |T|+|Q|-1 never spills.
   i32 spill_block_rows = 0;
+  /// Static band half-width around the (0,0)→(|T|-1,|Q|-1) line, measured
+  /// in anti-diagonal lanes. 0 (the default) computes the full rectangle;
+  /// band > 0 confines every diagonal to ≤ 2·band+1 lanes and the result
+  /// carries band_hit when the optimum may have escaped (rerun with 0).
+  i32 band = 0;
+  /// ksw2-style adaptive drop (banded runs only): once both live band
+  /// edges fall more than `zdrop` below the running best the interval
+  /// shrinks, ending rows early. 0 disables; results with zdropped set
+  /// are heuristic and NOT retried.
+  i32 zdrop = 0;
 };
 
 using KernelFn = AlignResult (*)(const DiffArgs&);

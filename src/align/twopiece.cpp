@@ -43,8 +43,14 @@ bool degenerate(const TwoPieceArgs& a, AlignResult& out) {
 namespace detail {
 
 Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
-                         i32 j_end) {
-  (void)tlen;
+                         i32 j_end, i32 band) {
+  if (band > 0)
+    return twopiece_backtrack_cells(
+        [&](i32 i, i32 j) -> u8 {
+          return check_banded_dir(dirs[off[static_cast<std::size_t>(i + j)] +
+                                       banded_row_index(i, j, tlen, qlen, band)]);
+        },
+        i_end, j_end);
   return twopiece_backtrack_cells(
       [&](i32 i, i32 j) -> u8 {
         const i32 r = i + j;
@@ -55,13 +61,16 @@ Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32
 }
 
 Cigar twopiece_backtrack_ws(const TwoPieceWorkspace& ws, i32 tlen, i32 qlen,
-                            i32 i_end, i32 j_end) {
+                            i32 i_end, i32 j_end, i32 band) {
   if (ws.stream == nullptr)
-    return twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end);
+    return twopiece_backtrack(ws.dirs, ws.diag_off, tlen, qlen, i_end, j_end, band);
   DirsStream& s = *ws.stream;
   s.seal();
   if (s.in_memory())
-    return twopiece_backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end);
+    return twopiece_backtrack(s.block, ws.diag_off, tlen, qlen, i_end, j_end, band);
+  if (band > 0)
+    return twopiece_backtrack_cells(
+        [&s](i32 i, i32 j) { return check_banded_dir(s.at(i, j)); }, i_end, j_end);
   return twopiece_backtrack_cells([&s](i32 i, i32 j) { return s.at(i, j); }, i_end,
                                   j_end);
 }
@@ -74,7 +83,10 @@ namespace {
 /// kWithDirs compiles the direction-byte bookkeeping out of score-only
 /// calls (the arena hands back raw pointers, so the lane arrays are also
 /// restrict-qualified to keep carries in registers across the inner loop).
-template <bool kManymapLayout, bool kWithDirs>
+/// kBanded confines each diagonal to the BandTracker's live interval; wall
+/// injections use the two-piece minimum legal diffs (v/u = -gap_cost(1),
+/// xk/yk = -(qk+ek)), mirroring the one-piece banded kernels.
+template <bool kManymapLayout, bool kWithDirs, bool kBanded>
 AlignResult twopiece_diff(const TwoPieceArgs& a) {
   AlignResult out;
   if (degenerate(a, out)) return out;
@@ -100,39 +112,76 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
                              p.gap_cost(static_cast<u64>(j))));
   };
 
-  detail::BorderTracker track(tlen, qlen, -p.gap_cost(1));
+  [[maybe_unused]] detail::BorderTracker track(tlen, qlen, -p.gap_cost(1));
+  [[maybe_unused]] detail::BandTracker btrack(tlen, qlen, a.band, a.zdrop, a.mode,
+                                              p.match, -p.gap_cost(1));
+  const i8 wall_vu = static_cast<i8>(-p.gap_cost(1));  // min legal v/u step
 
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
     const i32 st = diag_start(r, qlen);
     const i32 en = diag_end(r, tlen);
     const i32 shift = qlen - r;
+    i32 lo = st, hi = en, row0 = st;
 
     i8 v1 = 0, x1c = 0, x2c = 0;  // mm2-layout carries
-    if constexpr (kManymapLayout) {
-      if (st == 0) {
-        V[static_cast<std::size_t>(shift)] = boundary_delta(r);
-        X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
-        X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+    if constexpr (kBanded) {
+      if (!btrack.begin_diagonal(r)) break;
+      lo = btrack.lo;
+      hi = btrack.hi;
+      row0 = btrack.blo;
+      if constexpr (kManymapLayout) {
+        if (lo == 0) {
+          V[static_cast<std::size_t>(shift)] = boundary_delta(r);
+          X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
+          X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+        } else if (!btrack.lo_adv) {  // wall: lane lo-1 left the band
+          V[static_cast<std::size_t>(lo + shift)] = wall_vu;
+          X1[static_cast<std::size_t>(lo + shift)] = static_cast<i8>(-(q1 + e1));
+          X2[static_cast<std::size_t>(lo + shift)] = static_cast<i8>(-(q2 + e2));
+        }  // else: slot lo+shift already holds lane lo-1's genuine values
+      } else {
+        if (lo > 0 && btrack.lo_adv) {
+          v1 = V[static_cast<std::size_t>(lo - 1)];
+          x1c = X1[static_cast<std::size_t>(lo - 1)];
+          x2c = X2[static_cast<std::size_t>(lo - 1)];
+        } else {
+          v1 = lo == 0 ? boundary_delta(r) : wall_vu;
+          x1c = static_cast<i8>(-(q1 + e1));
+          x2c = static_cast<i8>(-(q2 + e2));
+        }
+      }
+      if (btrack.hi_adv) {  // lane hi is new: boundary or wall injection
+        U[static_cast<std::size_t>(hi)] = hi == r ? boundary_delta(r) : wall_vu;
+        Y1[static_cast<std::size_t>(hi)] = static_cast<i8>(-(q1 + e1));
+        Y2[static_cast<std::size_t>(hi)] = static_cast<i8>(-(q2 + e2));
       }
     } else {
-      if (st == 0) {
-        v1 = boundary_delta(r);
-        x1c = static_cast<i8>(-(q1 + e1));
-        x2c = static_cast<i8>(-(q2 + e2));
+      if constexpr (kManymapLayout) {
+        if (st == 0) {
+          V[static_cast<std::size_t>(shift)] = boundary_delta(r);
+          X1[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q1 + e1));
+          X2[static_cast<std::size_t>(shift)] = static_cast<i8>(-(q2 + e2));
+        }
       } else {
-        v1 = V[static_cast<std::size_t>(st - 1)];
-        x1c = X1[static_cast<std::size_t>(st - 1)];
-        x2c = X2[static_cast<std::size_t>(st - 1)];
+        if (st == 0) {
+          v1 = boundary_delta(r);
+          x1c = static_cast<i8>(-(q1 + e1));
+          x2c = static_cast<i8>(-(q2 + e2));
+        } else {
+          v1 = V[static_cast<std::size_t>(st - 1)];
+          x1c = X1[static_cast<std::size_t>(st - 1)];
+          x2c = X2[static_cast<std::size_t>(st - 1)];
+        }
       }
-    }
-    if (en == r) {
-      U[static_cast<std::size_t>(en)] = boundary_delta(r);
-      Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
-      Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
+      if (en == r) {
+        U[static_cast<std::size_t>(en)] = boundary_delta(r);
+        Y1[static_cast<std::size_t>(en)] = static_cast<i8>(-(q1 + e1));
+        Y2[static_cast<std::size_t>(en)] = static_cast<i8>(-(q2 + e2));
+      }
     }
     u8* __restrict dir_row = kWithDirs ? detail::dirs_row(ws, r) : nullptr;
 
-    for (i32 t = st; t <= en; ++t) {
+    for (i32 t = lo; t <= hi; ++t) {
       const std::size_t ti = static_cast<std::size_t>(t);
       const std::size_t vi =
           kManymapLayout ? static_cast<std::size_t>(t + shift) : ti;
@@ -194,18 +243,64 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
       if (w < 0) w = 0;
       Y2[ti] = detail::sat_i8(w - q2 - e2);
       if constexpr (kWithDirs) {
-        if (dir_row != nullptr) dir_row[t - st] = d;
+        if (dir_row != nullptr) dir_row[t - row0] = d;
       } else {
         (void)d;
       }
     }
 
-    const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
-                                            : static_cast<std::size_t>(en);
-    const std::size_t st_v = kManymapLayout ? static_cast<std::size_t>(st + shift)
-                                            : static_cast<std::size_t>(st);
-    track.after_diagonal(r, U[static_cast<std::size_t>(en)], V[en_v], V[st_v],
-                         U[static_cast<std::size_t>(st)]);
+    if constexpr (kBanded) {
+      if constexpr (kWithDirs) {
+        if (dir_row != nullptr) {  // zdrop-retired lanes in the static band
+          for (i32 t = row0; t < lo; ++t) dir_row[t - row0] = detail::kDirPruned;
+          for (i32 t = hi + 1; t <= btrack.bhi; ++t)
+            dir_row[t - row0] = detail::kDirPruned;
+        }
+      }
+      const std::size_t hi_v = kManymapLayout ? static_cast<std::size_t>(hi + shift)
+                                              : static_cast<std::size_t>(hi);
+      const std::size_t lo_v = kManymapLayout ? static_cast<std::size_t>(lo + shift)
+                                              : static_cast<std::size_t>(lo);
+      btrack.after_diagonal(r, U[static_cast<std::size_t>(lo)], V[lo_v],
+                            U[static_cast<std::size_t>(hi)], V[hi_v]);
+      btrack.maybe_shrink(
+          [&](i32 t) { return U[static_cast<std::size_t>(t)]; },
+          [&](i32 t) {
+            return V[kManymapLayout ? static_cast<std::size_t>(t + shift)
+                                    : static_cast<std::size_t>(t)];
+          });
+    } else {
+      const std::size_t en_v = kManymapLayout ? static_cast<std::size_t>(en + shift)
+                                              : static_cast<std::size_t>(en);
+      const std::size_t st_v = kManymapLayout ? static_cast<std::size_t>(st + shift)
+                                              : static_cast<std::size_t>(st);
+      track.after_diagonal(r, U[static_cast<std::size_t>(en)], V[en_v], V[st_v],
+                           U[static_cast<std::size_t>(st)]);
+    }
+  }
+
+  if constexpr (kBanded) {
+    out.cells = btrack.cells;
+    out.zdropped = btrack.zdropped;
+    if (a.mode == AlignMode::kGlobal) {
+      out.score = btrack.h_hi;  // == H(corner) whenever the interval survived
+      out.t_end = tlen - 1;
+      out.q_end = qlen - 1;
+      out.band_hit = btrack.hit(out.score);
+    } else if (!btrack.best.any) {
+      out.band_hit = true;  // zdrop retired every border candidate
+      return out;
+    } else {
+      out.score = btrack.best.score;
+      out.t_end = btrack.best.i;
+      out.q_end = btrack.best.j;
+      out.band_hit = btrack.hit(out.score);
+    }
+    if (out.band_hit) return out;  // caller reruns unbanded; skip the walk
+    if (a.with_cigar)
+      out.cigar = detail::twopiece_backtrack_ws(ws, tlen, qlen, out.t_end,
+                                                out.q_end, a.band);
+    return out;
   }
 
   out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
@@ -223,13 +318,21 @@ AlignResult twopiece_diff(const TwoPieceArgs& a) {
   return out;
 }
 
+template <bool kManymapLayout, bool kWithDirs>
+AlignResult twopiece_diff_dispatch(const TwoPieceArgs& a) {
+  return a.band > 0 ? twopiece_diff<kManymapLayout, kWithDirs, true>(a)
+                    : twopiece_diff<kManymapLayout, kWithDirs, false>(a);
+}
+
 }  // namespace
 
 AlignResult twopiece_align_mm2(const TwoPieceArgs& a) {
-  return a.with_cigar ? twopiece_diff<false, true>(a) : twopiece_diff<false, false>(a);
+  return a.with_cigar ? twopiece_diff_dispatch<false, true>(a)
+                      : twopiece_diff_dispatch<false, false>(a);
 }
 AlignResult twopiece_align_manymap(const TwoPieceArgs& a) {
-  return a.with_cigar ? twopiece_diff<true, true>(a) : twopiece_diff<true, false>(a);
+  return a.with_cigar ? twopiece_diff_dispatch<true, true>(a)
+                      : twopiece_diff_dispatch<true, false>(a);
 }
 
 AlignResult twopiece_reference_align(const TwoPieceArgs& a) {

@@ -58,6 +58,10 @@ struct TwoPieceArgs {
   /// DiffArgs::spill_block_rows (see align/dirs_spill.hpp).
   DirsSpill* spill = nullptr;
   i32 spill_block_rows = 0;
+  /// Static band half-width and adaptive drop, mirroring DiffArgs::band /
+  /// DiffArgs::zdrop (0 = full rectangle / zdrop disabled).
+  i32 band = 0;
+  i32 zdrop = 0;
 };
 
 /// Full-matrix reference (gold standard for the two-piece kernels).
@@ -126,13 +130,15 @@ Cigar twopiece_backtrack_cells(DirAt&& dir_at, i32 i_end, i32 j_end) {
 /// Backtrack over the 5-state two-piece direction bytes (shared by the
 /// scalar and SIMD kernels and the reference). `off[r]` gives the offset
 /// of diagonal r in `dirs`; any row stride works (packed or padded).
+/// band > 0 indexes rows from the static band start and throws
+/// BandHitError when the walk leaves the band (see detail::backtrack).
 Cigar twopiece_backtrack(const u8* dirs, const u64* off, i32 tlen, i32 qlen, i32 i_end,
-                         i32 j_end);
+                         i32 j_end, i32 band = 0);
 
 /// Mode-dispatching backtrack over a prepared two-piece workspace
 /// (resident dirs in place, streamed dirs through the spill window).
 Cigar twopiece_backtrack_ws(const TwoPieceWorkspace& ws, i32 tlen, i32 qlen,
-                            i32 i_end, i32 j_end);
+                            i32 i_end, i32 j_end, i32 band = 0);
 
 }  // namespace detail
 

@@ -14,8 +14,8 @@
 namespace manymap {
 namespace detail {
 
-template <class VT, bool kManymapLayout>
-AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
+template <class VT, bool kManymapLayout, bool kBanded>
+AlignResult twopiece_simd_align_impl(const TwoPieceArgs& a) {
   using vec = typename VT::vec;
   using msk = typename VT::cmp;
   constexpr i32 W = VT::W;
@@ -79,40 +79,77 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
   const vec ext_e2_v = VT::set1(static_cast<i8>(1 << 5));
   const vec ext_f2_v = VT::set1(static_cast<i8>(1 << 6));
 
-  BorderTracker track(tlen, qlen, -p.gap_cost(1));
+  [[maybe_unused]] BorderTracker track(tlen, qlen, -p.gap_cost(1));
+  [[maybe_unused]] BandTracker btrack(tlen, qlen, a.band, a.zdrop, a.mode, p.match,
+                                      -p.gap_cost(1));
+  const i8 wall_vu = static_cast<i8>(-p.gap_cost(1));  // min legal v/u step
 
   for (i32 r = 0; r < tlen + qlen - 1; ++r) {
     const i32 st = diag_start(r, qlen);
     const i32 en = diag_end(r, tlen);
     const i32 shift = qlen - r;
+    i32 lo = st, hi = en, row0 = st;
 
     i8 v_c = 0, x1_c = 0, x2_c = 0;
-    if constexpr (kManymapLayout) {
-      if (st == 0) {
-        V[shift] = boundary_delta(r);
-        X1[shift] = static_cast<i8>(-(q1 + e1));
-        X2[shift] = static_cast<i8>(-(q2 + e2));
+    if constexpr (kBanded) {
+      if (!btrack.begin_diagonal(r)) break;
+      lo = btrack.lo;
+      hi = btrack.hi;
+      row0 = btrack.blo;
+      if constexpr (kManymapLayout) {
+        if (lo == 0) {
+          V[shift] = boundary_delta(r);
+          X1[shift] = static_cast<i8>(-(q1 + e1));
+          X2[shift] = static_cast<i8>(-(q2 + e2));
+        } else if (!btrack.lo_adv) {  // wall: lane lo-1 left the band
+          V[lo + shift] = wall_vu;
+          X1[lo + shift] = static_cast<i8>(-(q1 + e1));
+          X2[lo + shift] = static_cast<i8>(-(q2 + e2));
+        }  // else: slot lo+shift already holds lane lo-1's genuine values
+      } else {
+        if (lo > 0 && btrack.lo_adv) {
+          v_c = V[lo - 1];
+          x1_c = X1[lo - 1];
+          x2_c = X2[lo - 1];
+        } else {
+          v_c = lo == 0 ? boundary_delta(r) : wall_vu;
+          x1_c = static_cast<i8>(-(q1 + e1));
+          x2_c = static_cast<i8>(-(q2 + e2));
+        }
+      }
+      if (btrack.hi_adv) {  // lane hi is new: boundary or wall injection
+        U[hi] = hi == r ? boundary_delta(r) : wall_vu;
+        Y1[hi] = static_cast<i8>(-(q1 + e1));
+        Y2[hi] = static_cast<i8>(-(q2 + e2));
       }
     } else {
-      if (st == 0) {
-        v_c = boundary_delta(r);
-        x1_c = static_cast<i8>(-(q1 + e1));
-        x2_c = static_cast<i8>(-(q2 + e2));
+      if constexpr (kManymapLayout) {
+        if (st == 0) {
+          V[shift] = boundary_delta(r);
+          X1[shift] = static_cast<i8>(-(q1 + e1));
+          X2[shift] = static_cast<i8>(-(q2 + e2));
+        }
       } else {
-        v_c = V[st - 1];
-        x1_c = X1[st - 1];
-        x2_c = X2[st - 1];
+        if (st == 0) {
+          v_c = boundary_delta(r);
+          x1_c = static_cast<i8>(-(q1 + e1));
+          x2_c = static_cast<i8>(-(q2 + e2));
+        } else {
+          v_c = V[st - 1];
+          x1_c = X1[st - 1];
+          x2_c = X2[st - 1];
+        }
       }
-    }
-    if (en == r) {
-      U[en] = boundary_delta(r);
-      Y1[en] = static_cast<i8>(-(q1 + e1));
-      Y2[en] = static_cast<i8>(-(q2 + e2));
+      if (en == r) {
+        U[en] = boundary_delta(r);
+        Y1[en] = static_cast<i8>(-(q1 + e1));
+        Y2[en] = static_cast<i8>(-(q2 + e2));
+      }
     }
     u8* dir_row = dirs_row(ws, r);
     const i32 qoff = qlen - 1 - r;
 
-    for (i32 t = st; t <= en; t += W) {
+    for (i32 t = lo; t <= hi; t += W) {
       const vec Tv = VT::load(T + t);
       const vec Qv = VT::load(Qr + qoff + t);
       const msk is_match = VT::cmp_and(VT::eq(Tv, Qv), VT::gt(four_v, Tv));
@@ -186,13 +223,49 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
         d = VT::or_bits(d, VT::gt(fb1, zero_v), ext_f1_v);
         d = VT::or_bits(d, VT::gt(ea2, zero_v), ext_e2_v);
         d = VT::or_bits(d, VT::gt(fb2, zero_v), ext_f2_v);
-        VT::store(dir_row + (t - st), d);
+        VT::store(dir_row + (t - row0), d);
       }
     }
 
-    const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
-    const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
-    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    if constexpr (kBanded) {
+      if (dir_row != nullptr) {  // zdrop-retired lanes in the static band;
+                                 // also re-covers chunk overrun garbage
+        for (i32 t = row0; t < lo; ++t) dir_row[t - row0] = kDirPruned;
+        for (i32 t = hi + 1; t <= btrack.bhi; ++t) dir_row[t - row0] = kDirPruned;
+      }
+      const i8 v_lo = kManymapLayout ? V[lo + shift] : V[lo];
+      const i8 v_hi = kManymapLayout ? V[hi + shift] : V[hi];
+      btrack.after_diagonal(r, U[lo], v_lo, U[hi], v_hi);
+      btrack.maybe_shrink([&](i32 t) { return U[t]; },
+                          [&](i32 t) { return kManymapLayout ? V[t + shift] : V[t]; });
+    } else {
+      const i8 v_en = kManymapLayout ? V[en + shift] : V[en];
+      const i8 v_st = kManymapLayout ? V[st + shift] : V[st];
+      track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    }
+  }
+
+  if constexpr (kBanded) {
+    out.cells = btrack.cells;
+    out.zdropped = btrack.zdropped;
+    if (a.mode == AlignMode::kGlobal) {
+      out.score = btrack.h_hi;  // == H(corner) whenever the interval survived
+      out.t_end = tlen - 1;
+      out.q_end = qlen - 1;
+      out.band_hit = btrack.hit(out.score);
+    } else if (!btrack.best.any) {
+      out.band_hit = true;  // zdrop retired every border candidate
+      return out;
+    } else {
+      out.score = btrack.best.score;
+      out.t_end = btrack.best.i;
+      out.q_end = btrack.best.j;
+      out.band_hit = btrack.hit(out.score);
+    }
+    if (out.band_hit) return out;  // caller reruns unbanded; skip the walk
+    if (a.with_cigar)
+      out.cigar = twopiece_backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end, a.band);
+    return out;
   }
 
   out.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
@@ -208,6 +281,12 @@ AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
   if (a.with_cigar)
     out.cigar = twopiece_backtrack_ws(ws, tlen, qlen, out.t_end, out.q_end);
   return out;
+}
+
+template <class VT, bool kManymapLayout>
+AlignResult twopiece_simd_align(const TwoPieceArgs& a) {
+  return a.band > 0 ? twopiece_simd_align_impl<VT, kManymapLayout, true>(a)
+                    : twopiece_simd_align_impl<VT, kManymapLayout, false>(a);
 }
 
 }  // namespace detail

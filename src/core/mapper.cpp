@@ -37,19 +37,26 @@ struct StitchResult {
 
 }  // namespace
 
-u64 estimate_dirs_bytes(const MapOptions& opt, u32 read_len) {
+u64 estimate_dirs_bytes(const MapOptions& opt, u64 read_len) {
   if (read_len == 0) return 0;
   // Worst capped end extension: query up to kExtensionCap, target window
-  // stretched by the end bonus.
+  // stretched by the end bonus. Banded options shrink every dirs row to
+  // the band width, which dirs_footprint accounts for.
   const u64 ext_q = std::min<u64>(read_len, kExtensionCap);
   const u64 ext_t = ext_q + opt.end_bonus_window;
-  const u64 ext_fp = detail::KernelArena::dirs_footprint(static_cast<i32>(ext_t),
-                                                         static_cast<i32>(ext_q));
+  const u64 ext_fp = detail::KernelArena::dirs_footprint(
+      static_cast<i32>(ext_t), static_cast<i32>(ext_q), opt.band);
   // Worst inter-anchor gap fill: cell count is capped at kGapCellCap
   // (larger gaps take the banded path), each dimension by the read; the
-  // per-diagonal lane padding adds at most (t+q)*kLanePad on top.
-  const u64 len = static_cast<u64>(read_len);
-  const u64 gap_cells = std::min(len * len, kGapCellCap);
+  // per-diagonal lane padding adds at most (t+q)*kLanePad on top. len is
+  // u64 end-to-end — kGapCellCap is 1e6, so any len >= 1000 saturates the
+  // cell term and len*len is never evaluated where it could overflow.
+  const u64 len = read_len;
+  u64 gap_cells = len >= 1000 ? kGapCellCap : len * len;
+  if (opt.band > 0) {
+    const u64 band_rows = 2 * static_cast<u64>(opt.band) + 1;
+    gap_cells = std::min(gap_cells, band_rows * std::min<u64>(2 * len, kGapCellCap));
+  }
   const u64 gap_fp = gap_cells + 2 * len * detail::kLanePad;
   return std::max(ext_fp, gap_fp);
 }
@@ -120,6 +127,11 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     return spill.get();
   };
 
+  // Effective band/zdrop: per-call override when set (>= 0), else options.
+  const i32 eff_band = call.band >= 0 ? call.band : opt_.band;
+  const i32 eff_zdrop = call.zdrop >= 0 ? call.zdrop : opt_.zdrop;
+  u64 band_fallbacks = 0;
+
   auto run_kernel = [&](const std::vector<u8>& target, const std::vector<u8>& query,
                         AlignMode mode) {
     DiffArgs a;
@@ -131,26 +143,58 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     a.mode = mode;
     a.with_cigar = with_cigar;
     a.arena = &arena;
-    if (with_cigar && call.dirs_budget_bytes > 0) {
-      const u64 fp = detail::KernelArena::dirs_footprint(a.tlen, a.qlen);
-      if (fp > call.dirs_budget_bytes) {
-        a.spill = spill_for(fp);
-        a.spill_block_rows = spill_rows_for_budget(a.tlen, a.qlen, call.dirs_budget_bytes);
-        ++streamed_kernels;
+    a.band = eff_band;
+    a.zdrop = eff_zdrop;
+    // Spill config depends on the band (banded dirs rows are O(band), not
+    // O(|Q|)), so it is re-derived when the band changes for the rerun.
+    auto configure_spill = [&] {
+      a.spill = nullptr;
+      a.spill_block_rows = 0;
+      if (with_cigar && call.dirs_budget_bytes > 0) {
+        const u64 fp = detail::KernelArena::dirs_footprint(a.tlen, a.qlen, a.band);
+        if (fp > call.dirs_budget_bytes) {
+          a.spill = spill_for(fp);
+          a.spill_block_rows = spill_rows_for_budget(a.tlen, a.qlen, call.dirs_budget_bytes);
+          ++streamed_kernels;
+        }
       }
-    }
-    AlignResult r;
-    if (call.kernel_override != nullptr && *call.kernel_override) {
-      r = (*call.kernel_override)(a);
-    } else if (opt_.kernel_override) {
-      r = opt_.kernel_override(a);
-    } else {
+    };
+    auto dispatch = [&]() -> AlignResult {
+      if (call.kernel_override != nullptr && *call.kernel_override)
+        return (*call.kernel_override)(a);
+      if (opt_.kernel_override) return opt_.kernel_override(a);
       FallbackOutcome fo;
-      r = align_with_fallback(a, kernel, opt_.layout, &fo);
+      AlignResult r = align_with_fallback(a, kernel, opt_.layout, &fo);
       kernel_retries += fo.failed_attempts;
       deepest_rung = std::max(deepest_rung, fo.rung);
+      return r;
+    };
+    configure_spill();
+    AlignResult r;
+    if (a.band > 0) {
+      // Auto-full fallback: a banded kernel that cannot prove its answer
+      // optimal (band_hit flag, or a backtrack that left the band) is
+      // rerun unbanded, so mapping results never depend on the band.
+      bool retry_full = false;
+      try {
+        r = dispatch();
+        total_cells += r.cells;
+        retry_full = r.band_hit;
+      } catch (const BandHitError&) {
+        retry_full = true;
+      }
+      if (retry_full) {
+        ++band_fallbacks;
+        a.band = 0;
+        a.zdrop = 0;
+        configure_spill();
+        r = dispatch();
+        total_cells += r.cells;
+      }
+    } else {
+      r = dispatch();
+      total_cells += r.cells;
     }
-    total_cells += r.cells;
     return r;
   };
 
@@ -184,7 +228,11 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
         ba.query = query.data();
         ba.qlen = static_cast<i32>(query.size());
         ba.params = opt_.scores;
-        ba.band = static_cast<i32>(opt_.chain.bandwidth / 2) + 6;
+        // An explicit kernel band also sets the gap-fill band; otherwise
+        // the chain bandwidth (plus slack) bounds how far the path can
+        // stray from the anchor diagonal.
+        ba.band = eff_band > 0 ? eff_band
+                               : static_cast<i32>(opt_.chain.bandwidth / 2) + 6;
         ba.with_cigar = with_cigar;
         const auto r = banded_global_align(ba);
         total_cells += r.cells;
@@ -334,6 +382,7 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
     timings->deepest_fallback_rung = std::max(timings->deepest_fallback_rung, deepest_rung);
     timings->streamed_kernels += streamed_kernels;
     timings->dirs_spilled_bytes += detail::dirs_spill_stats().bytes - spilled_before;
+    timings->band_fallbacks += band_fallbacks;
   }
   return mappings;
 }

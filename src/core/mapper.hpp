@@ -51,12 +51,14 @@ struct MapTimings {
   u32 deepest_fallback_rung = 0;   ///< 0 = dispatched, 1 = scalar, 2 = banded ref
   u64 streamed_kernels = 0;        ///< kernel calls run with streamed dirs
   u64 dirs_spilled_bytes = 0;      ///< direction bytes written to spill sinks
+  u64 band_fallbacks = 0;          ///< banded kernels rerun unbanded on band_hit
 
   MapTimings& operator+=(const MapTimings& o) {
     seed_chain_seconds += o.seed_chain_seconds;
     align_seconds += o.align_seconds;
     dp_cells += o.dp_cells;
     kernel_retries += o.kernel_retries;
+    band_fallbacks += o.band_fallbacks;
     deepest_fallback_rung = deepest_fallback_rung > o.deepest_fallback_rung
                                 ? deepest_fallback_rung
                                 : o.deepest_fallback_rung;
@@ -101,6 +103,12 @@ struct MapCall {
   /// BYPASSES the fallback ladder — the callee owns failure recovery.
   /// Non-owning; must outlive the map() call.
   const std::function<AlignResult(const DiffArgs&)>* kernel_override = nullptr;
+  /// Band half-width / zdrop overrides for this call; -1 inherits the
+  /// MapOptions values, 0 forces unbanded. The service degrade ladder uses
+  /// these to narrow bands under memory pressure without rebuilding the
+  /// shared Mapper.
+  i32 band = -1;
+  i32 zdrop = -1;
 };
 
 /// Pessimistic upper bound on the resident direction-byte footprint one
@@ -108,8 +116,10 @@ struct MapCall {
 /// call, so this is the worst single kernel: either a capped end
 /// extension or a capped inter-anchor gap fill (larger gaps are banded
 /// and never hold an O(t*q) dirs area). Used by the service layer for
-/// footprint-aware admission.
-u64 estimate_dirs_bytes(const MapOptions& opt, u32 read_len);
+/// footprint-aware admission. Takes the read length as u64 end-to-end: a
+/// pathological multi-GiB read must inflate the estimate (and be rejected
+/// at admission), not wrap a u32 and sneak under the memory ladder.
+u64 estimate_dirs_bytes(const MapOptions& opt, u64 read_len);
 
 class Mapper {
  public:

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -51,6 +52,20 @@ bool apply_isa_name(MapOptions& opt, std::string_view name) {
   else return false;
   if (get_diff_kernel(opt.layout, isa) == nullptr) return false;
   opt.isa = isa;
+  return true;
+}
+
+bool apply_band_option(MapOptions& opt, std::string_view text) {
+  const auto v = parse_int(text);
+  if (!v || *v < 0 || *v > INT32_MAX) return false;
+  opt.band = static_cast<i32>(*v);
+  return true;
+}
+
+bool apply_zdrop_option(MapOptions& opt, std::string_view text) {
+  const auto v = parse_int(text);
+  if (!v || *v < 0 || *v > INT32_MAX) return false;
+  opt.zdrop = static_cast<i32>(*v);
   return true;
 }
 

@@ -28,6 +28,15 @@ struct MapOptions {
   u32 end_bonus_window = 64;
   /// Report at most this many mappings per read.
   u32 max_mappings = 5;
+  /// Static band half-width for the diff/two-piece kernels (0 = unbanded).
+  /// Banded runs are exact whenever the optimum stays in band; when a
+  /// kernel flags band_hit the mapper automatically reruns that call
+  /// unbanded, so results never depend on the band choice.
+  i32 band = 0;
+  /// ksw2-style adaptive X-drop threshold (0 = off; only honored when
+  /// band > 0). Retires band lanes whose score trails the diagonal best by
+  /// more than zdrop, shrinking the live interval below the static band.
+  i32 zdrop = 0;
   /// When set, base-level alignment calls route through this function
   /// instead of the CPU kernel — the hook the GPU offload path (§4.2)
   /// uses to dispatch DP segments to the device while the host runs
@@ -51,6 +60,15 @@ bool apply_layout_name(MapOptions& opt, std::string_view name);
 /// the name is unknown or that kernel is unavailable on this CPU for the
 /// currently selected layout.
 bool apply_isa_name(MapOptions& opt, std::string_view name);
+
+/// Apply a --band value: a well-formed integer in [0, INT32_MAX], where 0
+/// explicitly means "unbanded". Negative, malformed, or out-of-range text
+/// is a config error (false) — never a clamp.
+bool apply_band_option(MapOptions& opt, std::string_view text);
+
+/// Apply a --zdrop value: same validation as --band; 0 = adaptive X-drop
+/// off. Only consulted by kernels when band > 0.
+bool apply_zdrop_option(MapOptions& opt, std::string_view text);
 
 // Strict CLI numeric parsing shared by the front ends: malformed text is
 // a config error answered with a usage message, never a silent clamp, a

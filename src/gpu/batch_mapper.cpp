@@ -7,6 +7,20 @@
 namespace manymap {
 namespace gpu {
 
+namespace {
+
+/// DP cells a segment actually touches: the full matrix, or — banded —
+/// at most the band width per anti-diagonal. Drives the launch cutoff and
+/// the device/host cell accounting.
+u64 segment_cells(i32 tlen, i32 qlen, i32 band) {
+  const u64 full = static_cast<u64>(tlen) * static_cast<u64>(qlen);
+  if (band <= 0 || tlen == 0 || qlen == 0) return full;
+  const u64 ndiag = static_cast<u64>(tlen) + static_cast<u64>(qlen) - 1;
+  return std::min(full, ndiag * (2 * static_cast<u64>(band) + 1));
+}
+
+}  // namespace
+
 GpuBatchMapper::GpuBatchMapper(const GpuBatchConfig& cfg)
     : cfg_(cfg),
       device_(cfg.spec),
@@ -25,15 +39,14 @@ PlacementDecision GpuBatchMapper::place(const std::vector<u32>& read_lengths) {
 
 AlignResult GpuBatchMapper::host_align(const DiffArgs& a) {
   host_segments_.fetch_add(1, std::memory_order_relaxed);
-  host_cells_.fetch_add(static_cast<u64>(a.tlen) * static_cast<u64>(a.qlen),
-                        std::memory_order_relaxed);
+  host_cells_.fetch_add(segment_cells(a.tlen, a.qlen, a.band), std::memory_order_relaxed);
   return cfg_.host_kernel(a);
 }
 
 GpuBatchMapper::SegmentResult GpuBatchMapper::align_segment(const DiffArgs& a,
                                                             u32 stream) {
   SegmentResult seg;
-  const u64 cells = static_cast<u64>(a.tlen) * static_cast<u64>(a.qlen);
+  const u64 cells = segment_cells(a.tlen, a.qlen, a.band);
   if (cells < cfg_.min_gpu_cells) {
     seg.result = host_align(a);
     return seg;
@@ -77,16 +90,24 @@ GpuBatchMapper::SegmentResult GpuBatchMapper::align_segment(const DiffArgs& a,
   seg.on_device = true;
 
   AlignResult r = std::move(gpu.result);
-  if (a.with_cigar) {
+  if (a.with_cigar && r.band_hit) {
+    // The banded device score pass could not prove its answer optimal.
+    // Skip path completion — the caller (Mapper's auto-full fallback)
+    // reruns the segment unbanded anyway.
+  } else if (a.with_cigar) {
     if (a.mode == AlignMode::kExtension && r.t_end >= 0 && r.q_end >= 0) {
       // Path-on-host over the prefix the device found: the DP recurrence
       // is prefix-closed, so a global pass over [0..t_end] x [0..q_end]
       // reproduces the extension CIGAR bit-identically. The device score
-      // and end cell stay authoritative.
+      // and end cell stay authoritative. The prefix pass runs unbanded:
+      // its diagonal geometry differs from the full matrix's band, and an
+      // unflagged banded score already equals the unbanded optimum.
       DiffArgs host = a;
       host.tlen = r.t_end + 1;
       host.qlen = r.q_end + 1;
       host.mode = AlignMode::kGlobal;
+      host.band = 0;
+      host.zdrop = 0;
       AlignResult path = host_align(host);
       r.cigar = std::move(path.cigar);
     } else {

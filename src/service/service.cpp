@@ -30,6 +30,9 @@ const char* to_string(DegradeLevel d) {
 
 namespace {
 
+// Kernel/DP coordinates are i32; no read beyond this is alignable.
+constexpr u64 kMaxReadBases = static_cast<u64>(INT32_MAX);
+
 double ms_since(std::chrono::steady_clock::time_point t0,
                 std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -82,6 +85,22 @@ void AlignmentService::start() {
 
 std::future<MapResponse> AlignmentService::admit(MapRequest req, bool blocking) {
   metrics_.on_submitted();
+  // Oversize guard: kernel/DP coordinates are i32, so a read beyond
+  // kMaxReadBases can never be aligned; before the footprint math went
+  // u64 end-to-end, a multi-GiB read also wrapped the u32 estimate and
+  // sneaked under the memory ladder. Answer a structured kFailed at
+  // admission instead of letting a worker discover it the hard way.
+  if (req.read.size() > kMaxReadBases) {
+    metrics_.on_failed();
+    std::promise<MapResponse> done;
+    auto fut = done.get_future();
+    MapResponse resp;
+    resp.id = req.id;
+    resp.status = RequestStatus::kFailed;
+    resp.error = "read length exceeds the maximum alignable size";
+    done.set_value(std::move(resp));
+    return fut;
+  }
   PendingRequest p{std::move(req), {}, std::chrono::steady_clock::now()};
   auto fut = p.promise.get_future();
   metrics_.record_queue_depth(ingress_.size());
@@ -112,8 +131,7 @@ void AlignmentService::dispatch_batch(RequestBatch&& batch) {
   MM_INJECT_DELAY("service.queue.delay");
   if (cfg_.mem.shard_budget_bytes > 0) {
     for (const auto& p : batch.items)
-      batch.est_dirs_bytes +=
-          estimate_dirs_bytes(cfg_.map, static_cast<u32>(p.req.read.size()));
+      batch.est_dirs_bytes += estimate_dirs_bytes(cfg_.map, p.req.read.size());
   }
   u32 target = 0;
   if (cfg_.dispatch == ServiceConfig::Dispatch::kRoundRobin || shards_.size() == 1) {
@@ -185,12 +203,18 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
   // Memory-budget ladder: estimate the request's worst-case resident dirs
   // footprint and pick the cheapest rung that honours the budget —
   // resident dirs, streamed dirs, or score-only for pathological sizes.
-  resp.est_dirs_bytes =
-      estimate_dirs_bytes(cfg_.map, static_cast<u32>(p.req.read.size()));
+  resp.est_dirs_bytes = estimate_dirs_bytes(cfg_.map, p.req.read.size());
   const bool mem_score_only = cfg_.mem.score_only_above_bytes > 0 &&
                               resp.est_dirs_bytes > cfg_.mem.score_only_above_bytes;
   const bool stream_dirs = !mem_score_only && cfg_.mem.resident_request_bytes > 0 &&
                            resp.est_dirs_bytes > cfg_.mem.resident_request_bytes;
+  // Banded rung: narrow the kernel band before (or on top of) streaming —
+  // banded dirs rows are O(band) instead of O(|Q|), and the mapper's
+  // auto-full fallback keeps the answers exact. Only when the options do
+  // not already configure a band.
+  const bool band_degrade = !mem_score_only && cfg_.map.band <= 0 &&
+                            cfg_.mem.banded_request_bytes > 0 &&
+                            resp.est_dirs_bytes > cfg_.mem.banded_request_bytes;
   try {
     MM_INJECT("service.worker.compute");
     WallTimer t;
@@ -200,6 +224,10 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
     call.score_only = degraded || mem_score_only;
     call.arena = arena;
     if (stream_dirs) call.dirs_budget_bytes = cfg_.mem.resident_request_bytes;
+    if (band_degrade) {
+      call.band = cfg_.mem.degrade_band;
+      call.zdrop = cfg_.mem.degrade_zdrop;
+    }
     // Device offload: route every DP segment of this request through the
     // batch mapper. The override bypasses the CPU fallback ladder by
     // contract — GpuBatchMapper owns failure recovery (every device-side

@@ -99,6 +99,15 @@ struct ServiceConfig {
     /// pass entirely (score-only, DegradeLevel::kScoreOnly) — even the
     /// spilled volume would be unreasonable to produce.
     u64 score_only_above_bytes = 0;
+    /// Banded rung: requests estimated above it are served with a
+    /// narrowed kernel band (MapCall::band = degrade_band), shrinking
+    /// dirs rows and DP cells to O(band) per diagonal. Results stay exact
+    /// — a banded kernel that cannot prove its answer optimal is rerun
+    /// unbanded by the mapper (MapTimings::band_fallbacks counts those).
+    /// Ignored when MapOptions::band is already set.
+    u64 banded_request_bytes = 0;
+    i32 degrade_band = 251;
+    i32 degrade_zdrop = 0;
   };
   MemoryConfig mem{};
 

@@ -93,6 +93,12 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
   const bool dirs_shared = false;
 
   detail::BorderTracker track(tlen, qlen, a.params);
+  // Banded runs (a.band > 0) walk the BandTracker's live lane interval
+  // instead of the full diagonal — only in-band lanes are staged and
+  // computed on the device, exactly like the CPU kernels' banded variants.
+  const bool banded = a.band > 0;
+  detail::BandTracker btrack(tlen, qlen, a.band, a.zdrop, a.mode, a.params.match,
+                             -static_cast<i64>(qe));
   // Per-lane registers for the read phase.
   std::vector<i8> vt_reg(threads), xt_reg(threads), ut_reg(threads), yt_reg(threads);
 
@@ -101,16 +107,40 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
     const i32 en = diag_end(r, tlen);
     const i32 shift = qlen - r;
     const i32 qoff = qlen - 1 - r;
+    i32 lo = st, hi = en, row0 = st;
+    if (banded) {
+      if (!btrack.begin_diagonal(r)) break;
+      lo = btrack.lo;
+      hi = btrack.hi;
+      row0 = btrack.blo;
+    }
 
     // Boundary injection (host-side in the real kernel's prologue).
     i8 tmp_v = 0, tmp_x = 0;  // the Fig. 4a carry register
     if (manymap_layout) {
-      if (st == 0) {
+      if (banded) {
+        if (lo == 0) {
+          V[shift] = (r == 0) ? init_first : init_rest;
+          X[shift] = init_first;
+        } else if (!btrack.lo_adv) {  // wall: lane lo-1 left the band
+          V[lo + shift] = init_first;
+          X[lo + shift] = init_first;
+        }  // else: slot lo+shift already holds lane lo-1's genuine values
+      } else if (st == 0) {
         V[shift] = (r == 0) ? init_first : init_rest;
         X[shift] = init_first;
       }
     } else {
-      if (st == 0) {
+      if (banded) {
+        if (lo > 0 && btrack.lo_adv) {
+          tmp_v = V[lo - 1];  // lane lo-1 was live on the prev diagonal
+          tmp_x = X[lo - 1];
+        } else {
+          // lo == 0: matrix boundary; lo > 0 stalled: wall injection.
+          tmp_v = (r == 0 || lo > 0) ? init_first : init_rest;
+          tmp_x = init_first;
+        }
+      } else if (st == 0) {
         tmp_v = (r == 0) ? init_first : init_rest;
         tmp_x = init_first;
       } else {
@@ -118,15 +148,20 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
         tmp_x = X[st - 1];
       }
     }
-    if (en == r) {
+    if (banded) {
+      if (btrack.hi_adv) {  // lane hi is new: boundary or wall injection
+        U[hi] = (hi == r && r != 0) ? init_rest : init_first;
+        Y[hi] = init_first;
+      }
+    } else if (en == r) {
       U[en] = (r == 0) ? init_first : init_rest;
       Y[en] = init_first;
     }
     u8* dir_row =
         a.with_cigar ? ws.dirs + ws.diag_off[static_cast<std::size_t>(r)] : nullptr;
 
-    for (i32 base = st; base <= en; base += static_cast<i32>(threads)) {
-      const u32 active = static_cast<u32>(std::min<i32>(static_cast<i32>(threads), en - base + 1));
+    for (i32 base = lo; base <= hi; base += static_cast<i32>(threads)) {
+      const u32 active = static_cast<u32>(std::min<i32>(static_cast<i32>(threads), hi - base + 1));
 
       if (manymap_layout) {
         // Fig. 4b: uniform loads at t' = t - r + qlen.
@@ -140,8 +175,8 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
       } else {
         // Fig. 4a: lane 0 takes the carried tmp and refreshes it from the
         // chunk end; the rest read t-1. Divergent + barrier.
-        const i8 next_tmp_v = V[std::min<i32>(base + static_cast<i32>(active) - 1, en)];
-        const i8 next_tmp_x = X[std::min<i32>(base + static_cast<i32>(active) - 1, en)];
+        const i8 next_tmp_v = V[std::min<i32>(base + static_cast<i32>(active) - 1, hi)];
+        const i8 next_tmp_x = X[std::min<i32>(base + static_cast<i32>(active) - 1, hi)];
         block.divergent(
             active, [](u32 lane) { return lane == 0; },
             [&](u32 lane) {
@@ -179,16 +214,34 @@ GpuAlignResult gpu_align(const DiffArgs& a, Layout layout, const DeviceSpec& spe
           V[t] = c.v;
           X[t] = c.x;
         }
-        if (dir_row != nullptr) dir_row[t - st] = c.dir;
+        if (dir_row != nullptr) dir_row[t - row0] = c.dir;
       });
       if (dir_row != nullptr) block.mem_op(active, dirs_shared, 1, [](u32) {});
       if (!manymap_layout) block.sync();  // writes visible before next chunk's reads
     }
     block.sync();  // diagonal barrier (both forms)
 
-    const i8 v_en = manymap_layout ? V[en + shift] : V[en];
-    const i8 v_st = manymap_layout ? V[st + shift] : V[st];
-    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    if (banded) {
+      if (dir_row != nullptr) {  // zdrop-retired lanes inside the static band
+        for (i32 t = row0; t < lo; ++t) dir_row[t - row0] = detail::kDirPruned;
+        for (i32 t = hi + 1; t <= btrack.bhi; ++t) dir_row[t - row0] = detail::kDirPruned;
+      }
+      const i8 v_lo = manymap_layout ? V[lo + shift] : V[lo];
+      const i8 v_hi = manymap_layout ? V[hi + shift] : V[hi];
+      btrack.after_diagonal(r, U[lo], v_lo, U[hi], v_hi);
+      btrack.maybe_shrink([&](i32 t) { return U[t]; },
+                          [&](i32 t) { return manymap_layout ? V[t + shift] : V[t]; });
+    } else {
+      const i8 v_en = manymap_layout ? V[en + shift] : V[en];
+      const i8 v_st = manymap_layout ? V[st + shift] : V[st];
+      track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    }
+  }
+
+  if (banded) {
+    out.result = detail::finish_banded(a, ws, btrack);
+    out.cost = block.cost();
+    return out;
   }
 
   out.result.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);
@@ -260,6 +313,13 @@ GpuAlignResult gpu_align_twopiece(const TwoPieceArgs& a, Layout layout,
   };
 
   detail::BorderTracker track(tlen, qlen, -p.gap_cost(1));
+  // Banded runs confine each diagonal to the BandTracker's live interval;
+  // wall injections use the two-piece minimum legal diffs, mirroring the
+  // CPU twopiece banded kernels.
+  const bool banded = a.band > 0;
+  detail::BandTracker btrack(tlen, qlen, a.band, a.zdrop, a.mode, p.match,
+                             -p.gap_cost(1));
+  const i8 wall_vu = static_cast<i8>(-p.gap_cost(1));  // min legal v/u step
   std::vector<i8> vt_reg(threads), x1_reg(threads), x2_reg(threads);
   std::vector<i8> ut_reg(threads), y1_reg(threads), y2_reg(threads);
 
@@ -268,16 +328,42 @@ GpuAlignResult gpu_align_twopiece(const TwoPieceArgs& a, Layout layout,
     const i32 en = diag_end(r, tlen);
     const i32 shift = qlen - r;
     const i32 qoff = qlen - 1 - r;
+    i32 lo = st, hi = en;
+    if (banded) {
+      if (!btrack.begin_diagonal(r)) break;
+      lo = btrack.lo;
+      hi = btrack.hi;
+    }
 
     i8 tmp_v = 0, tmp_x1 = 0, tmp_x2 = 0;  // Fig. 4a carry registers
     if (manymap_layout) {
-      if (st == 0) {
+      if (banded) {
+        if (lo == 0) {
+          V[shift] = boundary_delta(r);
+          X1[shift] = static_cast<i8>(-(q1 + e1));
+          X2[shift] = static_cast<i8>(-(q2 + e2));
+        } else if (!btrack.lo_adv) {  // wall: lane lo-1 left the band
+          V[lo + shift] = wall_vu;
+          X1[lo + shift] = static_cast<i8>(-(q1 + e1));
+          X2[lo + shift] = static_cast<i8>(-(q2 + e2));
+        }  // else: slot lo+shift already holds lane lo-1's genuine values
+      } else if (st == 0) {
         V[st + shift] = boundary_delta(r);
         X1[st + shift] = static_cast<i8>(-(q1 + e1));
         X2[st + shift] = static_cast<i8>(-(q2 + e2));
       }
     } else {
-      if (st == 0) {
+      if (banded) {
+        if (lo > 0 && btrack.lo_adv) {
+          tmp_v = V[lo - 1];
+          tmp_x1 = X1[lo - 1];
+          tmp_x2 = X2[lo - 1];
+        } else {
+          tmp_v = lo == 0 ? boundary_delta(r) : wall_vu;
+          tmp_x1 = static_cast<i8>(-(q1 + e1));
+          tmp_x2 = static_cast<i8>(-(q2 + e2));
+        }
+      } else if (st == 0) {
         tmp_v = boundary_delta(r);
         tmp_x1 = static_cast<i8>(-(q1 + e1));
         tmp_x2 = static_cast<i8>(-(q2 + e2));
@@ -287,15 +373,21 @@ GpuAlignResult gpu_align_twopiece(const TwoPieceArgs& a, Layout layout,
         tmp_x2 = X2[st - 1];
       }
     }
-    if (en == r) {
+    if (banded) {
+      if (btrack.hi_adv) {  // lane hi is new: boundary or wall injection
+        U[hi] = hi == r ? boundary_delta(r) : wall_vu;
+        Y1[hi] = static_cast<i8>(-(q1 + e1));
+        Y2[hi] = static_cast<i8>(-(q2 + e2));
+      }
+    } else if (en == r) {
       U[en] = boundary_delta(r);
       Y1[en] = static_cast<i8>(-(q1 + e1));
       Y2[en] = static_cast<i8>(-(q2 + e2));
     }
 
-    for (i32 base = st; base <= en; base += static_cast<i32>(threads)) {
+    for (i32 base = lo; base <= hi; base += static_cast<i32>(threads)) {
       const u32 active =
-          static_cast<u32>(std::min<i32>(static_cast<i32>(threads), en - base + 1));
+          static_cast<u32>(std::min<i32>(static_cast<i32>(threads), hi - base + 1));
 
       if (manymap_layout) {
         block.mem_op(active, shared, 6, [&](u32 lane) {
@@ -308,7 +400,7 @@ GpuAlignResult gpu_align_twopiece(const TwoPieceArgs& a, Layout layout,
           y2_reg[lane] = Y2[t];
         });
       } else {
-        const i32 chunk_end = std::min<i32>(base + static_cast<i32>(active) - 1, en);
+        const i32 chunk_end = std::min<i32>(base + static_cast<i32>(active) - 1, hi);
         const i8 next_tmp_v = V[chunk_end];
         const i8 next_tmp_x1 = X1[chunk_end];
         const i8 next_tmp_x2 = X2[chunk_end];
@@ -360,9 +452,38 @@ GpuAlignResult gpu_align_twopiece(const TwoPieceArgs& a, Layout layout,
     }
     block.sync();  // diagonal barrier (both forms)
 
-    const i8 v_en = manymap_layout ? V[en + shift] : V[en];
-    const i8 v_st = manymap_layout ? V[st + shift] : V[st];
-    track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    if (banded) {
+      const i8 v_lo = manymap_layout ? V[lo + shift] : V[lo];
+      const i8 v_hi = manymap_layout ? V[hi + shift] : V[hi];
+      btrack.after_diagonal(r, U[lo], v_lo, U[hi], v_hi);
+      btrack.maybe_shrink([&](i32 t) { return U[t]; },
+                          [&](i32 t) { return manymap_layout ? V[t + shift] : V[t]; });
+    } else {
+      const i8 v_en = manymap_layout ? V[en + shift] : V[en];
+      const i8 v_st = manymap_layout ? V[st + shift] : V[st];
+      track.after_diagonal(r, U[en], v_en, v_st, U[st]);
+    }
+  }
+
+  if (banded) {
+    // Score-mode banded finish (this kernel never backtracks).
+    out.result.cells = btrack.cells;
+    out.result.zdropped = btrack.zdropped;
+    if (a.mode == AlignMode::kGlobal) {
+      out.result.score = btrack.h_hi;
+      out.result.t_end = tlen - 1;
+      out.result.q_end = qlen - 1;
+      out.result.band_hit = btrack.hit(out.result.score);
+    } else if (!btrack.best.any) {
+      out.result.band_hit = true;  // zdrop retired every border candidate
+    } else {
+      out.result.score = btrack.best.score;
+      out.result.t_end = btrack.best.i;
+      out.result.q_end = btrack.best.j;
+      out.result.band_hit = btrack.hit(out.result.score);
+    }
+    out.cost = block.cost();
+    return out;
   }
 
   out.result.cells = static_cast<u64>(tlen) * static_cast<u64>(qlen);

@@ -270,10 +270,31 @@ SweepStats run_sweep(const SweepOptions& opt,
     base.params = fc.params;
     base.tp = fc.tp;
 
+    // Band configurations shared by every banded cell of the seed: one
+    // covering band (wide enough that the optimum usually stays inside —
+    // the exactness half of the contract), one deliberately narrow band
+    // (below the corner's diagonal offset more often than not — the
+    // band-hit -> rerun-unbanded fallback half), and the covering band
+    // with adaptive zdrop (heuristic results, bounded by the reference).
+    struct BandCfg {
+      i32 band, zdrop;
+    };
+    XorShift brng(seed ^ 0xba7df07dULL);
+    const i32 slope = static_cast<i32>(fc.target.size() > fc.query.size()
+                                           ? fc.target.size() - fc.query.size()
+                                           : fc.query.size() - fc.target.size());
+    const BandCfg band_cfgs[] = {
+        {slope + static_cast<i32>(brng.range(4, 24)), 0},
+        {static_cast<i32>(brng.range(1, std::max<i32>(2, slope + 2))), 0},
+        {slope + static_cast<i32>(brng.range(4, 24)),
+         static_cast<i32>(brng.range(10, 120))},
+    };
+
     for (const AlignMode mode : {AlignMode::kGlobal, AlignMode::kExtension}) {
       base.mode = mode;
 
-      if (opt.family_diff || opt.family_simt || opt.family_banded) {
+      if (opt.family_diff || opt.family_simt || opt.family_banded ||
+          opt.family_bandfull) {
         base.family = Family::kDiff;
         const AlignResult ref = run_reference(base);
         if (opt.family_diff) {
@@ -287,6 +308,21 @@ SweepStats run_sweep(const SweepOptions& opt,
                 spec.with_cigar = cigar;
                 run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
               }
+        }
+        if (opt.family_bandfull) {
+          for (const BandCfg& bc : band_cfgs)
+            for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+              for (const Isa isa : isas)
+                for (const bool cigar : {false, true}) {
+                  CaseSpec spec = base;
+                  spec.family = Family::kDiff;
+                  spec.layout = layout;
+                  spec.isa = isa;
+                  spec.with_cigar = cigar;
+                  spec.band = bc.band;
+                  spec.zdrop = bc.zdrop;
+                  run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+                }
         }
         const bool simt_sized =
             static_cast<i32>(fc.target.size()) <= opt.simt_max_len &&
@@ -303,7 +339,8 @@ SweepStats run_sweep(const SweepOptions& opt,
             run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
           }
         }
-        if (opt.family_simt && simt_sized && seed % opt.simt_every == 0) {
+        if ((opt.family_simt || opt.family_bandfull) && simt_sized &&
+            seed % opt.simt_every == 0) {
           for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
             for (const u32 threads : simt_widths)
               for (const bool cigar : {false, true}) {
@@ -312,12 +349,23 @@ SweepStats run_sweep(const SweepOptions& opt,
                 spec.layout = layout;
                 spec.simt_threads = threads;
                 spec.with_cigar = cigar;
-                run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+                if (opt.family_simt)
+                  run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+                if (opt.family_bandfull) {
+                  // One banded cell per (layout, width, path): covering
+                  // band on the score flavour, narrow (fallback-forcing)
+                  // band on the path flavour — the interpreter is too slow
+                  // for the full band_cfgs sweep at every cell.
+                  const BandCfg& bc = band_cfgs[cigar ? 1 : 0];
+                  spec.band = bc.band;
+                  spec.zdrop = bc.zdrop;
+                  run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+                }
               }
         }
       }
 
-      if (opt.family_twopiece) {
+      if (opt.family_twopiece || opt.family_bandfull) {
         base.family = Family::kTwoPiece;
         const AlignResult ref = run_reference(base);
         for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
@@ -328,7 +376,15 @@ SweepStats run_sweep(const SweepOptions& opt,
               spec.layout = layout;
               spec.isa = isa;
               spec.with_cigar = cigar;
-              run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+              if (opt.family_twopiece)
+                run_cell(spec, ref, fc, opt, stats, table, on_divergence, arena);
+              if (opt.family_bandfull)
+                for (const BandCfg& bc : band_cfgs) {
+                  CaseSpec banded = spec;
+                  banded.band = bc.band;
+                  banded.zdrop = bc.zdrop;
+                  run_cell(banded, ref, fc, opt, stats, table, on_divergence, arena);
+                }
             }
       }
     }

@@ -92,6 +92,12 @@ struct SweepOptions {
   bool family_twopiece = true;
   bool family_simt = true;
   bool family_banded = true;  ///< full-coverage banded DP (global mode only)
+  /// Banded diff/two-piece/SIMT kernel cells: each seed derives a covering
+  /// band (usually exact, unflagged), a deliberately narrow band (forces
+  /// the band-hit -> rerun-unbanded fallback) and a zdrop variant, all
+  /// validated against the same unbanded reference through the production
+  /// auto-full-fallback contract (see CaseSpec::band).
+  bool family_bandfull = true;
   bool minimize = true;      ///< shrink divergent cases before reporting
   i32 simt_max_len = 96;     ///< interpreter is slow; cap SIMT case size
   u64 simt_every = 4;        ///< run SIMT cells on every Nth seed

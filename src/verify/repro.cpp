@@ -10,6 +10,8 @@
 //   mode extension
 //   cigar 1
 //   simt_threads 64
+//   band 16          (optional; absent = 0 = unbanded)
+//   zdrop 100        (optional; absent = 0 = adaptive X-drop off)
 //   params 2 4 4 2
 //   tp_params 2 4 4 2 24 1
 //   target ACGTN...   ("-" for an empty sequence)
@@ -84,6 +86,10 @@ std::string format_repro(const CaseSpec& spec, const std::string& note) {
   out << "mode " << manymap::to_string(spec.mode) << "\n";
   out << "cigar " << (spec.with_cigar ? 1 : 0) << "\n";
   out << "simt_threads " << spec.simt_threads << "\n";
+  // Band geometry: emitted only when banded so pre-band repro files and
+  // fresh unbanded ones stay byte-identical (absent keys parse as 0).
+  if (spec.band != 0) out << "band " << spec.band << "\n";
+  if (spec.zdrop != 0) out << "zdrop " << spec.zdrop << "\n";
   out << "params " << spec.params.match << ' ' << spec.params.mismatch << ' '
       << spec.params.gap_open << ' ' << spec.params.gap_ext << "\n";
   out << "tp_params " << spec.tp.match << ' ' << spec.tp.mismatch << ' '
@@ -127,6 +133,10 @@ bool parse_repro(const std::string& text, CaseSpec* out, std::string* err) {
       spec.with_cigar = v == 1;
     } else if (key == "simt_threads") {
       if (!(ls >> spec.simt_threads)) return fail("bad simt_threads: " + line);
+    } else if (key == "band") {
+      if (!(ls >> spec.band) || spec.band < 0) return fail("bad band: " + line);
+    } else if (key == "zdrop") {
+      if (!(ls >> spec.zdrop) || spec.zdrop < 0) return fail("bad zdrop: " + line);
     } else if (key == "params") {
       auto& p = spec.params;
       if (!(ls >> p.match >> p.mismatch >> p.gap_open >> p.gap_ext))

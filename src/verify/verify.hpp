@@ -47,6 +47,17 @@ struct CaseSpec {
   u32 simt_threads = 64;   ///< block width for kSimt
   ScoreParams params{};    ///< kDiff / kSimt scoring
   TwoPieceParams tp{};     ///< kTwoPiece scoring
+  /// Static band half-width for the banded kernel variants (0 = unbanded).
+  /// For kDiff / kTwoPiece / kSimt, run_production replays the production
+  /// contract: run banded, and on band_hit / BandHitError rerun unbanded —
+  /// exactly the Mapper's auto-full fallback — so the final result must
+  /// still match the unbanded reference bit-for-bit. For kBanded it is the
+  /// reference rung's half-width (0 keeps the full-coverage default).
+  i32 band = 0;
+  /// Adaptive X-drop threshold (banded runs only; 0 = off). Results that
+  /// come back with `zdropped` set are heuristic and checked as bounded
+  /// (score <= reference optimum, CIGAR self-consistent), not bit-exact.
+  i32 zdrop = 0;
   std::vector<u8> target;
   std::vector<u8> query;
 

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "align/arena.hpp"
 #include "align/banded.hpp"
 #include "align/reference_dp.hpp"
+#include "align/twopiece.hpp"
 #include "base/random.hpp"
+#include "core/mapper.hpp"
+#include "core/options.hpp"
 #include "core/sam.hpp"
 #include "sequence/dna.hpp"
 #include "simulate/genome.hpp"
@@ -130,6 +134,185 @@ TEST(Banded, CellsReflectBandNotFullMatrix) {
   const auto r = banded_global_align(make_banded(t, q, 50, false));
   EXPECT_LE(r.cells, 1000u * 101u);
   EXPECT_LT(r.cells, 1000u * 1000u / 5);
+}
+
+// --- corner coverage (regression guards for the auto-widening) ---
+
+TEST(Banded, SteepSlopeNarrowBandStillReachesTheCorner) {
+  // Mirrors tests/data/regressions/banded_corner_steep_slope.repro: with
+  // |T| = 2, |Q| = 8 and band 1 the pre-fix row windows were disjoint and
+  // the kernel aborted. The widened band must reach the corner and, since
+  // widening makes the band covering here, match the reference exactly.
+  const auto t = encode_dna("AC");
+  const auto q = encode_dna("ACGTACGT");
+  const auto got = banded_global_align(make_banded(t, q, 1, true));
+  const auto ref = reference_align(make_full(t, q, true));
+  EXPECT_EQ(got.score, ref.score);
+  EXPECT_EQ(got.cigar.to_string(), ref.cigar.to_string());
+}
+
+TEST(Banded, SingleRowTargetCoversTheWholeQuery) {
+  // Mirrors banded_corner_tlen1.repro: |T| <= 1 pinned every window to
+  // column 0 pre-fix and the corner column was never in band.
+  const auto t = encode_dna("A");
+  const auto q = encode_dna("ACGTAC");
+  const auto got = banded_global_align(make_banded(t, q, 1, true));
+  const auto ref = reference_align(make_full(t, q, true));
+  EXPECT_EQ(got.score, ref.score);
+  EXPECT_EQ(got.cigar.to_string(), ref.cigar.to_string());
+}
+
+// --- banded production kernels (diff / two-piece) ---
+
+DiffArgs make_diff(const std::vector<u8>& t, const std::vector<u8>& q, bool cigar,
+                   i32 band, i32 zdrop) {
+  DiffArgs a = make_full(t, q, cigar);
+  a.band = band;
+  a.zdrop = zdrop;
+  return a;
+}
+
+TEST(BandedKernel, UnflaggedRunsAreBitExactAcrossIsas) {
+  // Related pair (substitutions only): a 64-lane band covers the optimum,
+  // so no backend may flag band_hit and every banded result must equal its
+  // own unbanded run bit-for-bit, tie-breaks included.
+  Rng rng(17);
+  const auto t = random_seq(rng, 240);
+  auto q = t;
+  for (auto& b : q)
+    if (rng.bernoulli(0.12)) b = rng.base();
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+    for (const Isa isa : available_isas())
+      for (const bool cigar : {false, true}) {
+        const KernelFn k = get_diff_kernel(layout, isa);
+        if (k == nullptr) continue;
+        const AlignResult full = k(make_diff(t, q, cigar, 0, 0));
+        const AlignResult banded = k(make_diff(t, q, cigar, 64, 0));
+        ASSERT_FALSE(banded.band_hit)
+            << to_string(layout) << "/" << to_string(isa) << (cigar ? "/path" : "/score");
+        EXPECT_EQ(banded.score, full.score);
+        EXPECT_EQ(banded.t_end, full.t_end);
+        EXPECT_EQ(banded.q_end, full.q_end);
+        EXPECT_EQ(banded.cigar.to_string(), full.cigar.to_string());
+      }
+}
+
+TEST(BandedKernel, NarrowBandOnSteepPairFlagsTheEscape) {
+  // |T| = 300 vs |Q| = 30: the corner sits ~270 diagonals off center, far
+  // outside band 2 — every backend must either flag band_hit (score mode /
+  // flagged path mode) or throw BandHitError from the backtrack. The
+  // unbanded rerun (the mapper's fallback) then matches the full kernel.
+  Rng rng(18);
+  const auto t = random_seq(rng, 300);
+  const auto q = random_seq(rng, 30);
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+    for (const Isa isa : available_isas()) {
+      const KernelFn k = get_diff_kernel(layout, isa);
+      if (k == nullptr) continue;
+      bool hit = false;
+      AlignResult r;
+      try {
+        r = k(make_diff(t, q, true, 2, 0));
+        hit = r.band_hit;
+      } catch (const BandHitError&) {
+        hit = true;
+      }
+      EXPECT_TRUE(hit) << to_string(layout) << "/" << to_string(isa);
+      const AlignResult rerun = k(make_diff(t, q, true, 0, 0));
+      const AlignResult full = k(make_diff(t, q, true, 0, 0));
+      EXPECT_EQ(rerun.score, full.score);
+      EXPECT_EQ(rerun.cigar.to_string(), full.cigar.to_string());
+    }
+}
+
+TEST(BandedKernel, ZdropNeverBeatsTheOptimum) {
+  // Adaptive X-drop prunes candidate paths, so a zdropped score can only
+  // be <= the unbanded optimum; an unpruned, unflagged run must equal it.
+  Rng rng(19);
+  for (int it = 0; it < 10; ++it) {
+    const auto t = random_seq(rng, 200);
+    const auto q = random_seq(rng, 190);
+    const KernelFn k = get_diff_kernel(Layout::kManymap, Isa::kScalar);
+    ASSERT_NE(k, nullptr);
+    const AlignResult full = k(make_diff(t, q, false, 0, 0));
+    AlignResult banded;
+    bool hit = false;
+    try {
+      banded = k(make_diff(t, q, false, 48, 15));
+      hit = banded.band_hit;
+    } catch (const BandHitError&) {
+      hit = true;
+    }
+    if (hit) continue;  // fallback path; covered above
+    EXPECT_LE(banded.score, full.score);
+    if (!banded.zdropped) EXPECT_EQ(banded.score, full.score);
+  }
+}
+
+TEST(BandedKernel, TwoPieceUnflaggedRunsAreBitExact) {
+  Rng rng(20);
+  const auto t = random_seq(rng, 180);
+  auto q = t;
+  for (auto& b : q)
+    if (rng.bernoulli(0.1)) b = rng.base();
+  for (const Layout layout : {Layout::kMinimap2, Layout::kManymap})
+    for (const Isa isa : available_isas())
+      for (const bool cigar : {false, true}) {
+        const TwoPieceKernelFn k = get_twopiece_kernel(layout, isa);
+        if (k == nullptr) continue;
+        TwoPieceArgs a;
+        a.target = t.data();
+        a.tlen = static_cast<i32>(t.size());
+        a.query = q.data();
+        a.qlen = static_cast<i32>(q.size());
+        a.mode = AlignMode::kGlobal;
+        a.with_cigar = cigar;
+        const AlignResult full = k(a);
+        a.band = 48;
+        const AlignResult banded = k(a);
+        ASSERT_FALSE(banded.band_hit)
+            << to_string(layout) << "/" << to_string(isa) << (cigar ? "/path" : "/score");
+        EXPECT_EQ(banded.score, full.score);
+        EXPECT_EQ(banded.cigar.to_string(), full.cigar.to_string());
+      }
+}
+
+// --- band plumbing in the mapper-facing option/estimate layer ---
+
+TEST(BandOptions, StrictParsingNeverClamps) {
+  MapOptions opt;
+  EXPECT_TRUE(apply_band_option(opt, "251"));
+  EXPECT_EQ(opt.band, 251);
+  EXPECT_TRUE(apply_band_option(opt, "0"));  // explicit "unbanded"
+  EXPECT_EQ(opt.band, 0);
+  for (const char* bad : {"-1", "64x", "", "band", "9999999999999"}) {
+    MapOptions scratch;
+    EXPECT_FALSE(apply_band_option(scratch, bad)) << bad;
+    EXPECT_FALSE(apply_zdrop_option(scratch, bad)) << bad;
+    EXPECT_EQ(scratch.band, 0);  // rejected input must not half-apply
+    EXPECT_EQ(scratch.zdrop, 0);
+  }
+  EXPECT_TRUE(apply_zdrop_option(opt, "400"));
+  EXPECT_EQ(opt.zdrop, 400);
+}
+
+TEST(BandOptions, BandShrinksDirsFootprints) {
+  // Banded dirs rows are O(band), not O(|Q|): the arena footprint and the
+  // admission estimate must both shrink for long reads.
+  const u64 full = detail::KernelArena::dirs_footprint(16000, 16000);
+  const u64 banded = detail::KernelArena::dirs_footprint(16000, 16000, 251);
+  EXPECT_LT(banded, full / 10);
+  MapOptions opt;
+  const u64 est_full = estimate_dirs_bytes(opt, 16000);
+  opt.band = 251;
+  EXPECT_LE(estimate_dirs_bytes(opt, 16000), est_full);
+}
+
+TEST(BandOptions, EstimateIsU64EndToEnd) {
+  // Regression guard for the u32 narrowing: a multi-gigabase read length
+  // must produce a >4 GiB estimate instead of wrapping modulo 2^32.
+  MapOptions opt;
+  EXPECT_GT(estimate_dirs_bytes(opt, u64{3'000'000'000}), u64{1} << 32);
 }
 
 // --- SAM output ---

@@ -12,6 +12,8 @@
 //   --seed S               trace seed (default 42)
 // Service config:
 //   --preset map-pb|map-ont  --layout minimap2|manymap  --isa <name>
+//   --band B               kernel band half-width (0 = unbanded)
+//   --zdrop Z              adaptive X-drop threshold (0 = off)
 //   --workers N            worker threads per shard (default 4)
 //   --shards N             worker shards (default 1)
 //   --dispatch rr|length   batch dispatch policy (default rr)
@@ -143,6 +145,7 @@ int usage() {
                "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
                "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n"
                "  [--mem-budget-mb M] [--gpu] [--gpu-streams N]\n"
+               "  [--band B (0 = unbanded)] [--zdrop Z (0 = off)]\n"
                "numeric options must be positive integers (--deadline-ms/--rate accept 0 =\n"
                "disabled); --mem-budget-mb caps each shard's estimated in-flight direction\n"
                "bytes and degrades over-budget requests to streamed dirs, then score-only;\n"
@@ -161,7 +164,7 @@ int main(int argc, char** argv) {
       "seed",     "preset",     "layout",         "isa",        "workers",
       "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
       "deadline-ms", "rate",    "admission",      "verify-sample", "mem-budget-mb",
-      "gpu-streams"};
+      "gpu-streams", "band",    "zdrop"};
   const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
   if (!parsed) return usage();
   if (parsed->has("help")) {
@@ -222,6 +225,16 @@ int main(int argc, char** argv) {
   MM_REQUIRE(apply_layout_name(cfg.map, args.get("layout", "manymap")), "bad --layout");
   if (args.has("isa"))
     MM_REQUIRE(apply_isa_name(cfg.map, args.get("isa", "")), "bad --isa or unavailable");
+  if (args.has("band") && !apply_band_option(cfg.map, args.get("band", ""))) {
+    std::fprintf(stderr, "manymap_serve: --band needs an integer >= 0 (0 = unbanded), got '%s'\n",
+                 args.get("band", "").c_str());
+    return usage();
+  }
+  if (args.has("zdrop") && !apply_zdrop_option(cfg.map, args.get("zdrop", ""))) {
+    std::fprintf(stderr, "manymap_serve: --zdrop needs an integer >= 0 (0 = off), got '%s'\n",
+                 args.get("zdrop", "").c_str());
+    return usage();
+  }
   cfg.shards = static_cast<u32>(*shards_opt);
   cfg.workers_per_shard = static_cast<u32>(*workers_opt);
   cfg.dispatch = args.get("dispatch", "rr") == "length" ? ServiceConfig::Dispatch::kLeastLoaded

@@ -7,10 +7,13 @@
 // Sweep options:
 //   --seeds N        fuzz seeds to sweep (default 256)
 //   --first-seed S   first seed (default 1; seeds are S..S+N-1)
-//   --family F       diff|twopiece|simt|banded|longread|gpu|all (default all);
-//                    `longread` sweeps the dirs streaming path end-to-end;
-//                    `gpu` sweeps device-vs-CPU agreement through the
-//                    offload subsystem (randomized batches and streams)
+//   --family F       diff|twopiece|simt|banded|bandfull|longread|gpu|all
+//                    (default all); `bandfull` sweeps the banded kernel
+//                    variants through the auto-full-fallback contract
+//                    against the unbanded reference; `longread` sweeps the
+//                    dirs streaming path end-to-end; `gpu` sweeps
+//                    device-vs-CPU agreement through the offload subsystem
+//                    (randomized batches and streams)
 //   --no-minimize    report divergences without shrinking them
 //   --out DIR        write a minimized .repro file per divergence to DIR
 //   --quiet          suppress the per-combo table
@@ -35,11 +38,15 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|banded|longread|gpu|all]\n"
+               "                      [--family diff|twopiece|simt|banded|bandfull|longread|gpu|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
                "       manymap_verify --smoke-longread N [--smoke-budget-mb M]\n"
                "       manymap_verify [--family gpu] --repro FILE [FILE...]\n"
                "\n"
+               "--family bandfull sweeps the banded diff/two-piece/SIMT kernel\n"
+               "variants — covering, deliberately-narrow and zdrop bands — through\n"
+               "the production band-hit -> rerun-unbanded fallback, so every final\n"
+               "answer must still match the unbanded reference.\n"
                "--family longread sweeps the diagonal-block dirs streaming path on\n"
                "long-read-sized pairs (resident vs streamed bit-identity plus the\n"
                "row-band streamed reference). --family gpu sweeps device-vs-CPU\n"
@@ -195,15 +202,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--family") {
       const char* v = value();
       if (v == nullptr) return 2;
-      opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = false;
+      opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded =
+          opt.family_bandfull = false;
       if (std::strcmp(v, "diff") == 0) opt.family_diff = true;
       else if (std::strcmp(v, "twopiece") == 0) opt.family_twopiece = true;
       else if (std::strcmp(v, "simt") == 0) opt.family_simt = true;
       else if (std::strcmp(v, "banded") == 0) opt.family_banded = true;
+      else if (std::strcmp(v, "bandfull") == 0) opt.family_bandfull = true;
       else if (std::strcmp(v, "longread") == 0) family_longread = true;
       else if (std::strcmp(v, "gpu") == 0) family_gpu = true;
       else if (std::strcmp(v, "all") == 0)
-        opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded = true;
+        opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded =
+            opt.family_bandfull = true;
       else {
         std::fprintf(stderr, "manymap_verify: unknown family '%s'\n", v);
         return 2;
