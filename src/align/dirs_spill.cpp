@@ -50,8 +50,11 @@ std::unique_ptr<DirsSpill> make_dirs_spill(u64 estimated_bytes, u64 mem_cap_byte
   return std::make_unique<FileDirsSpill>();
 }
 
-i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes) {
-  const u64 row = static_cast<u64>(tlen < qlen ? tlen : qlen) + detail::kLanePad;
+i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes, i32 band) {
+  u64 max_row = static_cast<u64>(tlen < qlen ? tlen : qlen);
+  if (band > 0 && 2 * static_cast<u64>(band) + 1 < max_row)
+    max_row = 2 * static_cast<u64>(band) + 1;
+  const u64 row = max_row + detail::kLanePad;
   const u64 rows = budget_bytes / row;
   if (rows < 1) return 1;
   const i32 ndiag = tlen + qlen - 1;

@@ -85,6 +85,10 @@ std::unique_ptr<DirsSpill> make_dirs_spill(u64 estimated_bytes,
 
 /// Streaming block height (in padded diagonal rows) that keeps the
 /// resident block of a tlen × qlen pair within `budget_bytes`; >= 1.
-i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes);
+/// `band` > 0 caps the per-row width at 2·band+1 (the banded kernels'
+/// O(band) dirs rows — see KernelArena::stream_block_bytes), so banded
+/// streamed runs get proportionally taller blocks out of the same budget
+/// instead of being sized as if every row were full-width.
+i32 spill_rows_for_budget(i32 tlen, i32 qlen, u64 budget_bytes, i32 band = 0);
 
 }  // namespace manymap

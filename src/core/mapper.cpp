@@ -154,7 +154,8 @@ std::vector<Mapping> Mapper::map(const Sequence& read, const MapCall& call) cons
         const u64 fp = detail::KernelArena::dirs_footprint(a.tlen, a.qlen, a.band);
         if (fp > call.dirs_budget_bytes) {
           a.spill = spill_for(fp);
-          a.spill_block_rows = spill_rows_for_budget(a.tlen, a.qlen, call.dirs_budget_bytes);
+          a.spill_block_rows =
+              spill_rows_for_budget(a.tlen, a.qlen, call.dirs_budget_bytes, a.band);
           ++streamed_kernels;
         }
       }

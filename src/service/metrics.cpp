@@ -51,6 +51,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.kernel_retries = kernel_retries_.load(std::memory_order_relaxed);
   s.verified = verified_.load(std::memory_order_relaxed);
   s.verify_divergences = verify_divergences_.load(std::memory_order_relaxed);
+  s.verified_degraded = verified_degraded_.load(std::memory_order_relaxed);
   s.streamed_responses = streamed_responses_.load(std::memory_order_relaxed);
   s.mem_score_only = mem_score_only_.load(std::memory_order_relaxed);
   s.dirs_spilled_bytes = dirs_spilled_bytes_.load(std::memory_order_relaxed);
@@ -96,7 +97,7 @@ std::string MetricsSnapshot::report() const {
                 "  fallback   scalar=%llu banded=%llu kernel_retries=%llu\n"
                 "  memory     streamed=%llu score_only=%llu spilled_bytes=%llu "
                 "redirects=%llu arena_trims=%llu\n"
-                "  verify     sampled=%llu divergences=%llu\n",
+                "  verify     sampled=%llu divergences=%llu degraded=%llu\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(accepted),
                 static_cast<unsigned long long>(completed),
@@ -120,7 +121,8 @@ std::string MetricsSnapshot::report() const {
                 static_cast<unsigned long long>(budget_redirects),
                 static_cast<unsigned long long>(arena_trims),
                 static_cast<unsigned long long>(verified),
-                static_cast<unsigned long long>(verify_divergences));
+                static_cast<unsigned long long>(verify_divergences),
+                static_cast<unsigned long long>(verified_degraded));
   std::string out = buf;
   if (gpu_offload_batches + gpu_cpu_batches + gpu_requests > 0) {
     std::snprintf(buf, sizeof(buf),

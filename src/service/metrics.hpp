@@ -45,6 +45,7 @@ struct MetricsSnapshot {
   u64 kernel_retries = 0;       ///< failed kernel attempts absorbed by the ladder
   u64 verified = 0;             ///< live responses replayed through the oracle
   u64 verify_divergences = 0;   ///< oracle disagreements among those
+  u64 verified_degraded = 0;    ///< audits of degraded (streamed/score-only) answers
   // Memory-budget ladder (footprint-aware admission + streamed dirs).
   u64 streamed_responses = 0;   ///< kOk answers that streamed dirs to a spill sink
   u64 mem_score_only = 0;       ///< kOk answers shed to score-only by the footprint cap
@@ -114,6 +115,9 @@ class ServiceMetrics {
     verified_.fetch_add(1, std::memory_order_relaxed);
     if (diverged) verify_divergences_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// A live audit of a degraded response's mapping (counted alongside
+  /// on_verified, so divergences among degraded answers are visible too).
+  void on_verified_degraded() { verified_degraded_.fetch_add(1, std::memory_order_relaxed); }
   /// Memory-budget ladder accounting.
   void on_streamed_response(u64 spilled_bytes) {
     streamed_responses_.fetch_add(1, std::memory_order_relaxed);
@@ -161,7 +165,7 @@ class ServiceMetrics {
   std::atomic<u64> breaker_opened_{0}, degraded_responses_{0};
   std::atomic<bool> degraded_now_{false};
   std::atomic<u64> fallback_scalar_{0}, fallback_banded_{0}, kernel_retries_{0};
-  std::atomic<u64> verified_{0}, verify_divergences_{0};
+  std::atomic<u64> verified_{0}, verify_divergences_{0}, verified_degraded_{0};
   std::atomic<u64> streamed_responses_{0}, mem_score_only_{0}, dirs_spilled_bytes_{0};
   std::atomic<u64> budget_redirects_{0}, arena_trims_{0};
   std::atomic<u64> gpu_offload_batches_{0}, gpu_cpu_batches_{0}, gpu_requests_{0};

@@ -299,12 +299,18 @@ void AlignmentService::account(const PendingRequest& p, const MapResponse& resp)
 }
 
 void AlignmentService::maybe_verify_live(const MapRequest& req, const MapResponse& resp) {
-  if (cfg_.verify_sample_every == 0 || resp.degraded) return;
+  if (cfg_.verify_sample_every == 0) return;
   const u64 n = ok_responses_.fetch_add(1, std::memory_order_relaxed);
   if (n % cfg_.verify_sample_every != 0) return;
+  // Degraded responses are sampled like any other kOk answer — graceful
+  // degradation is verified, not just survived. Streamed/banded answers
+  // carry full CIGARs and replay through the complete live oracle;
+  // score-only answers (breaker open or footprint cap) have no path to
+  // rescore, so they route to the span-sanity audit instead of being
+  // silently skipped.
+  const bool degraded_resp = resp.degraded || resp.degrade != DegradeLevel::kNone;
   const std::vector<u8> rc = reverse_complement(req.read.codes);
   for (const Mapping& m : resp.mappings) {
-    if (m.cigar.empty()) continue;  // score-only mappings carry no path
     verify::LiveMapping lm;
     lm.contig = &mapper_.reference().contig(m.rid).codes;
     lm.tstart = m.tstart;
@@ -314,8 +320,12 @@ void AlignmentService::maybe_verify_live(const MapRequest& req, const MapRespons
     lm.qend = m.rev ? m.qlen - m.qstart : m.qend;
     lm.score = m.score;
     lm.cigar = &m.cigar;
-    const auto check = verify::check_live_mapping(lm, cfg_.map.scores, cfg_.verify_max_cells);
+    const auto check =
+        m.cigar.empty()
+            ? verify::check_live_spans(lm)
+            : verify::check_live_mapping(lm, cfg_.map.scores, cfg_.verify_max_cells);
     metrics_.on_verified(!check.ok);
+    if (degraded_resp) metrics_.on_verified_degraded();
     if (!check.ok)
       std::fprintf(stderr, "[verify] request %llu read %s: %s\n",
                    static_cast<unsigned long long>(resp.id), req.read.name.c_str(),

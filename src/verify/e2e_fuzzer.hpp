@@ -1,0 +1,86 @@
+// Deterministic end-to-end fuzzer over whole serving scenarios (e2e.hpp):
+// each seed derives an E2eCase spanning worker counts, shuffled submission
+// orders, the degradation ladder and an armed fault plan; check_e2e_case
+// replays it through the real Mapper::map and AlignmentService paths and
+// asserts the determinism contract. Divergent cases shrink through the
+// whole-mapper greedy minimizer (drop reads -> shrink reads/reference ->
+// relax config) before being reported, so committed regressions stay
+// small.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/e2e.hpp"
+
+namespace manymap {
+namespace verify {
+
+/// Deterministic: the same seed always yields the same case. Cases span
+/// the knob space described in e2e.hpp — roughly half arm a memory-ladder
+/// service run, a quarter arm a fault plan, a third run the device rung.
+E2eCase make_e2e_case(u64 seed);
+
+/// Replay one case through every phase its config enables and check the
+/// end-to-end determinism contract (see e2e.hpp). Phases, in order:
+///   1. baseline        resident Mapper::map per read, each mapping
+///                      audited by the live oracle; plus a score-only
+///                      baseline for the degraded comparisons;
+///   2. rungs           streamed-dirs / banded / gpu replays must be
+///                      bit-identical to the baseline (banded with
+///                      zdrop > 0 is advisory: self-audit only);
+///                      score-only must be bit-identical to the
+///                      score-only baseline and locus-consistent with
+///                      the full baseline;
+///   3. service         one run per worker count, shuffled submission,
+///                      live verify armed: responses bit-identical to
+///                      the baseline, zero oracle divergences;
+///   4. memory ladder   a service run under the svc_* thresholds: each
+///                      response checked against the rung its degrade
+///                      level names; degraded answers must have been
+///                      audited (verified_degraded > 0);
+///   5. chaos           the service run repeated under the armed fault
+///                      plan: every request resolves terminally, kOk
+///                      answers still honor the contract, zero oracle
+///                      divergences, and a post-chaos replay is clean.
+CheckResult check_e2e_case(const E2eCase& c);
+
+/// Greedy whole-mapper shrink: materialize the read set, drop reads in
+/// chunks, trim read tails, halve the reference, then relax config
+/// (faults -> gpu -> memory ladder -> band -> dirs budget -> workers),
+/// keeping every step that still fails check_e2e_case. Returns the
+/// smallest failing case found (== input if the case no longer fails).
+/// `check` overrides the failure predicate — the sweep always uses the
+/// real check_e2e_case; tests substitute synthetic predicates to pin the
+/// shrink strategy itself.
+E2eCase minimize_e2e_case(const E2eCase& c,
+                          const std::function<CheckResult(const E2eCase&)>& check = {});
+
+struct E2eSweepOptions {
+  u64 seeds = 64;
+  u64 first_seed = 1;
+  bool minimize = true;  ///< shrink divergent cases before reporting
+};
+
+/// One confirmed end-to-end divergence, minimized when requested.
+struct E2eDivergence {
+  E2eCase c;
+  std::string failure;
+  u64 seed = 0;
+};
+
+struct E2eStats {
+  u64 cases_run = 0;
+  u64 service_runs = 0;  ///< AlignmentService lifecycles exercised
+  u64 chaos_runs = 0;    ///< cases replayed under an armed fault plan
+  std::vector<E2eDivergence> divergences;
+};
+
+/// Sweep `opt.seeds` end-to-end cases. `on_divergence` (optional) fires
+/// after minimization, as each divergence is found.
+E2eStats run_e2e_sweep(const E2eSweepOptions& opt,
+                       const std::function<void(const E2eDivergence&)>& on_divergence = {});
+
+}  // namespace verify
+}  // namespace manymap

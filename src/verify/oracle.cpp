@@ -324,10 +324,12 @@ CheckResult run_oracle(const CaseSpec& spec) {
   return check_result(spec, run_production(spec), run_reference(spec));
 }
 
-CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
-                               u64 max_ref_cells, u64 max_stream_cells) {
-  MM_REQUIRE(m.contig != nullptr && m.query != nullptr && m.cigar != nullptr,
-             "live mapping audit needs contig/query/cigar");
+namespace {
+
+/// Coordinate sanity shared by the full and score-only live audits.
+CheckResult check_live_coordinates(const LiveMapping& m) {
+  MM_REQUIRE(m.contig != nullptr && m.query != nullptr,
+             "live mapping audit needs contig/query");
   if (m.tend > m.contig->size() || m.tstart > m.tend)
     return CheckResult::fail(fmt("reference span [%llu,%llu) outside contig of %llu",
                                  static_cast<unsigned long long>(m.tstart),
@@ -336,6 +338,31 @@ CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
   if (m.qend > m.query->size() || m.qstart > m.qend)
     return CheckResult::fail(fmt("query span [%u,%u) outside read of %llu", m.qstart,
                                  m.qend, static_cast<unsigned long long>(m.query->size())));
+  return {};
+}
+
+}  // namespace
+
+CheckResult check_live_spans(const LiveMapping& m) {
+  const CheckResult coords = check_live_coordinates(m);
+  if (!coords.ok) return coords;
+  // Score-only mappings come straight from chain bounds: a chain always
+  // covers at least one anchor, so a degenerate (empty) span on either
+  // axis is a coordinate bug, not a legitimate alignment.
+  if (m.tend == m.tstart)
+    return CheckResult::fail(fmt("score-only mapping has an empty reference span at %llu",
+                                 static_cast<unsigned long long>(m.tstart)));
+  if (m.qend == m.qstart)
+    return CheckResult::fail(fmt("score-only mapping has an empty query span at %u",
+                                 m.qstart));
+  return {};
+}
+
+CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
+                               u64 max_ref_cells, u64 max_stream_cells) {
+  MM_REQUIRE(m.cigar != nullptr, "live mapping audit needs a cigar");
+  const CheckResult coords = check_live_coordinates(m);
+  if (!coords.ok) return coords;
   const u64 t_span = m.tend - m.tstart;
   const u64 q_span = m.qend - m.qstart;
   std::string why;

@@ -149,5 +149,12 @@ CheckResult check_live_mapping(const LiveMapping& m, const ScoreParams& params,
                                u64 max_ref_cells,
                                u64 max_stream_cells = kDefaultMaxStreamCells);
 
+/// Audit a score-only live mapping (no CIGAR to rescore — the breaker or
+/// the footprint cap skipped the path pass and the reported score is a
+/// chain score, advisory by contract): both spans must be non-empty and
+/// inside their sequences. `m.cigar` may be null; `m.score` is ignored.
+/// This is what lets degraded responses be *verified*, not just skipped.
+CheckResult check_live_spans(const LiveMapping& m);
+
 }  // namespace verify
 }  // namespace manymap

@@ -369,5 +369,26 @@ TEST(DirsSpillHelpers, RowsForBudgetAndBlockBytes) {
             KernelArena::dirs_footprint(100, 100));
 }
 
+TEST(DirsSpillHelpers, RowsForBudgetAreBandAware) {
+  // A banded 16 kbp pair writes O(band) dirs per diagonal row, so the same
+  // budget buys proportionally more rows than the full-width sizing.
+  const i32 tlen = 16'000, qlen = 16'000, band = 251;
+  const u64 budget = u64{8} << 20;
+  const i32 full_rows = spill_rows_for_budget(tlen, qlen, budget);
+  const i32 band_rows = spill_rows_for_budget(tlen, qlen, budget, band);
+  EXPECT_GT(band_rows, full_rows);
+  // Proportional: row width shrinks from min(|T|,|Q|)+pad to 2*band+1+pad.
+  const u64 full_row = static_cast<u64>(qlen) + detail::kLanePad;
+  const u64 band_row = static_cast<u64>(2 * band + 1) + detail::kLanePad;
+  EXPECT_EQ(static_cast<u64>(band_rows), budget / band_row);
+  EXPECT_EQ(static_cast<u64>(full_rows), budget / full_row);
+  // The taller banded block still honours the budget it was derived from.
+  EXPECT_LE(KernelArena::stream_block_bytes(tlen, qlen, band_rows, band), budget);
+  // An unbanded call is unchanged, and a band wider than the pair is inert.
+  EXPECT_EQ(spill_rows_for_budget(tlen, qlen, budget, 0), full_rows);
+  EXPECT_EQ(spill_rows_for_budget(100, 100, budget, 5'000),
+            spill_rows_for_budget(100, 100, budget));
+}
+
 }  // namespace
 }  // namespace manymap

@@ -1,6 +1,6 @@
 // manymap_chaos — seeded fault schedules against the alignment service.
 //
-//   manymap_chaos [--seeds N] [--first-seed S] [--verbose]
+//   manymap_chaos [--seeds N] [--first-seed S] [--oracle] [--verbose]
 //
 // Each seed deterministically derives a fault plan (worker exceptions,
 // slow/stalled compute, DP allocation failures, queue delays), a small
@@ -24,6 +24,13 @@
 //      accepted == completed + timed_out + failed;
 //   3. after the plan is cancelled, a clean request answers kOk — faults
 //      never wedge the service.
+//
+// With --oracle, every kOk response — including degraded ones — is
+// additionally replayed through the live differential oracle
+// (verify_sample_every = 1): a fourth contract requires zero oracle
+// divergences per seed, and across the run at least one *degraded*
+// response must have been audited (verified_degraded > 0) — chaos must
+// prove graceful degradation correct, not merely survive it.
 //
 // Exit status: 0 when every seed upholds the contract, 1 otherwise.
 #include <algorithm>
@@ -60,6 +67,10 @@ struct ChaosRng {
 struct SeedReport {
   bool ok = true;
   std::string failure;
+  // Live-oracle accounting for --oracle mode, accumulated by main().
+  u64 verified = 0;
+  u64 verified_degraded = 0;
+  u64 degraded_seen = 0;  ///< degraded/streamed/score-only kOk responses
 
   void fail(const std::string& why) {
     if (ok) failure = why;
@@ -73,12 +84,17 @@ struct SeedReport {
 /// watchdog never declares a legitimately slow environment (TSan, loaded
 /// CI) stalled.
 SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>& reads,
-                    i64 stall_floor_ms, bool verbose) {
+                    i64 stall_floor_ms, bool oracle, bool verbose) {
   SeedReport rep;
   ChaosRng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
 
   ServiceConfig cfg;
   cfg.map = MapOptions::map_pb();
+  if (oracle) {
+    // Live-oracle auditing of every kOk response, degraded ones included.
+    cfg.verify_sample_every = 1;
+    cfg.verify_max_cells = 8'000'000;
+  }
   cfg.shards = static_cast<u32>(rng.range(1, 2));
   cfg.workers_per_shard = static_cast<u32>(rng.range(1, 3));
   cfg.ingress_capacity = static_cast<std::size_t>(rng.range(8, 32));
@@ -123,6 +139,13 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
     // timing stays covered by the three quarters of seeds without gpu.
     cfg.watchdog.stall_timeout *= 25;
   }
+  // The live oracle replays every sampled mapping through a reference DP
+  // inside worker compute — roughly an order of magnitude over bare
+  // mapping. Widen the watchdog so auditing is never mistaken for a stall.
+  // The gpu-storm x25 already clears the audit overhead; the factors must
+  // not stack, or injected stalls become unrecoverable inside the 60 s
+  // future-resolution contract.
+  if (oracle && !gpu_storm) cfg.watchdog.stall_timeout *= 10;
 
   // Fault schedule: 1-4 specs drawn from the site catalog. Stalls are kept
   // rare and bounded (one firing, ~1-2x the watchdog timeout) so a round
@@ -252,6 +275,13 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
   if (m.worker_stalls != m.worker_respawns)
     rep.fail("ledger: stalls != respawns");
 
+  // Contract 4 (--oracle): the sampled responses passed the live oracle.
+  rep.verified = m.verified;
+  rep.verified_degraded = m.verified_degraded;
+  rep.degraded_seen = m.degraded_responses + m.streamed_responses + m.mem_score_only;
+  if (oracle && m.verify_divergences != 0)
+    rep.fail("live oracle: " + std::to_string(m.verify_divergences) + " divergences");
+
   if (verbose)
     std::fprintf(stderr,
                  "[chaos] seed=%llu%s%s shards=%u workers=%u specs=%u fires=%llu "
@@ -275,6 +305,7 @@ int main(int argc, char** argv) {
   using namespace manymap;
   u64 seeds = 32, first_seed = 1;
   bool verbose = false;
+  bool oracle = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -285,8 +316,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: manymap_chaos [--seeds N] [--first-seed S] [--verbose]\n");
+      std::fprintf(stderr,
+                   "usage: manymap_chaos [--seeds N] [--first-seed S] [--oracle] [--verbose]\n"
+                   "  --oracle  audit every kOk response (degraded included) with the live\n"
+                   "            differential oracle; any divergence fails the seed\n");
       return 0;
+    } else if (arg == "--oracle") {
+      oracle = true;
     } else if (arg == "--seeds") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -347,9 +383,15 @@ int main(int argc, char** argv) {
   }
 
   u64 failures = 0;
+  u64 total_verified = 0;
+  u64 total_verified_degraded = 0;
+  u64 total_degraded_seen = 0;
   for (u64 i = 0; i < seeds; ++i) {
     const u64 seed = first_seed + i;
-    const SeedReport rep = run_seed(seed, ref, reads, stall_floor_ms, verbose);
+    const SeedReport rep = run_seed(seed, ref, reads, stall_floor_ms, oracle, verbose);
+    total_verified += rep.verified;
+    total_verified_degraded += rep.verified_degraded;
+    total_degraded_seen += rep.degraded_seen;
     if (!rep.ok) {
       ++failures;
       std::fprintf(stderr, "[chaos] seed %llu FAILED: %s\n",
@@ -359,5 +401,19 @@ int main(int argc, char** argv) {
   std::printf("manymap_chaos: %llu/%llu seeds upheld the robustness contract\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  if (oracle) {
+    std::printf("manymap_chaos: live oracle audited %llu responses (%llu degraded)\n",
+                static_cast<unsigned long long>(total_verified),
+                static_cast<unsigned long long>(total_verified_degraded));
+    // Surviving chaos without ever auditing a degraded answer would leave
+    // the degradation paths unverified — exactly the gap --oracle closes.
+    if (total_degraded_seen > 0 && total_verified_degraded == 0) {
+      std::fprintf(stderr,
+                   "[chaos] FAILED: %llu degraded responses were served but none "
+                   "were audited (verified_degraded == 0)\n",
+                   static_cast<unsigned long long>(total_degraded_seen));
+      ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -7,13 +7,16 @@
 // Sweep options:
 //   --seeds N        fuzz seeds to sweep (default 256)
 //   --first-seed S   first seed (default 1; seeds are S..S+N-1)
-//   --family F       diff|twopiece|simt|banded|bandfull|longread|gpu|all
+//   --family F       diff|twopiece|simt|banded|bandfull|longread|gpu|e2e|all
 //                    (default all); `bandfull` sweeps the banded kernel
 //                    variants through the auto-full-fallback contract
 //                    against the unbanded reference; `longread` sweeps the
 //                    dirs streaming path end-to-end; `gpu` sweeps
 //                    device-vs-CPU agreement through the offload subsystem
-//                    (randomized batches and streams)
+//                    (randomized batches and streams); `e2e` sweeps whole
+//                    serving scenarios — worker counts, shuffled orders,
+//                    the degradation ladder and armed fault plans — through
+//                    the end-to-end determinism contract (verify/e2e.hpp)
 //   --no-minimize    report divergences without shrinking them
 //   --out DIR        write a minimized .repro file per divergence to DIR
 //   --quiet          suppress the per-combo table
@@ -30,6 +33,7 @@
 #include "align/arena.hpp"
 #include "align/dirs_spill.hpp"
 #include "core/options.hpp"
+#include "verify/e2e_fuzzer.hpp"
 #include "verify/fuzzer.hpp"
 
 namespace manymap {
@@ -38,7 +42,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|banded|bandfull|longread|gpu|all]\n"
+               "                      [--family diff|twopiece|simt|banded|bandfull|longread|gpu|e2e|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
                "       manymap_verify --smoke-longread N [--smoke-budget-mb M]\n"
                "       manymap_verify [--family gpu] --repro FILE [FILE...]\n"
@@ -53,6 +57,12 @@ void usage() {
                "agreement through the offload subsystem over randomized batch\n"
                "compositions and stream counts; with --repro it replays each case\n"
                "through check_gpu_case instead of the reference oracle.\n"
+               "--family e2e sweeps whole serving scenarios through the end-to-end\n"
+               "determinism contract: identical responses across worker counts and\n"
+               "shuffled submission orders, cross-degradation agreement (resident /\n"
+               "streamed / banded / score-only / gpu), and chaos composition under\n"
+               "live-oracle auditing. --repro replays v2 (kind e2e) files through\n"
+               "the same contract; v1 kernel repros replay unchanged.\n"
                "--smoke-longread aligns one N x ~N bp\n"
                "pair in path mode with dirs spilled to a temp file under an M MiB\n"
                "resident block budget (default 48) — runnable under ulimit -v.\n");
@@ -123,10 +133,22 @@ int run_repros(const std::vector<std::string>& files, bool gpu) {
   int bad = 0;
   for (const std::string& path : files) {
     verify::CaseSpec spec;
+    verify::E2eCase e2e;
+    verify::ReproKind kind;
     std::string err;
-    if (!verify::load_repro_file(path, &spec, &err)) {
+    if (!verify::load_repro_any(path, &kind, &spec, &e2e, &err)) {
       std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), err.c_str());
       ++bad;
+      continue;
+    }
+    if (kind == verify::ReproKind::kE2e) {
+      const verify::CheckResult r = verify::check_e2e_case(e2e);
+      std::printf("%-60s %s\n", path.c_str(), r.ok ? "OK" : "DIVERGES");
+      if (!r.ok) {
+        std::fprintf(stderr, "  e2e seed=%llu: %s\n",
+                     static_cast<unsigned long long>(e2e.seed), r.failure.c_str());
+        ++bad;
+      }
       continue;
     }
     if (gpu) {
@@ -174,6 +196,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool family_longread = false;
   bool family_gpu = false;
+  bool family_e2e = false;
   i64 smoke_len = 0;
   i64 smoke_budget_mb = 48;
   std::string out_dir;
@@ -211,6 +234,7 @@ int main(int argc, char** argv) {
       else if (std::strcmp(v, "bandfull") == 0) opt.family_bandfull = true;
       else if (std::strcmp(v, "longread") == 0) family_longread = true;
       else if (std::strcmp(v, "gpu") == 0) family_gpu = true;
+      else if (std::strcmp(v, "e2e") == 0) family_e2e = true;
       else if (std::strcmp(v, "all") == 0)
         opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded =
             opt.family_bandfull = true;
@@ -259,6 +283,36 @@ int main(int argc, char** argv) {
 
   if (!repro_files.empty()) return run_repros(repro_files, family_gpu);
   if (smoke_len > 0) return run_smoke_longread(smoke_len, smoke_budget_mb);
+
+  if (family_e2e) {
+    u64 e2e_emitted = 0;
+    const auto on_e2e_divergence = [&](const verify::E2eDivergence& d) {
+      std::fprintf(stderr, "E2E DIVERGENCE seed=%llu\n  %s\n",
+                   static_cast<unsigned long long>(d.seed), d.failure.c_str());
+      if (!out_dir.empty()) {
+        const std::string note =
+            "seed " + std::to_string(d.seed) + "\n" + d.failure;
+        const std::string path =
+            out_dir + "/e2e_divergence_" + std::to_string(e2e_emitted) + ".repro";
+        std::ofstream out(path);
+        out << verify::format_e2e_repro(d.c, note);
+        std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+      }
+      ++e2e_emitted;
+    };
+    verify::E2eSweepOptions e2e;
+    e2e.seeds = opt.seeds;
+    e2e.first_seed = opt.first_seed;
+    e2e.minimize = opt.minimize;
+    const verify::E2eStats stats = verify::run_e2e_sweep(e2e, on_e2e_divergence);
+    std::printf(
+        "verified %llu end-to-end cases (%llu service lifecycles, %llu chaos runs), "
+        "%zu divergences\n",
+        static_cast<unsigned long long>(stats.cases_run),
+        static_cast<unsigned long long>(stats.service_runs),
+        static_cast<unsigned long long>(stats.chaos_runs), stats.divergences.size());
+    return stats.divergences.empty() ? 0 : 1;
+  }
 
   u64 emitted = 0;
   const auto on_divergence = [&](const verify::Divergence& d) {
