@@ -41,7 +41,12 @@ std::vector<Chain> chain_anchors(const std::vector<Anchor>& anchors, const Chain
       if (aj.qpos >= ai.qpos) continue;                 // and on query
       const u32 dt = ai.tpos - aj.tpos;
       const u32 dq = ai.qpos - aj.qpos;
-      if (dt > p.max_dist || dq > p.max_dist) break;  // sorted by tpos: dt grows
+      if (dt > p.max_dist) break;  // sorted by tpos: dt only grows
+      // qpos is NOT monotone in the look-back: a stray anchor (e.g. a
+      // repeat hit that slipped past the occ mask) can sit at a nearby
+      // tpos but a far-away qpos. Terminating on dq here would hide every
+      // predecessor beyond the stray and split the chain mid-read.
+      if (dq > p.max_dist) continue;
       const u32 dd = dq > dt ? dq - dt : dt - dq;
       if (dd > p.bandwidth) continue;
       const i32 match = static_cast<i32>(std::min<u32>(std::min(dq, dt), p.seed_length));
@@ -83,6 +88,15 @@ std::vector<Chain> chain_anchors(const std::vector<Anchor>& anchors, const Chain
     c.rev = members.front().rev;
     c.score = score;
     c.anchors = std::move(members);
+    i64 dmin = Chain::diagonal(c.anchors.front());
+    i64 dmax = dmin;
+    for (std::size_t i = 1; i < c.anchors.size(); ++i) {
+      const i64 d = Chain::diagonal(c.anchors[i]);
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+      c.max_gap_drift = std::max(c.max_gap_drift, c.gap_drift(i));
+    }
+    c.diag_spread = static_cast<u32>(dmax - dmin);
     chains.push_back(std::move(c));
   }
 

@@ -1,0 +1,52 @@
+#include "core/band_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manymap {
+
+i32 indel_headroom(u64 len, const AutoBandPolicy& p) {
+  const double expected_indels = p.indel_frac * static_cast<double>(len);
+  return static_cast<i32>(std::ceil(p.indel_sd_mult * std::sqrt(expected_indels)));
+}
+
+i32 auto_band_for_gap(u64 dt, u64 dq, u32 drift, const AutoBandPolicy& p) {
+  const u64 len = std::min(dt, dq);
+  const i64 band = static_cast<i64>(drift) + p.slack + indel_headroom(len, p);
+  return static_cast<i32>(std::min<i64>(band, p.max_band));
+}
+
+i32 auto_band_for_extension(u64 tlen, u64 qlen, double anchor_density,
+                            const AutoBandPolicy& p) {
+  const u64 drift = tlen > qlen ? tlen - qlen : qlen - tlen;
+  const u64 len = std::min(tlen, qlen);
+  if (anchor_density < p.clean_anchor_density &&
+      len > static_cast<u64>(p.ext_band_max_len))
+    return 0;
+  const i64 bias = static_cast<i64>(std::ceil(p.ext_bias_frac * static_cast<double>(len)));
+  const i64 band = static_cast<i64>(drift) + p.slack + bias + indel_headroom(len, p);
+  return static_cast<i32>(std::min<i64>(band, p.max_band));
+}
+
+double chain_anchor_density(std::size_t anchors, u64 span,
+                            const AutoBandPolicy& p) {
+  const u64 evidence = std::max(std::max<u64>(span, 1), p.min_density_span);
+  return static_cast<double>(anchors) / static_cast<double>(evidence);
+}
+
+i32 profitable_band(i32 band, u64 tlen, u64 qlen, const AutoBandPolicy& p) {
+  if (band <= 0) return 0;
+  // An anti-diagonal of a tlen x qlen matrix has at most min(tlen, qlen)
+  // cells; the band keeps at most 2*band+1 of them. Require the band to
+  // exclude at least (1 - min_gain_lanes_frac) of the widest diagonal.
+  const double lanes = 2.0 * band + 1.0;
+  const double widest = static_cast<double>(std::min(tlen, qlen));
+  if (lanes >= p.min_gain_lanes_frac * widest) return 0;
+  return band;
+}
+
+i32 auto_band_typical(u64 read_len, const AutoBandPolicy& p) {
+  return auto_band_for_gap(read_len, read_len, 0, p);
+}
+
+}  // namespace manymap

@@ -1,0 +1,113 @@
+// Geometry-driven band selection (ISSUE 9): derive a per-segment DP band
+// from what the chain stage already measured, instead of a static --band
+// knob. minimap2 sizes its DP bandwidth from the anchor diagonal spread
+// (Li 2018) and LOGAN's GPU rates rest on adaptive banding (Zeni 2020);
+// here the same idea drives the diff/two-piece kernels' BandTracker.
+//
+// The estimate is deliberately aggressive: correctness never depends on
+// it. A banded kernel whose optimum might leave the band flags band_hit
+// and the mapper reruns that call unbanded (MapTimings::band_fallbacks),
+// so an undersized band costs one wasted banded attempt, never a wrong
+// answer. The policy's job is to keep that fallback rate near zero while
+// shrinking O(|T|*|Q|) work to O(band*|Q|).
+#pragma once
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// How the mapper chooses the kernel band for each DP segment.
+enum class BandMode {
+  kOff,    ///< always unbanded (the pre-auto default; --band 0)
+  kFixed,  ///< static half-width from MapOptions::band (--band N, N > 0)
+  kAuto,   ///< per-segment band from chain geometry (--band auto; default)
+};
+
+/// Tunables for the auto estimator. A segment band has three parts:
+///   drift      — measured net |dt - dq| the path must absorb (gaps only;
+///                extensions have no anchor on the far side, drift = 0)
+///   slack      — flat headroom for scoring wiggle near the band edge
+///   indel term — headroom for balanced indels inside the segment. These
+///                act as a +-1 random walk on the diagonal, so the
+///                deviation grows like sqrt(rate * len), not len; the
+///                multiplier picks how many standard deviations to cover.
+struct AutoBandPolicy {
+  i32 slack = 16;            ///< flat half-width headroom per segment
+  double indel_frac = 0.15;  ///< assumed per-base indel rate inside segments
+  double indel_sd_mult = 4.0;  ///< random-walk std deviations to cover
+  /// Indel rates are rarely balanced (PacBio CLR inserts ~2x what it
+  /// deletes), so the walk has a net per-base drift. Between anchors the
+  /// measured |dt - dq| already pins it, but extensions are unanchored on
+  /// the far side: cover |ins_rate - del_rate| * len linearly there.
+  double ext_bias_frac = 0.06;
+  /// Longest extension (min of window/tail length) worth banding on a
+  /// NOISY read. The escape ledger credits a would-be escapee
+  /// match * remaining-cells, while an error-laden extension loses score
+  /// linearly with length — past this length the ledger can always "beat"
+  /// the banded optimum and the kernel would flag band_hit nearly every
+  /// time, so the estimator sends longer noisy extensions straight to the
+  /// full kernel instead of paying a doomed banded attempt plus the
+  /// unbanded rerun. Calibrated against the ledger economics: the in-band
+  /// deficit grows like (per-error penalty) * err * len while the cost of
+  /// crossing the band edge is ~2 * band, so at CLR-grade 13-15 % error
+  /// only tails up to a few hundred bases stay provable. Clean reads
+  /// waive the cap through the density gate below, so this value only
+  /// governs noisy reads.
+  i32 ext_band_max_len = 256;
+  /// Chain anchor density (anchors per spanned base) above which the read
+  /// is clean enough that long extensions stay ledger-provable and the
+  /// length cap is waived. Exact-k-mer anchor survival falls off as
+  /// (1-err)^k: ~1 % error keeps one minimizer anchor every ~7 bases
+  /// (density ~0.15) while 12-15 % error thins them past one per 40
+  /// (density < 0.03), so the chain's own geometry separates the regimes.
+  double clean_anchor_density = 0.05;
+  /// Density over a short chain is small-sample noise, not evidence the
+  /// READ is clean: a spurious 100 bp chain with a handful of anchors
+  /// easily clears the density threshold and would waive the cap for a
+  /// 2 kbp noisy tail hanging off it. chain_anchor_density() floors the
+  /// span at this many bases, so only chains long enough to be real
+  /// evidence can certify a read as clean.
+  u64 min_density_span = 4000;
+  i32 max_band = 4096;  ///< selected bands are capped here (huge gaps)
+  /// A band only pays off if it excludes a decent share of the matrix:
+  /// segments where 2*band+1 >= min_gain_lanes_frac * min(|T|,|Q|) run
+  /// the full kernel instead (profitable_band returns 0).
+  double min_gain_lanes_frac = 0.75;
+};
+
+/// Indel headroom for a segment of `len` aligned bases.
+i32 indel_headroom(u64 len, const AutoBandPolicy& p);
+
+/// Band half-width for a middle gap fill between two anchors dt target /
+/// dq query bases apart: measured drift + slack + indel headroom.
+i32 auto_band_for_gap(u64 dt, u64 dq, u32 drift, const AutoBandPolicy& p);
+
+/// Band half-width for a left/right end extension: qlen query bases
+/// against a tlen target window (usually qlen + end_bonus_window). The
+/// band's center line runs corner to corner, so the |tlen - qlen| window
+/// surplus acts like gap drift (a slope-1 path sits up to that many cells
+/// off the center line mid-matrix) and is covered the same way, plus
+/// slack and indel headroom scaled by the extension length.
+/// `anchor_density` is the owning chain's anchors-per-spanned-base; below
+/// clean_anchor_density the ext_band_max_len cap applies (returns 0 for
+/// longer extensions — run the full kernel).
+i32 auto_band_for_extension(u64 tlen, u64 qlen, double anchor_density,
+                            const AutoBandPolicy& p);
+
+/// Anchors-per-spanned-base of a chain, as consumed by the extension
+/// estimator's clean-read gate. The span is floored at min_density_span:
+/// a chain too short to be evidence reads as sparse (noisy), never clean.
+double chain_anchor_density(std::size_t anchors, u64 span,
+                            const AutoBandPolicy& p);
+
+/// Gate a candidate band on profitability for a tlen x qlen segment:
+/// returns the band when it meaningfully narrows the matrix, else 0
+/// (caller runs the full kernel; counted as auto_band_full).
+i32 profitable_band(i32 band, u64 tlen, u64 qlen, const AutoBandPolicy& p);
+
+/// Representative band for a whole read of `read_len` bases under this
+/// policy — an order-of-magnitude hint for batch placement (the real
+/// per-segment bands are chosen later, per gap/extension).
+i32 auto_band_typical(u64 read_len, const AutoBandPolicy& p);
+
+}  // namespace manymap

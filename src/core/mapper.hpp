@@ -52,6 +52,15 @@ struct MapTimings {
   u64 streamed_kernels = 0;        ///< kernel calls run with streamed dirs
   u64 dirs_spilled_bytes = 0;      ///< direction bytes written to spill sinks
   u64 band_fallbacks = 0;          ///< banded kernels rerun unbanded on band_hit
+  // Auto-band accounting (band_mode == kAuto): every run_kernel call either
+  // runs with a geometry-selected band (auto_band_kernels, band widths
+  // accumulated in auto_band_sum so mean = sum / kernels) or deliberately
+  // runs full because the band would not pay off (auto_band_full). Of the
+  // banded ones, band_fallbacks counts the band_hit reruns — the observable
+  // miss rate of the estimator.
+  u64 auto_band_kernels = 0;  ///< kernel calls run with an auto-selected band
+  u64 auto_band_full = 0;     ///< auto-mode calls that chose the full kernel
+  u64 auto_band_sum = 0;      ///< sum of auto-selected band half-widths
 
   MapTimings& operator+=(const MapTimings& o) {
     seed_chain_seconds += o.seed_chain_seconds;
@@ -59,6 +68,9 @@ struct MapTimings {
     dp_cells += o.dp_cells;
     kernel_retries += o.kernel_retries;
     band_fallbacks += o.band_fallbacks;
+    auto_band_kernels += o.auto_band_kernels;
+    auto_band_full += o.auto_band_full;
+    auto_band_sum += o.auto_band_sum;
     deepest_fallback_rung = deepest_fallback_rung > o.deepest_fallback_rung
                                 ? deepest_fallback_rung
                                 : o.deepest_fallback_rung;
@@ -104,9 +116,10 @@ struct MapCall {
   /// Non-owning; must outlive the map() call.
   const std::function<AlignResult(const DiffArgs&)>* kernel_override = nullptr;
   /// Band half-width / zdrop overrides for this call; -1 inherits the
-  /// MapOptions values, 0 forces unbanded. The service degrade ladder uses
-  /// these to narrow bands under memory pressure without rebuilding the
-  /// shared Mapper.
+  /// MapOptions band_mode/band/zdrop, 0 forces unbanded, N > 0 forces a
+  /// static band — an explicit override takes precedence over auto mode.
+  /// The service degrade ladder uses these to pin narrow bands under
+  /// memory pressure without rebuilding the shared Mapper.
   i32 band = -1;
   i32 zdrop = -1;
 };

@@ -30,8 +30,9 @@ GpuBatchMapper::GpuBatchMapper(const GpuBatchConfig& cfg)
   MM_REQUIRE(cfg_.host_kernel != nullptr, "no host kernel available for GPU fallback");
 }
 
-PlacementDecision GpuBatchMapper::place(const std::vector<u32>& read_lengths) {
-  const PlacementDecision d = decide_placement(read_lengths, cfg_.placement);
+PlacementDecision GpuBatchMapper::place(const std::vector<u32>& read_lengths,
+                                        i32 band_hint) {
+  const PlacementDecision d = decide_placement(read_lengths, cfg_.placement, band_hint);
   if (d.offload) offload_batches_.fetch_add(1, std::memory_order_relaxed);
   else cpu_batches_.fetch_add(1, std::memory_order_relaxed);
   return d;

@@ -17,13 +17,18 @@ const char* to_string(PlacementReason r) {
 }
 
 PlacementDecision decide_placement(const std::vector<u32>& read_lengths,
-                                   const PlacementPolicy& policy) {
+                                   const PlacementPolicy& policy, i32 band_hint) {
   PlacementDecision d;
   if (read_lengths.empty()) {
     d.reason = PlacementReason::kEmptyBatch;
     return d;
   }
-  for (const u32 len : read_lengths) d.total_bases += len;
+  const u64 band_lanes = band_hint > 0 ? 2 * static_cast<u64>(band_hint) + 1 : 0;
+  for (const u32 len : read_lengths) {
+    d.total_bases += len;
+    const u64 l = len;
+    d.est_cells += band_lanes > 0 ? l * std::min(l, band_lanes) : l * l;
+  }
   const double n = static_cast<double>(read_lengths.size());
   d.mean_len = static_cast<double>(d.total_bases) / n;
   if (d.mean_len > 0.0) {
@@ -34,15 +39,22 @@ PlacementDecision decide_placement(const std::vector<u32>& read_lengths,
     }
     d.length_cv = std::sqrt(ss / n) / d.mean_len;
   }
+  // Banded boundaries apply only when the band actually narrows the mean
+  // read — otherwise device cost is full-matrix and the unbanded rules
+  // must hold (an enormous --band N must not relax anything).
+  d.banded = band_lanes > 0 && static_cast<double>(band_lanes) < d.mean_len;
+  const double min_mean = static_cast<double>(policy.min_mean_read_len) *
+                          (d.banded ? policy.banded_min_len_factor : 1.0);
+  const double max_cv = policy.max_length_cv * (d.banded ? policy.banded_cv_headroom : 1.0);
   if (read_lengths.size() < policy.min_reads) {
     d.reason = PlacementReason::kSmallBatch;
     return d;
   }
-  if (d.mean_len < static_cast<double>(policy.min_mean_read_len)) {
+  if (d.mean_len < min_mean) {
     d.reason = PlacementReason::kShortReads;
     return d;
   }
-  if (d.length_cv > policy.max_length_cv) {
+  if (d.length_cv > max_cv) {
     d.reason = PlacementReason::kSkewedLengths;
     return d;
   }

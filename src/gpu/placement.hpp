@@ -12,6 +12,14 @@
 //      longest read while short lanes idle);
 //   5. everything else — long, uniform batches — offloads.
 // Property tests in tests/test_gpu_offload.cpp pin these boundaries.
+//
+// A banded batch (band_hint > 0, from the mapper's fixed or auto band)
+// relaxes rules 3 and 4: device work per segment is O((2b+1) * diagonals)
+// rather than O(|T| * |Q|), so shorter reads already saturate the band's
+// anti-diagonal lanes and length skew only costs linearly (the longest
+// read no longer dominates quadratically). Banded batches therefore
+// offload earlier. When the hint does not actually narrow the mean read
+// (2 * band + 1 >= mean length) the unbanded boundaries apply unchanged.
 #pragma once
 
 #include <vector>
@@ -28,6 +36,11 @@ struct PlacementPolicy {
   /// per-batch CV around 0.4-0.7; the default only rejects genuinely
   /// bimodal mixtures (e.g. amplicon spike-ins next to 20kb reads).
   double max_length_cv = 0.75;
+  /// Banded relaxations (only applied when a band hint narrows the mean
+  /// read): the mean-length floor shrinks by this factor ...
+  double banded_min_len_factor = 0.5;
+  /// ... and the CV ceiling stretches by this factor.
+  double banded_cv_headroom = 1.5;
 };
 
 enum class PlacementReason {
@@ -46,12 +59,23 @@ struct PlacementDecision {
   u64 total_bases = 0;
   double mean_len = 0.0;
   double length_cv = 0.0;  ///< population stddev / mean (0 when mean is 0)
+  bool banded = false;     ///< banded boundaries were in effect
+  /// Estimated device DP cells for the batch: per read len * min(len,
+  /// 2*band+1) when banded, len^2 otherwise — the same banded-cell model
+  /// GpuBatchMapper uses per segment, aggregated for capacity planning.
+  u64 est_cells = 0;
 };
 
 /// Decide placement for one batch from its read lengths. Pure function of
-/// (lengths, policy); the boundaries are exactly the ordered rules above.
+/// (lengths, policy, band_hint); the boundaries are exactly the ordered
+/// rules above. `band_hint` is the kernel band half-width the mapper will
+/// run with (0 = unbanded, the pre-auto behavior).
 PlacementDecision decide_placement(const std::vector<u32>& read_lengths,
-                                   const PlacementPolicy& policy);
+                                   const PlacementPolicy& policy, i32 band_hint);
+inline PlacementDecision decide_placement(const std::vector<u32>& read_lengths,
+                                          const PlacementPolicy& policy) {
+  return decide_placement(read_lengths, policy, 0);
+}
 
 }  // namespace gpu
 }  // namespace manymap

@@ -57,6 +57,16 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.dirs_spilled_bytes = dirs_spilled_bytes_.load(std::memory_order_relaxed);
   s.budget_redirects = budget_redirects_.load(std::memory_order_relaxed);
   s.arena_trims = arena_trims_.load(std::memory_order_relaxed);
+  s.auto_band_kernels = auto_band_kernels_.load(std::memory_order_relaxed);
+  s.auto_band_full = auto_band_full_.load(std::memory_order_relaxed);
+  s.auto_band_sum = auto_band_sum_.load(std::memory_order_relaxed);
+  s.band_fallbacks = band_fallbacks_.load(std::memory_order_relaxed);
+  if (s.auto_band_kernels > 0) {
+    const double kernels = static_cast<double>(s.auto_band_kernels);
+    s.band_fallback_rate = static_cast<double>(s.band_fallbacks) / kernels;
+    s.auto_band_hit_rate = 1.0 - s.band_fallback_rate;
+    s.mean_auto_band = static_cast<double>(s.auto_band_sum) / kernels;
+  }
   s.gpu_offload_batches = gpu_offload_batches_.load(std::memory_order_relaxed);
   s.gpu_cpu_batches = gpu_cpu_batches_.load(std::memory_order_relaxed);
   s.gpu_requests = gpu_requests_.load(std::memory_order_relaxed);
@@ -124,6 +134,16 @@ std::string MetricsSnapshot::report() const {
                 static_cast<unsigned long long>(verify_divergences),
                 static_cast<unsigned long long>(verified_degraded));
   std::string out = buf;
+  if (auto_band_kernels + auto_band_full > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  banding    auto_kernels=%llu full=%llu mean_band=%.1f "
+                  "hit_rate=%.4f fallback_rate=%.4f fallbacks=%llu\n",
+                  static_cast<unsigned long long>(auto_band_kernels),
+                  static_cast<unsigned long long>(auto_band_full), mean_auto_band,
+                  auto_band_hit_rate, band_fallback_rate,
+                  static_cast<unsigned long long>(band_fallbacks));
+    out += buf;
+  }
   if (gpu_offload_batches + gpu_cpu_batches + gpu_requests > 0) {
     std::snprintf(buf, sizeof(buf),
                   "  gpu        offloaded=%llu kept_cpu=%llu requests=%llu "

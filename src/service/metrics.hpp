@@ -52,6 +52,20 @@ struct MetricsSnapshot {
   u64 dirs_spilled_bytes = 0;   ///< total direction bytes written to spill sinks
   u64 budget_redirects = 0;     ///< batches routed off an over-budget shard
   u64 arena_trims = 0;          ///< idle workers that released DP arena memory
+  // Banding effectiveness (geometry-driven auto bands vs the degrade
+  // rung's pinned band): per-kernel counters aggregated over kOk answers.
+  u64 auto_band_kernels = 0;    ///< kernels run with an auto-selected band
+  u64 auto_band_full = 0;       ///< auto-mode kernels that chose full width
+  u64 auto_band_sum = 0;        ///< sum of auto-selected band half-widths
+  u64 band_fallbacks = 0;       ///< banded kernels rerun unbanded on band_hit
+  /// Share of banded kernel attempts whose band held (no band_hit rerun).
+  double auto_band_hit_rate = 0.0;
+  /// Share of banded kernel attempts rerun unbanded (the estimator miss
+  /// rate; the autoband fuzzer enforces a ceiling on the same quantity).
+  double band_fallback_rate = 0.0;
+  /// Mean auto-selected band half-width — directly comparable with the
+  /// memory ladder's pinned `degrade_band` rung.
+  double mean_auto_band = 0.0;
   // Device offload (placement decisions, staging, occupancy); populated
   // only when the service runs with GPU offload enabled.
   u64 gpu_offload_batches = 0;  ///< batches the placement policy sent to the device
@@ -124,6 +138,13 @@ class ServiceMetrics {
     if (spilled_bytes) dirs_spilled_bytes_.fetch_add(spilled_bytes, std::memory_order_relaxed);
   }
   void on_mem_score_only() { mem_score_only_.fetch_add(1, std::memory_order_relaxed); }
+  /// Banding accounting for one served request (from its MapTimings).
+  void on_banding(u64 auto_kernels, u64 auto_full, u64 auto_sum, u64 fallbacks) {
+    if (auto_kernels) auto_band_kernels_.fetch_add(auto_kernels, std::memory_order_relaxed);
+    if (auto_full) auto_band_full_.fetch_add(auto_full, std::memory_order_relaxed);
+    if (auto_sum) auto_band_sum_.fetch_add(auto_sum, std::memory_order_relaxed);
+    if (fallbacks) band_fallbacks_.fetch_add(fallbacks, std::memory_order_relaxed);
+  }
   void on_budget_redirect() { budget_redirects_.fetch_add(1, std::memory_order_relaxed); }
   void on_arena_trim() { arena_trims_.fetch_add(1, std::memory_order_relaxed); }
   /// Device-offload accounting: per-response and per-requeue events are
@@ -168,6 +189,8 @@ class ServiceMetrics {
   std::atomic<u64> verified_{0}, verify_divergences_{0}, verified_degraded_{0};
   std::atomic<u64> streamed_responses_{0}, mem_score_only_{0}, dirs_spilled_bytes_{0};
   std::atomic<u64> budget_redirects_{0}, arena_trims_{0};
+  std::atomic<u64> auto_band_kernels_{0}, auto_band_full_{0}, auto_band_sum_{0};
+  std::atomic<u64> band_fallbacks_{0};
   std::atomic<u64> gpu_offload_batches_{0}, gpu_cpu_batches_{0}, gpu_requests_{0};
   std::atomic<u64> gpu_device_kernels_{0}, gpu_host_segments_{0};
   std::atomic<u64> gpu_staged_bytes_{0}, gpu_stage_fallbacks_{0};
