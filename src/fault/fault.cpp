@@ -91,9 +91,13 @@ const std::vector<std::string>& known_sites() {
       "align.dp.alloc",          // DP workspace allocation (diff + twopiece)
       "gpu.launch",              // device kernel launch (offload subsystem)
       "gpu.stage_oom",           // pinned-style host staging allocation
+      "index.corrupt",           // forced checksum mismatch after validation
+      "index.io.open",           // structured loader open (native error path)
+      "index.io.short_read",     // structured loader header read (native error path)
       "index.load.mmap",         // mmap-backed index load
       "index.load.stream",       // streamed index load
       "index.save",              // index serialization
+      "index.save.write",        // crash window between tmp write and publish
       "io.file.read",            // whole-file read
       "io.file.write",           // whole-file write
       "io.mmap.open",            // MappedFile::open (native bool failure)

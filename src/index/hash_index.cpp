@@ -6,14 +6,7 @@ namespace manymap {
 
 namespace {
 
-u64 mix64(u64 x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
+using detail::bucket_hash;
 
 std::size_t table_size_for(std::size_t keys) {
   std::size_t n = 16;
@@ -61,7 +54,7 @@ MinimizerIndex MinimizerIndex::build(const Reference& ref, const SketchParams& p
   while (i < raws.size()) {
     std::size_t j = i;
     while (j < raws.size() && raws[j].key == raws[i].key) ++j;
-    std::size_t slot = mix64(raws[i].key) & mask;
+    std::size_t slot = bucket_hash(raws[i].key) & mask;
     while (idx.buckets_[slot].key != ~0ULL) slot = (slot + 1) & mask;
     idx.buckets_[slot] = Bucket{raws[i].key, i, static_cast<u32>(j - i)};
     i = j;
@@ -72,7 +65,7 @@ MinimizerIndex MinimizerIndex::build(const Reference& ref, const SketchParams& p
 const MinimizerIndex::Bucket* MinimizerIndex::find_bucket(u64 key) const {
   if (buckets_.empty()) return nullptr;
   const std::size_t mask = buckets_.size() - 1;
-  std::size_t slot = mix64(key) & mask;
+  std::size_t slot = bucket_hash(key) & mask;
   for (std::size_t probes = 0; probes <= buckets_.size(); ++probes) {
     const Bucket& b = buckets_[slot];
     if (b.key == key) return &b;

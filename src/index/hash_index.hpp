@@ -13,6 +13,20 @@
 
 namespace manymap {
 
+namespace detail {
+/// Finalizer-style bit mixer used to place keys in the open-addressing
+/// bucket table. Shared with IndexView so the zero-copy on-disk table is
+/// probed exactly like the in-memory one.
+inline u64 bucket_hash(u64 x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace detail
+
 /// One reference hit of a minimizer key.
 struct IndexEntry {
   u32 rid = 0;

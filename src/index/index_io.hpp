@@ -1,30 +1,193 @@
-// Binary index serialization with two load paths (paper §4.4.2):
-//   load_index_stream — minimap2-style fragmented loading: many small
-//     reads, per-contig/per-bucket length parsing, incremental allocation.
-//   load_index_mmap   — manymap's path: map the file once and bulk-copy
-//     the arrays with consecutive reads ("two times faster on KNL").
+// Binary index serialization (MMMI format v2) with three load paths
+// (paper §4.4.2) and a durability contract (DESIGN.md):
+//   load paths
+//     try_load_index_stream — minimap2-style fragmented loading: many
+//       small reads, per-record parsing, incremental allocation.
+//     try_load_index_mmap   — manymap's path: map the file once and
+//       bulk-copy the arrays ("two times faster on KNL").
+//     try_load_index_view   — zero-copy: bucket/entry arrays are read in
+//       place from the mapping, so N processes share one physical copy
+//       of the index through the page cache.
+//   durability
+//     The file carries a fully validated fixed header plus per-section
+//     xxh64 checksums; every count is bounds-checked against the file
+//     size before allocation; loads never abort on garbage — they
+//     return a structured IndexLoadResult. save_index publishes
+//     atomically (tmp + fsync + rename + dir fsync), so a torn write
+//     can never be observed under the final path.
 //
-// File layout (little-endian, all sizes u64 unless noted):
-//   magic "MMMI" u32 | version u32 | k u32 | w u32
-//   n_contigs | per contig: name_len, name bytes, length
-//   n_buckets | bucket array (key, offset, count+pad)
-//   n_entries | entry array (rid, pos, strand)
-//   n_keys
+// File layout v2 (little-endian, sections 16-byte aligned):
+//   IndexHeader (160 bytes, checksummed)
+//   contigs section  | per contig: name_len u64, name bytes, length u64
+//   buckets section  | DiskBucket array (open-addressing table image)
+//   entries section  | DiskEntry array (hits grouped by key)
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "index/hash_index.hpp"
+#include "io/mapped_file.hpp"
 
 namespace manymap {
 
-/// Serialize the index; returns written byte count.
+// ---------------------------------------------------------------------------
+// On-disk records. These are public so the zero-copy IndexView can hand out
+// spans over the mapped arrays and so tooling/fuzzers can craft files.
+
+struct IndexSectionDesc {
+  u64 offset = 0;    ///< absolute file offset of the section payload
+  u64 bytes = 0;     ///< exact payload size (excludes alignment padding)
+  u64 checksum = 0;  ///< xxh64 over the payload bytes
+};
+
+struct IndexHeader {
+  u32 magic = 0;         ///< "MMMI"
+  u32 version = 0;       ///< 2
+  u32 endianness = 0;    ///< written as kIndexEndianTag in host order
+  u32 header_bytes = 0;  ///< sizeof(IndexHeader)
+  u32 k = 0;
+  u32 w = 0;
+  u32 reserved0 = 0;
+  u32 reserved1 = 0;
+  u64 n_contigs = 0;
+  u64 n_buckets = 0;  ///< power of two (or 0): open-addressing table image
+  u64 n_entries = 0;
+  u64 n_keys = 0;
+  u64 file_bytes = 0;  ///< total file size; truncation is detected up front
+  IndexSectionDesc contigs;
+  IndexSectionDesc buckets;
+  IndexSectionDesc entries;
+  u64 reserved2 = 0;
+  u64 header_checksum = 0;  ///< xxh64 over the preceding 152 bytes
+};
+static_assert(sizeof(IndexHeader) == 160);
+
+struct DiskBucket {
+  u64 key;
+  u64 offset;
+  u32 count;
+  u32 pad;
+};
+static_assert(sizeof(DiskBucket) == 24);
+
+struct DiskEntry {
+  u32 rid;
+  u32 pos;
+  u32 strand_rev;  ///< 0 or 1 (validated at load)
+  u32 pad;
+};
+static_assert(sizeof(DiskEntry) == 16);
+
+constexpr u32 kIndexMagic = 0x494d4d4du;  // "MMMI"
+constexpr u32 kIndexVersion = 2;
+constexpr u32 kIndexEndianTag = 0x01020304u;
+
+// ---------------------------------------------------------------------------
+// Structured load results: corrupt or hostile files are a recoverable
+// condition (the service must keep serving its old index), so loaders
+// report instead of aborting.
+
+enum class IndexIoStatus {
+  kOk = 0,
+  kOpenFailed,         ///< file missing/unreadable (see message for errno)
+  kTruncated,          ///< file shorter than the header promises
+  kBadMagic,           ///< not an MMMI index at all
+  kBadVersion,         ///< wrong format version (e.g. stale v1 file)
+  kBadEndianness,      ///< index written on an other-endian host
+  kChecksumMismatch,   ///< header or section checksum failed — bit corruption
+  kMalformed,          ///< counts/offsets/fields violate format invariants
+};
+
+const char* to_string(IndexIoStatus status);
+
+struct IndexLoadOptions {
+  /// Verify the per-section xxh64 checksums (an O(file size) pass). The
+  /// O(1) header checksum and all structural bounds checks always run;
+  /// disable only for load-latency benchmarks on trusted files.
+  bool verify_checksums = true;
+};
+
+struct IndexLoadResult {
+  IndexIoStatus status = IndexIoStatus::kOk;
+  std::string message;  ///< actionable description; empty iff ok()
+  MinimizerIndex index;
+  u64 checksum_bytes_verified = 0;
+  bool ok() const { return status == IndexIoStatus::kOk; }
+};
+
+/// Zero-copy index: keeps the file mapped and reads the bucket/entry
+/// arrays in place (both sections are 16-byte aligned by the writer, so
+/// in-place access is well-defined). Only the tiny contig table is
+/// copied. Probing matches MinimizerIndex bit for bit.
+class IndexView {
+ public:
+  IndexView() = default;
+
+  bool is_open() const { return file_.is_open(); }
+  const SketchParams& params() const { return params_; }
+  const std::vector<ContigMeta>& contigs() const { return contigs_; }
+  std::size_t num_keys() const { return static_cast<std::size_t>(n_keys_); }
+  std::size_t num_entries() const { return static_cast<std::size_t>(n_entries_); }
+  std::size_t num_buckets() const { return static_cast<std::size_t>(n_buckets_); }
+
+  /// All hits for a key, straight out of the mapping (empty if absent).
+  std::span<const DiskEntry> lookup(u64 key) const;
+
+  /// Bulk-convert to an owning MinimizerIndex (e.g. to hand to a Mapper).
+  MinimizerIndex materialize() const;
+
+ private:
+  friend struct IndexViewAccess;
+
+  MappedFile file_;
+  SketchParams params_{};
+  std::vector<ContigMeta> contigs_;
+  const DiskBucket* buckets_ = nullptr;
+  const DiskEntry* entries_ = nullptr;
+  u64 n_buckets_ = 0;
+  u64 n_entries_ = 0;
+  u64 n_keys_ = 0;
+};
+
+struct IndexViewResult {
+  IndexIoStatus status = IndexIoStatus::kOk;
+  std::string message;
+  IndexView view;
+  u64 checksum_bytes_verified = 0;
+  bool ok() const { return status == IndexIoStatus::kOk; }
+};
+
+// ---------------------------------------------------------------------------
+// API
+
+/// Serialize to the v2 byte image (header checksums filled in). Pure
+/// function of the index contents — equal indexes serialize identically.
+std::string serialize_index(const MinimizerIndex& index);
+
+/// Serialize + crash-safe atomic publish: write `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the directory. On any failure the tmp file
+/// is removed and std::runtime_error (or an injected FaultInjected) is
+/// thrown; `path` is either the complete new index or untouched.
+/// Returns written byte count.
 u64 save_index(const std::string& path, const MinimizerIndex& index);
 
 /// Fragmented stdio loader (baseline in the I/O experiment).
-MinimizerIndex load_index_stream(const std::string& path);
+IndexLoadResult try_load_index_stream(const std::string& path,
+                                      const IndexLoadOptions& options = {});
 
-/// Memory-mapped loader (manymap's optimization).
+/// Memory-mapped bulk loader (manymap's optimization).
+IndexLoadResult try_load_index_mmap(const std::string& path,
+                                    const IndexLoadOptions& options = {});
+
+/// Zero-copy loader: validates, then serves straight from the mapping.
+IndexViewResult try_load_index_view(const std::string& path,
+                                    const IndexLoadOptions& options = {});
+
+/// Legacy wrappers: behavior-identical to the structured loaders on good
+/// files; on garbage they abort with the structured (actionable) message
+/// instead of returning. CLI paths use these; the service uses try_*.
+MinimizerIndex load_index_stream(const std::string& path);
 MinimizerIndex load_index_mmap(const std::string& path);
 
 }  // namespace manymap

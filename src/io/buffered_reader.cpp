@@ -4,8 +4,13 @@ namespace manymap {
 
 BufferedReader::BufferedReader(const std::string& path, std::size_t buffer_size) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (file_ != nullptr && buffer_size > 0)
-    std::setvbuf(file_, nullptr, _IOFBF, buffer_size);
+  if (file_ == nullptr) return;
+  if (buffer_size > 0) std::setvbuf(file_, nullptr, _IOFBF, buffer_size);
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    const long size = std::ftell(file_);
+    if (size > 0) file_bytes_ = static_cast<u64>(size);
+  }
+  std::rewind(file_);
 }
 
 BufferedReader::~BufferedReader() {
@@ -19,6 +24,13 @@ bool BufferedReader::read_exact(void* dst, std::size_t n) {
   MM_REQUIRE(got == n, "short read in index file");
   bytes_read_ += got;
   return true;
+}
+
+bool BufferedReader::try_read_exact(void* dst, std::size_t n) {
+  if (file_ == nullptr) return false;
+  const std::size_t got = std::fread(dst, 1, n, file_);
+  bytes_read_ += got;
+  return got == n;
 }
 
 }  // namespace manymap

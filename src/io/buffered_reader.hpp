@@ -22,17 +22,33 @@ class BufferedReader {
   /// Read exactly n bytes; returns false at clean EOF, aborts on short read.
   bool read_exact(void* dst, std::size_t n);
 
+  /// Read exactly n bytes; returns false on EOF *or* a mid-record short
+  /// read without aborting — the structured index loader turns that into
+  /// a kTruncated error instead of a crash.
+  bool try_read_exact(void* dst, std::size_t n);
+
   template <typename T>
   bool read_pod(T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     return read_exact(&value, sizeof(T));
   }
 
+  template <typename T>
+  bool try_read_pod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return try_read_exact(&value, sizeof(T));
+  }
+
   u64 bytes_read() const { return bytes_read_; }
+
+  /// Total file size (from a seek at open), so loaders can bound
+  /// untrusted counts before allocating. 0 when the file failed to open.
+  u64 file_bytes() const { return file_bytes_; }
 
  private:
   std::FILE* file_ = nullptr;
   u64 bytes_read_ = 0;
+  u64 file_bytes_ = 0;
 };
 
 }  // namespace manymap

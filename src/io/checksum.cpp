@@ -1,0 +1,159 @@
+#include "io/checksum.hpp"
+
+#include <cstring>
+
+namespace manymap {
+
+namespace {
+
+constexpr u64 kP1 = 0x9e3779b185ebca87ULL;
+constexpr u64 kP2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr u64 kP3 = 0x165667b19e3779f9ULL;
+constexpr u64 kP4 = 0x85ebca77c2b2ae63ULL;
+constexpr u64 kP5 = 0x27d4eb2f165667c5ULL;
+
+inline u64 rotl(u64 x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline u64 read64(const u8* p) {
+  u64 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline u32 read32(const u8* p) {
+  u32 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline u64 round1(u64 acc, u64 input) {
+  acc += input * kP2;
+  acc = rotl(acc, 31);
+  return acc * kP1;
+}
+
+inline u64 merge_round(u64 h, u64 acc) {
+  h ^= round1(0, acc);
+  return h * kP1 + kP4;
+}
+
+inline u64 avalanche(u64 h) {
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Fold the final 0..31 bytes into `h` (after the length add).
+u64 finalize(u64 h, const u8* p, std::size_t len) {
+  while (len >= 8) {
+    h ^= round1(0, read64(p));
+    h = rotl(h, 27) * kP1 + kP4;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= static_cast<u64>(read32(p)) * kP1;
+    h = rotl(h, 23) * kP2 + kP3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= static_cast<u64>(*p) * kP5;
+    h = rotl(h, 11) * kP1;
+    ++p;
+    --len;
+  }
+  return avalanche(h);
+}
+
+}  // namespace
+
+u64 xxh64(const void* data, std::size_t len, u64 seed) {
+  const u8* p = static_cast<const u8*>(data);
+  const std::size_t total = len;
+  u64 h;
+  if (len >= 32) {
+    u64 a1 = seed + kP1 + kP2;
+    u64 a2 = seed + kP2;
+    u64 a3 = seed;
+    u64 a4 = seed - kP1;
+    do {
+      a1 = round1(a1, read64(p));
+      a2 = round1(a2, read64(p + 8));
+      a3 = round1(a3, read64(p + 16));
+      a4 = round1(a4, read64(p + 24));
+      p += 32;
+      len -= 32;
+    } while (len >= 32);
+    h = rotl(a1, 1) + rotl(a2, 7) + rotl(a3, 12) + rotl(a4, 18);
+    h = merge_round(h, a1);
+    h = merge_round(h, a2);
+    h = merge_round(h, a3);
+    h = merge_round(h, a4);
+  } else {
+    h = seed + kP5;
+  }
+  h += static_cast<u64>(total);
+  return finalize(h, p, len);
+}
+
+void Xxh64::reset(u64 seed) {
+  seed_ = seed;
+  acc_[0] = seed + kP1 + kP2;
+  acc_[1] = seed + kP2;
+  acc_[2] = seed;
+  acc_[3] = seed - kP1;
+  total_ = 0;
+  buf_len_ = 0;
+}
+
+void Xxh64::update(const void* data, std::size_t len) {
+  const u8* p = static_cast<const u8*>(data);
+  total_ += len;
+  if (buf_len_ > 0) {
+    const std::size_t want = 32 - buf_len_;
+    const std::size_t take = len < want ? len : want;
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ < 32) return;
+    acc_[0] = round1(acc_[0], read64(buf_));
+    acc_[1] = round1(acc_[1], read64(buf_ + 8));
+    acc_[2] = round1(acc_[2], read64(buf_ + 16));
+    acc_[3] = round1(acc_[3], read64(buf_ + 24));
+    buf_len_ = 0;
+  }
+  while (len >= 32) {
+    acc_[0] = round1(acc_[0], read64(p));
+    acc_[1] = round1(acc_[1], read64(p + 8));
+    acc_[2] = round1(acc_[2], read64(p + 16));
+    acc_[3] = round1(acc_[3], read64(p + 24));
+    p += 32;
+    len -= 32;
+  }
+  if (len > 0) {
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+u64 Xxh64::digest() const {
+  u64 h;
+  if (total_ >= 32) {
+    h = rotl(acc_[0], 1) + rotl(acc_[1], 7) + rotl(acc_[2], 12) + rotl(acc_[3], 18);
+    h = merge_round(h, acc_[0]);
+    h = merge_round(h, acc_[1]);
+    h = merge_round(h, acc_[2]);
+    h = merge_round(h, acc_[3]);
+  } else {
+    h = seed_ + kP5;
+  }
+  h += total_;
+  return finalize(h, buf_, buf_len_);
+}
+
+}  // namespace manymap

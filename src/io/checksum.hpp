@@ -1,0 +1,38 @@
+// 64-bit content checksums for on-disk artifacts (XXH64 algorithm).
+//
+// The index durability contract (DESIGN.md) hashes every file section so
+// silent bit corruption is detected at load time instead of surfacing as
+// silently wrong alignments. XXH64 is used because it is fast enough to
+// verify gigabyte-scale indexes at memory bandwidth and needs no
+// dependencies; this is a self-contained implementation of the published
+// algorithm (one-shot and streaming).
+#pragma once
+
+#include <cstddef>
+
+#include "base/common.hpp"
+
+namespace manymap {
+
+/// One-shot XXH64 over a buffer.
+u64 xxh64(const void* data, std::size_t len, u64 seed = 0);
+
+/// Streaming XXH64 state, for loaders that hash while reading in chunks.
+/// digest() may be called at any point; it does not disturb the state.
+class Xxh64 {
+ public:
+  explicit Xxh64(u64 seed = 0) { reset(seed); }
+
+  void reset(u64 seed = 0);
+  void update(const void* data, std::size_t len);
+  u64 digest() const;
+
+ private:
+  u64 acc_[4] = {0, 0, 0, 0};
+  u64 seed_ = 0;
+  u64 total_ = 0;
+  u8 buf_[32] = {};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace manymap

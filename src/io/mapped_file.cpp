@@ -5,46 +5,80 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "fault/fault.hpp"
 
 namespace manymap {
 
+namespace {
+
+std::string errno_text() {
+  const int err = errno;
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) + ")";
+}
+
+}  // namespace
+
 MappedFile::~MappedFile() { close(); }
 
 MappedFile::MappedFile(MappedFile&& other) noexcept
-    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      opened_empty_(std::exchange(other.opened_empty_, false)),
+      last_error_(std::move(other.last_error_)) {}
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this != &other) {
     close();
     data_ = std::exchange(other.data_, nullptr);
     size_ = std::exchange(other.size_, 0);
+    opened_empty_ = std::exchange(other.opened_empty_, false);
+    last_error_ = std::move(other.last_error_);
   }
   return *this;
 }
 
 bool MappedFile::open(const std::string& path) {
   close();
-  if (MM_INJECT_FAIL("io.mmap.open")) return false;
+  last_error_.clear();
+  if (MM_INJECT_FAIL("io.mmap.open")) {
+    last_error_ = "cannot open '" + path + "': injected fault at io.mmap.open";
+    return false;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return false;
+  if (fd < 0) {
+    last_error_ = "cannot open '" + path + "': " + errno_text();
+    return false;
+  }
   struct stat st{};
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+  if (::fstat(fd, &st) != 0) {
+    last_error_ = "cannot stat '" + path + "': " + errno_text();
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size < 0) {
+    last_error_ = "cannot stat '" + path + "': negative size";
     ::close(fd);
     return false;
   }
   size_ = static_cast<std::size_t>(st.st_size);
   if (size_ == 0) {
+    // Zero-byte mappings are invalid (mmap would fail with EINVAL), so an
+    // empty regular file — or a size-0 special file like /dev/null — is
+    // represented as an open file with an empty span and no mapping.
     ::close(fd);
     data_ = nullptr;
-    return true;  // empty file maps to empty span
+    opened_empty_ = true;
+    return true;
   }
   void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);
   if (p == MAP_FAILED) {
+    last_error_ = "cannot mmap '" + path + "': " + errno_text();
     size_ = 0;
     return false;
   }
@@ -56,6 +90,7 @@ void MappedFile::close() {
   if (data_ != nullptr) ::munmap(data_, size_);
   data_ = nullptr;
   size_ = 0;
+  opened_empty_ = false;
 }
 
 std::string read_file(const std::string& path) {

@@ -19,11 +19,18 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  /// Map `path` read-only. Returns false (and stays empty) on failure.
+  /// Map `path` read-only. Returns false (and stays empty) on failure;
+  /// the reason (with errno text) is retained in last_error(). An empty
+  /// file (or /dev/null) opens successfully with size() == 0 and a null
+  /// data pointer — mmap of zero bytes is invalid, so no mapping is made.
   bool open(const std::string& path);
   void close();
 
-  bool is_open() const { return data_ != nullptr; }
+  /// Why the last open() failed ("" after a successful open). The string
+  /// includes the path and the errno description of the failing syscall.
+  const std::string& last_error() const { return last_error_; }
+
+  bool is_open() const { return data_ != nullptr || opened_empty_; }
   std::size_t size() const { return size_; }
   const u8* data() const { return static_cast<const u8*>(data_); }
   std::span<const u8> bytes() const { return {data(), size_}; }
@@ -34,6 +41,8 @@ class MappedFile {
  private:
   void* data_ = nullptr;
   std::size_t size_ = 0;
+  bool opened_empty_ = false;  ///< open() succeeded on a zero-byte file
+  std::string last_error_;
 };
 
 /// Read a whole file into a string via buffered stdio (the classic path

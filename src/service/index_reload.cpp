@@ -1,0 +1,35 @@
+#include "service/index_reload.hpp"
+
+#include <algorithm>
+
+namespace manymap {
+
+std::chrono::milliseconds reload_backoff(u32 attempt, std::chrono::milliseconds initial,
+                                         std::chrono::milliseconds cap) {
+  if (initial.count() <= 0) return std::chrono::milliseconds{0};
+  if (cap < initial) cap = initial;
+  // 2^20 * initial already exceeds any sane cap; clamping the shift keeps
+  // the multiply in range for absurd attempt numbers.
+  const u32 shift = std::min<u32>(attempt, 20);
+  const u64 scaled = static_cast<u64>(initial.count()) << shift;
+  return std::min(std::chrono::milliseconds(static_cast<i64>(scaled)), cap);
+}
+
+std::string index_matches_reference(const Reference& ref, const MinimizerIndex& index) {
+  const auto& contigs = index.contigs();
+  if (contigs.size() != ref.num_contigs())
+    return "index describes " + std::to_string(contigs.size()) + " contigs, reference has " +
+           std::to_string(ref.num_contigs());
+  for (std::size_t i = 0; i < contigs.size(); ++i) {
+    const auto& want = ref.contig(i);
+    if (contigs[i].name != want.name)
+      return "contig " + std::to_string(i) + " is '" + contigs[i].name +
+             "' in the index but '" + want.name + "' in the reference";
+    if (contigs[i].length != want.size())
+      return "contig '" + want.name + "' is " + std::to_string(contigs[i].length) +
+             " bp in the index but " + std::to_string(want.size()) + " bp in the reference";
+  }
+  return "";
+}
+
+}  // namespace manymap

@@ -1,0 +1,30 @@
+// Helpers for the service's async index (re)load path: the capped
+// exponential backoff schedule between failed load attempts, and the
+// validation that a freshly loaded index actually describes the
+// reference the service is serving (a reload must never swap in an index
+// built from a different genome — lookups would return positions into
+// the wrong contigs).
+//
+// Both are pure functions so tests can pin the schedule and the
+// mismatch messages without spinning up a service.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "index/hash_index.hpp"
+#include "sequence/sequence.hpp"
+
+namespace manymap {
+
+/// Delay before reload attempt `attempt` (0-based: the delay after the
+/// first failure is `initial`). Doubles per attempt, capped at `cap`;
+/// `initial <= 0` disables waiting entirely (test schedules).
+std::chrono::milliseconds reload_backoff(u32 attempt, std::chrono::milliseconds initial,
+                                         std::chrono::milliseconds cap);
+
+/// "" when `index` describes `ref` (same contig count, names, lengths,
+/// in order); otherwise an actionable description of the first mismatch.
+std::string index_matches_reference(const Reference& ref, const MinimizerIndex& index);
+
+}  // namespace manymap

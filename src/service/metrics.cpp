@@ -57,6 +57,11 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.dirs_spilled_bytes = dirs_spilled_bytes_.load(std::memory_order_relaxed);
   s.budget_redirects = budget_redirects_.load(std::memory_order_relaxed);
   s.arena_trims = arena_trims_.load(std::memory_order_relaxed);
+  s.index_reloads = index_reloads_.load(std::memory_order_relaxed);
+  s.index_reload_failures = index_reload_failures_.load(std::memory_order_relaxed);
+  s.warming_rejections = warming_rejections_.load(std::memory_order_relaxed);
+  s.index_checksum_bytes_verified =
+      index_checksum_bytes_verified_.load(std::memory_order_relaxed);
   s.auto_band_kernels = auto_band_kernels_.load(std::memory_order_relaxed);
   s.auto_band_full = auto_band_full_.load(std::memory_order_relaxed);
   s.auto_band_sum = auto_band_sum_.load(std::memory_order_relaxed);
@@ -134,6 +139,18 @@ std::string MetricsSnapshot::report() const {
                 static_cast<unsigned long long>(verify_divergences),
                 static_cast<unsigned long long>(verified_degraded));
   std::string out = buf;
+  if (index_reloads + index_reload_failures + warming_rejections +
+          index_checksum_bytes_verified >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  index      reloads=%llu failures=%llu warming_rejections=%llu "
+                  "checksum_bytes=%llu\n",
+                  static_cast<unsigned long long>(index_reloads),
+                  static_cast<unsigned long long>(index_reload_failures),
+                  static_cast<unsigned long long>(warming_rejections),
+                  static_cast<unsigned long long>(index_checksum_bytes_verified));
+    out += buf;
+  }
   if (auto_band_kernels + auto_band_full > 0) {
     std::snprintf(buf, sizeof(buf),
                   "  banding    auto_kernels=%llu full=%llu mean_band=%.1f "

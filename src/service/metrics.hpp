@@ -52,6 +52,11 @@ struct MetricsSnapshot {
   u64 dirs_spilled_bytes = 0;   ///< total direction bytes written to spill sinks
   u64 budget_redirects = 0;     ///< batches routed off an over-budget shard
   u64 arena_trims = 0;          ///< idle workers that released DP arena memory
+  // Index durability (async load / hot reload; see DESIGN.md).
+  u64 index_reloads = 0;          ///< successful index swaps (incl. initial warm load)
+  u64 index_reload_failures = 0;  ///< load attempts rejected (corrupt/mismatched/missing)
+  u64 warming_rejections = 0;     ///< requests answered kIndexWarming during warm-up
+  u64 index_checksum_bytes_verified = 0;  ///< section bytes checksummed across loads
   // Banding effectiveness (geometry-driven auto bands vs the degrade
   // rung's pinned band): per-kernel counters aggregated over kOk answers.
   u64 auto_band_kernels = 0;    ///< kernels run with an auto-selected band
@@ -147,6 +152,15 @@ class ServiceMetrics {
   }
   void on_budget_redirect() { budget_redirects_.fetch_add(1, std::memory_order_relaxed); }
   void on_arena_trim() { arena_trims_.fetch_add(1, std::memory_order_relaxed); }
+  /// Index durability accounting (async warm-up and hot reload).
+  void on_index_reload() { index_reloads_.fetch_add(1, std::memory_order_relaxed); }
+  void on_index_reload_failure() {
+    index_reload_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_warming_rejection() { warming_rejections_.fetch_add(1, std::memory_order_relaxed); }
+  void on_index_checksum_bytes(u64 bytes) {
+    if (bytes) index_checksum_bytes_verified_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   /// Device-offload accounting: per-response and per-requeue events are
   /// service-level counters; the subsystem's cumulative stats arrive as a
   /// gauge snapshot via set_gpu after each gpu-capable batch.
@@ -189,6 +203,8 @@ class ServiceMetrics {
   std::atomic<u64> verified_{0}, verify_divergences_{0}, verified_degraded_{0};
   std::atomic<u64> streamed_responses_{0}, mem_score_only_{0}, dirs_spilled_bytes_{0};
   std::atomic<u64> budget_redirects_{0}, arena_trims_{0};
+  std::atomic<u64> index_reloads_{0}, index_reload_failures_{0};
+  std::atomic<u64> warming_rejections_{0}, index_checksum_bytes_verified_{0};
   std::atomic<u64> auto_band_kernels_{0}, auto_band_full_{0}, auto_band_sum_{0};
   std::atomic<u64> band_fallbacks_{0};
   std::atomic<u64> gpu_offload_batches_{0}, gpu_cpu_batches_{0}, gpu_requests_{0};

@@ -17,11 +17,17 @@ namespace manymap {
 /// once with one of these — worker exceptions become kFailed responses,
 /// never broken promises.
 enum class RequestStatus {
-  kOk,        ///< mapped (possibly to zero locations) and answered
-  kRejected,  ///< admission control: ingress queue was full
-  kTimedOut,  ///< deadline expired before or during compute
-  kFailed,    ///< worker error (exception, injected fault, stalled worker)
+  kOk,            ///< mapped (possibly to zero locations) and answered
+  kRejected,      ///< admission control: ingress queue was full
+  kTimedOut,      ///< deadline expired before or during compute
+  kFailed,        ///< worker error (exception, injected fault, stalled worker)
+  /// Retriable: the service is up but its index is still loading (async
+  /// warm-up). Clients should resubmit after a short delay; the request
+  /// was admitted and answered, not dropped.
+  kIndexWarming,
 };
+
+constexpr std::size_t kRequestStatusCount = 5;
 
 const char* to_string(RequestStatus s);
 

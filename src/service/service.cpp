@@ -5,6 +5,8 @@
 #include "align/arena.hpp"
 #include "base/timer.hpp"
 #include "fault/fault.hpp"
+#include "index/index_io.hpp"
+#include "service/index_reload.hpp"
 #include "verify/verify.hpp"
 
 namespace manymap {
@@ -15,6 +17,7 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kRejected: return "REJECTED";
     case RequestStatus::kTimedOut: return "TIMED_OUT";
     case RequestStatus::kFailed: return "FAILED";
+    case RequestStatus::kIndexWarming: return "INDEX_WARMING";
   }
   return "?";
 }
@@ -45,19 +48,125 @@ i64 now_ns() {
 }  // namespace
 
 AlignmentService::AlignmentService(const Reference& ref, ServiceConfig cfg)
-    : cfg_(cfg), mapper_(ref, cfg.map), breaker_(cfg.breaker), ingress_(cfg.ingress_capacity) {
-  start();
+    : cfg_(cfg), ref_(ref), breaker_(cfg.breaker), ingress_(cfg.ingress_capacity) {
+  if (cfg_.index.load_path.empty()) {
+    // Classic synchronous construction: the index is built before the
+    // first request can be admitted.
+    publish_mapper(std::make_shared<const Mapper>(ref, cfg_.map));
+    start();
+  } else {
+    // Async warm-up: accept traffic immediately (answered kIndexWarming)
+    // while the MMMI file loads and validates in the background.
+    start();
+    begin_index_reload(cfg_.index.load_path);
+  }
 }
 
 AlignmentService::AlignmentService(const Reference& ref, MinimizerIndex index, ServiceConfig cfg)
-    : cfg_(cfg),
-      mapper_(ref, std::move(index), cfg.map),
-      breaker_(cfg.breaker),
-      ingress_(cfg.ingress_capacity) {
+    : cfg_(cfg), ref_(ref), breaker_(cfg.breaker), ingress_(cfg.ingress_capacity) {
+  publish_mapper(std::make_shared<const Mapper>(ref, std::move(index), cfg_.map));
   start();
 }
 
 AlignmentService::~AlignmentService() { shutdown(); }
+
+std::shared_ptr<const Mapper> AlignmentService::mapper_snapshot() const {
+  std::lock_guard lock(mapper_mu_);
+  return mapper_;
+}
+
+void AlignmentService::publish_mapper(std::shared_ptr<const Mapper> m) {
+  {
+    std::lock_guard lock(mapper_mu_);
+    mapper_ = m;
+    mapper_history_.push_back(std::move(m));
+  }
+  ready_cv_.notify_all();
+}
+
+const Mapper& AlignmentService::mapper() const {
+  const auto snap = mapper_snapshot();
+  MM_REQUIRE(snap != nullptr, "service index still warming; wait_until_ready() first");
+  // Safe to deref-and-return: mapper_history_ keeps every published
+  // mapper alive for the service's lifetime.
+  return *snap;
+}
+
+bool AlignmentService::index_ready() const { return mapper_snapshot() != nullptr; }
+
+bool AlignmentService::wait_until_ready(std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mapper_mu_);
+  const auto ready = [this] {
+    return mapper_ != nullptr || stopped_.load(std::memory_order_relaxed);
+  };
+  if (timeout.count() <= 0)
+    ready_cv_.wait(lock, ready);
+  else
+    ready_cv_.wait_for(lock, timeout, ready);
+  return mapper_ != nullptr;
+}
+
+bool AlignmentService::begin_index_reload(const std::string& path) {
+  std::lock_guard lock(reload_mu_);
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  if (reload_active_.load(std::memory_order_acquire)) return false;  // one at a time
+  // The previous reload thread (if any) has finished its work — only the
+  // thread itself clears reload_active_, as its final act — so this join
+  // returns immediately and never deadlocks.
+  if (reload_thread_.joinable()) reload_thread_.join();
+  reload_active_.store(true, std::memory_order_release);
+  reload_thread_ = std::thread([this, path] { reload_loop(path); });
+  return true;
+}
+
+void AlignmentService::reload_loop(std::string path) {
+  const ServiceConfig::IndexConfig& icfg = cfg_.index;
+  const u32 attempts = icfg.max_attempts > 0 ? icfg.max_attempts : 1;
+  for (u32 attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff between attempts; interruptible so
+      // shutdown never waits out a long delay.
+      const auto delay = reload_backoff(attempt - 1, icfg.backoff_initial, icfg.backoff_cap);
+      std::unique_lock lock(backoff_mu_);
+      reload_cv_.wait_for(lock, delay,
+                          [this] { return stopped_.load(std::memory_order_relaxed); });
+    }
+    if (stopped_.load(std::memory_order_relaxed)) break;
+    std::string failure;
+    try {
+      IndexLoadOptions opt;
+      opt.verify_checksums = icfg.verify_checksums;
+      IndexLoadResult res = try_load_index_mmap(path, opt);
+      metrics_.on_index_checksum_bytes(res.checksum_bytes_verified);
+      if (!res.ok()) {
+        failure = res.message;
+      } else {
+        // A structurally valid index can still describe the wrong genome;
+        // swapping it in would silently map reads to the wrong contigs.
+        const std::string mismatch = index_matches_reference(ref_, res.index);
+        if (!mismatch.empty()) {
+          failure = "index '" + path + "' does not match the serving reference: " + mismatch;
+        } else {
+          publish_mapper(std::make_shared<const Mapper>(ref_, std::move(res.index), cfg_.map));
+          metrics_.on_index_reload();
+          reload_active_.store(false, std::memory_order_release);
+          return;
+        }
+      }
+    } catch (const std::exception& e) {
+      failure = e.what();
+    } catch (...) {
+      failure = "unknown exception while loading index";
+    }
+    metrics_.on_index_reload_failure();
+    std::fprintf(stderr, "[index] load attempt %u/%u failed: %s\n", attempt + 1, attempts,
+                 failure.c_str());
+  }
+  // Gave up (or shutting down): the previously published index — if there
+  // is one — keeps serving; a warming service keeps answering
+  // kIndexWarming until a later begin_index_reload succeeds.
+  reload_active_.store(false, std::memory_order_release);
+}
 
 void AlignmentService::start() {
   MM_REQUIRE(cfg_.shards > 0 && cfg_.workers_per_shard > 0, "service needs workers");
@@ -181,7 +290,7 @@ void AlignmentService::scheduler_loop() {
 }
 
 MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
-                                        const RequestBatch& batch,
+                                        const RequestBatch& batch, const Mapper* mapper,
                                         detail::KernelArena* arena, GpuServe* gpu) {
   MapResponse resp;
   resp.id = p.req.id;
@@ -192,6 +301,13 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
   resp.queue_ms = ms_since(p.enqueued, compute_start);
   if (p.req.deadline && compute_start > *p.req.deadline) {
     resp.status = RequestStatus::kTimedOut;
+    return resp;
+  }
+  // Warming: the async index load has not published yet. Retriable by
+  // contract — the request was admitted and answered, never dropped.
+  if (mapper == nullptr) {
+    resp.status = RequestStatus::kIndexWarming;
+    resp.error = "index warming; retry";
     return resp;
   }
   // Degraded mode: while the breaker is open, shed the base-level CIGAR
@@ -246,7 +362,7 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
       };
       call.kernel_override = &dev_kernel;
     }
-    resp.mappings = mapper_.map(p.req.read, call);
+    resp.mappings = mapper->map(p.req.read, call);
     if (call.score_only) resp.degrade = DegradeLevel::kScoreOnly;
     else if (resp.timings.streamed_kernels > 0) resp.degrade = DegradeLevel::kStreamedDirs;
     resp.paf = to_paf_block(resp.mappings, cfg_.paf_with_cigar && !call.score_only);
@@ -256,7 +372,7 @@ MapResponse AlignmentService::serve_one(PendingRequest& p, u32 shard_id,
       resp.on_device = true;
       metrics_.on_gpu_request();
     }
-    maybe_verify_live(p.req, resp);
+    maybe_verify_live(p.req, resp, *mapper);
   } catch (const MapDeadlineExceeded&) {
     resp.status = RequestStatus::kTimedOut;
     resp.error = "deadline exceeded during compute";
@@ -297,10 +413,17 @@ void AlignmentService::account(const PendingRequest& p, const MapResponse& resp)
       break;
     case RequestStatus::kRejected:
       break;  // counted at admission
+    case RequestStatus::kIndexWarming:
+      // Not a failure (no breaker pressure): the service is healthy, the
+      // index just has not finished loading. Counted so operators can see
+      // how much traffic arrived before warm-up completed.
+      metrics_.on_warming_rejection();
+      break;
   }
 }
 
-void AlignmentService::maybe_verify_live(const MapRequest& req, const MapResponse& resp) {
+void AlignmentService::maybe_verify_live(const MapRequest& req, const MapResponse& resp,
+                                         const Mapper& mapper) {
   if (cfg_.verify_sample_every == 0) return;
   const u64 n = ok_responses_.fetch_add(1, std::memory_order_relaxed);
   if (n % cfg_.verify_sample_every != 0) return;
@@ -314,7 +437,7 @@ void AlignmentService::maybe_verify_live(const MapRequest& req, const MapRespons
   const std::vector<u8> rc = reverse_complement(req.read.codes);
   for (const Mapping& m : resp.mappings) {
     verify::LiveMapping lm;
-    lm.contig = &mapper_.reference().contig(m.rid).codes;
+    lm.contig = &mapper.reference().contig(m.rid).codes;
     lm.tstart = m.tstart;
     lm.tend = m.tend;
     lm.query = m.rev ? &rc : &req.read.codes;
@@ -364,6 +487,10 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
     }
     if (!popped) return;
     auto batch = std::make_shared<RequestBatch>(std::move(*popped));
+    // Index snapshot, once per batch: a hot reload published mid-batch
+    // takes effect at the NEXT batch, so every item of this one is served
+    // against the same index (null while the initial load is warming).
+    const std::shared_ptr<const Mapper> mapper_snap = mapper_snapshot();
     metrics_.on_batch(batch->items.size());
     state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
     {
@@ -421,7 +548,7 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
       state->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
       PendingRequest& p = batch->items[idx];
       // compute outside the lock
-      MapResponse resp = serve_one(p, shard_id, *batch, &arena, gpu_serve);
+      MapResponse resp = serve_one(p, shard_id, *batch, mapper_snap.get(), &arena, gpu_serve);
       std::optional<RequestBatch> requeue;
       {
         std::lock_guard lock(state->mu);
@@ -466,7 +593,7 @@ void AlignmentService::worker_loop(u32 shard_id, std::shared_ptr<WorkerState> st
           // consultation applies to them.
           shard.outstanding_bases.fetch_sub(rest_bases, std::memory_order_relaxed);
           for (auto& rp : requeue->items) {
-            MapResponse rr = serve_one(rp, shard_id, *requeue, &arena, nullptr);
+            MapResponse rr = serve_one(rp, shard_id, *requeue, mapper_snap.get(), &arena, nullptr);
             account(rp, rr);
             rp.promise.set_value(std::move(rr));
           }
@@ -561,6 +688,18 @@ void AlignmentService::watchdog_loop(u32 shard_id) {
 
 void AlignmentService::shutdown() {
   if (stopped_.exchange(true)) return;
+  // Wake wait_until_ready() blockers and the reload thread's backoff
+  // sleep (locking each mutex pairs the notify with the predicate check,
+  // closing the lost-wakeup window), then retire the reload thread before
+  // tearing down the serving pipeline.
+  { std::lock_guard lock(mapper_mu_); }
+  ready_cv_.notify_all();
+  { std::lock_guard lock(backoff_mu_); }
+  reload_cv_.notify_all();
+  {
+    std::lock_guard lock(reload_mu_);
+    if (reload_thread_.joinable()) reload_thread_.join();
+  }
   ingress_.close();   // no new admissions; queued requests still served
   scheduler_.join();  // flushes the final partial batch, closes shards
   // Stop the watchdogs BEFORE joining workers so no respawn races the

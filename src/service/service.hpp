@@ -1,7 +1,9 @@
 // The always-on alignment service: many concurrent clients submit
 // MapRequests; a scheduler thread coalesces them into longest-first
-// batches (§4.4.4); sharded worker pools align them against one immutable
-// MinimizerIndex; every request resolves a future with a MapResponse.
+// batches (§4.4.4); sharded worker pools align them against an immutable
+// MinimizerIndex snapshot (hot-swappable via begin_index_reload — workers
+// snapshot once per batch); every request resolves a future with a
+// MapResponse.
 //
 //   AlignmentService svc(ref, cfg);                 // index built once
 //   auto fut = svc.submit({id, read, deadline});    // non-blocking admission
@@ -136,6 +138,24 @@ struct ServiceConfig {
   };
   GpuConfig gpu{};
 
+  /// Async index loading / hot reload. When `load_path` is set (and no
+  /// prebuilt index is supplied) the service accepts traffic immediately:
+  /// requests are admitted while the index loads in the background and
+  /// answered with the retriable kIndexWarming status until the first
+  /// load validates and publishes. begin_index_reload() swaps in a
+  /// replacement index the same way mid-traffic; a load that fails
+  /// validation (corrupt file, wrong reference) NEVER replaces the
+  /// serving index — the old one keeps serving and the attempt retries
+  /// on a capped exponential backoff.
+  struct IndexConfig {
+    std::string load_path;         ///< MMMI file to load asynchronously at startup
+    bool verify_checksums = true;  ///< per-section checksum verification on load
+    u32 max_attempts = 5;          ///< load attempts per (re)load request
+    std::chrono::milliseconds backoff_initial{50};  ///< delay after the first failure
+    std::chrono::milliseconds backoff_cap{2000};    ///< backoff ceiling
+  };
+  IndexConfig index{};
+
   /// When > 0, every Nth kOk response is replayed through the differential
   /// oracle (verify/oracle.cpp); divergences are logged and counted in
   /// ServiceMetrics.
@@ -175,8 +195,26 @@ class AlignmentService {
   void shutdown();
 
   const ServiceMetrics& metrics() const { return metrics_; }
-  const Mapper& mapper() const { return mapper_; }
+  /// The currently published mapper. Requires index_ready(); aborts while
+  /// the index is still warming. The returned reference stays valid for
+  /// the service's lifetime even across hot reloads (superseded mappers
+  /// are retained, not freed — reloads are rare and bounded).
+  const Mapper& mapper() const;
   const ServiceConfig& config() const { return cfg_; }
+
+  /// True once a validated index has been published (requests stop being
+  /// answered kIndexWarming).
+  bool index_ready() const;
+  /// Blocks until the index is ready (or the service shuts down).
+  /// timeout <= 0 waits without bound. Returns index_ready().
+  bool wait_until_ready(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{0}) const;
+  /// Starts an asynchronous (re)load of the MMMI file at `path`. Traffic
+  /// keeps flowing against the current index; the replacement is swapped
+  /// in atomically only after it loads, checksums, and matches the
+  /// serving reference. Returns false if a reload is already in flight
+  /// or the service is shut down.
+  bool begin_index_reload(const std::string& path);
 
  private:
   /// Claim/resolve state shared between one worker thread and the shard
@@ -235,18 +273,44 @@ class AlignmentService {
   };
 
   /// Compute one response (never throws; failures become kFailed).
-  /// Records no terminal metrics — see account(). `arena` is the calling
-  /// worker's reusable DP workspace (steady-state alignments do not
-  /// allocate); nullptr falls back to the thread-shared arena. `gpu`
-  /// non-null routes score-mode DP through the device (see GpuServe).
+  /// Records no terminal metrics — see account(). `mapper` is the batch's
+  /// index snapshot (nullptr while warming: answers kIndexWarming).
+  /// `arena` is the calling worker's reusable DP workspace (steady-state
+  /// alignments do not allocate); nullptr falls back to the thread-shared
+  /// arena. `gpu` non-null routes score-mode DP through the device.
   MapResponse serve_one(PendingRequest& p, u32 shard_id, const RequestBatch& batch,
-                        detail::KernelArena* arena, GpuServe* gpu = nullptr);
+                        const Mapper* mapper, detail::KernelArena* arena,
+                        GpuServe* gpu = nullptr);
   /// Terminal metrics/breaker accounting, called once at promise resolution.
   void account(const PendingRequest& p, const MapResponse& resp);
-  void maybe_verify_live(const MapRequest& req, const MapResponse& resp);
+  void maybe_verify_live(const MapRequest& req, const MapResponse& resp,
+                         const Mapper& mapper);
+  /// RCU read side: the mapper serving new batches right now (null while
+  /// the initial async load is still warming).
+  std::shared_ptr<const Mapper> mapper_snapshot() const;
+  /// RCU write side: swap the serving mapper; retains the superseded one
+  /// in mapper_history_ so mapper()'s returned reference never dangles.
+  void publish_mapper(std::shared_ptr<const Mapper> m);
+  /// Body of the reload thread: bounded attempts with capped backoff;
+  /// publishes on success, keeps the current index on failure.
+  void reload_loop(std::string path);
 
   ServiceConfig cfg_;
-  Mapper mapper_;
+  const Reference& ref_;
+  /// RCU-style hot-swappable mapper. Workers snapshot once per batch (a
+  /// shared_ptr copy under mapper_mu_) so a reload mid-batch never
+  /// invalidates in-flight compute; history retains every published
+  /// mapper for the service lifetime (reloads are rare and bounded, and
+  /// it keeps the reference-returning mapper() accessor safe).
+  mutable std::mutex mapper_mu_;
+  mutable std::condition_variable ready_cv_;  ///< signalled on first publish
+  std::shared_ptr<const Mapper> mapper_;      ///< guarded by mapper_mu_
+  std::vector<std::shared_ptr<const Mapper>> mapper_history_;  ///< guarded by mapper_mu_
+  std::thread reload_thread_;               ///< guarded by reload_mu_
+  std::mutex reload_mu_;                    ///< serializes begin_index_reload
+  std::atomic<bool> reload_active_{false};  ///< cleared by the reload thread itself
+  std::mutex backoff_mu_;                   ///< backoff sleep interruptible at shutdown
+  std::condition_variable reload_cv_;
   ServiceMetrics metrics_;
   CircuitBreaker breaker_;
   /// Shared device-offload subsystem (null unless cfg_.gpu.enabled). One

@@ -14,14 +14,20 @@
 // fourth seed is a GPU STORM: device offload is enabled (placement loosened
 // so the workload actually reaches the device) while the gpu.launch and
 // gpu.stage_oom fault sites force device failures — the CPU fallback and
-// the exactly-once batch-remainder re-queue must keep every seed green. The
+// the exactly-once batch-remainder re-queue must keep every seed green.
+// Every eighth seed (offset 5, overlapping neither storm above) is an
+// INDEX STORM: the service starts with an asynchronously loaded index
+// while the index.io.open / index.io.short_read / index.corrupt fault
+// sites batter the load path — traffic admitted during warm-up answers
+// the retriable INDEX_WARMING status, a hot reload is kicked mid-traffic,
+// and once the faults clear the index must publish and serve kOk. The
 // contract:
 //
 //   1. every submitted request resolves exactly once with a terminal
-//      status (kOk / kRejected / kTimedOut / kFailed) — no hang, no
-//      broken promise, no crash;
+//      status (kOk / kRejected / kTimedOut / kFailed / kIndexWarming) —
+//      no hang, no broken promise, no crash;
 //   2. the metrics ledger balances: submitted == accepted + rejected and
-//      accepted == completed + timed_out + failed;
+//      accepted == completed + timed_out + failed + warming;
 //   3. after the plan is cancelled, a clean request answers kOk — faults
 //      never wedge the service.
 //
@@ -33,6 +39,8 @@
 // prove graceful degradation correct, not merely survive it.
 //
 // Exit status: 0 when every seed upholds the contract, 1 otherwise.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +51,7 @@
 
 #include "core/mapper.hpp"
 #include "fault/fault.hpp"
+#include "index/index_io.hpp"
 #include "service/service.hpp"
 #include "simulate/genome.hpp"
 #include "simulate/read_sim.hpp"
@@ -84,7 +93,8 @@ struct SeedReport {
 /// watchdog never declares a legitimately slow environment (TSan, loaded
 /// CI) stalled.
 SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>& reads,
-                    i64 stall_floor_ms, bool oracle, bool verbose) {
+                    const std::string& index_path, i64 stall_floor_ms, bool oracle,
+                    bool verbose) {
   SeedReport rep;
   ChaosRng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
 
@@ -139,6 +149,18 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
     // timing stays covered by the three quarters of seeds without gpu.
     cfg.watchdog.stall_timeout *= 25;
   }
+  // Index-storm seeds: serve from an asynchronously loaded index (saved
+  // once by main) with the load path under fault fire. Warm-up answers
+  // INDEX_WARMING until an attempt survives; retries use a fast capped
+  // backoff so the seed stays quick.
+  const bool index_storm = seed % 8 == 5 && !index_path.empty();
+  if (index_storm) {
+    cfg.index.load_path = index_path;
+    cfg.index.max_attempts = 8;
+    cfg.index.backoff_initial = std::chrono::milliseconds(5);
+    cfg.index.backoff_cap = std::chrono::milliseconds(40);
+  }
+
   // The live oracle replays every sampled mapping through a reference DP
   // inside worker compute — roughly an order of magnitude over bare
   // mapping. Widen the watchdog so auditing is never mistaken for a stall.
@@ -212,9 +234,21 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
     oom.one_in = static_cast<u32>(rng.range(2, 8));
     plan.arm(oom);
   }
+  if (index_storm) {
+    for (const char* site : {"index.io.open", "index.io.short_read", "index.corrupt"}) {
+      fault::FaultSpec spec;
+      spec.site = site;
+      spec.kind = fault::FaultKind::kError;
+      spec.one_in = static_cast<u32>(rng.range(2, 5));
+      plan.arm(spec);
+    }
+  }
 
-  AlignmentService svc(ref, cfg);
+  // The plan must be live BEFORE the service exists: index-storm seeds
+  // begin their async index load in the constructor, and the load
+  // attempts are exactly what the index.* sites are battering.
   const fault::ScopedPlan scoped(&plan);
+  AlignmentService svc(ref, cfg);
 
   const std::size_t n = static_cast<std::size_t>(rng.range(24, 48));
   std::vector<std::future<MapResponse>> futures;
@@ -229,11 +263,14 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
                                                (rng.below(2) ? stall_floor_ms : 0));
     futures.push_back(rng.below(3) == 0 ? svc.submit(std::move(req))
                                         : svc.submit_wait(std::move(req)));
+    // Index storms also kick a hot reload mid-traffic: the faulted load
+    // path must never disturb the index currently serving.
+    if (index_storm && i == n / 2) svc.begin_index_reload(index_path);
   }
 
   // Contract 1: every future resolves with a terminal status. 60s is far
   // beyond any legitimate schedule — hitting it means a hang.
-  u64 by_status[4] = {0, 0, 0, 0};
+  u64 by_status[kRequestStatusCount] = {};
   for (std::size_t i = 0; i < futures.size(); ++i) {
     if (futures[i].wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
       rep.fail("request " + std::to_string(i) + " hung (no terminal status in 60s)");
@@ -249,6 +286,19 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
   // Let in-flight watchdog bookkeeping settle, then stop injecting.
   plan.cancel();
   fault::install_plan(nullptr);
+
+  // Index-storm recovery: the storm may have exhausted every load
+  // attempt, leaving the service warming forever. With the faults gone a
+  // fresh reload must succeed — begin_index_reload returning false just
+  // means a prior reload is still draining its (now unfaulted) retries.
+  if (index_storm && !svc.index_ready()) {
+    for (int i = 0; i < 100 && !svc.wait_until_ready(std::chrono::milliseconds(600)); ++i)
+      svc.begin_index_reload(index_path);
+    if (!svc.index_ready()) {
+      rep.fail("index storm: index never became ready after faults cleared");
+      return rep;
+    }
+  }
 
   // Contract 3: a clean request after the storm answers kOk.
   MapRequest clean;
@@ -270,8 +320,8 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
   const MetricsSnapshot m = svc.metrics().snapshot();
   if (m.submitted != m.accepted + m.rejected)
     rep.fail("ledger: submitted != accepted + rejected");
-  if (m.accepted != m.completed + m.timed_out + m.failed)
-    rep.fail("ledger: accepted != completed + timed_out + failed");
+  if (m.accepted != m.completed + m.timed_out + m.failed + m.warming_rejections)
+    rep.fail("ledger: accepted != completed + timed_out + failed + warming");
   if (m.worker_stalls != m.worker_respawns)
     rep.fail("ledger: stalls != respawns");
 
@@ -284,15 +334,18 @@ SeedReport run_seed(u64 seed, const Reference& ref, const std::vector<Sequence>&
 
   if (verbose)
     std::fprintf(stderr,
-                 "[chaos] seed=%llu%s%s shards=%u workers=%u specs=%u fires=%llu "
-                 "ok=%llu rejected=%llu timed_out=%llu failed=%llu stalls=%llu%s%s\n",
+                 "[chaos] seed=%llu%s%s%s shards=%u workers=%u specs=%u fires=%llu "
+                 "ok=%llu rejected=%llu timed_out=%llu failed=%llu warming=%llu "
+                 "stalls=%llu%s%s\n",
                  static_cast<unsigned long long>(seed), spill_storm ? " [spill-storm]" : "",
-                 gpu_storm ? " [gpu-storm]" : "", cfg.shards, cfg.workers_per_shard,
+                 gpu_storm ? " [gpu-storm]" : "", index_storm ? " [index-storm]" : "",
+                 cfg.shards, cfg.workers_per_shard,
                  nspecs, static_cast<unsigned long long>(plan.fires()),
                  static_cast<unsigned long long>(by_status[0]),
                  static_cast<unsigned long long>(by_status[1]),
                  static_cast<unsigned long long>(by_status[2]),
                  static_cast<unsigned long long>(by_status[3]),
+                 static_cast<unsigned long long>(by_status[4]),
                  static_cast<unsigned long long>(m.worker_stalls),
                  rep.ok ? "" : " FAIL: ", rep.ok ? "" : rep.failure.c_str());
   return rep;
@@ -362,6 +415,19 @@ int main(int argc, char** argv) {
   // with a wide margin. Fixed wall-clock timeouts false-positive under
   // ThreadSanitizer (~10-20x slowdown) and on loaded CI runners — the
   // watchdog would shoot healthy workers and fail the clean request.
+  // Index storms load from disk: save the workload's index once and let
+  // every index-storm seed hammer the same file. Saved before any faults
+  // are armed, so the on-disk image is pristine — every load failure in a
+  // storm is injected, never real corruption.
+  const std::string index_path =
+      "/tmp/manymap_chaos_idx_" + std::to_string(static_cast<unsigned long>(::getpid())) +
+      ".mmmi";
+  {
+    const MapOptions opt = MapOptions::map_pb();
+    const MinimizerIndex idx = MinimizerIndex::build(ref, opt.sketch);
+    MM_REQUIRE(save_index(index_path, idx), "failed to save chaos index image");
+  }
+
   i64 stall_floor_ms = 0;
   {
     std::vector<const Sequence*> longest;
@@ -388,7 +454,7 @@ int main(int argc, char** argv) {
   u64 total_degraded_seen = 0;
   for (u64 i = 0; i < seeds; ++i) {
     const u64 seed = first_seed + i;
-    const SeedReport rep = run_seed(seed, ref, reads, stall_floor_ms, oracle, verbose);
+    const SeedReport rep = run_seed(seed, ref, reads, index_path, stall_floor_ms, oracle, verbose);
     total_verified += rep.verified;
     total_verified_degraded += rep.verified_degraded;
     total_degraded_seen += rep.degraded_seen;
@@ -398,6 +464,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(seed), rep.failure.c_str());
     }
   }
+  std::remove(index_path.c_str());
   std::printf("manymap_chaos: %llu/%llu seeds upheld the robustness contract\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));

@@ -41,6 +41,16 @@
 //                          SIMT device (score-mode DP on device, path on
 //                          host); responses stay bit-identical to CPU-only
 //   --gpu-streams N        host staging streams for --gpu (default 8)
+// Index persistence:
+//   --index-save PATH      build the index, save it atomically to PATH
+//                          (MMMI v2, checksummed), and serve from it
+//   --index-load PATH      serve with an async-loaded index: traffic is
+//                          accepted immediately and answered INDEX_WARMING
+//                          until PATH validates; the replay resubmits
+//                          warming responses until served
+//   --index-verify PATH    standalone: load PATH through all three load
+//                          paths (stream/mmap/view), require bit-identical
+//                          agreement, print a summary, exit 0/1 (no serving)
 //
 // All numeric options are validated: counts must be positive integers,
 // --deadline-ms/--rate non-negative; violations answer with usage().
@@ -56,6 +66,7 @@
 
 #include "base/timer.hpp"
 #include "core/paf.hpp"
+#include "index/index_io.hpp"
 #include "sequence/fasta.hpp"
 #include "service/service.hpp"
 #include "simulate/genome.hpp"
@@ -145,6 +156,7 @@ int usage() {
                "  [--batch-delay-us N] [--no-longest-first] [--deadline-ms F] [--rate R]\n"
                "  [--admission block|reject] [--verify] [--verify-sample N] [--paf]\n"
                "  [--mem-budget-mb M] [--gpu] [--gpu-streams N]\n"
+               "  [--index-save PATH] [--index-load PATH] [--index-verify PATH]\n"
                "  [--band auto|B (auto = per-segment geometry, 0 = unbanded)] [--zdrop Z (0 = off)]\n"
                "numeric options must be positive integers (--deadline-ms/--rate accept 0 =\n"
                "disabled); --mem-budget-mb caps each shard's estimated in-flight direction\n"
@@ -164,7 +176,8 @@ int main(int argc, char** argv) {
       "seed",     "preset",     "layout",         "isa",        "workers",
       "shards",   "dispatch",   "queue-capacity", "batch-size", "batch-delay-us",
       "deadline-ms", "rate",    "admission",      "verify-sample", "mem-budget-mb",
-      "gpu-streams", "band",    "zdrop"};
+      "gpu-streams", "band",    "zdrop",          "index-save", "index-load",
+      "index-verify"};
   const auto parsed = parse_args(argc - 1, argv + 1, flags, valued);
   if (!parsed) return usage();
   if (parsed->has("help")) {
@@ -172,6 +185,42 @@ int main(int argc, char** argv) {
     return 0;
   }
   const ArgList& args = *parsed;
+
+  // Standalone index verification: no serving, no workload.
+  if (args.has("index-verify")) {
+    const std::string path = args.get("index-verify", "");
+    if (path.empty()) return usage();
+    IndexLoadResult st = try_load_index_stream(path);
+    IndexLoadResult mm = try_load_index_mmap(path);
+    IndexViewResult vw = try_load_index_view(path);
+    bool ok = true;
+    const auto complain = [&](const char* loader, const std::string& msg) {
+      std::fprintf(stderr, "[index-verify] %s: %s\n", loader, msg.c_str());
+      ok = false;
+    };
+    if (!st.ok()) complain("stream", st.message);
+    if (!mm.ok()) complain("mmap", mm.message);
+    if (!vw.ok()) complain("view", vw.message);
+    if (ok) {
+      const std::string a = serialize_index(st.index);
+      const std::string b = serialize_index(mm.index);
+      const std::string c = serialize_index(vw.view.materialize());
+      if (a != b) complain("mmap", "loaded state differs from the stream loader's");
+      if (a != c) complain("view", "materialized state differs from the stream loader's");
+    }
+    if (ok)
+      std::printf(
+          "[index-verify] OK: %s — k=%u w=%u, %zu contigs, %zu keys, %zu entries, "
+          "%llu checksummed bytes, all three load paths bit-identical\n",
+          path.c_str(), st.index.params().k, st.index.params().w, st.index.contigs().size(),
+          st.index.num_keys(), st.index.num_entries(),
+          static_cast<unsigned long long>(mm.checksum_bytes_verified));
+    return ok ? 0 : 1;
+  }
+  if (args.has("index-save") && args.has("index-load")) {
+    std::fprintf(stderr, "manymap_serve: --index-save and --index-load are exclusive\n");
+    return usage();
+  }
 
   // Strict numeric validation up front: every count must be positive,
   // rates/timeouts non-negative; anything else answers with usage.
@@ -259,6 +308,20 @@ int main(int argc, char** argv) {
     cfg.gpu.batch.layout = cfg.map.layout;
     cfg.gpu.batch.num_streams = static_cast<u32>(*gpu_streams_opt);
   }
+  if (args.has("index-save")) {
+    // Build, publish atomically, then serve from the saved file — the
+    // replay below proves the round trip end to end.
+    const std::string path = args.get("index-save", "");
+    if (path.empty()) return usage();
+    const MinimizerIndex idx = MinimizerIndex::build(ref, cfg.map.sketch);
+    const u64 bytes = save_index(path, idx);
+    std::fprintf(stderr, "[manymap_serve] index saved: %s (%llu bytes, %zu keys); serving from it\n",
+                 path.c_str(), static_cast<unsigned long long>(bytes), idx.num_keys());
+    cfg.index.load_path = path;
+  } else if (args.has("index-load")) {
+    cfg.index.load_path = args.get("index-load", "");
+    if (cfg.index.load_path.empty()) return usage();
+  }
 
   // 3. Arrival schedule: exponential inter-arrival gaps (Poisson process)
   //   at --rate req/s; rate 0 degenerates to a burst at t=0.
@@ -297,6 +360,27 @@ int main(int argc, char** argv) {
   std::vector<MapResponse> responses;
   responses.reserve(futures.size());
   for (auto& f : futures) responses.push_back(f.get());
+  // Warming resubmits: INDEX_WARMING answers are retriable by contract.
+  // Once the async load publishes, replay them so the trace completes;
+  // if the load permanently failed they stay warming in the final stats.
+  u64 warming_resubmits = 0;
+  if (!cfg.index.load_path.empty()) {
+    const bool ready = svc.wait_until_ready(std::chrono::milliseconds(60'000));
+    for (std::size_t i = 0; ready && i < responses.size(); ++i) {
+      if (responses[i].status != RequestStatus::kIndexWarming) continue;
+      ++warming_resubmits;
+      MapRequest req;
+      req.id = i;
+      req.read = reads[i];
+      if (deadline_ms > 0.0)
+        req.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(static_cast<i64>(deadline_ms * 1000.0));
+      responses[i] = svc.map_sync(std::move(req));
+    }
+    if (warming_resubmits > 0)
+      std::fprintf(stderr, "[manymap_serve] resubmitted %llu INDEX_WARMING responses after warm-up\n",
+                   static_cast<unsigned long long>(warming_resubmits));
+  }
   svc.shutdown();
   const double wall_s = wall.seconds();
 
@@ -320,6 +404,10 @@ int main(int argc, char** argv) {
   //   behaviour-preserving wrapper around Mapper::map — byte-identical PAF
   //   per request.
   if (args.has("verify")) {
+    if (!svc.index_ready()) {
+      std::fprintf(stderr, "[manymap_serve] verify: FAIL (index never became ready)\n");
+      return 1;
+    }
     u64 mismatches = 0, unverifiable = 0;
     for (std::size_t i = 0; i < responses.size(); ++i) {
       if (responses[i].status != RequestStatus::kOk) {

@@ -8,7 +8,7 @@
 //   --seeds N        fuzz seeds to sweep (default 256)
 //   --first-seed S   first seed (default 1; seeds are S..S+N-1)
 //   --family F       diff|twopiece|simt|banded|bandfull|longread|gpu|e2e|
-//                    autoband|all (default all); `bandfull` sweeps the
+//                    autoband|corruptidx|all (default all); `bandfull` sweeps the
 //                    banded kernel variants through the auto-full-fallback
 //                    contract against the unbanded reference; `longread`
 //                    sweeps the dirs streaming path end-to-end; `gpu`
@@ -37,6 +37,7 @@
 #include "core/options.hpp"
 #include "verify/e2e_fuzzer.hpp"
 #include "verify/fuzzer.hpp"
+#include "verify/index_fuzzer.hpp"
 
 namespace manymap {
 namespace {
@@ -44,7 +45,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: manymap_verify [--seeds N] [--first-seed S]\n"
-               "                      [--family diff|twopiece|simt|banded|bandfull|longread|gpu|e2e|autoband|all]\n"
+               "                      [--family diff|twopiece|simt|banded|bandfull|longread|gpu|e2e|autoband|corruptidx|all]\n"
                "                      [--no-minimize] [--out DIR] [--quiet]\n"
                "       manymap_verify --smoke-longread N [--smoke-budget-mb M]\n"
                "       manymap_verify [--family gpu] --repro FILE [FILE...]\n"
@@ -69,6 +70,14 @@ void usage() {
                "band_mode auto vs off and requires bit-identical mappings,\n"
                "counted (never silent) fallbacks — including under a hostile\n"
                "1-wide band policy — and a <2%% estimator fallback rate.\n"
+               "--family corruptidx fuzzes the MMMI index persistence layer:\n"
+               "each seed serializes a seed-derived index, applies one corruption\n"
+               "(truncation, bit flips, hostile counts, stale version, damaged\n"
+               "checksums — or none) and requires every load path (stream, mmap,\n"
+               "zero-copy view) to either round-trip bit-identically or fail with\n"
+               "a structured, actionable error — never crash or over-allocate.\n"
+               "Periodic replays run with checksums disabled and with the\n"
+               "index.io.*/index.corrupt fault sites armed.\n"
                "--smoke-longread aligns one N x ~N bp\n"
                "pair in path mode with dirs spilled to a temp file under an M MiB\n"
                "resident block budget (default 48) — runnable under ulimit -v.\n");
@@ -204,6 +213,7 @@ int main(int argc, char** argv) {
   bool family_gpu = false;
   bool family_e2e = false;
   bool family_autoband = false;
+  bool family_corruptidx = false;
   i64 smoke_len = 0;
   i64 smoke_budget_mb = 48;
   std::string out_dir;
@@ -243,6 +253,7 @@ int main(int argc, char** argv) {
       else if (std::strcmp(v, "gpu") == 0) family_gpu = true;
       else if (std::strcmp(v, "e2e") == 0) family_e2e = true;
       else if (std::strcmp(v, "autoband") == 0) family_autoband = true;
+      else if (std::strcmp(v, "corruptidx") == 0) family_corruptidx = true;
       else if (std::strcmp(v, "all") == 0)
         opt.family_diff = opt.family_twopiece = opt.family_simt = opt.family_banded =
             opt.family_bandfull = true;
@@ -341,6 +352,23 @@ int main(int argc, char** argv) {
   };
 
   verify::SweepStats stats;
+  if (family_corruptidx) {
+    verify::CorruptIdxOptions ci;
+    ci.seeds = opt.seeds;
+    ci.first_seed = opt.first_seed;
+    stats = verify::run_corruptidx_sweep(ci, on_divergence);
+    if (!quiet) {
+      std::printf("%-40s %10s %12s\n", "corruption", "seeds", "divergences");
+      for (const auto& c : stats.combos)
+        std::printf("%-40s %10llu %12llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.cases),
+                    static_cast<unsigned long long>(c.divergences));
+    }
+    std::printf("corruptidx: %llu loads across %zu corruption kinds, %zu divergences\n",
+                static_cast<unsigned long long>(stats.cases_run), stats.combos.size(),
+                stats.divergences.size());
+    return stats.divergences.empty() ? 0 : 1;
+  }
   if (family_autoband) {
     verify::AutoBandOptions ab;
     ab.seeds = opt.seeds;
